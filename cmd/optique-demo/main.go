@@ -1,0 +1,144 @@
+// Command optique-demo drives the three demonstration scenarios of the
+// paper's Section 3:
+//
+//	-scenario s1   diagnostics with the preconfigured deployment: register
+//	               catalog tasks, replay telemetry, print the dashboard
+//	-scenario s2   performance showcase: run one of the 10 test sets on an
+//	               n-node cluster and report throughput
+//	-scenario s3   user deployment: bootstrap assets from the raw schema,
+//	               then run a task over them
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sync/atomic"
+	"time"
+
+	optique "repro"
+	"repro/internal/rdf"
+	"repro/internal/siemens"
+)
+
+func main() {
+	scenario := flag.String("scenario", "s1", "s1, s2, or s3")
+	nodes := flag.Int("nodes", 4, "cluster size (s2)")
+	testSet := flag.Int("set", 3, "test set 1..10 (s2)")
+	seconds := flag.Int64("seconds", 30, "length of the replayed telemetry")
+	turbines := flag.Int("turbines", 8, "fleet size for the replay")
+	flag.Parse()
+
+	switch *scenario {
+	case "s1":
+		runS1(*seconds, *turbines)
+	case "s2":
+		runS2(*nodes, *testSet, *seconds, *turbines)
+	case "s3":
+		fmt.Println("scenario S3 is the examples/bootstrap program; run: go run ./examples/bootstrap")
+	default:
+		log.Fatalf("unknown scenario %q", *scenario)
+	}
+}
+
+// deploy builds a system over a fleet of the given size.
+func deploy(nodes, turbines int) (*optique.System, *siemens.Generator) {
+	gen, err := siemens.New(siemens.Config{
+		Turbines: turbines, SensorsPerTurbine: 10, AssembliesPerTurbine: 2,
+		SourceASplit: 0.5, Seed: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cat, err := gen.StaticCatalog()
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, err := optique.NewSystem(optique.Config{Nodes: nodes}, siemens.TBox(), siemens.Mappings(), cat)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, sc := range siemens.StreamSchemas() {
+		if err := sys.DeclareStream(sc); err != nil {
+			log.Fatal(err)
+		}
+	}
+	return sys, gen
+}
+
+func replay(sys *optique.System, gen *siemens.Generator, seconds int64, turbines int) int {
+	var sensors []int64
+	for tid := 0; tid < turbines; tid++ {
+		sensors = append(sensors, gen.SensorsOfTurbine(tid)...)
+	}
+	events := gen.PlantDefaultEvents(0, seconds*1000)
+	tuples, routes, err := gen.Generate(siemens.StreamConfig{
+		FromMS: 0, ToMS: seconds * 1000, StepMS: 500,
+		Sensors: sensors, Events: events, Seed: 11,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, el := range tuples {
+		if err := sys.Ingest(siemens.RouteName(routes[i]), el); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := sys.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	return len(tuples)
+}
+
+func runS1(seconds int64, turbines int) {
+	sys, gen := deploy(2, turbines)
+	defer sys.Close()
+	var alerts int64
+	for _, id := range []string{"T01_mon_temperature", "T06_thr_pressure", "T12_corr_vibration"} {
+		task, _ := siemens.TaskByID(id)
+		if _, err := sys.RegisterTask(task.ID, task.Query,
+			func(taskID string, end int64, ts []rdf.Triple) {
+				atomic.AddInt64(&alerts, int64(len(ts)))
+				for _, tr := range ts {
+					fmt.Printf("[%s] t=%dms %s -> %s\n", taskID, end, tr.S.LocalName(), tr.O.LocalName())
+				}
+			}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	n := replay(sys, gen, seconds, turbines)
+	fmt.Printf("\nS1 done: %d tuples replayed, %d alert triples\n", n, alerts)
+}
+
+func runS2(nodes, setIdx int, seconds int64, turbines int) {
+	if setIdx < 1 || setIdx > 10 {
+		log.Fatalf("test set must be 1..10, got %d", setIdx)
+	}
+	sys, gen := deploy(nodes, turbines)
+	defer sys.Close()
+	set := siemens.TestSets()[setIdx-1]
+	var rows int64
+	start := time.Now()
+	for _, task := range set {
+		if _, err := sys.RegisterTask(task.ID, task.Query,
+			func(string, int64, []rdf.Triple) { atomic.AddInt64(&rows, 1) }); err != nil {
+			log.Fatal(err)
+		}
+	}
+	regTime := time.Since(start)
+
+	start = time.Now()
+	n := replay(sys, gen, seconds, turbines)
+	elapsed := time.Since(start)
+	fmt.Printf("S2: test set %d (%d queries) on %d nodes\n", setIdx, len(set), nodes)
+	fmt.Printf("  registration: %v\n", regTime)
+	fmt.Printf("  replay:       %d tuples in %v (%.0f tuples/s ingest)\n",
+		n, elapsed, float64(n)/elapsed.Seconds())
+	var totalIn, totalWindows int64
+	for _, st := range sys.Stats() {
+		totalIn += st.Engine.TuplesIn
+		totalWindows += st.Engine.WindowsExecuted
+	}
+	fmt.Printf("  engine: %d tuple deliveries, %d windows executed (%.0f deliveries/s)\n",
+		totalIn, totalWindows, float64(totalIn)/elapsed.Seconds())
+}

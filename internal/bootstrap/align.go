@@ -1,0 +1,213 @@
+package bootstrap
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/ontology"
+)
+
+// Correspondence is one proposed alignment between terms of two
+// ontologies, with a lexical confidence in (0, 1].
+type Correspondence struct {
+	Left, Right string // IRIs
+	Confidence  float64
+	// Rejected is set by the conservativity check with the reason.
+	Rejected string
+}
+
+// Align proposes class correspondences between two TBoxes by lexical
+// matching of local names and labels, then applies the conservativity
+// check the paper describes ("Alignment: checks for undesired logical
+// consequences"): a correspondence is rejected when merging it would
+// create a subsumption between two classes of the same input ontology
+// that neither ontology entailed on its own.
+func Align(left, right *ontology.TBox, minConfidence float64) []Correspondence {
+	var props []Correspondence
+	for _, lc := range left.Classes() {
+		for _, rc := range right.Classes() {
+			conf := lexicalSimilarity(nameTokens(lc, left), nameTokens(rc, right))
+			if conf >= minConfidence {
+				props = append(props, Correspondence{Left: lc, Right: rc, Confidence: conf})
+			}
+		}
+	}
+	sort.Slice(props, func(i, j int) bool {
+		if props[i].Confidence != props[j].Confidence {
+			return props[i].Confidence > props[j].Confidence
+		}
+		if props[i].Left != props[j].Left {
+			return props[i].Left < props[j].Left
+		}
+		return props[i].Right < props[j].Right
+	})
+
+	// Baseline subsumptions of each input.
+	baseLeft := left.SubClassClosure()
+	baseRight := right.SubClassClosure()
+	leftClasses := map[string]bool{}
+	for _, c := range left.Classes() {
+		leftClasses[c] = true
+	}
+	rightClasses := map[string]bool{}
+	for _, c := range right.Classes() {
+		rightClasses[c] = true
+	}
+
+	// Accept greedily, re-running the conservativity check after each
+	// tentative acceptance.
+	merged := mergeTBoxes(left, right)
+	var accepted []Correspondence
+	for i := range props {
+		c := &props[i]
+		trial := cloneAxioms(merged)
+		for _, a := range accepted {
+			trial.AddConceptInclusion(ontology.Named(a.Left), ontology.Named(a.Right))
+			trial.AddConceptInclusion(ontology.Named(a.Right), ontology.Named(a.Left))
+		}
+		trial.AddConceptInclusion(ontology.Named(c.Left), ontology.Named(c.Right))
+		trial.AddConceptInclusion(ontology.Named(c.Right), ontology.Named(c.Left))
+		if reason := violates(trial, baseLeft, leftClasses); reason != "" {
+			c.Rejected = reason
+			continue
+		}
+		if reason := violates(trial, baseRight, rightClasses); reason != "" {
+			c.Rejected = reason
+			continue
+		}
+		accepted = append(accepted, *c)
+	}
+	return props
+}
+
+// Accepted filters to the surviving correspondences.
+func Accepted(cs []Correspondence) []Correspondence {
+	var out []Correspondence
+	for _, c := range cs {
+		if c.Rejected == "" {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Merge adds the accepted correspondences to a combined TBox (mutual
+// inclusions encode equivalence in OWL 2 QL).
+func Merge(left, right *ontology.TBox, accepted []Correspondence) *ontology.TBox {
+	out := mergeTBoxes(left, right)
+	for _, c := range accepted {
+		if c.Rejected != "" {
+			continue
+		}
+		out.AddConceptInclusion(ontology.Named(c.Left), ontology.Named(c.Right))
+		out.AddConceptInclusion(ontology.Named(c.Right), ontology.Named(c.Left))
+	}
+	return out
+}
+
+func mergeTBoxes(a, b *ontology.TBox) *ontology.TBox {
+	out := ontology.New()
+	for _, t := range []*ontology.TBox{a, b} {
+		for _, c := range t.Classes() {
+			out.DeclareClass(c)
+		}
+		for _, p := range t.ObjectProperties() {
+			out.DeclareObjectProperty(p)
+		}
+		for _, p := range t.DataProperties() {
+			out.DeclareDataProperty(p)
+		}
+		for _, ci := range t.ConceptInclusions() {
+			out.AddConceptInclusion(ci.Sub, ci.Sup)
+		}
+		for _, ri := range t.RoleInclusions() {
+			out.AddRoleInclusion(ri.Sub, ri.Sup)
+		}
+		for _, d := range t.Disjointnesses() {
+			out.AddDisjoint(d.A, d.B)
+		}
+	}
+	return out
+}
+
+func cloneAxioms(t *ontology.TBox) *ontology.TBox {
+	return mergeTBoxes(t, ontology.New())
+}
+
+// violates reports a new subsumption among classes of one source
+// ontology that the source did not entail, or "".
+func violates(merged *ontology.TBox, base map[string]map[string]bool, classes map[string]bool) string {
+	closure := merged.SubClassClosure()
+	for sup, subs := range closure {
+		if !classes[sup] {
+			continue
+		}
+		for sub := range subs {
+			if sub == sup || !classes[sub] {
+				continue
+			}
+			if !base[sup][sub] {
+				return "introduces " + sub + " ⊑ " + sup
+			}
+		}
+	}
+	return ""
+}
+
+// nameTokens extracts comparison tokens from a term's local name and
+// label: lower-cased camel-case/underscore segments.
+func nameTokens(iri string, t *ontology.TBox) map[string]bool {
+	out := map[string]bool{}
+	local := iri
+	if i := strings.LastIndexAny(iri, "#/"); i >= 0 && i+1 < len(iri) {
+		local = iri[i+1:]
+	}
+	for _, tok := range splitIdent(local) {
+		out[tok] = true
+	}
+	for _, tok := range strings.Fields(strings.ToLower(t.Label(iri))) {
+		out[tok] = true
+	}
+	return out
+}
+
+// splitIdent splits CamelCase and snake_case identifiers into lower-case
+// tokens.
+func splitIdent(s string) []string {
+	var tokens []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() > 0 {
+			tokens = append(tokens, strings.ToLower(cur.String()))
+			cur.Reset()
+		}
+	}
+	for _, r := range s {
+		switch {
+		case r == '_' || r == '-' || r == ' ':
+			flush()
+		case r >= 'A' && r <= 'Z':
+			flush()
+			cur.WriteRune(r)
+		default:
+			cur.WriteRune(r)
+		}
+	}
+	flush()
+	return tokens
+}
+
+// lexicalSimilarity is the Jaccard overlap of the token sets.
+func lexicalSimilarity(a, b map[string]bool) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	inter := 0
+	for t := range a {
+		if b[t] {
+			inter++
+		}
+	}
+	union := len(a) + len(b) - inter
+	return float64(inter) / float64(union)
+}

@@ -1,0 +1,307 @@
+package bootstrap
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ontology"
+	"repro/internal/relation"
+)
+
+// turbineSchema is a Siemens-style source schema: turbines, assemblies,
+// sensors (explicit FK to assemblies, implicit FK to turbines), and a
+// measurements stream.
+func turbineSchema() Schema {
+	return Schema{
+		BaseIRI: "http://siemens.com/ontology#",
+		DataIRI: "http://siemens.com/data/",
+		Tables: []Table{
+			{
+				Name:       "turbines",
+				PrimaryKey: "tid",
+				Columns: []Column{
+					{"tid", relation.TInt},
+					{"model", relation.TString},
+					{"serial_no", relation.TString},
+				},
+			},
+			{
+				Name:       "assemblies",
+				PrimaryKey: "aid",
+				Columns: []Column{
+					{"aid", relation.TInt},
+					{"tid", relation.TInt}, // implicit FK to turbines
+					{"name", relation.TString},
+				},
+			},
+			{
+				Name:       "sensors",
+				PrimaryKey: "sid",
+				Columns: []Column{
+					{"sid", relation.TInt},
+					{"aid", relation.TInt},
+					{"kind", relation.TString},
+				},
+				ForeignKeys: []FK{{Column: "aid", RefTable: "assemblies", RefColumn: "aid"}},
+			},
+			{
+				Name:     "measurements",
+				IsStream: true,
+				TSCol:    "ts",
+				Columns: []Column{
+					{"sid", relation.TInt},
+					{"ts", relation.TTime},
+					{"val", relation.TFloat},
+				},
+			},
+		},
+	}
+}
+
+func TestSchemaValidate(t *testing.T) {
+	if err := turbineSchema().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := turbineSchema()
+	bad.Tables[0].PrimaryKey = "missing"
+	if err := bad.Validate(); err == nil {
+		t.Error("bad primary key accepted")
+	}
+	bad2 := turbineSchema()
+	bad2.Tables = append(bad2.Tables, bad2.Tables[0])
+	if err := bad2.Validate(); err == nil {
+		t.Error("duplicate table accepted")
+	}
+	bad3 := turbineSchema()
+	bad3.Tables[2].ForeignKeys[0].RefTable = "nope"
+	if err := bad3.Validate(); err == nil {
+		t.Error("dangling FK accepted")
+	}
+	bad4 := turbineSchema()
+	bad4.BaseIRI = ""
+	if err := bad4.Validate(); err == nil {
+		t.Error("missing base IRI accepted")
+	}
+	bad5 := turbineSchema()
+	bad5.Tables[3].TSCol = ""
+	if err := bad5.Validate(); err == nil {
+		t.Error("stream without ts accepted")
+	}
+}
+
+func TestDirectBootstrap(t *testing.T) {
+	res, err := Direct(turbineSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns := "http://siemens.com/ontology#"
+	classes, objProps, dataProps, nmaps := res.Stats()
+	if classes != 3 {
+		t.Errorf("classes = %d: %v", classes, res.TBox.Classes())
+	}
+	for _, c := range []string{"Turbine", "Assembly", "Sensor"} {
+		if !res.TBox.IsClass(ns + c) {
+			t.Errorf("missing class %s; have %v", c, res.TBox.Classes())
+		}
+	}
+	// Explicit FK sensors.aid and implicit FK assemblies.tid become
+	// object properties.
+	if objProps != 2 {
+		t.Errorf("object properties = %d: %v", objProps, res.TBox.ObjectProperties())
+	}
+	if !res.TBox.IsObjectProperty(ns + "hasA") { // aid -> "hasA"? see naming
+		// Naming is hasA(id->a); accept either but require some property
+		// ranging over Assembly.
+		found := false
+		for _, p := range res.TBox.ObjectProperties() {
+			subs := res.TBox.DirectSubConceptsOf(ontology.Named(ns + "Assembly"))
+			_ = subs
+			found = found || strings.HasPrefix(p, ns+"has")
+		}
+		if !found {
+			t.Errorf("no FK property found: %v", res.TBox.ObjectProperties())
+		}
+	}
+	// Data properties: model, serial_no, name, kind, and the stream's val.
+	if dataProps != 5 {
+		t.Errorf("data properties = %d: %v", dataProps, res.TBox.DataProperties())
+	}
+	if !res.TBox.IsDataProperty(ns + "hasSerialNo") {
+		t.Errorf("snake_case naming: %v", res.TBox.DataProperties())
+	}
+	if nmaps == 0 || nmaps != len(res.Report) {
+		t.Errorf("mappings = %d, report = %d", nmaps, len(res.Report))
+	}
+	// Stream mapping: hasVal sourced from the stream with the sensor id
+	// subject.
+	streamMaps := res.Mappings.ForPred(ns + "hasVal")
+	if len(streamMaps) != 1 || !streamMaps[0].Source.IsStream {
+		t.Fatalf("stream mapping = %v", streamMaps)
+	}
+	if got := streamMaps[0].Subject.String(); !strings.Contains(got, "{sid}") {
+		t.Errorf("stream subject template = %s", got)
+	}
+	// Domains recorded: hasModel's domain is Turbine.
+	subs := res.TBox.DirectSubConceptsOf(ontology.Named(ns + "Turbine"))
+	foundDomain := false
+	for _, s := range subs {
+		if s.Kind == ontology.ExistsConcept && s.Role.IRI == ns+"hasModel" {
+			foundDomain = true
+		}
+	}
+	if !foundDomain {
+		t.Errorf("hasModel domain axiom missing: %v", subs)
+	}
+}
+
+func TestNamingHelpers(t *testing.T) {
+	cases := map[string]string{
+		"gas_turbines": "GasTurbine",
+		"assemblies":   "Assembly",
+		"sensors":      "Sensor",
+		"weather":      "Weather",
+	}
+	for in, want := range cases {
+		if got := ClassName(in); got != want {
+			t.Errorf("ClassName(%q) = %q, want %q", in, got, want)
+		}
+	}
+	if got := DataPropertyName("serial_no"); got != "hasSerialNo" {
+		t.Errorf("DataPropertyName = %q", got)
+	}
+	if got := PropertyName("sensors", "aid"); got != "hasA" {
+		t.Errorf("PropertyName = %q", got)
+	}
+	if got := PropertyName("sensors", "turbine_id"); got != "hasTurbine" {
+		t.Errorf("PropertyName(turbine_id) = %q", got)
+	}
+}
+
+func TestDirectBootstrapUnfoldable(t *testing.T) {
+	// The bootstrapped assets must actually work end-to-end: a query for
+	// Sensor must unfold over the generated mappings.
+	res, err := Direct(turbineSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns := "http://siemens.com/ontology#"
+	ms := res.Mappings.ForPred(ns + "Sensor")
+	if len(ms) != 1 {
+		t.Fatalf("Sensor mappings = %v", ms)
+	}
+	if err := ms[0].Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKeywordDiscovery(t *testing.T) {
+	s := turbineSchema()
+	cat := relation.NewCatalog()
+	turbines, _ := cat.Create("turbines", relation.NewSchema(
+		relation.Col("tid", relation.TInt),
+		relation.Col("model", relation.TString),
+		relation.Col("serial_no", relation.TString),
+	))
+	turbines.MustInsert(relation.Tuple{relation.Int(1), relation.String_("Albatros GT-2008"), relation.String_("SN-1")})
+	turbines.MustInsert(relation.Tuple{relation.Int(2), relation.String_("Kondor ST"), relation.String_("SN-2")})
+	assemblies, _ := cat.Create("assemblies", relation.NewSchema(
+		relation.Col("aid", relation.TInt),
+		relation.Col("tid", relation.TInt),
+		relation.Col("name", relation.TString),
+	))
+	assemblies.MustInsert(relation.Tuple{relation.Int(10), relation.Int(1), relation.String_("gas burner")})
+
+	cands, err := DiscoverClassMapping(s, cat, "Turbine",
+		[]KeywordExample{{"albatros", "gas", "2008"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) == 0 {
+		t.Fatal("no candidates")
+	}
+	best := cands[0]
+	if best.Table != "turbines" {
+		t.Fatalf("best candidate = %+v", best)
+	}
+	// "albatros" and "2008" hit turbines directly; "gas" arrives via the
+	// FK join to assemblies.
+	if len(best.Matched) < 2 {
+		t.Errorf("matched = %v", best.Matched)
+	}
+	if len(best.JoinPath) == 0 {
+		t.Errorf("join evidence missing: %+v", best)
+	}
+	if best.Mapping.Pred != s.BaseIRI+"Turbine" || !best.Mapping.IsClass {
+		t.Errorf("mapping = %v", best.Mapping)
+	}
+	if _, err := DiscoverClassMapping(s, cat, "Turbine", []KeywordExample{{"zzznope"}}); err == nil {
+		t.Error("unmatchable example accepted")
+	}
+	if _, err := DiscoverClassMapping(s, cat, "", nil); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestAlignAcceptsLexicalMatch(t *testing.T) {
+	a := ontology.New()
+	a.DeclareClass("http://a#GasTurbine")
+	a.DeclareClass("http://a#Sensor")
+	b := ontology.New()
+	b.DeclareClass("http://b#gas_turbine")
+	b.DeclareClass("http://b#TemperatureSensor")
+
+	cs := Align(a, b, 0.5)
+	acc := Accepted(cs)
+	if len(acc) != 1 {
+		t.Fatalf("accepted = %v", cs)
+	}
+	if acc[0].Left != "http://a#GasTurbine" || acc[0].Right != "http://b#gas_turbine" {
+		t.Errorf("correspondence = %+v", acc[0])
+	}
+	merged := Merge(a, b, acc)
+	if !merged.IsSubClassOf("http://a#GasTurbine", "http://b#gas_turbine") {
+		t.Error("merge did not add equivalence")
+	}
+}
+
+func TestAlignConservativityRejects(t *testing.T) {
+	// Left: Compressor and Turbine are unrelated siblings.
+	a := ontology.New()
+	a.AddConceptInclusion(ontology.Named("http://a#Turbine"), ontology.Named("http://a#Machine"))
+	a.AddConceptInclusion(ontology.Named("http://a#Compressor"), ontology.Named("http://a#Machine"))
+	// Right: one class lexically similar to BOTH left classes, and a
+	// subclass axiom that would collapse them.
+	b := ontology.New()
+	b.AddConceptInclusion(ontology.Named("http://b#Turbine"), ontology.Named("http://b#Compressor"))
+
+	cs := Align(a, b, 0.9)
+	// Accepting both Turbine=Turbine and Compressor=Compressor would
+	// entail a#Turbine ⊑ a#Compressor — a new subsumption in A, so the
+	// second correspondence must be rejected.
+	acc := Accepted(cs)
+	if len(acc) >= 2 {
+		t.Fatalf("conservativity violated: %+v", cs)
+	}
+	rejected := 0
+	for _, c := range cs {
+		if c.Rejected != "" {
+			rejected++
+			if !strings.Contains(c.Rejected, "⊑") {
+				t.Errorf("rejection reason = %q", c.Rejected)
+			}
+		}
+	}
+	if rejected == 0 {
+		t.Fatal("nothing rejected")
+	}
+}
+
+func TestAlignNoMatches(t *testing.T) {
+	a := ontology.New()
+	a.DeclareClass("http://a#Alpha")
+	b := ontology.New()
+	b.DeclareClass("http://b#Omega")
+	if cs := Align(a, b, 0.5); len(cs) != 0 {
+		t.Errorf("unexpected correspondences: %v", cs)
+	}
+}

@@ -1,0 +1,182 @@
+package bootstrap
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/obda/mapping"
+	"repro/internal/relation"
+)
+
+// KeywordExample is one user-provided example for a class: a set of
+// keywords that together identify an entity of the class, e.g.
+// {"albatros", "gas", "2008"} for a turbine (paper §2).
+type KeywordExample []string
+
+// Candidate is one discovered mapping proposal with its score and the
+// evidence that produced it.
+type Candidate struct {
+	Mapping  mapping.Mapping
+	Score    float64
+	Table    string
+	Matched  []string // keywords found in the table
+	JoinPath []string // FK path when evidence spans tables
+}
+
+// DiscoverClassMapping implements BootOX's keyword-based discovery: it
+// scans the data for tables whose rows contain the example keywords
+// (graph-based keyword search in the style of DISCOVER [8], restricted
+// to FK-adjacent tables) and proposes class mappings over the
+// best-scoring tables, projected on their primary keys.
+func DiscoverClassMapping(s Schema, cat *relation.Catalog, className string, examples []KeywordExample) ([]Candidate, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if className == "" || len(examples) == 0 {
+		return nil, fmt.Errorf("bootstrap: class name and at least one example required")
+	}
+	adjacency := fkAdjacency(s)
+
+	type tableScore struct {
+		matched map[string]bool
+		rows    int
+	}
+	scores := map[string]*tableScore{}
+
+	for _, t := range s.Tables {
+		if t.IsStream || t.PrimaryKey == "" {
+			continue
+		}
+		tb, err := cat.Get(t.Name)
+		if err != nil {
+			continue // schema table without loaded data
+		}
+		ts := &tableScore{matched: map[string]bool{}}
+		for _, row := range tb.Rows() {
+			ts.rows++
+			for _, ex := range examples {
+				for _, kw := range ex {
+					if rowContains(row, kw) {
+						ts.matched[strings.ToLower(kw)] = true
+					}
+				}
+			}
+		}
+		scores[strings.ToLower(t.Name)] = ts
+	}
+
+	total := 0
+	for _, ex := range examples {
+		total += len(ex)
+	}
+
+	var out []Candidate
+	for _, t := range s.Tables {
+		if t.IsStream || t.PrimaryKey == "" {
+			continue
+		}
+		ts := scores[strings.ToLower(t.Name)]
+		if ts == nil || len(ts.matched) == 0 {
+			continue
+		}
+		matched := keys(ts.matched)
+		// Neighbours reachable over one FK edge contribute their matches
+		// (join evidence), at half weight.
+		joinBonus := 0.0
+		var path []string
+		for _, nb := range adjacency[strings.ToLower(t.Name)] {
+			if nts := scores[nb]; nts != nil && len(nts.matched) > 0 {
+				extra := 0
+				for kw := range nts.matched {
+					if !ts.matched[kw] {
+						extra++
+					}
+				}
+				if extra > 0 {
+					joinBonus += 0.5 * float64(extra)
+					path = append(path, nb)
+				}
+			}
+		}
+		score := (float64(len(matched)) + joinBonus) / float64(total)
+		cand := Candidate{
+			Table:    t.Name,
+			Matched:  matched,
+			Score:    score,
+			JoinPath: path,
+			Mapping: mapping.Mapping{
+				ID:         "discovered:" + className + ":" + t.Name,
+				Pred:       s.BaseIRI + className,
+				IsClass:    true,
+				Subject:    subjectTemplate(s, t),
+				Source:     mapping.SourceRef{Table: t.Name},
+				KeyColumns: []string{t.PrimaryKey},
+			},
+		}
+		out = append(out, cand)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("bootstrap: no table matches the examples for %s", className)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Table < out[j].Table
+	})
+	return out, nil
+}
+
+// fkAdjacency builds the undirected FK graph over table names
+// (lower-cased), including implicit FKs.
+func fkAdjacency(s Schema) map[string][]string {
+	adj := map[string][]string{}
+	add := func(a, b string) {
+		a, b = strings.ToLower(a), strings.ToLower(b)
+		adj[a] = append(adj[a], b)
+		adj[b] = append(adj[b], a)
+	}
+	for _, t := range s.Tables {
+		for _, fk := range t.ForeignKeys {
+			add(t.Name, fk.RefTable)
+		}
+		for _, fk := range implicitFKs(t, s.Tables) {
+			add(t.Name, fk.RefTable)
+		}
+	}
+	return adj
+}
+
+func keys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// rowContains reports whether any cell of the row matches the keyword:
+// substring match on strings (case-insensitive), exact match on numbers.
+func rowContains(row relation.Tuple, kw string) bool {
+	lkw := strings.ToLower(kw)
+	for _, v := range row {
+		switch v.Type {
+		case relation.TString:
+			if strings.Contains(strings.ToLower(v.Str), lkw) {
+				return true
+			}
+		case relation.TInt, relation.TTime:
+			if n, err := strconv.ParseInt(kw, 10, 64); err == nil && n == v.Int {
+				return true
+			}
+		case relation.TFloat:
+			if f, err := strconv.ParseFloat(kw, 64); err == nil && f == v.Float {
+				return true
+			}
+		}
+	}
+	return false
+}

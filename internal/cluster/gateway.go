@@ -1,0 +1,119 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/exastream"
+	"repro/internal/sql"
+	"repro/internal/stream"
+)
+
+// Gateway is the asynchronous query registration front end of Figure 2:
+// clients submit SQL(+) text and receive a ticket; a background worker
+// parses the query and hands it to the scheduler. Clients poll or wait on
+// the ticket for the placement decision.
+type Gateway struct {
+	cluster *Cluster
+
+	mu      sync.Mutex
+	next    int
+	tickets map[int]*Ticket
+	queue   chan *submission
+	wg      sync.WaitGroup
+	closed  bool
+}
+
+// Ticket tracks one asynchronous registration.
+type Ticket struct {
+	ID   int
+	done chan struct{}
+
+	mu   sync.Mutex
+	node int
+	err  error
+}
+
+type submission struct {
+	ticket  *Ticket
+	queryID string
+	text    string
+	pulse   *stream.Pulse
+	sink    exastream.Sink
+}
+
+func newGateway(c *Cluster) *Gateway {
+	g := &Gateway{
+		cluster: c,
+		tickets: make(map[int]*Ticket),
+		queue:   make(chan *submission, 256),
+	}
+	g.wg.Add(1)
+	go g.run()
+	return g
+}
+
+func (g *Gateway) run() {
+	defer g.wg.Done()
+	for s := range g.queue {
+		node, err := g.process(s)
+		s.ticket.mu.Lock()
+		s.ticket.node, s.ticket.err = node, err
+		s.ticket.mu.Unlock()
+		close(s.ticket.done)
+	}
+}
+
+func (g *Gateway) process(s *submission) (int, error) {
+	stmt, err := sql.Parse(s.text)
+	if err != nil {
+		return -1, fmt.Errorf("gateway: parse: %w", err)
+	}
+	return g.cluster.Register(s.queryID, stmt, s.pulse, s.sink)
+}
+
+// Submit enqueues a registration and returns its ticket immediately.
+func (g *Gateway) Submit(queryID, queryText string, pulse *stream.Pulse, sink exastream.Sink) (*Ticket, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.closed {
+		return nil, fmt.Errorf("gateway: closed")
+	}
+	t := &Ticket{ID: g.next, done: make(chan struct{}), node: -1}
+	g.next++
+	g.tickets[t.ID] = t
+	g.queue <- &submission{ticket: t, queryID: queryID, text: queryText, pulse: pulse, sink: sink}
+	return t, nil
+}
+
+// Wait blocks until the registration completes and returns the node the
+// query was placed on.
+func (t *Ticket) Wait() (int, error) {
+	<-t.done
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.node, t.err
+}
+
+// Done reports whether the registration has completed without blocking.
+func (t *Ticket) Done() bool {
+	select {
+	case <-t.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Close stops accepting submissions and waits for the queue to drain.
+func (g *Gateway) Close() {
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return
+	}
+	g.closed = true
+	g.mu.Unlock()
+	close(g.queue)
+	g.wg.Wait()
+}

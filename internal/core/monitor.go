@@ -1,0 +1,112 @@
+package core
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/rdf"
+)
+
+// Answer monitoring (paper §2: "For end-users OPTIQUE offers tools for
+// query formulation support, query cataloging, answer monitoring"; §3:
+// dashboards show "diagnostics results in real time, as well as
+// statistics on streaming answers, relevant turbines"): each task keeps
+// a bounded ring of its most recent alerts, and Dashboard() snapshots
+// per-task statistics for a monitoring UI.
+
+// Alert is one retained answer.
+type Alert struct {
+	TaskID    string
+	WindowEnd int64
+	Triple    rdf.Triple
+}
+
+// alertRing is a bounded FIFO of recent alerts.
+type alertRing struct {
+	mu    sync.Mutex
+	buf   []Alert
+	next  int
+	count int64
+}
+
+const alertRingSize = 64
+
+func (r *alertRing) add(a Alert) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.buf == nil {
+		r.buf = make([]Alert, alertRingSize)
+	}
+	r.buf[r.next%alertRingSize] = a
+	r.next++
+	r.count++
+}
+
+// recent returns the retained alerts, oldest first.
+func (r *alertRing) recent() []Alert {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.buf == nil {
+		return nil
+	}
+	n := r.next
+	size := alertRingSize
+	if n < size {
+		size = n
+	}
+	out := make([]Alert, 0, size)
+	for i := n - size; i < n; i++ {
+		out = append(out, r.buf[i%alertRingSize])
+	}
+	return out
+}
+
+// TaskStatus is one dashboard row.
+type TaskStatus struct {
+	ID       string
+	Node     int
+	Windows  int64
+	Answers  int64
+	Bindings int
+	// AffectedSubjects are the distinct alert subjects currently retained
+	// (the dashboard's "relevant turbines" column).
+	AffectedSubjects []string
+	RecentAlerts     []Alert
+}
+
+// RecentAlerts returns a task's retained alerts, oldest first.
+func (t *Task) RecentAlerts() []Alert { return t.ring.recent() }
+
+// Dashboard snapshots every registered task's monitoring statistics,
+// sorted by task id.
+func (s *System) Dashboard() []TaskStatus {
+	s.mu.Lock()
+	tasks := make([]*Task, 0, len(s.tasks))
+	for _, t := range s.tasks {
+		tasks = append(tasks, t)
+	}
+	s.mu.Unlock()
+	sort.Slice(tasks, func(i, j int) bool { return tasks[i].ID < tasks[j].ID })
+
+	out := make([]TaskStatus, 0, len(tasks))
+	for _, t := range tasks {
+		alerts := t.RecentAlerts()
+		seen := map[string]bool{}
+		var subjects []string
+		for _, a := range alerts {
+			if !seen[a.Triple.S.Value] {
+				seen[a.Triple.S.Value] = true
+				subjects = append(subjects, a.Triple.S.Value)
+			}
+		}
+		sort.Strings(subjects)
+		out = append(out, TaskStatus{
+			ID: t.ID, Node: t.Node,
+			Windows: t.Windows(), Answers: t.Answers(),
+			Bindings:         len(t.Bindings),
+			AffectedSubjects: subjects,
+			RecentAlerts:     alerts,
+		})
+	}
+	return out
+}

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/rdf"
+	"repro/internal/siemens"
+)
+
+func TestDashboardReflectsAlerts(t *testing.T) {
+	sys, gen := deploy(t, 2)
+	for _, id := range []string{"T01_mon_temperature", "T06_thr_pressure"} {
+		task, _ := siemens.TaskByID(id)
+		if _, err := sys.RegisterTask(task.ID, task.Query, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	feedDefaultEvents(t, sys, gen, 0, 40_000, 500, gen.SensorsOfTurbine(0))
+
+	rows := sys.Dashboard()
+	if len(rows) != 2 {
+		t.Fatalf("dashboard rows = %d", len(rows))
+	}
+	if rows[0].ID >= rows[1].ID {
+		t.Error("dashboard not sorted")
+	}
+	totalAnswers := int64(0)
+	for _, r := range rows {
+		totalAnswers += r.Answers
+		if r.Windows == 0 {
+			t.Errorf("%s evaluated no windows", r.ID)
+		}
+		if r.Answers > 0 {
+			if len(r.RecentAlerts) == 0 || len(r.AffectedSubjects) == 0 {
+				t.Errorf("%s has answers but no retained alerts: %+v", r.ID, r)
+			}
+			if int64(len(r.RecentAlerts)) > r.Answers {
+				t.Errorf("%s retained more alerts than answers", r.ID)
+			}
+		}
+	}
+	if totalAnswers == 0 {
+		t.Fatal("no alerts across the dashboard")
+	}
+}
+
+func TestAlertRingBounded(t *testing.T) {
+	var r alertRing
+	if got := r.recent(); got != nil {
+		t.Errorf("empty ring recent = %v", got)
+	}
+	for i := 0; i < alertRingSize*3; i++ {
+		r.add(Alert{WindowEnd: int64(i), Triple: rdf.NewTriple(
+			rdf.NewIRI("s"), rdf.NewIRI("p"), rdf.NewIRI("o"))})
+	}
+	got := r.recent()
+	if len(got) != alertRingSize {
+		t.Fatalf("ring size = %d", len(got))
+	}
+	// Oldest retained is (3N - N), newest is 3N-1, in order.
+	if got[0].WindowEnd != int64(alertRingSize*2) ||
+		got[len(got)-1].WindowEnd != int64(alertRingSize*3-1) {
+		t.Errorf("ring order: first=%d last=%d", got[0].WindowEnd, got[len(got)-1].WindowEnd)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].WindowEnd != got[i-1].WindowEnd+1 {
+			t.Fatal("ring not in order")
+		}
+	}
+}

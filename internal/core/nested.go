@@ -1,0 +1,175 @@
+package core
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/obda/mapping"
+	"repro/internal/rdf"
+	"repro/internal/relation"
+	"repro/internal/stream"
+)
+
+// Nested STARQL queries (paper §2: "STARQL queries can be nested, thus
+// allowing to employ the result of one query as input when constructing
+// another query"): a task's CREATE STREAM output becomes a first-class
+// stream. EnableOutputStream declares the derived stream, registers
+// mappings for the CONSTRUCT vocabulary over it, and wires the task's
+// answers back into the runtime, so downstream tasks can say
+// FROM STREAM <outputName>.
+//
+// Derived stream schema: out_<name>(subj TEXT, ts TIMESTAMP, flag INT);
+// each emitted CONSTRUCT triple of the form (s, rdf:type, C) becomes a
+// tuple (s, windowEnd, 1), and C is mapped over the stream with the raw
+// subject template "{subj}".
+
+// feeder decouples answer re-ingestion from the emitting node's
+// goroutine (a sink that called Ingest synchronously could deadlock on
+// its own node's full queue).
+type feeder struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queue    []feedItem
+	closed   bool
+	stopped  chan struct{}
+	enqueued int64 // total items accepted (read atomically)
+}
+
+type feedItem struct {
+	stream string
+	el     stream.Timestamped
+}
+
+func newFeeder(ingest func(string, stream.Timestamped) error) *feeder {
+	f := &feeder{stopped: make(chan struct{})}
+	f.cond = sync.NewCond(&f.mu)
+	go func() {
+		defer close(f.stopped)
+		for {
+			f.mu.Lock()
+			for len(f.queue) == 0 && !f.closed {
+				f.cond.Wait()
+			}
+			if f.closed && len(f.queue) == 0 {
+				f.mu.Unlock()
+				return
+			}
+			item := f.queue[0]
+			f.queue = f.queue[1:]
+			f.mu.Unlock()
+			_ = ingest(item.stream, item.el) // errors surface via node stats
+			f.mu.Lock()
+			f.cond.Broadcast() // wake Drain waiters
+			f.mu.Unlock()
+		}
+	}()
+	return f
+}
+
+func (f *feeder) enqueue(streamName string, el stream.Timestamped) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return
+	}
+	f.queue = append(f.queue, feedItem{streamName, el})
+	atomic.AddInt64(&f.enqueued, 1)
+	f.cond.Broadcast()
+}
+
+// drain blocks until the queue is empty (items may still be in flight
+// inside cluster queues; System.Flush loops drain+flush to a fixpoint).
+func (f *feeder) drain() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for len(f.queue) > 0 && !f.closed {
+		f.cond.Wait()
+	}
+}
+
+func (f *feeder) close() {
+	f.mu.Lock()
+	f.closed = true
+	f.cond.Broadcast()
+	f.mu.Unlock()
+	<-f.stopped
+}
+
+// derivedStreamName is the runtime stream name of a task's output.
+func derivedStreamName(taskName string) string {
+	return "out_" + strings.ToLower(taskName)
+}
+
+// EnableOutputStream makes a task's CONSTRUCT output consumable as a
+// stream by later tasks. Call it BEFORE registering the producing task;
+// it declares the derived stream and maps every class appearing in the
+// task's CONSTRUCT type-atoms over it. It returns the stream name to
+// use in downstream FROM STREAM clauses.
+func (s *System) EnableOutputStream(taskName string, constructClasses []string) (string, error) {
+	name := derivedStreamName(taskName)
+	sc := stream.Schema{
+		Name: name,
+		Tuple: relation.NewSchema(
+			relation.Col("subj", relation.TString),
+			relation.Col("ts", relation.TTime),
+			relation.Col("flag", relation.TInt),
+		),
+		TSCol: "ts",
+	}
+	for _, cls := range constructClasses {
+		if err := s.mappings.Add(mapping.Mapping{
+			ID:      "derived:" + name + ":" + cls,
+			Pred:    cls,
+			IsClass: true,
+			Subject: mapping.MustParseTemplate("{subj}"),
+			Source:  mapping.SourceRef{Table: name, IsStream: true},
+		}); err != nil {
+			return "", err
+		}
+		// A data property carrying the flag lets downstream HAVING
+		// clauses reference the alert as an attribute.
+		if err := s.mappings.Add(mapping.Mapping{
+			ID:           "derivedflag:" + name + ":" + cls,
+			Pred:         cls + "_flag",
+			Subject:      mapping.MustParseTemplate("{subj}"),
+			Object:       mapping.MustParseTemplate("{flag}"),
+			ObjectIsData: true,
+			Source:       mapping.SourceRef{Table: name, IsStream: true},
+		}); err != nil {
+			return "", err
+		}
+	}
+	if err := s.DeclareStream(sc); err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	if s.feeder == nil {
+		s.feeder = newFeeder(s.cluster.Ingest)
+	}
+	s.derived[strings.ToLower(taskName)] = name
+	s.mu.Unlock()
+	return name, nil
+}
+
+// forwardAnswers pushes CONSTRUCT triples into the task's derived
+// stream, if one was enabled.
+func (s *System) forwardAnswers(taskName string, windowEnd int64, triples []rdf.Triple) {
+	s.mu.Lock()
+	name, ok := s.derived[strings.ToLower(taskName)]
+	f := s.feeder
+	s.mu.Unlock()
+	if !ok || f == nil {
+		return
+	}
+	for _, tr := range triples {
+		f.enqueue(name, stream.Timestamped{
+			TS: windowEnd,
+			Row: relation.Tuple{
+				relation.String_(tr.S.Value),
+				relation.Time(windowEnd),
+				relation.Int(1),
+			},
+		})
+	}
+}

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/rdf"
+	"repro/internal/siemens"
+)
+
+// TestNestedQueries chains two STARQL tasks: the Figure 1 monotonic-
+// increase detector feeds a second query that watches the detector's
+// output stream — the paper's "employ the result of one query as input
+// when constructing another query".
+func TestNestedQueries(t *testing.T) {
+	sys, gen := deploy(t, 1)
+
+	// Producer: the catalog's Figure 1 task; its output stream carries
+	// out:MonInc alerts.
+	producer, _ := siemens.TaskByID("T01_mon_temperature")
+	outClass := siemens.OutNS + "MonInc"
+	outStream, err := sys.EnableOutputStream("T01_mon_temperature", []string{outClass})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.RegisterTask(producer.ID, producer.Query, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// Consumer: escalate when a MonInc alert appears in the derived
+	// stream. The WHERE still binds sensors from the static data; the
+	// HAVING checks the derived alert flag.
+	consumer := `
+PREFIX sie: <http://siemens.com/ontology#>
+PREFIX out: <http://siemens.com/out#>
+CREATE STREAM escalation AS
+CONSTRUCT GRAPH NOW { ?s rdf:type out:Escalated }
+FROM STREAM ` + outStream + ` [NOW-"PT30S", NOW]->"PT5S",
+STATIC DATA <http://x/static>, ONTOLOGY <http://x/tbox>
+WHERE { ?a a sie:Assembly. ?s a sie:Sensor. ?a sie:inAssembly ?s. }
+SEQUENCE BY StdSeq AS seq
+HAVING THRESHOLD.ABOVE(?s, out:MonInc_flag, 0)
+`
+	var escalations int64
+	escalated := map[string]bool{}
+	if _, err := sys.RegisterTask("escalate", consumer,
+		func(_ string, _ int64, ts []rdf.Triple) {
+			atomic.AddInt64(&escalations, int64(len(ts)))
+			for _, tr := range ts {
+				escalated[tr.S.Value] = true
+			}
+		}); err != nil {
+		t.Fatal(err)
+	}
+
+	events := feedDefaultEvents(t, sys, gen, 0, 60_000, 500, gen.SensorsOfTurbine(0))
+	var rampSensor int64
+	for _, e := range events {
+		if e.Kind == siemens.EventMonotonicFailure && e.SensorID <= int64(gen.Config().SensorsPerTurbine) {
+			rampSensor = e.SensorID
+		}
+	}
+	if atomic.LoadInt64(&escalations) == 0 {
+		t.Fatal("no escalations from the nested query")
+	}
+	if !escalated[siemens.SensorIRI(rampSensor)] {
+		t.Fatalf("ramp sensor %d not escalated: %v", rampSensor, escalated)
+	}
+}
+
+// TestEnableOutputStreamValidation covers error paths.
+func TestEnableOutputStreamValidation(t *testing.T) {
+	sys, _ := deploy(t, 1)
+	if _, err := sys.EnableOutputStream("x", []string{"http://c#A"}); err != nil {
+		t.Fatal(err)
+	}
+	// Enabling the same output twice fails on the duplicate stream.
+	if _, err := sys.EnableOutputStream("x", []string{"http://c#A"}); err == nil {
+		t.Error("duplicate output stream accepted")
+	}
+}

@@ -1,0 +1,394 @@
+// Package core implements the OPTIQUE system: the end-to-end OBSSDI
+// pipeline of the paper. A System is deployed over an ontology, a
+// mapping set, and the static catalog; users register STARQL diagnostic
+// tasks, and the system (i) enriches them with the ontology
+// (PerfectRef), (ii) unfolds them into SQL(+) fleets via the mappings,
+// and (iii) executes them continuously on the distributed ExaStream
+// runtime, emitting CONSTRUCT triples whenever a window satisfies the
+// HAVING condition.
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/cluster"
+	"repro/internal/exastream"
+	"repro/internal/obda/mapping"
+	"repro/internal/ontology"
+	"repro/internal/rdf"
+	"repro/internal/relation"
+	"repro/internal/sql"
+	"repro/internal/starql"
+	"repro/internal/stream"
+)
+
+// AnswerSink receives the CONSTRUCT triples a task emits for one window.
+// Implementations must be safe for concurrent use.
+type AnswerSink func(taskID string, windowEnd int64, triples []rdf.Triple)
+
+// Config sets up the runtime.
+type Config struct {
+	// Nodes is the worker count of the embedded cluster (default 1).
+	Nodes int
+	// Placement selects the scheduler strategy.
+	Placement cluster.Placement
+	// Engine options are applied to each node's ExaStream instance.
+	Engine exastream.Options
+	// PartitionColumn enables partitioned stream routing (see cluster).
+	PartitionColumn string
+	// Translate tunes enrichment/unfolding.
+	Translate starql.Options
+}
+
+// System is one OPTIQUE deployment.
+type System struct {
+	cfg        Config
+	tbox       *ontology.TBox
+	mappings   *mapping.Set
+	catalog    *relation.Catalog
+	cluster    *cluster.Cluster
+	translator *starql.Translator
+
+	mu       sync.Mutex
+	streams  map[string]stream.Schema
+	builders map[string]*starql.SequenceBuilder
+	tasks    map[string]*Task
+	derived  map[string]string // task/query name -> derived stream
+	feeder   *feeder
+}
+
+// Task is one registered diagnostic task.
+type Task struct {
+	ID          string
+	Query       *starql.Query
+	Translation *starql.Translation
+	Bindings    []starql.Binding
+	Node        int // cluster node hosting the continuous query
+
+	subjects map[string]bool
+	sink     AnswerSink
+	ring     alertRing
+	answers  int64
+	windows  int64
+}
+
+// Answers returns the number of CONSTRUCT triples emitted so far.
+func (t *Task) Answers() int64 { return atomic.LoadInt64(&t.answers) }
+
+// Windows returns the number of windows evaluated so far.
+func (t *Task) Windows() int64 { return atomic.LoadInt64(&t.windows) }
+
+// FleetSize returns the size of the low-level query fleet the task
+// replaces (static + per-binding stream queries).
+func (t *Task) FleetSize() int {
+	return len(t.Translation.StaticFleet) + len(t.Translation.StreamFleet)
+}
+
+// NewSystem deploys OPTIQUE over the given assets.
+func NewSystem(cfg Config, tbox *ontology.TBox, set *mapping.Set, catalog *relation.Catalog) (*System, error) {
+	if cfg.Nodes <= 0 {
+		cfg.Nodes = 1
+	}
+	cl, err := cluster.New(cluster.Options{
+		Nodes:           cfg.Nodes,
+		Placement:       cfg.Placement,
+		Engine:          cfg.Engine,
+		PartitionColumn: cfg.PartitionColumn,
+	}, func(int) *relation.Catalog { return catalog })
+	if err != nil {
+		return nil, err
+	}
+	return &System{
+		cfg:        cfg,
+		tbox:       tbox,
+		mappings:   set,
+		catalog:    catalog,
+		cluster:    cl,
+		translator: starql.NewTranslator(tbox, set, catalog),
+		streams:    make(map[string]stream.Schema),
+		builders:   make(map[string]*starql.SequenceBuilder),
+		tasks:      make(map[string]*Task),
+		derived:    make(map[string]string),
+	}, nil
+}
+
+// TBox returns the deployed ontology.
+func (s *System) TBox() *ontology.TBox { return s.tbox }
+
+// Mappings returns the deployed mapping set.
+func (s *System) Mappings() *mapping.Set { return s.mappings }
+
+// Catalog returns the static catalog.
+func (s *System) Catalog() *relation.Catalog { return s.catalog }
+
+// Cluster exposes the underlying runtime (for stats and scenario S2).
+func (s *System) Cluster() *cluster.Cluster { return s.cluster }
+
+// DeclareStream registers a stream on every node and prepares its
+// sequence builder.
+func (s *System) DeclareStream(sc stream.Schema) error {
+	if err := s.cluster.DeclareStream(sc); err != nil {
+		return err
+	}
+	b, err := starql.NewSequenceBuilder(sc, s.mappings)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.streams[sc.Name] = sc
+	s.builders[sc.Name] = b
+	return nil
+}
+
+// RegisterTask parses, translates, and registers a STARQL task; answers
+// flow to the sink. It returns the Task handle with the translation
+// artefacts (for the conciseness and fleet-size experiments).
+func (s *System) RegisterTask(id, starqlText string, sink AnswerSink) (*Task, error) {
+	q, err := starql.Parse(starqlText)
+	if err != nil {
+		return nil, err
+	}
+	return s.registerParsed(id, q, sink)
+}
+
+func (s *System) registerParsed(id string, q *starql.Query, sink AnswerSink) (*Task, error) {
+	s.mu.Lock()
+	if _, dup := s.tasks[id]; dup {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("core: task %q already registered", id)
+	}
+	streamName := q.Streams[0].Name
+	builder, ok := s.builders[streamName]
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("core: stream %q not declared", streamName)
+	}
+
+	tl, err := s.translator.Translate(q, s.cfg.Translate)
+	if err != nil {
+		return nil, err
+	}
+	bindings, err := s.translator.EvalBindings(tl)
+	if err != nil {
+		return nil, err
+	}
+	task := &Task{
+		ID: id, Query: q, Translation: tl, Bindings: bindings,
+		subjects: map[string]bool{}, sink: sink,
+	}
+	for _, b := range bindings {
+		for _, term := range b {
+			if term.IsIRI() {
+				task.subjects[term.Value] = true
+			}
+		}
+	}
+
+	// The runtime query materialises the raw window contents; HAVING
+	// evaluation happens in the sink via the sequence builder (the
+	// paper's window-partitioning UDF).
+	stmt := sql.NewSelect()
+	stmt.Items = []sql.SelectItem{{Star: true}}
+	stmt.From = []*sql.TableRef{{
+		Table: streamName, IsStream: true, Alias: "w",
+		Window: &sql.WindowSpec{RangeMS: tl.Window.RangeMS, SlideMS: tl.Window.SlideMS},
+	}}
+	node, err := s.cluster.Register(id, stmt, tl.Pulse, s.windowSink(task, builder))
+	if err != nil {
+		return nil, err
+	}
+	task.Node = node
+
+	s.mu.Lock()
+	s.tasks[id] = task
+	s.mu.Unlock()
+	return task, nil
+}
+
+// windowSink adapts ExaStream window results into STARQL semantics:
+// build the StdSeq sequence, evaluate HAVING per binding, emit CONSTRUCT
+// triples.
+func (s *System) windowSink(task *Task, builder *starql.SequenceBuilder) exastream.Sink {
+	return func(_ string, windowEnd int64, _ relation.Schema, rows []relation.Tuple) {
+		atomic.AddInt64(&task.windows, 1)
+		if len(rows) == 0 {
+			return
+		}
+		batch := stream.Batch{End: windowEnd, Rows: rows}
+		subjects := task.subjects
+		if len(subjects) == 0 {
+			subjects = nil
+		}
+		seq, err := builder.Build(batch, subjects)
+		if err != nil || seq.Len() == 0 {
+			return
+		}
+		var triples []rdf.Triple
+		for _, binding := range task.Bindings {
+			ok := true
+			if task.Query.Having != nil {
+				ok, err = starql.EvalHaving(task.Query.Having, seq, binding, task.Query.Aggregates)
+				if err != nil || !ok {
+					continue
+				}
+			}
+			if ok {
+				triples = append(triples, constructTriples(task.Query, binding)...)
+			}
+		}
+		if len(triples) > 0 {
+			atomic.AddInt64(&task.answers, int64(len(triples)))
+			for _, tr := range triples {
+				task.ring.add(Alert{TaskID: task.ID, WindowEnd: windowEnd, Triple: tr})
+			}
+			if task.sink != nil {
+				task.sink(task.ID, windowEnd, triples)
+			}
+			s.forwardAnswers(task.Query.Name, windowEnd, triples)
+		}
+	}
+}
+
+// constructTriples instantiates the CONSTRUCT template under a binding.
+func constructTriples(q *starql.Query, binding starql.Binding) []rdf.Triple {
+	resolve := func(n starql.Node) (rdf.Term, bool) {
+		if !n.IsVar() {
+			return n.Term, true
+		}
+		t, ok := binding[n.Var]
+		return t, ok
+	}
+	var out []rdf.Triple
+	for _, tp := range q.Construct {
+		sub, ok1 := resolve(tp.S)
+		if !ok1 {
+			continue
+		}
+		if tp.TypeAtom {
+			cls, ok := resolve(tp.P)
+			if !ok {
+				continue
+			}
+			out = append(out, rdf.NewTriple(sub, rdf.NewIRI(rdf.RDFType), cls))
+			continue
+		}
+		pred, ok2 := resolve(tp.P)
+		if !ok2 || !pred.IsIRI() {
+			continue
+		}
+		var obj rdf.Term
+		if tp.NoObject {
+			obj = rdf.NewBoolean(true)
+		} else {
+			var ok3 bool
+			obj, ok3 = resolve(tp.O)
+			if !ok3 {
+				continue
+			}
+		}
+		out = append(out, rdf.NewTriple(sub, pred, obj))
+	}
+	return out
+}
+
+// Unregister removes a task from the runtime.
+func (s *System) Unregister(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.tasks[id]; !ok {
+		return fmt.Errorf("core: unknown task %q", id)
+	}
+	if err := s.cluster.Unregister(id); err != nil {
+		return err
+	}
+	delete(s.tasks, id)
+	return nil
+}
+
+// Task returns a registered task by id.
+func (s *System) Task(id string) (*Task, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.tasks[id]
+	return t, ok
+}
+
+// TaskIDs lists registered tasks.
+func (s *System) TaskIDs() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.tasks))
+	for id := range s.tasks {
+		out = append(out, id)
+	}
+	sortStrings(out)
+	return out
+}
+
+func sortStrings(ss []string) {
+	for i := 1; i < len(ss); i++ {
+		for j := i; j > 0 && ss[j] < ss[j-1]; j-- {
+			ss[j], ss[j-1] = ss[j-1], ss[j]
+		}
+	}
+}
+
+// Ingest pushes one measurement into a stream.
+func (s *System) Ingest(streamName string, el stream.Timestamped) error {
+	return s.cluster.Ingest(streamName, el)
+}
+
+// Flush drains the runtime (end of replay). With derived streams
+// enabled, flushing a producer may emit answers that feed downstream
+// tasks, so the drain loops to a fixpoint.
+func (s *System) Flush() error {
+	for round := 0; round < 8; round++ {
+		s.mu.Lock()
+		f := s.feeder
+		s.mu.Unlock()
+		if f != nil {
+			f.drain()
+		}
+		before := s.feedCount()
+		if err := s.cluster.Flush(); err != nil {
+			return err
+		}
+		if f == nil || s.feedCount() == before {
+			if f != nil {
+				f.drain()
+				if s.feedCount() != before {
+					continue
+				}
+			}
+			return nil
+		}
+	}
+	return s.cluster.Flush()
+}
+
+func (s *System) feedCount() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.feeder == nil {
+		return 0
+	}
+	return atomic.LoadInt64(&s.feeder.enqueued)
+}
+
+// Close shuts the runtime down.
+func (s *System) Close() {
+	s.mu.Lock()
+	f := s.feeder
+	s.mu.Unlock()
+	if f != nil {
+		f.close()
+	}
+	s.cluster.Gateway().Close()
+	s.cluster.Close()
+}
+
+// Stats aggregates cluster statistics.
+func (s *System) Stats() []cluster.NodeStats { return s.cluster.Stats() }

@@ -1,0 +1,294 @@
+package core
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/rdf"
+	"repro/internal/siemens"
+	"repro/internal/stream"
+)
+
+// deploy builds a small-fleet OPTIQUE system.
+func deploy(t *testing.T, nodes int) (*System, *siemens.Generator) {
+	t.Helper()
+	gen, err := siemens.New(siemens.SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat, err := gen.StaticCatalog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewSystem(Config{Nodes: nodes}, siemens.TBox(), siemens.Mappings(), cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sys.Close)
+	for _, sc := range siemens.StreamSchemas() {
+		if err := sys.DeclareStream(sc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return sys, gen
+}
+
+// answerLog collects emitted triples.
+type answerLog struct {
+	mu      sync.Mutex
+	triples []rdf.Triple
+}
+
+func (a *answerLog) sink(_ string, _ int64, ts []rdf.Triple) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.triples = append(a.triples, ts...)
+}
+
+func (a *answerLog) subjects() map[string]bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := map[string]bool{}
+	for _, t := range a.triples {
+		out[t.S.Value] = true
+	}
+	return out
+}
+
+// feedDefaultEvents replays generated measurements with planted events.
+func feedDefaultEvents(t *testing.T, sys *System, gen *siemens.Generator, fromMS, toMS, stepMS int64, sensors []int64) []siemens.Event {
+	t.Helper()
+	events := gen.PlantDefaultEvents(fromMS, toMS)
+	tuples, routes, err := gen.Generate(siemens.StreamConfig{
+		FromMS: fromMS, ToMS: toMS, StepMS: stepMS,
+		Sensors: sensors, Events: events, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, el := range tuples {
+		if err := sys.Ingest(siemens.RouteName(routes[i]), el); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sys.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return events
+}
+
+func TestFigure1EndToEnd(t *testing.T) {
+	sys, gen := deploy(t, 1)
+	task, ok := siemens.TaskByID("T01_mon_temperature")
+	if !ok {
+		t.Fatal("catalog task missing")
+	}
+	log := &answerLog{}
+	reg, err := sys.RegisterTask(task.ID, task.Query, log.sink)
+	if err != nil {
+		t.Fatalf("RegisterTask: %v", err)
+	}
+	if len(reg.Bindings) == 0 {
+		t.Fatal("no WHERE bindings")
+	}
+	if reg.FleetSize() == 0 {
+		t.Fatal("empty fleet")
+	}
+
+	// Feed all source-A sensors of turbine 0 (the planted ramp is on its
+	// first temperature sensor).
+	events := feedDefaultEvents(t, sys, gen, 0, 60_000, 500, gen.SensorsOfTurbine(0))
+
+	var rampSensor int64
+	for _, e := range events {
+		if e.Kind == siemens.EventMonotonicFailure && e.SensorID <= int64(gen.Config().SensorsPerTurbine) {
+			rampSensor = e.SensorID
+		}
+	}
+	if rampSensor == 0 {
+		t.Fatal("no planted ramp on turbine 0")
+	}
+	subjects := log.subjects()
+	if !subjects[siemens.SensorIRI(rampSensor)] {
+		t.Fatalf("ramp sensor %d not detected; subjects = %v (answers=%d windows=%d)",
+			rampSensor, subjects, reg.Answers(), reg.Windows())
+	}
+	// The detection must be specific: sensors without planted ramps on
+	// other kinds (e.g. the speed sensor) must not alert.
+	for _, sid := range gen.SensorsOfTurbine(0) {
+		if gen.SensorKind(sid) == "speed" && subjects[siemens.SensorIRI(sid)] {
+			t.Errorf("false alarm on speed sensor %d", sid)
+		}
+	}
+	// Emitted triples have the CONSTRUCT shape: ?s rdf:type out:MonInc.
+	log.mu.Lock()
+	defer log.mu.Unlock()
+	for _, tr := range log.triples {
+		if tr.P.Value != rdf.RDFType || !strings.HasSuffix(tr.O.Value, "MonInc") {
+			t.Fatalf("unexpected triple %v", tr)
+		}
+	}
+}
+
+func TestThresholdTaskEndToEnd(t *testing.T) {
+	sys, gen := deploy(t, 1)
+	task, ok := siemens.TaskByID("T06_thr_pressure")
+	if !ok {
+		t.Fatal("catalog task missing")
+	}
+	log := &answerLog{}
+	if _, err := sys.RegisterTask(task.ID, task.Query, log.sink); err != nil {
+		t.Fatal(err)
+	}
+	events := feedDefaultEvents(t, sys, gen, 0, 60_000, 500, gen.SensorsOfTurbine(0))
+	var spikeSensor int64
+	for _, e := range events {
+		if e.Kind == siemens.EventThreshold {
+			spikeSensor = e.SensorID
+		}
+	}
+	if !log.subjects()[siemens.SensorIRI(spikeSensor)] {
+		t.Fatalf("threshold spike on sensor %d missed; subjects = %v", spikeSensor, log.subjects())
+	}
+}
+
+func TestPearsonTaskEndToEnd(t *testing.T) {
+	sys, gen := deploy(t, 1)
+	task, ok := siemens.TaskByID("T12_corr_vibration")
+	if !ok {
+		t.Fatal("catalog task missing")
+	}
+	log := &answerLog{}
+	reg, err := sys.RegisterTask(task.ID, task.Query, log.sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := feedDefaultEvents(t, sys, gen, 0, 40_000, 500, gen.SensorsOfTurbine(0))
+	var pair siemens.Event
+	for _, e := range events {
+		if e.Kind == siemens.EventCorrelatedPair {
+			pair = e
+		}
+	}
+	subjects := log.subjects()
+	if !subjects[siemens.SensorIRI(pair.SensorID)] {
+		t.Fatalf("correlated pair (%d,%d) missed; subjects=%v answers=%d",
+			pair.SensorID, pair.PairID, subjects, reg.Answers())
+	}
+}
+
+func TestSystemManagesTasks(t *testing.T) {
+	sys, _ := deploy(t, 2)
+	task, _ := siemens.TaskByID("T02_thr_temperature")
+	if _, err := sys.RegisterTask("a", task.Query, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.RegisterTask("a", task.Query, nil); err == nil {
+		t.Error("duplicate id accepted")
+	}
+	if _, ok := sys.Task("a"); !ok {
+		t.Error("Task lookup failed")
+	}
+	if ids := sys.TaskIDs(); len(ids) != 1 || ids[0] != "a" {
+		t.Errorf("TaskIDs = %v", ids)
+	}
+	if err := sys.Unregister("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Unregister("a"); err == nil {
+		t.Error("double unregister accepted")
+	}
+	// Registering on an undeclared stream fails cleanly.
+	bad := strings.Replace(task.Query, "msmt_a", "ghost_stream", 1)
+	if _, err := sys.RegisterTask("b", bad, nil); err == nil {
+		t.Error("undeclared stream accepted")
+	}
+	// Unparsable STARQL fails cleanly.
+	if _, err := sys.RegisterTask("c", "CREATE NONSENSE", nil); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestMultiNodeDistribution(t *testing.T) {
+	sys, gen := deploy(t, 4)
+	catalog := siemens.Catalog()
+	log := &answerLog{}
+	for i, task := range catalog[:8] {
+		if _, err := sys.RegisterTask(task.ID, task.Query, log.sink); err != nil {
+			t.Fatalf("task %d (%s): %v", i, task.ID, err)
+		}
+	}
+	// Queries spread across all 4 nodes (load-based placement).
+	nodes := map[int]int{}
+	for _, id := range sys.TaskIDs() {
+		tk, _ := sys.Task(id)
+		nodes[tk.Node]++
+	}
+	if len(nodes) != 4 {
+		t.Errorf("tasks on %d nodes, want 4: %v", len(nodes), nodes)
+	}
+	feedDefaultEvents(t, sys, gen, 0, 20_000, 1_000, gen.SensorsOfTurbine(0))
+	stats := sys.Stats()
+	var totalIn int64
+	for _, st := range stats {
+		totalIn += st.Engine.TuplesIn
+	}
+	if totalIn == 0 {
+		t.Error("no tuples reached the engines")
+	}
+}
+
+func TestClusterGatewayWiredThroughSystem(t *testing.T) {
+	sys, _ := deploy(t, 2)
+	// The cluster's async gateway accepts plain SQL(+) queries too
+	// (scenario S2 runs raw performance tests through it).
+	tk, err := sys.Cluster().Gateway().Submit("raw",
+		"SELECT w.sid FROM STREAM msmt_a [RANGE 1000 SLIDE 1000] AS w", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tk.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := sys.Cluster().QueryNode("raw"); !ok {
+		t.Error("raw query not placed")
+	}
+}
+
+func TestIngestErrors(t *testing.T) {
+	sys, _ := deploy(t, 1)
+	if err := sys.Ingest("ghost", stream.Timestamped{}); err == nil {
+		t.Error("unknown stream accepted")
+	}
+}
+
+func TestPlacementConfig(t *testing.T) {
+	gen, _ := siemens.New(siemens.SmallConfig())
+	cat, _ := gen.StaticCatalog()
+	sys, err := NewSystem(Config{Nodes: 3, Placement: cluster.PlaceRoundRobin},
+		siemens.TBox(), siemens.Mappings(), cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	for _, sc := range siemens.StreamSchemas() {
+		if err := sys.DeclareStream(sc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	task, _ := siemens.TaskByID("T02_thr_temperature")
+	var nodes []int
+	for i, id := range []string{"x", "y", "z"} {
+		reg, err := sys.RegisterTask(id, task.Query, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes = append(nodes, reg.Node)
+		if reg.Node != i%3 {
+			t.Errorf("round robin placed %s on %d", id, reg.Node)
+		}
+	}
+	_ = nodes
+}

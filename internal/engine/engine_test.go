@@ -1,0 +1,451 @@
+package engine
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/relation"
+	"repro/internal/sql"
+)
+
+// fixture builds a catalog with sensors/measurements/turbines tables.
+func fixture(t *testing.T) *relation.Catalog {
+	t.Helper()
+	cat := relation.NewCatalog()
+
+	sensors, err := cat.Create("sensors", relation.NewSchema(
+		relation.Col("sid", relation.TInt),
+		relation.Col("tid", relation.TInt),
+		relation.Col("kind", relation.TString),
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []relation.Tuple{
+		{relation.Int(1), relation.Int(10), relation.String_("temp")},
+		{relation.Int(2), relation.Int(10), relation.String_("pressure")},
+		{relation.Int(3), relation.Int(20), relation.String_("temp")},
+		{relation.Int(4), relation.Int(30), relation.String_("vibration")},
+	} {
+		sensors.MustInsert(r)
+	}
+
+	msmt, err := cat.Create("msmt", relation.NewSchema(
+		relation.Col("sid", relation.TInt),
+		relation.Col("ts", relation.TTime),
+		relation.Col("val", relation.TFloat),
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := []struct {
+		sid int64
+		ts  int64
+		v   float64
+	}{
+		{1, 1000, 70}, {1, 2000, 72}, {1, 3000, 75},
+		{2, 1000, 5.1}, {2, 2000, 5.0},
+		{3, 1000, 60}, {3, 2000, 58},
+	}
+	for _, r := range vals {
+		msmt.MustInsert(relation.Tuple{relation.Int(r.sid), relation.Time(r.ts), relation.Float(r.v)})
+	}
+
+	turbines, err := cat.Create("turbines", relation.NewSchema(
+		relation.Col("tid", relation.TInt),
+		relation.Col("model", relation.TString),
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	turbines.MustInsert(relation.Tuple{relation.Int(10), relation.String_("SGT-400")})
+	turbines.MustInsert(relation.Tuple{relation.Int(20), relation.String_("SGT-800")})
+	return cat
+}
+
+func runQuery(t *testing.T, cat *relation.Catalog, q string) (relation.Schema, []relation.Tuple) {
+	t.Helper()
+	ctx := NewExecContext(cat)
+	schema, rows, err := Run(ctx, q, nil)
+	if err != nil {
+		t.Fatalf("Run(%q): %v", q, err)
+	}
+	return schema, rows
+}
+
+func TestSelectProjectFilter(t *testing.T) {
+	cat := fixture(t)
+	_, rows := runQuery(t, cat, "SELECT sid, val FROM msmt WHERE val > 60")
+	if len(rows) != 3 {
+		t.Fatalf("rows = %v", rows)
+	}
+	for _, r := range rows {
+		if f, _ := r[1].AsFloat(); f <= 60 {
+			t.Errorf("filter leaked %v", r)
+		}
+	}
+}
+
+func TestSelectStar(t *testing.T) {
+	cat := fixture(t)
+	schema, rows := runQuery(t, cat, "SELECT * FROM sensors")
+	if schema.Arity() != 3 || len(rows) != 4 {
+		t.Fatalf("schema=%v rows=%d", schema, len(rows))
+	}
+	if !strings.Contains(schema.Columns[0].Name, "sid") {
+		t.Errorf("schema names = %v", schema.Names())
+	}
+}
+
+func TestQualifiedStarAndAlias(t *testing.T) {
+	cat := fixture(t)
+	schema, rows := runQuery(t, cat,
+		"SELECT s.* FROM sensors AS s JOIN turbines AS t ON s.tid = t.tid")
+	if schema.Arity() != 3 {
+		t.Fatalf("schema = %v", schema.Names())
+	}
+	if len(rows) != 3 { // sensors 1,2,3 have matching turbines
+		t.Fatalf("rows = %d", len(rows))
+	}
+}
+
+func TestJoinHashVsNested(t *testing.T) {
+	cat := fixture(t)
+	// Equi-join should produce a hash join plan.
+	stmt := sql.MustParse("SELECT s.sid, t.model FROM sensors s JOIN turbines t ON s.tid = t.tid")
+	plan, err := Build(stmt, CatalogResolver(cat))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(Explain(plan), "HashJoin") {
+		t.Errorf("expected hash join:\n%s", Explain(plan))
+	}
+	ctx := NewExecContext(cat)
+	rows, err := plan.Execute(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Non-equi condition falls back to nested loop.
+	stmt2 := sql.MustParse("SELECT s.sid FROM sensors s JOIN turbines t ON s.tid > t.tid")
+	plan2, err := Build(stmt2, CatalogResolver(cat))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(Explain(plan2), "NestedLoopJoin") {
+		t.Errorf("expected nested loop:\n%s", Explain(plan2))
+	}
+}
+
+func TestLeftJoinProducesNulls(t *testing.T) {
+	cat := fixture(t)
+	_, rows := runQuery(t, cat,
+		"SELECT s.sid, t.model FROM sensors s LEFT JOIN turbines t ON s.tid = t.tid ORDER BY s.sid")
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// sensor 4 (tid 30) has no turbine.
+	last := rows[3]
+	if last[0] != relation.Int(4) || !last[1].IsNull() {
+		t.Errorf("left join null row = %v", last)
+	}
+}
+
+func TestImplicitCrossJoinWithWhereBecomesHashJoin(t *testing.T) {
+	cat := fixture(t)
+	stmt := sql.MustParse("SELECT s.sid, t.model FROM sensors s, turbines t WHERE s.tid = t.tid AND s.kind = 'temp'")
+	plan, err := Build(stmt, CatalogResolver(cat))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := Explain(plan)
+	if !strings.Contains(ex, "HashJoin") {
+		t.Errorf("cross join not converted:\n%s", ex)
+	}
+	ctx := NewExecContext(cat)
+	rows, err := plan.Execute(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %v", rows)
+	}
+	// The kind predicate must be pushed below the join.
+	if !strings.Contains(ex, "Filter((s.kind = 'temp'))") && !strings.Contains(ex, "Filter((s.kind = 'temp')") {
+		t.Logf("explain:\n%s", ex)
+	}
+}
+
+func TestAggregates(t *testing.T) {
+	cat := fixture(t)
+	_, rows := runQuery(t, cat,
+		"SELECT sid, count(*) AS n, avg(val) AS a, min(val) AS lo, max(val) AS hi FROM msmt GROUP BY sid ORDER BY sid")
+	if len(rows) != 3 {
+		t.Fatalf("rows = %v", rows)
+	}
+	r0 := rows[0]
+	if r0[0] != relation.Int(1) || r0[1] != relation.Int(3) {
+		t.Errorf("group 1 = %v", r0)
+	}
+	if a, _ := r0[2].AsFloat(); math.Abs(a-72.333333) > 1e-4 {
+		t.Errorf("avg = %v", r0[2])
+	}
+	if lo, _ := r0[3].AsFloat(); lo != 70 {
+		t.Errorf("min = %v", r0[3])
+	}
+	if hi, _ := r0[4].AsFloat(); hi != 75 {
+		t.Errorf("max = %v", r0[4])
+	}
+}
+
+func TestGlobalAggregateOnEmptyInput(t *testing.T) {
+	cat := fixture(t)
+	_, rows := runQuery(t, cat, "SELECT count(*) FROM msmt WHERE val > 1000")
+	if len(rows) != 1 || rows[0][0] != relation.Int(0) {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestHaving(t *testing.T) {
+	cat := fixture(t)
+	_, rows := runQuery(t, cat,
+		"SELECT sid, count(*) FROM msmt GROUP BY sid HAVING count(*) >= 3")
+	if len(rows) != 1 || rows[0][0] != relation.Int(1) {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestStddevAndCorr(t *testing.T) {
+	cat := relation.NewCatalog()
+	tb, _ := cat.Create("xy", relation.NewSchema(
+		relation.Col("x", relation.TFloat), relation.Col("y", relation.TFloat)))
+	for i := 0; i < 10; i++ {
+		x := float64(i)
+		tb.MustInsert(relation.Tuple{relation.Float(x), relation.Float(2*x + 1)})
+	}
+	_, rows := runQuery(t, cat, "SELECT stddev(x), corr(x, y) FROM xy")
+	sd, _ := rows[0][0].AsFloat()
+	if math.Abs(sd-3.0276) > 1e-3 {
+		t.Errorf("stddev = %v", rows[0][0])
+	}
+	r, _ := rows[0][1].AsFloat()
+	if math.Abs(r-1.0) > 1e-9 {
+		t.Errorf("corr = %v (want 1.0 for perfectly linear data)", rows[0][1])
+	}
+}
+
+func TestDistinctAndLimit(t *testing.T) {
+	cat := fixture(t)
+	_, rows := runQuery(t, cat, "SELECT DISTINCT kind FROM sensors")
+	if len(rows) != 3 {
+		t.Fatalf("distinct rows = %v", rows)
+	}
+	_, rows = runQuery(t, cat, "SELECT sid FROM msmt LIMIT 2")
+	if len(rows) != 2 {
+		t.Fatalf("limit rows = %v", rows)
+	}
+}
+
+func TestOrderByDesc(t *testing.T) {
+	cat := fixture(t)
+	_, rows := runQuery(t, cat, "SELECT val FROM msmt ORDER BY val DESC LIMIT 3")
+	want := []float64{75, 72, 70}
+	for i, w := range want {
+		if f, _ := rows[i][0].AsFloat(); f != w {
+			t.Fatalf("order = %v", rows)
+		}
+	}
+}
+
+func TestOrderByAliasAndAggregate(t *testing.T) {
+	cat := fixture(t)
+	_, rows := runQuery(t, cat,
+		"SELECT sid, avg(val) AS m FROM msmt GROUP BY sid ORDER BY m DESC")
+	if rows[0][0] != relation.Int(1) {
+		t.Fatalf("order by alias = %v", rows)
+	}
+	// Order by underlying column not in projection.
+	_, rows = runQuery(t, cat, "SELECT val FROM msmt ORDER BY ts DESC, sid")
+	if len(rows) != 7 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+}
+
+func TestUnionAllAndDistinct(t *testing.T) {
+	cat := fixture(t)
+	_, rows := runQuery(t, cat,
+		"SELECT kind FROM sensors UNION ALL SELECT kind FROM sensors")
+	if len(rows) != 8 {
+		t.Fatalf("union all rows = %d", len(rows))
+	}
+	_, rows = runQuery(t, cat,
+		"SELECT kind FROM sensors UNION SELECT kind FROM sensors")
+	if len(rows) != 3 {
+		t.Fatalf("union distinct rows = %d", len(rows))
+	}
+}
+
+func TestDuplicateUnionBranchElimination(t *testing.T) {
+	cat := fixture(t)
+	stmt := sql.MustParse("SELECT kind FROM sensors UNION SELECT kind FROM sensors UNION SELECT kind FROM sensors")
+	unopt, err := BuildUnoptimized(stmt, CatalogResolver(cat))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := Optimize(unopt)
+	if CountOperators(opt) >= CountOperators(unopt)+1 {
+		t.Errorf("optimizer did not shrink duplicate unions: %d vs %d",
+			CountOperators(opt), CountOperators(unopt))
+	}
+	if strings.Contains(Explain(opt), "Union(") && strings.Count(Explain(opt), "Scan(") > 1 {
+		t.Errorf("duplicate branches remain:\n%s", Explain(opt))
+	}
+}
+
+func TestSubqueryExecution(t *testing.T) {
+	cat := fixture(t)
+	_, rows := runQuery(t, cat,
+		"SELECT m FROM (SELECT sid, avg(val) AS m FROM msmt GROUP BY sid) AS g WHERE g.m > 60")
+	if len(rows) != 1 {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestSelectWithoutFrom(t *testing.T) {
+	cat := relation.NewCatalog()
+	_, rows := runQuery(t, cat, "SELECT 1 + 2 AS three, 'x' || 'y'")
+	if rows[0][0] != relation.Int(3) || rows[0][1] != relation.String_("xy") {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestScalarFunctions(t *testing.T) {
+	cat := relation.NewCatalog()
+	_, rows := runQuery(t, cat,
+		"SELECT abs(-4), coalesce(NULL, 7), upper('abc'), length('abcd'), round(2.6)")
+	want := relation.Tuple{relation.Int(4), relation.Int(7), relation.String_("ABC"), relation.Int(4), relation.Float(3)}
+	for i, w := range want {
+		if rows[0][i] != w {
+			t.Errorf("func %d = %v, want %v", i, rows[0][i], w)
+		}
+	}
+}
+
+func TestCustomUDF(t *testing.T) {
+	cat := fixture(t)
+	ctx := NewExecContext(cat)
+	ctx.Funcs.Register("c2f", func(args []relation.Value) (relation.Value, error) {
+		f, _ := args[0].AsFloat()
+		return relation.Float(f*9/5 + 32), nil
+	})
+	_, rows, err := Run(ctx, "SELECT c2f(val) FROM msmt WHERE sid = 1 ORDER BY ts LIMIT 1", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f, _ := rows[0][0].AsFloat(); f != 158 {
+		t.Fatalf("c2f(70) = %v", rows[0][0])
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	cat := fixture(t)
+	ctx := NewExecContext(cat)
+	for _, q := range []string{
+		"SELECT nope FROM sensors",
+		"SELECT * FROM missing_table",
+		"SELECT unknown_fn(1) FROM sensors",
+		"SELECT sid FROM msmt HAVING sid > 1",
+		"SELECT kind FROM sensors UNION SELECT sid, kind FROM sensors",
+		"SELECT * FROM STREAM s [RANGE 10 SLIDE 10]", // no stream resolver
+	} {
+		if _, _, err := Run(ctx, q, nil); err == nil {
+			t.Errorf("Run(%q) succeeded, want error", q)
+		}
+	}
+}
+
+func TestThreeValuedLogic(t *testing.T) {
+	cat := relation.NewCatalog()
+	tb, _ := cat.Create("t", relation.NewSchema(relation.Col("a", relation.TInt)))
+	tb.MustInsert(relation.Tuple{relation.Null})
+	tb.MustInsert(relation.Tuple{relation.Int(1)})
+	// NULL comparisons are not truthy: only a=1 row passes.
+	_, rows := runQuery(t, cat, "SELECT a FROM t WHERE a = 1")
+	if len(rows) != 1 {
+		t.Fatalf("rows = %v", rows)
+	}
+	// IS NULL finds the null.
+	_, rows = runQuery(t, cat, "SELECT a FROM t WHERE a IS NULL")
+	if len(rows) != 1 || !rows[0][0].IsNull() {
+		t.Fatalf("rows = %v", rows)
+	}
+	// NULL doesn't join.
+	tb2, _ := cat.Create("u", relation.NewSchema(relation.Col("a", relation.TInt)))
+	tb2.MustInsert(relation.Tuple{relation.Null})
+	tb2.MustInsert(relation.Tuple{relation.Int(1)})
+	_, rows = runQuery(t, cat, "SELECT t.a FROM t JOIN u ON t.a = u.a")
+	if len(rows) != 1 {
+		t.Fatalf("null join rows = %v", rows)
+	}
+}
+
+func TestCaseAndInExecution(t *testing.T) {
+	cat := fixture(t)
+	_, rows := runQuery(t, cat,
+		"SELECT sid, CASE WHEN kind = 'temp' THEN 'T' ELSE 'O' END AS c FROM sensors WHERE sid IN (1, 4) ORDER BY sid")
+	if len(rows) != 2 {
+		t.Fatalf("rows = %v", rows)
+	}
+	if rows[0][1] != relation.String_("T") || rows[1][1] != relation.String_("O") {
+		t.Fatalf("case results = %v", rows)
+	}
+}
+
+func TestExplainShape(t *testing.T) {
+	cat := fixture(t)
+	stmt := sql.MustParse("SELECT sid FROM msmt WHERE val > 0 ORDER BY sid LIMIT 5")
+	plan, err := Build(stmt, CatalogResolver(cat))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := Explain(plan)
+	for _, op := range []string{"Limit", "Sort", "Project", "Filter", "Scan"} {
+		if !strings.Contains(ex, op) {
+			t.Errorf("Explain missing %s:\n%s", op, ex)
+		}
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	cat := fixture(t)
+	ctx := NewExecContext(cat)
+	if _, _, err := Run(ctx, "SELECT s.sid FROM sensors s JOIN turbines t ON s.tid = t.tid", nil); err != nil {
+		t.Fatal(err)
+	}
+	if ctx.Stats.RowsScanned == 0 || ctx.Stats.HashProbes == 0 || ctx.Stats.OperatorCount == 0 {
+		t.Errorf("stats not accumulated: %+v", ctx.Stats)
+	}
+}
+
+func TestFirstLastAggregates(t *testing.T) {
+	cat := fixture(t)
+	_, rows := runQuery(t, cat,
+		"SELECT first(val), last(val) FROM msmt WHERE sid = 1")
+	if f, _ := rows[0][0].AsFloat(); f != 70 {
+		t.Errorf("first = %v", rows[0][0])
+	}
+	if l, _ := rows[0][1].AsFloat(); l != 75 {
+		t.Errorf("last = %v", rows[0][1])
+	}
+}
+
+func TestCountDistinct(t *testing.T) {
+	cat := fixture(t)
+	_, rows := runQuery(t, cat, "SELECT count(DISTINCT kind) FROM sensors")
+	if rows[0][0] != relation.Int(3) {
+		t.Fatalf("count distinct = %v", rows[0][0])
+	}
+}

@@ -1,0 +1,389 @@
+// Package engine implements ExaStream's relational query processor: an
+// expression evaluator, materialising plan operators (scan, filter,
+// project, hash/nested-loop join, aggregate, sort, distinct, limit,
+// union), a planner that compiles SQL(+) ASTs to plans, and the
+// optimisations the paper relies on to make unfolded query fleets
+// executable (predicate pushdown, hash-join detection, duplicate-union
+// and self-join elimination).
+package engine
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/relation"
+	"repro/internal/sql"
+)
+
+// ScalarFunc is a scalar UDF: it maps argument values to a result.
+type ScalarFunc func(args []relation.Value) (relation.Value, error)
+
+// FuncRegistry holds scalar UDFs by lower-case name. ExaStream registers
+// its native UDFs here (paper §2: "natively supports User Defined
+// Functions with arbitrary user code").
+type FuncRegistry struct {
+	scalars map[string]ScalarFunc
+}
+
+// NewFuncRegistry returns a registry preloaded with built-in scalar
+// functions: abs, coalesce, upper, lower, length, round, concat.
+func NewFuncRegistry() *FuncRegistry {
+	r := &FuncRegistry{scalars: make(map[string]ScalarFunc)}
+	r.Register("abs", func(args []relation.Value) (relation.Value, error) {
+		if err := arity("abs", args, 1); err != nil {
+			return relation.Null, err
+		}
+		v := args[0]
+		switch v.Type {
+		case relation.TInt:
+			if v.Int < 0 {
+				return relation.Int(-v.Int), nil
+			}
+			return v, nil
+		case relation.TFloat:
+			return relation.Float(math.Abs(v.Float)), nil
+		case relation.TNull:
+			return relation.Null, nil
+		}
+		return relation.Null, fmt.Errorf("engine: abs: non-numeric argument %s", v)
+	})
+	r.Register("coalesce", func(args []relation.Value) (relation.Value, error) {
+		for _, a := range args {
+			if !a.IsNull() {
+				return a, nil
+			}
+		}
+		return relation.Null, nil
+	})
+	r.Register("upper", stringFunc("upper", strings.ToUpper))
+	r.Register("lower", stringFunc("lower", strings.ToLower))
+	r.Register("length", func(args []relation.Value) (relation.Value, error) {
+		if err := arity("length", args, 1); err != nil {
+			return relation.Null, err
+		}
+		if args[0].IsNull() {
+			return relation.Null, nil
+		}
+		if args[0].Type != relation.TString {
+			return relation.Null, fmt.Errorf("engine: length: non-string argument")
+		}
+		return relation.Int(int64(len(args[0].Str))), nil
+	})
+	r.Register("round", func(args []relation.Value) (relation.Value, error) {
+		if err := arity("round", args, 1); err != nil {
+			return relation.Null, err
+		}
+		f, ok := args[0].AsFloat()
+		if !ok {
+			if args[0].IsNull() {
+				return relation.Null, nil
+			}
+			return relation.Null, fmt.Errorf("engine: round: non-numeric argument")
+		}
+		return relation.Float(math.Round(f)), nil
+	})
+	r.Register("concat", func(args []relation.Value) (relation.Value, error) {
+		var sb strings.Builder
+		for _, a := range args {
+			if a.IsNull() {
+				continue
+			}
+			if a.Type == relation.TString {
+				sb.WriteString(a.Str)
+			} else {
+				sb.WriteString(strings.Trim(a.String(), "'"))
+			}
+		}
+		return relation.String_(sb.String()), nil
+	})
+	return r
+}
+
+func stringFunc(name string, f func(string) string) ScalarFunc {
+	return func(args []relation.Value) (relation.Value, error) {
+		if err := arity(name, args, 1); err != nil {
+			return relation.Null, err
+		}
+		if args[0].IsNull() {
+			return relation.Null, nil
+		}
+		if args[0].Type != relation.TString {
+			return relation.Null, fmt.Errorf("engine: %s: non-string argument", name)
+		}
+		return relation.String_(f(args[0].Str)), nil
+	}
+}
+
+func arity(name string, args []relation.Value, n int) error {
+	if len(args) != n {
+		return fmt.Errorf("engine: %s expects %d arguments, got %d", name, n, len(args))
+	}
+	return nil
+}
+
+// Register installs a scalar UDF, replacing any previous one of the name.
+func (r *FuncRegistry) Register(name string, f ScalarFunc) {
+	r.scalars[strings.ToLower(name)] = f
+}
+
+// Lookup returns the named scalar function.
+func (r *FuncRegistry) Lookup(name string) (ScalarFunc, bool) {
+	f, ok := r.scalars[strings.ToLower(name)]
+	return f, ok
+}
+
+// aggregateNames lists the built-in SQL aggregate functions.
+var aggregateNames = map[string]bool{
+	"count": true, "sum": true, "avg": true, "min": true, "max": true,
+	"stddev": true, "corr": true, "first": true, "last": true,
+}
+
+// IsAggregate reports whether name is a built-in aggregate function.
+func IsAggregate(name string) bool { return aggregateNames[strings.ToLower(name)] }
+
+// HasAggregate reports whether the expression tree contains an aggregate
+// call.
+func HasAggregate(e sql.Expr) bool {
+	found := false
+	walkExpr(e, func(x sql.Expr) {
+		if f, ok := x.(*sql.FuncExpr); ok && IsAggregate(f.Name) {
+			found = true
+		}
+	})
+	return found
+}
+
+// walkExpr visits every node of the expression tree in preorder.
+func walkExpr(e sql.Expr, visit func(sql.Expr)) {
+	if e == nil {
+		return
+	}
+	visit(e)
+	switch x := e.(type) {
+	case *sql.BinaryExpr:
+		walkExpr(x.Left, visit)
+		walkExpr(x.Right, visit)
+	case *sql.UnaryExpr:
+		walkExpr(x.Expr, visit)
+	case *sql.IsNullExpr:
+		walkExpr(x.Expr, visit)
+	case *sql.FuncExpr:
+		for _, a := range x.Args {
+			walkExpr(a, visit)
+		}
+	case *sql.CaseExpr:
+		for _, w := range x.Whens {
+			walkExpr(w.Cond, visit)
+			walkExpr(w.Then, visit)
+		}
+		walkExpr(x.Else, visit)
+	case *sql.InExpr:
+		walkExpr(x.Expr, visit)
+		for _, i := range x.List {
+			walkExpr(i, visit)
+		}
+	}
+}
+
+// Eval evaluates expr against one tuple under the given schema.
+// Aggregate calls are resolved as column references named by the
+// expression text (the aggregate plan materialises them that way); if no
+// such column exists the evaluation fails.
+func Eval(e sql.Expr, schema relation.Schema, row relation.Tuple, funcs *FuncRegistry) (relation.Value, error) {
+	switch x := e.(type) {
+	case *sql.Literal:
+		return x.Value, nil
+	case *sql.ColumnRef:
+		i, err := schema.IndexOf(x.FullName())
+		if err != nil {
+			return relation.Null, err
+		}
+		return row[i], nil
+	case *sql.BinaryExpr:
+		return evalBinary(x, schema, row, funcs)
+	case *sql.UnaryExpr:
+		v, err := Eval(x.Expr, schema, row, funcs)
+		if err != nil {
+			return relation.Null, err
+		}
+		switch x.Op {
+		case "NOT":
+			if v.IsNull() {
+				return relation.Null, nil
+			}
+			return relation.Bool_(!v.Truthy()), nil
+		case "-":
+			switch v.Type {
+			case relation.TInt:
+				return relation.Int(-v.Int), nil
+			case relation.TFloat:
+				return relation.Float(-v.Float), nil
+			case relation.TNull:
+				return relation.Null, nil
+			}
+			return relation.Null, fmt.Errorf("engine: unary minus on %s", v.Type)
+		}
+		return relation.Null, fmt.Errorf("engine: unknown unary op %q", x.Op)
+	case *sql.IsNullExpr:
+		v, err := Eval(x.Expr, schema, row, funcs)
+		if err != nil {
+			return relation.Null, err
+		}
+		return relation.Bool_(v.IsNull() != x.Negate), nil
+	case *sql.InExpr:
+		v, err := Eval(x.Expr, schema, row, funcs)
+		if err != nil {
+			return relation.Null, err
+		}
+		if v.IsNull() {
+			return relation.Null, nil
+		}
+		for _, item := range x.List {
+			iv, err := Eval(item, schema, row, funcs)
+			if err != nil {
+				return relation.Null, err
+			}
+			if relation.Equal(v, iv) {
+				return relation.Bool_(!x.Negate), nil
+			}
+		}
+		return relation.Bool_(x.Negate), nil
+	case *sql.CaseExpr:
+		for _, w := range x.Whens {
+			c, err := Eval(w.Cond, schema, row, funcs)
+			if err != nil {
+				return relation.Null, err
+			}
+			if c.Truthy() {
+				return Eval(w.Then, schema, row, funcs)
+			}
+		}
+		if x.Else != nil {
+			return Eval(x.Else, schema, row, funcs)
+		}
+		return relation.Null, nil
+	case *sql.FuncExpr:
+		// Aggregates reach Eval only above an aggregate plan, which
+		// exposes them as columns named by their expression text.
+		if IsAggregate(x.Name) {
+			i, err := schema.IndexOf(x.String())
+			if err != nil {
+				return relation.Null, fmt.Errorf("engine: aggregate %s outside GROUP BY context", x)
+			}
+			return row[i], nil
+		}
+		if funcs == nil {
+			return relation.Null, fmt.Errorf("engine: no function registry for %s", x.Name)
+		}
+		f, ok := funcs.Lookup(x.Name)
+		if !ok {
+			return relation.Null, fmt.Errorf("engine: unknown function %q", x.Name)
+		}
+		args := make([]relation.Value, len(x.Args))
+		for i, a := range x.Args {
+			v, err := Eval(a, schema, row, funcs)
+			if err != nil {
+				return relation.Null, err
+			}
+			args[i] = v
+		}
+		return f(args)
+	default:
+		return relation.Null, fmt.Errorf("engine: cannot evaluate %T", e)
+	}
+}
+
+func evalBinary(x *sql.BinaryExpr, schema relation.Schema, row relation.Tuple, funcs *FuncRegistry) (relation.Value, error) {
+	// AND/OR get short-circuit evaluation with three-valued logic.
+	switch x.Op {
+	case "AND":
+		l, err := Eval(x.Left, schema, row, funcs)
+		if err != nil {
+			return relation.Null, err
+		}
+		if !l.IsNull() && !l.Truthy() {
+			return relation.Bool_(false), nil
+		}
+		r, err := Eval(x.Right, schema, row, funcs)
+		if err != nil {
+			return relation.Null, err
+		}
+		if !r.IsNull() && !r.Truthy() {
+			return relation.Bool_(false), nil
+		}
+		if l.IsNull() || r.IsNull() {
+			return relation.Null, nil
+		}
+		return relation.Bool_(true), nil
+	case "OR":
+		l, err := Eval(x.Left, schema, row, funcs)
+		if err != nil {
+			return relation.Null, err
+		}
+		if !l.IsNull() && l.Truthy() {
+			return relation.Bool_(true), nil
+		}
+		r, err := Eval(x.Right, schema, row, funcs)
+		if err != nil {
+			return relation.Null, err
+		}
+		if !r.IsNull() && r.Truthy() {
+			return relation.Bool_(true), nil
+		}
+		if l.IsNull() || r.IsNull() {
+			return relation.Null, nil
+		}
+		return relation.Bool_(false), nil
+	}
+
+	l, err := Eval(x.Left, schema, row, funcs)
+	if err != nil {
+		return relation.Null, err
+	}
+	r, err := Eval(x.Right, schema, row, funcs)
+	if err != nil {
+		return relation.Null, err
+	}
+	switch x.Op {
+	case "+", "-", "*", "/", "%":
+		return relation.Arith(x.Op[0], l, r)
+	case "||":
+		if l.IsNull() || r.IsNull() {
+			return relation.Null, nil
+		}
+		return relation.String_(asString(l) + asString(r)), nil
+	case "=", "<>", "<", "<=", ">", ">=":
+		if l.IsNull() || r.IsNull() {
+			return relation.Null, nil
+		}
+		c, ok := relation.Compare(l, r)
+		if !ok {
+			return relation.Null, fmt.Errorf("engine: cannot compare %s and %s", l.Type, r.Type)
+		}
+		var b bool
+		switch x.Op {
+		case "=":
+			b = c == 0
+		case "<>":
+			b = c != 0
+		case "<":
+			b = c < 0
+		case "<=":
+			b = c <= 0
+		case ">":
+			b = c > 0
+		case ">=":
+			b = c >= 0
+		}
+		return relation.Bool_(b), nil
+	}
+	return relation.Null, fmt.Errorf("engine: unknown binary op %q", x.Op)
+}
+
+func asString(v relation.Value) string {
+	if v.Type == relation.TString {
+		return v.Str
+	}
+	return strings.Trim(v.String(), "'")
+}

@@ -1,0 +1,255 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/relation"
+	"repro/internal/sql"
+)
+
+func lookupFixture(t *testing.T) (*relation.Catalog, *relation.Table) {
+	t.Helper()
+	cat := relation.NewCatalog()
+	tb, err := cat.Create("dim", relation.NewSchema(
+		relation.Col("id", relation.TInt),
+		relation.Col("name", relation.TString)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 100; i++ {
+		tb.MustInsert(relation.Tuple{relation.Int(i), relation.String_("n")})
+	}
+	return cat, tb
+}
+
+func probeSide(rows ...relation.Tuple) Plan {
+	schema := relation.NewSchema(relation.Col("w.key", relation.TInt))
+	return NewValuesPlan("w", schema, rows)
+}
+
+func TestLookupJoinScanAndIndexPaths(t *testing.T) {
+	cat, tb := lookupFixture(t)
+	probe := probeSide(
+		relation.Tuple{relation.Int(5)},
+		relation.Tuple{relation.Int(7)},
+		relation.Tuple{relation.Int(500)}, // no match
+		relation.Tuple{relation.Null},     // NULL never joins
+	)
+	lj := NewLookupJoinPlan(probe, "dim", "d", tb.Schema(),
+		[]sql.Expr{sql.Col("w.key")}, []string{"id"}, nil)
+	if !strings.Contains(lj.String(), "LookupJoin(dim") {
+		t.Errorf("String = %s", lj.String())
+	}
+	if len(lj.Children()) != 1 {
+		t.Error("Children")
+	}
+	if lj.Schema().Arity() != 3 {
+		t.Errorf("schema = %v", lj.Schema())
+	}
+
+	ctx := NewExecContext(cat)
+	rows, err := lj.Execute(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %v", rows)
+	}
+	if ctx.Stats.IndexLookups != 0 {
+		t.Error("index lookups counted without an index")
+	}
+	scannedBefore := ctx.Stats.RowsScanned
+
+	// With an index, probes stop scanning.
+	if err := tb.CreateIndex("id"); err != nil {
+		t.Fatal(err)
+	}
+	ctx2 := NewExecContext(cat)
+	rows, err = lj.Execute(ctx2)
+	if err != nil || len(rows) != 2 {
+		t.Fatalf("indexed rows = %v, %v", rows, err)
+	}
+	if ctx2.Stats.IndexLookups != 3 { // three non-NULL probes
+		t.Errorf("IndexLookups = %d", ctx2.Stats.IndexLookups)
+	}
+	if ctx2.Stats.RowsScanned >= scannedBefore {
+		t.Errorf("index did not reduce scanning: %d vs %d", ctx2.Stats.RowsScanned, scannedBefore)
+	}
+}
+
+func TestLookupJoinResidual(t *testing.T) {
+	cat, tb := lookupFixture(t)
+	probe := probeSide(relation.Tuple{relation.Int(5)}, relation.Tuple{relation.Int(6)})
+	residual := sql.Bin(">", sql.Col("d.id"), sql.Lit(relation.Int(5)))
+	lj := NewLookupJoinPlan(probe, "dim", "d", tb.Schema(),
+		[]sql.Expr{sql.Col("w.key")}, []string{"id"}, residual)
+	ctx := NewExecContext(cat)
+	rows, err := lj.Execute(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("residual rows = %v", rows)
+	}
+	if id, _ := rows[0][1].AsInt(); id != 6 {
+		t.Errorf("residual kept id=%v", rows[0][1])
+	}
+}
+
+func TestLookupJoinUnknownTable(t *testing.T) {
+	cat := relation.NewCatalog()
+	lj := NewLookupJoinPlan(probeSide(relation.Tuple{relation.Int(1)}),
+		"ghost", "g", relation.NewSchema(relation.Col("id", relation.TInt)),
+		[]sql.Expr{sql.Col("w.key")}, []string{"id"}, nil)
+	if _, err := lj.Execute(NewExecContext(cat)); err == nil {
+		t.Error("unknown table accepted")
+	}
+}
+
+func TestNestedLoopLeftOuterNonEqui(t *testing.T) {
+	cat := relation.NewCatalog()
+	a, _ := cat.Create("a", relation.NewSchema(relation.Col("x", relation.TInt)))
+	bTab, _ := cat.Create("b", relation.NewSchema(relation.Col("y", relation.TInt)))
+	a.MustInsert(relation.Tuple{relation.Int(1)})
+	a.MustInsert(relation.Tuple{relation.Int(10)})
+	bTab.MustInsert(relation.Tuple{relation.Int(5)})
+	ctx := NewExecContext(cat)
+	_, rows, err := Run(ctx, "SELECT a.x, b.y FROM a LEFT JOIN b ON a.x > b.y ORDER BY a.x", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %v", rows)
+	}
+	if !rows[0][1].IsNull() { // x=1 has no y<1
+		t.Errorf("expected NULL pad: %v", rows[0])
+	}
+	if rows[1][1].IsNull() {
+		t.Errorf("expected match: %v", rows[1])
+	}
+}
+
+func TestExpressionOperatorMatrix(t *testing.T) {
+	cat := relation.NewCatalog()
+	ctx := NewExecContext(cat)
+	cases := []struct {
+		query string
+		want  relation.Value
+	}{
+		{"SELECT 7 % 3", relation.Int(1)},
+		{"SELECT 10 / 4", relation.Float(2.5)},
+		{"SELECT 'a' || 1", relation.String_("a1")},
+		{"SELECT 1 <> 2", relation.Bool_(true)},
+		{"SELECT 2 >= 2", relation.Bool_(true)},
+		{"SELECT NOT (1 = 1)", relation.Bool_(false)},
+		{"SELECT NULL IS NULL", relation.Bool_(true)},
+		{"SELECT 1 IS NOT NULL", relation.Bool_(true)},
+		{"SELECT CASE WHEN 1 = 2 THEN 'x' END", relation.Null},
+		{"SELECT 3 IN (1, 2)", relation.Bool_(false)},
+		{"SELECT 2 NOT IN (1, 3)", relation.Bool_(true)},
+		{"SELECT -(1 + 2)", relation.Int(-3)},
+		{"SELECT coalesce(NULL, NULL, 'z')", relation.String_("z")},
+		{"SELECT lower('AbC')", relation.String_("abc")},
+		{"SELECT 1 AND 0", relation.Bool_(false)},
+		{"SELECT 0 OR 1", relation.Bool_(true)},
+	}
+	for _, c := range cases {
+		_, rows, err := Run(ctx, c.query, nil)
+		if err != nil {
+			t.Errorf("%s: %v", c.query, err)
+			continue
+		}
+		if rows[0][0] != c.want {
+			t.Errorf("%s = %v, want %v", c.query, rows[0][0], c.want)
+		}
+	}
+}
+
+func TestThreeValuedAndOrWithNull(t *testing.T) {
+	cat := relation.NewCatalog()
+	tb, _ := cat.Create("t", relation.NewSchema(relation.Col("a", relation.TInt)))
+	tb.MustInsert(relation.Tuple{relation.Null})
+	ctx := NewExecContext(cat)
+	// NULL AND FALSE = FALSE; NULL OR TRUE = TRUE; NULL AND TRUE = NULL.
+	_, rows, err := Run(ctx, "SELECT (a = 1) AND (1 = 2), (a = 1) OR (1 = 1), (a = 1) AND (1 = 1) FROM t", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0][0] != relation.Bool_(false) {
+		t.Errorf("NULL AND FALSE = %v", rows[0][0])
+	}
+	if rows[0][1] != relation.Bool_(true) {
+		t.Errorf("NULL OR TRUE = %v", rows[0][1])
+	}
+	if !rows[0][2].IsNull() {
+		t.Errorf("NULL AND TRUE = %v", rows[0][2])
+	}
+}
+
+func TestEvalErrorPaths(t *testing.T) {
+	cat := relation.NewCatalog()
+	ctx := NewExecContext(cat)
+	for _, q := range []string{
+		"SELECT 'a' + 1",   // string arithmetic
+		"SELECT 'a' < 1",   // incomparable
+		"SELECT -'a'",      // unary minus on string
+		"SELECT abs('x')",  // abs on string
+		"SELECT length(5)", // length on int
+		"SELECT upper(5)",  // upper on int
+		"SELECT abs(1, 2)", // arity
+		"SELECT avg(1)",    // aggregate without group context is fine...
+	} {
+		_, _, err := Run(ctx, q, nil)
+		if q == "SELECT avg(1)" {
+			if err != nil {
+				t.Errorf("%s should work as global aggregate: %v", q, err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("%s accepted", q)
+		}
+	}
+}
+
+func TestHasAggregate(t *testing.T) {
+	if !HasAggregate(sql.MustParse("SELECT avg(a) FROM t").Items[0].Expr) {
+		t.Error("avg not detected")
+	}
+	if HasAggregate(sql.MustParse("SELECT abs(a) FROM t").Items[0].Expr) {
+		t.Error("abs misdetected")
+	}
+	if HasAggregate(nil) {
+		t.Error("nil expression")
+	}
+}
+
+func TestAliasPlanString(t *testing.T) {
+	p := NewAliasPlan(probeSide(), "sub")
+	if p.String() != "Alias(sub)" || len(p.Children()) != 1 {
+		t.Errorf("alias plan = %s", p.String())
+	}
+}
+
+func TestRewriteAggRefsAllShapes(t *testing.T) {
+	cat := fixture(t)
+	// Exercise CASE / IN / IS NULL / unary / concat containing aggregates
+	// and group expressions.
+	_, rows := runQuery(t, cat, `
+		SELECT CASE WHEN avg(val) > 60 THEN 'hi' ELSE 'lo' END,
+		       sid IN (1, 2),
+		       avg(val) IS NULL,
+		       -avg(val),
+		       'v=' || sid
+		FROM msmt GROUP BY sid ORDER BY sid LIMIT 1`)
+	if rows[0][0] != relation.String_("hi") {
+		t.Errorf("case over aggregate = %v", rows[0][0])
+	}
+	if rows[0][1] != relation.Bool_(true) {
+		t.Errorf("in over group col = %v", rows[0][1])
+	}
+	if rows[0][2] != relation.Bool_(false) {
+		t.Errorf("is null over aggregate = %v", rows[0][2])
+	}
+}

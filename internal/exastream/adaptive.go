@@ -1,0 +1,135 @@
+package exastream
+
+import (
+	"strings"
+
+	"repro/internal/engine"
+	"repro/internal/sql"
+)
+
+// probe identifies a (table, columns) lookup pattern observed during
+// window execution; the adaptive indexer counts these and builds a hash
+// index once a pattern is hot.
+type probe struct {
+	table string
+	cols  []string
+}
+
+func (p probe) key() string {
+	return strings.ToLower(p.table) + "|" + strings.ToLower(strings.Join(p.cols, ","))
+}
+
+// adaptPlan rewrites hash joins whose build side is a full scan of a
+// static base table into lookup joins against that table, so repeated
+// window executions can benefit from an adaptive index. It returns the
+// rewritten plan and the lookup patterns it introduced.
+func (e *Engine) adaptPlan(p engine.Plan) (engine.Plan, []probe) {
+	var probes []probe
+	var rec func(p engine.Plan) engine.Plan
+	rec = func(p engine.Plan) engine.Plan {
+		switch n := p.(type) {
+		case *engine.HashJoinPlan:
+			left := rec(n.Left)
+			right := rec(n.Right)
+			if !n.LeftOuter {
+				if lj, pr, ok := e.toLookupJoin(left, right, n.LeftKeys, n.RightKeys, n.Residual); ok {
+					probes = append(probes, pr)
+					return lj
+				}
+				if lj, pr, ok := e.toLookupJoin(right, left, n.RightKeys, n.LeftKeys, n.Residual); ok {
+					// Column order flips; the schema does too, which is fine
+					// because residual and projection reference columns by
+					// name. Only safe when the residual still resolves;
+					// checked inside toLookupJoin.
+					probes = append(probes, pr)
+					return lj
+				}
+			}
+			return engine.NewHashJoinPlan(left, right, n.LeftKeys, n.RightKeys, n.Residual, n.LeftOuter)
+		case *engine.NestedLoopJoinPlan:
+			left := rec(n.Left)
+			right := rec(n.Right)
+			return engine.NewNestedLoopJoinPlan(left, right, n.On, n.LeftOuter)
+		case *engine.FilterPlan:
+			return &engine.FilterPlan{Input: rec(n.Input), Pred: n.Pred}
+		case *engine.ProjectPlan:
+			return engine.NewProjectPlan(rec(n.Input), n.Exprs, n.Names)
+		case *engine.SortPlan:
+			return &engine.SortPlan{Input: rec(n.Input), Items: n.Items}
+		case *engine.DistinctPlan:
+			return &engine.DistinctPlan{Input: rec(n.Input)}
+		case *engine.LimitPlan:
+			return &engine.LimitPlan{Input: rec(n.Input), N: n.N}
+		case *engine.AggregatePlan:
+			return engine.NewAggregatePlan(rec(n.Input), n.GroupExprs, n.Aggs)
+		case *engine.UnionPlan:
+			inputs := make([]engine.Plan, len(n.Inputs))
+			for i, in := range n.Inputs {
+				inputs[i] = rec(in)
+			}
+			return &engine.UnionPlan{Inputs: inputs, Distinct: n.Distinct}
+		default:
+			return p
+		}
+	}
+	out := rec(p)
+	return out, probes
+}
+
+// toLookupJoin converts (probeSide, buildSide) into a lookup join when
+// the build side is a plain scan of a catalog table and the build keys
+// are bare columns of it.
+func (e *Engine) toLookupJoin(probeSide, buildSide engine.Plan, probeKeys, buildKeys []sql.Expr, residual sql.Expr) (engine.Plan, probe, bool) {
+	scan, ok := buildSide.(*engine.ScanPlan)
+	if !ok || len(buildKeys) == 0 {
+		return nil, probe{}, false
+	}
+	table, err := e.catalog.Get(scan.Table)
+	if err != nil {
+		return nil, probe{}, false
+	}
+	cols := make([]string, len(buildKeys))
+	for i, k := range buildKeys {
+		cr, ok := k.(*sql.ColumnRef)
+		if !ok {
+			return nil, probe{}, false
+		}
+		// The scan qualifies columns by its alias; strip it.
+		if cr.Table != "" && !strings.EqualFold(cr.Table, scan.Alias) {
+			return nil, probe{}, false
+		}
+		cols[i] = cr.Name
+	}
+	lj := engine.NewLookupJoinPlan(probeSide, scan.Table, scan.Alias, table.Schema(), probeKeys, cols, residual)
+	// The lookup join's output schema must contain everything the
+	// residual references.
+	if residual != nil && !engine.ResolvesAgainst(residual, lj.Schema()) {
+		return nil, probe{}, false
+	}
+	return lj, probe{table: scan.Table, cols: cols}, true
+}
+
+// noteProbes counts lookup patterns and builds indexes for hot ones.
+func (e *Engine) noteProbes(ps []probe) {
+	if !e.opts.AdaptiveIndexing {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, p := range ps {
+		table, err := e.catalog.Get(p.table)
+		if err != nil {
+			continue
+		}
+		if table.HasIndex(p.cols...) {
+			continue
+		}
+		k := p.key()
+		e.probes[k]++
+		if e.probes[k] >= e.opts.AdaptiveThreshold {
+			if err := table.CreateIndex(p.cols...); err == nil {
+				e.stats.AdaptiveIndexes++
+			}
+		}
+	}
+}

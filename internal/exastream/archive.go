@@ -1,0 +1,48 @@
+package exastream
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/relation"
+	"repro/internal/stream"
+)
+
+// Stream archiving (paper §2: ExaStream blends streaming attributes with
+// "archived stream data (such as past sensor readings, temperature
+// measurements, etc)"): an archived stream appends every ingested tuple
+// to a static table in the engine's catalog, so continuous queries can
+// join the live window against the stream's own history, and historical
+// queries run over it like any other table.
+
+// ArchiveStream starts archiving a declared stream into a new catalog
+// table of the given name (created with the stream's schema). Returns an
+// error if the stream is unknown or the table name is taken.
+func (e *Engine) ArchiveStream(streamName, tableName string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	key := strings.ToLower(streamName)
+	s, ok := e.streams[key]
+	if !ok {
+		return fmt.Errorf("exastream: unknown stream %q", streamName)
+	}
+	t, err := e.catalog.Create(tableName, s.Tuple)
+	if err != nil {
+		return err
+	}
+	e.archives[key] = append(e.archives[key], t)
+	return nil
+}
+
+// archiveLocked appends a tuple to every archive of the stream. Called
+// with e.mu held from Ingest.
+func (e *Engine) archiveLocked(streamKey string, el stream.Timestamped) error {
+	for _, t := range e.archives[streamKey] {
+		row := make(relation.Tuple, len(el.Row))
+		copy(row, el.Row)
+		if err := t.Insert(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,60 @@
+package exastream
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/relation"
+)
+
+// Federated tables (paper §2: "Static relational tables may be stored in
+// our system, or, they may be federated from external data-sources"):
+// a federated table is backed by a fetch callback to the external
+// source; its contents are pulled into the engine's catalog on refresh,
+// so continuous queries join against the latest snapshot without the
+// engine knowing the source's protocol.
+
+// FetchFunc pulls the current rows of an external source.
+type FetchFunc func() ([]relation.Tuple, error)
+
+// RegisterFederated declares a federated table with the given schema and
+// fetch callback, and performs the initial pull.
+func (e *Engine) RegisterFederated(name string, schema relation.Schema, fetch FetchFunc) error {
+	if fetch == nil {
+		return fmt.Errorf("exastream: federated table %q needs a fetch callback", name)
+	}
+	if _, err := e.catalog.Create(name, schema); err != nil {
+		return err
+	}
+	e.mu.Lock()
+	e.federated[strings.ToLower(name)] = fetch
+	e.mu.Unlock()
+	return e.RefreshFederated(name)
+}
+
+// RefreshFederated re-pulls a federated table, replacing its contents
+// atomically from the continuous queries' point of view (they read row
+// snapshots).
+func (e *Engine) RefreshFederated(name string) error {
+	e.mu.Lock()
+	fetch, ok := e.federated[strings.ToLower(name)]
+	e.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("exastream: %q is not a federated table", name)
+	}
+	rows, err := fetch()
+	if err != nil {
+		return fmt.Errorf("exastream: refreshing %q: %w", name, err)
+	}
+	t, err := e.catalog.Get(name)
+	if err != nil {
+		return err
+	}
+	t.Truncate()
+	for _, row := range rows {
+		if err := t.Insert(row.Clone()); err != nil {
+			return fmt.Errorf("exastream: refreshing %q: %w", name, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,81 @@
+package exastream
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/relation"
+	"repro/internal/sql"
+	"repro/internal/stream"
+)
+
+func TestFederatedTableJoinsWithStream(t *testing.T) {
+	e := testRig(t, Options{})
+	// External source: sensor thresholds that change between refreshes.
+	limit := 75.0
+	schema := relation.NewSchema(
+		relation.Col("sid", relation.TInt),
+		relation.Col("limit_val", relation.TFloat))
+	fetch := func() ([]relation.Tuple, error) {
+		var rows []relation.Tuple
+		for sid := int64(1); sid <= 10; sid++ {
+			rows = append(rows, relation.Tuple{relation.Int(sid), relation.Float(limit)})
+		}
+		return rows, nil
+	}
+	if err := e.RegisterFederated("limits", schema, fetch); err != nil {
+		t.Fatal(err)
+	}
+	c := &collector{}
+	q := sql.MustParse(`SELECT m.sid, m.val FROM STREAM msmt [RANGE 500 SLIDE 500] AS m, limits AS l
+		WHERE m.sid = l.sid AND m.val > l.limit_val`)
+	if err := e.Register("over-limit", q, nil, c.sink); err != nil {
+		t.Fatal(err)
+	}
+	push := func(sid int64, ts int64, val float64) {
+		if err := e.Ingest("msmt", stream.Timestamped{TS: ts, Row: relation.Tuple{
+			relation.Int(sid), relation.Time(ts), relation.Float(val)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	push(1, 0, 80)
+	push(1, 600, 80) // completes first window: 80 > 75 -> 1 row
+	before := c.totalRows()
+	if before != 1 {
+		t.Fatalf("rows before refresh = %d", before)
+	}
+	// External source raises the limit; refresh pulls it.
+	limit = 90
+	if err := e.RefreshFederated("limits"); err != nil {
+		t.Fatal(err)
+	}
+	push(1, 1200, 85) // 85 < 90 now
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if c.totalRows() != before+0 {
+		t.Fatalf("rows after refresh = %d, want %d (85 below new limit)", c.totalRows(), before)
+	}
+}
+
+func TestFederatedValidation(t *testing.T) {
+	e := testRig(t, Options{})
+	schema := relation.NewSchema(relation.Col("a", relation.TInt))
+	if err := e.RegisterFederated("f", schema, nil); err == nil {
+		t.Error("nil fetch accepted")
+	}
+	if err := e.RefreshFederated("missing"); err == nil {
+		t.Error("unknown federated table accepted")
+	}
+	fail := func() ([]relation.Tuple, error) { return nil, fmt.Errorf("source down") }
+	if err := e.RegisterFederated("down", schema, fail); err == nil {
+		t.Error("fetch failure swallowed")
+	}
+	ok := func() ([]relation.Tuple, error) { return []relation.Tuple{{relation.Int(1)}}, nil }
+	if err := e.RegisterFederated("f2", schema, ok); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RegisterFederated("f2", schema, ok); err == nil {
+		t.Error("duplicate federated table accepted")
+	}
+}

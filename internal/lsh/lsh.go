@@ -1,0 +1,270 @@
+// Package lsh implements the Locality-Sensitive Hashing technique the
+// paper uses (via a native UDF, citing Giatrakos et al. [7]) to compute
+// correlations between the values of multiple streams without comparing
+// every pair: window vectors are hashed with random hyperplanes, hashes
+// are banded into buckets, and only same-bucket candidates are verified
+// with the exact Pearson coefficient.
+//
+// Random-hyperplane LSH approximates cosine similarity; for z-normalised
+// window vectors, cosine similarity equals the Pearson correlation
+// coefficient, which is why the technique applies to sensor correlation.
+package lsh
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Config sets the signature shape.
+type Config struct {
+	// Bits is the signature length (number of random hyperplanes).
+	Bits int
+	// Bands splits the signature; vectors agreeing on all rows of any
+	// band become candidates. Bits must be divisible by Bands.
+	Bands int
+	// Dim is the window vector dimensionality (samples per window).
+	Dim int
+	// Seed makes hyperplane generation deterministic.
+	Seed int64
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Bits <= 0 || c.Bands <= 0 || c.Dim <= 0 {
+		return fmt.Errorf("lsh: Bits, Bands, and Dim must be positive")
+	}
+	if c.Bits%c.Bands != 0 {
+		return fmt.Errorf("lsh: Bits (%d) must be divisible by Bands (%d)", c.Bits, c.Bands)
+	}
+	return nil
+}
+
+// Index hashes fixed-length series and yields candidate pairs.
+type Index struct {
+	cfg    Config
+	planes [][]float64
+
+	// buckets[band][key] = member ids
+	buckets []map[uint64][]int
+	series  map[int][]float64
+	sigs    map[int][]bool
+}
+
+// New builds an index with freshly drawn hyperplanes.
+func New(cfg Config) (*Index, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	planes := make([][]float64, cfg.Bits)
+	for i := range planes {
+		p := make([]float64, cfg.Dim)
+		for j := range p {
+			p[j] = rng.NormFloat64()
+		}
+		planes[i] = p
+	}
+	buckets := make([]map[uint64][]int, cfg.Bands)
+	for i := range buckets {
+		buckets[i] = make(map[uint64][]int)
+	}
+	return &Index{
+		cfg: cfg, planes: planes, buckets: buckets,
+		series: make(map[int][]float64), sigs: make(map[int][]bool),
+	}, nil
+}
+
+// ZNormalize returns the z-normalised copy of a series (zero mean, unit
+// variance); ok is false for series with zero variance.
+func ZNormalize(xs []float64) ([]float64, bool) {
+	n := float64(len(xs))
+	if n == 0 {
+		return nil, false
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	mean := sum / n
+	var ss float64
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	if ss == 0 {
+		return nil, false
+	}
+	std := math.Sqrt(ss / n)
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = (x - mean) / std
+	}
+	return out, true
+}
+
+// Signature computes the bit signature of a series (which must have
+// length Dim). The series is z-normalised internally.
+func (ix *Index) Signature(series []float64) ([]bool, error) {
+	if len(series) != ix.cfg.Dim {
+		return nil, fmt.Errorf("lsh: series length %d, want %d", len(series), ix.cfg.Dim)
+	}
+	norm, ok := ZNormalize(series)
+	if !ok {
+		return nil, fmt.Errorf("lsh: zero-variance series")
+	}
+	sig := make([]bool, ix.cfg.Bits)
+	for i, plane := range ix.planes {
+		var dot float64
+		for j, v := range norm {
+			dot += v * plane[j]
+		}
+		sig[i] = dot >= 0
+	}
+	return sig, nil
+}
+
+// Add inserts a series under an id. Zero-variance series are skipped
+// (they correlate with nothing) and reported via the bool result.
+func (ix *Index) Add(id int, series []float64) (bool, error) {
+	sig, err := ix.Signature(series)
+	if err != nil {
+		if _, ok := ZNormalize(series); !ok {
+			return false, nil // constant series: not an error, just skipped
+		}
+		return false, err
+	}
+	cp := make([]float64, len(series))
+	copy(cp, series)
+	ix.series[id] = cp
+	ix.sigs[id] = sig
+	rows := ix.cfg.Bits / ix.cfg.Bands
+	for b := 0; b < ix.cfg.Bands; b++ {
+		key := bandKey(sig[b*rows : (b+1)*rows])
+		ix.buckets[b][key] = append(ix.buckets[b][key], id)
+	}
+	return true, nil
+}
+
+func bandKey(bits []bool) uint64 {
+	var k uint64
+	for _, b := range bits {
+		k <<= 1
+		if b {
+			k |= 1
+		}
+	}
+	return k
+}
+
+// Pair is a candidate or verified correlation pair (A < B).
+type Pair struct {
+	A, B int
+	R    float64 // Pearson coefficient (verified pairs only)
+}
+
+// Candidates returns the distinct same-bucket pairs.
+func (ix *Index) Candidates() []Pair {
+	seen := map[[2]int]bool{}
+	var out []Pair
+	for _, band := range ix.buckets {
+		for _, members := range band {
+			for i := 0; i < len(members); i++ {
+				for j := i + 1; j < len(members); j++ {
+					a, b := members[i], members[j]
+					if a > b {
+						a, b = b, a
+					}
+					k := [2]int{a, b}
+					if seen[k] {
+						continue
+					}
+					seen[k] = true
+					out = append(out, Pair{A: a, B: b})
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+	return out
+}
+
+// CorrelatedPairs verifies candidates exactly and returns the pairs with
+// |Pearson| >= minAbsR, sorted by id.
+func (ix *Index) CorrelatedPairs(minAbsR float64) []Pair {
+	var out []Pair
+	for _, c := range ix.Candidates() {
+		r, ok := Pearson(ix.series[c.A], ix.series[c.B])
+		if ok && math.Abs(r) >= minAbsR {
+			out = append(out, Pair{A: c.A, B: c.B, R: r})
+		}
+	}
+	return out
+}
+
+// Stats summarises index pruning power.
+type Stats struct {
+	Series     int
+	Candidates int
+	AllPairs   int
+}
+
+// Stats returns pruning statistics.
+func (ix *Index) Stats() Stats {
+	n := len(ix.series)
+	return Stats{
+		Series:     n,
+		Candidates: len(ix.Candidates()),
+		AllPairs:   n * (n - 1) / 2,
+	}
+}
+
+// Pearson computes the exact correlation coefficient of two equal-length
+// series; ok is false for fewer than two points or zero variance.
+func Pearson(xs, ys []float64) (float64, bool) {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return 0, false
+	}
+	n := float64(len(xs))
+	var sx, sy, sxx, syy, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		syy += ys[i] * ys[i]
+		sxy += xs[i] * ys[i]
+	}
+	cov := sxy - sx*sy/n
+	vx := sxx - sx*sx/n
+	vy := syy - sy*sy/n
+	if vx <= 0 || vy <= 0 {
+		return 0, false
+	}
+	return cov / math.Sqrt(vx*vy), true
+}
+
+// ExactPairs is the baseline the LSH benchmark compares against: all
+// O(n²) pairs verified exactly.
+func ExactPairs(series map[int][]float64, minAbsR float64) []Pair {
+	ids := make([]int, 0, len(series))
+	for id := range series {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	var out []Pair
+	for i := 0; i < len(ids); i++ {
+		for j := i + 1; j < len(ids); j++ {
+			r, ok := Pearson(series[ids[i]], series[ids[j]])
+			if ok && math.Abs(r) >= minAbsR {
+				out = append(out, Pair{A: ids[i], B: ids[j], R: r})
+			}
+		}
+	}
+	return out
+}

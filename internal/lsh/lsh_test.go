@@ -1,0 +1,257 @@
+package lsh
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestConfigValidate(t *testing.T) {
+	if err := (Config{Bits: 32, Bands: 8, Dim: 10}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{Bits: 0, Bands: 1, Dim: 1},
+		{Bits: 8, Bands: 0, Dim: 1},
+		{Bits: 8, Bands: 8, Dim: 0},
+		{Bits: 10, Bands: 3, Dim: 1}, // not divisible
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestZNormalize(t *testing.T) {
+	out, ok := ZNormalize([]float64{1, 2, 3, 4})
+	if !ok {
+		t.Fatal("normalisation failed")
+	}
+	var sum, ss float64
+	for _, v := range out {
+		sum += v
+		ss += v * v
+	}
+	if math.Abs(sum) > 1e-9 {
+		t.Errorf("mean = %g", sum/4)
+	}
+	if math.Abs(ss/4-1) > 1e-9 {
+		t.Errorf("variance = %g", ss/4)
+	}
+	if _, ok := ZNormalize([]float64{5, 5, 5}); ok {
+		t.Error("constant series normalised")
+	}
+	if _, ok := ZNormalize(nil); ok {
+		t.Error("empty series normalised")
+	}
+}
+
+func TestSignatureIdenticalAndOpposite(t *testing.T) {
+	ix, err := New(Config{Bits: 64, Bands: 16, Dim: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	b := []float64{2, 4, 6, 8, 10, 12, 14, 16} // same shape after z-norm
+	sa, err := ix.Signature(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := ix.Signature(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sa {
+		if sa[i] != sb[i] {
+			t.Fatal("linearly related series have different signatures")
+		}
+	}
+	// Anti-correlated series flip every bit.
+	c := []float64{8, 7, 6, 5, 4, 3, 2, 1}
+	sc, _ := ix.Signature(c)
+	for i := range sa {
+		if sa[i] == sc[i] {
+			t.Fatal("anti-correlated series share a signature bit")
+		}
+	}
+	if _, err := ix.Signature([]float64{1, 2}); err == nil {
+		t.Error("wrong dimension accepted")
+	}
+}
+
+// buildCorrelatedFixture adds: group A (ids 0..4) correlated ramps with
+// noise, group B (ids 10..14) correlated sinusoids, and noise series
+// (ids 100..119).
+func buildCorrelatedFixture(t *testing.T, ix *Index, dim int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	base := make([]float64, dim)
+	for i := range base {
+		base[i] = float64(i)
+	}
+	for id := 0; id < 5; id++ {
+		s := make([]float64, dim)
+		for i := range s {
+			s[i] = base[i]*(1+0.1*float64(id)) + rng.NormFloat64()*0.05
+		}
+		if ok, err := ix.Add(id, s); err != nil || !ok {
+			t.Fatalf("Add(%d) = %t, %v", id, ok, err)
+		}
+	}
+	for id := 10; id < 15; id++ {
+		s := make([]float64, dim)
+		for i := range s {
+			s[i] = math.Sin(float64(i)/3) + rng.NormFloat64()*0.05
+		}
+		if ok, err := ix.Add(id, s); err != nil || !ok {
+			t.Fatalf("Add(%d) = %t, %v", id, ok, err)
+		}
+	}
+	for id := 100; id < 120; id++ {
+		s := make([]float64, dim)
+		for i := range s {
+			s[i] = rng.NormFloat64()
+		}
+		if _, err := ix.Add(id, s); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestCorrelatedPairsRecall(t *testing.T) {
+	dim := 64
+	ix, err := New(Config{Bits: 64, Bands: 16, Dim: dim, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buildCorrelatedFixture(t, ix, dim)
+
+	got := ix.CorrelatedPairs(0.9)
+	found := map[[2]int]bool{}
+	for _, p := range got {
+		found[[2]int{p.A, p.B}] = true
+		if math.Abs(p.R) < 0.9 {
+			t.Errorf("pair %v below threshold", p)
+		}
+	}
+	// Every within-group pair must be found (high recall at r≈1).
+	for a := 0; a < 5; a++ {
+		for b := a + 1; b < 5; b++ {
+			if !found[[2]int{a, b}] {
+				t.Errorf("missed ramp pair (%d,%d)", a, b)
+			}
+		}
+	}
+	for a := 10; a < 15; a++ {
+		for b := a + 1; b < 15; b++ {
+			if !found[[2]int{a, b}] {
+				t.Errorf("missed sinusoid pair (%d,%d)", a, b)
+			}
+		}
+	}
+}
+
+func TestLSHPrunesCandidates(t *testing.T) {
+	dim := 64
+	ix, err := New(Config{Bits: 64, Bands: 8, Dim: dim, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buildCorrelatedFixture(t, ix, dim)
+	st := ix.Stats()
+	if st.Series != 30 {
+		t.Fatalf("series = %d", st.Series)
+	}
+	if st.Candidates >= st.AllPairs {
+		t.Errorf("no pruning: %d candidates of %d pairs", st.Candidates, st.AllPairs)
+	}
+}
+
+func TestLSHAgreesWithExactBaseline(t *testing.T) {
+	dim := 64
+	ix, err := New(Config{Bits: 96, Bands: 24, Dim: dim, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buildCorrelatedFixture(t, ix, dim)
+
+	exact := ExactPairs(ix.series, 0.95)
+	approx := ix.CorrelatedPairs(0.95)
+	// LSH must find at least 90% of what the exact baseline finds, and
+	// report nothing the baseline rejects (verification is exact).
+	exactSet := map[[2]int]bool{}
+	for _, p := range exact {
+		exactSet[[2]int{p.A, p.B}] = true
+	}
+	hits := 0
+	for _, p := range approx {
+		if !exactSet[[2]int{p.A, p.B}] {
+			t.Errorf("false positive %v", p)
+		} else {
+			hits++
+		}
+	}
+	if len(exact) > 0 && float64(hits) < 0.9*float64(len(exact)) {
+		t.Errorf("recall = %d/%d", hits, len(exact))
+	}
+}
+
+func TestConstantSeriesSkipped(t *testing.T) {
+	ix, err := New(Config{Bits: 16, Bands: 4, Dim: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := ix.Add(1, []float64{3, 3, 3, 3})
+	if err != nil || ok {
+		t.Fatalf("constant series: ok=%t err=%v", ok, err)
+	}
+	if st := ix.Stats(); st.Series != 0 {
+		t.Errorf("series = %d", st.Series)
+	}
+}
+
+func TestPearsonProperties(t *testing.T) {
+	// Symmetry and range.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]float64, 16)
+		ys := make([]float64, 16)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+			ys[i] = rng.NormFloat64()
+		}
+		r1, ok1 := Pearson(xs, ys)
+		r2, ok2 := Pearson(ys, xs)
+		if ok1 != ok2 {
+			return false
+		}
+		if !ok1 {
+			return true
+		}
+		return math.Abs(r1-r2) < 1e-12 && r1 >= -1.0000001 && r1 <= 1.0000001
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// Perfect correlation with itself.
+	xs := []float64{1, 5, 2, 8}
+	if r, ok := Pearson(xs, xs); !ok || math.Abs(r-1) > 1e-12 {
+		t.Errorf("self correlation = %g, %t", r, ok)
+	}
+}
+
+func TestSignatureDeterministicAcrossInstances(t *testing.T) {
+	cfg := Config{Bits: 32, Bands: 8, Dim: 8, Seed: 99}
+	a, _ := New(cfg)
+	b, _ := New(cfg)
+	s := []float64{1, 4, 2, 8, 5, 7, 3, 6}
+	sa, _ := a.Signature(s)
+	sb, _ := b.Signature(s)
+	for i := range sa {
+		if sa[i] != sb[i] {
+			t.Fatal("same seed produced different signatures")
+		}
+	}
+}

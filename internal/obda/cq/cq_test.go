@@ -1,0 +1,225 @@
+package cq
+
+import (
+	"testing"
+
+	"repro/internal/rdf"
+)
+
+func TestArgAndAtomBasics(t *testing.T) {
+	x := V("x")
+	c := C(rdf.NewIRI("http://e/t1"))
+	if x.String() != "?x" {
+		t.Error("var string")
+	}
+	if !x.Equal(V("x")) || x.Equal(V("y")) || x.Equal(c) {
+		t.Error("arg equality")
+	}
+	a := ClassAtom("Turbine", x)
+	if !a.IsClass() || a.String() != "Turbine(?x)" {
+		t.Errorf("class atom = %s", a)
+	}
+	p := PropAtom("inAssembly", x, V("y"))
+	if p.IsClass() || p.String() != "inAssembly(?x,?y)" {
+		t.Errorf("prop atom = %s", p)
+	}
+}
+
+func TestCQValidate(t *testing.T) {
+	q := New([]string{"x"}, ClassAtom("A", V("x")))
+	if err := q.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []CQ{
+		New([]string{"x"}),                                // empty body
+		New([]string{"z"}, ClassAtom("A", V("x"))),        // head not in body
+		{Head: nil, Body: []Atom{{Pred: "A", Args: nil}}}, // arity 0
+		{Head: nil, Body: []Atom{{Pred: "", Args: []Arg{V("x")}}}},
+	}
+	for i, b := range bad {
+		if err := b.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestUnboundDetection(t *testing.T) {
+	// q(x) :- P(x,y), A(x): y occurs once and is not in head -> unbound.
+	q := New([]string{"x"}, PropAtom("P", V("x"), V("y")), ClassAtom("A", V("x")))
+	if !q.Unbound(0, 1) {
+		t.Error("y should be unbound")
+	}
+	if q.Unbound(0, 0) {
+		t.Error("x is head var, should be bound")
+	}
+	// y in head -> bound.
+	q2 := New([]string{"y"}, PropAtom("P", V("x"), V("y")))
+	if q2.Unbound(0, 1) {
+		t.Error("head var y should be bound")
+	}
+	// y occurs twice -> bound.
+	q3 := New([]string{"x"}, PropAtom("P", V("x"), V("y")), PropAtom("Q", V("y"), V("z")))
+	if q3.Unbound(0, 1) {
+		t.Error("shared var y should be bound")
+	}
+	// Constants are bound.
+	q4 := New(nil, PropAtom("P", C(rdf.NewIRI("c")), V("y")))
+	if q4.Unbound(0, 0) {
+		t.Error("constant should be bound")
+	}
+}
+
+func TestMGU(t *testing.T) {
+	a := PropAtom("P", V("x"), V("y"))
+	b := PropAtom("P", V("x"), C(rdf.NewIRI("c")))
+	s, ok := MGU(a, b)
+	if !ok {
+		t.Fatal("unification failed")
+	}
+	if got := s.Apply(V("y")); got.IsVar || got.Const.Value != "c" {
+		t.Errorf("y -> %v", got)
+	}
+	// Mismatched predicates and constants fail.
+	if _, ok := MGU(a, PropAtom("Q", V("x"), V("y"))); ok {
+		t.Error("different predicates unified")
+	}
+	c1 := PropAtom("P", C(rdf.NewIRI("a")), V("x"))
+	c2 := PropAtom("P", C(rdf.NewIRI("b")), V("x"))
+	if _, ok := MGU(c1, c2); ok {
+		t.Error("distinct constants unified")
+	}
+	// Chained renaming: P(x,y) ~ P(y,c).
+	s2, ok := MGU(PropAtom("P", V("x"), V("y")), PropAtom("P", V("y"), C(rdf.NewIRI("c"))))
+	if !ok {
+		t.Fatal("chain unification failed")
+	}
+	if got := s2.Apply(V("x")); got.IsVar || got.Const.Value != "c" {
+		t.Errorf("x resolves to %v, want c", got)
+	}
+}
+
+func TestReduce(t *testing.T) {
+	// q(x) :- P(x,y), P(x,c)  reduces to  q(x) :- P(x,c).
+	q := New([]string{"x"},
+		PropAtom("P", V("x"), V("y")),
+		PropAtom("P", V("x"), C(rdf.NewIRI("c"))))
+	r, ok := Reduce(q, 0, 1)
+	if !ok {
+		t.Fatal("reduce failed")
+	}
+	if len(r.Body) != 1 {
+		t.Fatalf("reduced body = %v", r.Body)
+	}
+	if r.Body[0].Args[1].IsVar {
+		t.Errorf("object should be constant: %v", r.Body[0])
+	}
+}
+
+func TestCanonicalIsomorphism(t *testing.T) {
+	q1 := New([]string{"x"}, ClassAtom("A", V("x")), PropAtom("P", V("x"), V("y")))
+	q2 := New([]string{"x"}, PropAtom("P", V("x"), V("z")), ClassAtom("A", V("x")))
+	if q1.Canonical() != q2.Canonical() {
+		t.Errorf("isomorphic queries canonicalise differently:\n%s\n%s",
+			q1.Canonical(), q2.Canonical())
+	}
+	q3 := New([]string{"x"}, ClassAtom("B", V("x")))
+	if q1.Canonical() == q3.Canonical() {
+		t.Error("distinct queries share canonical form")
+	}
+}
+
+func TestContainment(t *testing.T) {
+	// q1(x) :- A(x), P(x,y)   is contained in   q2(x) :- P(x,y').
+	q1 := New([]string{"x"}, ClassAtom("A", V("x")), PropAtom("P", V("x"), V("y")))
+	q2 := New([]string{"x"}, PropAtom("P", V("x"), V("w")))
+	if !ContainedIn(q1, q2) {
+		t.Error("q1 should be contained in q2")
+	}
+	if ContainedIn(q2, q1) {
+		t.Error("q2 should not be contained in q1")
+	}
+	// Constants: q(x) :- P(x,c) contained in q(x) :- P(x,y).
+	qc := New([]string{"x"}, PropAtom("P", V("x"), C(rdf.NewIRI("c"))))
+	if !ContainedIn(qc, q2) {
+		t.Error("constant query containment")
+	}
+	if ContainedIn(q2, qc) {
+		t.Error("general query contained in constant query")
+	}
+}
+
+func TestContainmentHeadSensitive(t *testing.T) {
+	// Same body, different head arity: no containment.
+	q1 := New([]string{"x"}, PropAtom("P", V("x"), V("y")))
+	q2 := New([]string{"x", "y"}, PropAtom("P", V("x"), V("y")))
+	if ContainedIn(q1, q2) || ContainedIn(q2, q1) {
+		t.Error("containment across different head arities")
+	}
+}
+
+func TestUCQMinimize(t *testing.T) {
+	a := New([]string{"x"}, ClassAtom("GasTurbine", V("x")))
+	aDup := New([]string{"x"}, ClassAtom("GasTurbine", V("x")))
+	general := New([]string{"x"}, ClassAtom("Turbine", V("x")))
+	specific := New([]string{"x"}, ClassAtom("Turbine", V("x")), PropAtom("hasPart", V("x"), V("p")))
+
+	u := UCQ{a, aDup, general, specific}.Minimize()
+	if len(u) != 2 {
+		t.Fatalf("minimized = %v", u)
+	}
+	// 'specific' ⊆ 'general' so it must be gone; duplicate 'a' gone.
+	for _, q := range u {
+		if len(q.Body) == 2 {
+			t.Errorf("subsumed query survived: %v", q)
+		}
+	}
+}
+
+func TestUCQMinimizeMutualContainment(t *testing.T) {
+	// Isomorphic queries with different var names: keep exactly one.
+	q1 := New([]string{"x"}, PropAtom("P", V("x"), V("y")))
+	q2 := New([]string{"x"}, PropAtom("P", V("x"), V("z")))
+	u := UCQ{q1, q2}.Minimize()
+	if len(u) != 1 {
+		t.Fatalf("minimized = %v", u)
+	}
+}
+
+func TestSubstitutionApplyCQKeepsHead(t *testing.T) {
+	q := New([]string{"x"}, PropAtom("P", V("x"), V("y")))
+	s := Substitution{"y": C(rdf.NewIRI("c"))}
+	r := s.ApplyCQ(q)
+	if len(r.Head) != 1 || r.Head[0] != "x" {
+		t.Errorf("head = %v", r.Head)
+	}
+	if r.Body[0].Args[1].IsVar {
+		t.Errorf("substitution not applied: %v", r.Body[0])
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	q := New([]string{"x"}, PropAtom("P", V("x"), V("y")))
+	c := q.Clone()
+	c.Body[0].Args[1] = C(rdf.NewIRI("z"))
+	c.Head[0] = "w"
+	if !q.Body[0].Args[1].IsVar || q.Head[0] != "x" {
+		t.Error("clone shares storage")
+	}
+}
+
+func TestContainmentRepeatedHeadVars(t *testing.T) {
+	// q(x,x) answers pairs with equal components; q(x,y) answers
+	// arbitrary pairs. q(x,x) ⊆ q(x,y) but NOT vice versa — the reduce
+	// step of PerfectRef produces such repeated-head queries, and a
+	// containment check that ignored the repetition dropped sound
+	// disjuncts (regression for the bug found by
+	// TestPerfectRefMatchesSaturation trial 37).
+	eq := CQ{Head: []string{"x", "x"}, Body: []Atom{PropAtom("p", V("x"), V("x"))}}
+	free := New([]string{"x", "y"}, PropAtom("p", V("x"), V("y")))
+	if !ContainedIn(eq, free) {
+		t.Error("q(x,x) should be contained in q(x,y)")
+	}
+	if ContainedIn(free, eq) {
+		t.Error("q(x,y) must not be contained in q(x,x)")
+	}
+}

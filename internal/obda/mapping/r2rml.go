@@ -1,0 +1,118 @@
+package mapping
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/rdf"
+	"repro/internal/sql"
+)
+
+// R2RML export (BootOX "allows to extract W3C standardised OWL 2
+// ontologies and R2RML mappings"): serialise a mapping set as an R2RML
+// mapping graph. Templates translate directly ({col} both languages'
+// placeholder form, theirs spelled {"col"} — we emit the standard
+// {col}); sources with filters become R2RML views (rr:sqlQuery), plain
+// sources become rr:tableName.
+
+// R2RML vocabulary IRIs.
+const (
+	rrNS           = "http://www.w3.org/ns/r2rml#"
+	rrTriplesMap   = rrNS + "TriplesMap"
+	rrLogicalTable = rrNS + "logicalTable"
+	rrTableName    = rrNS + "tableName"
+	rrSQLQuery     = rrNS + "sqlQuery"
+	rrSubjectMap   = rrNS + "subjectMap"
+	rrTemplate     = rrNS + "template"
+	rrClass        = rrNS + "class"
+	rrPredObjMap   = rrNS + "predicateObjectMap"
+	rrPredicate    = rrNS + "predicate"
+	rrObjectMap    = rrNS + "objectMap"
+	rrColumn       = rrNS + "column"
+)
+
+// ToR2RML converts the set to an RDF graph in the R2RML vocabulary.
+// Mappings are grouped into one TriplesMap per (source, subject
+// template): that is the natural R2RML granularity (one subject map,
+// many predicate-object maps).
+func (s *Set) ToR2RML(baseIRI string) *rdf.Graph {
+	g := rdf.NewGraph()
+	type groupKey struct {
+		source  string
+		where   string
+		subject string
+	}
+	groups := map[groupKey][]Mapping{}
+	var keys []groupKey
+	for _, m := range s.All() {
+		k := groupKey{m.Source.Table, exprString(m.Source.Where), m.Subject.String()}
+		if _, ok := groups[k]; !ok {
+			keys = append(keys, k)
+		}
+		groups[k] = append(groups[k], m)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].source != keys[j].source {
+			return keys[i].source < keys[j].source
+		}
+		if keys[i].subject != keys[j].subject {
+			return keys[i].subject < keys[j].subject
+		}
+		return keys[i].where < keys[j].where
+	})
+
+	typeIRI := rdf.NewIRI(rdf.RDFType)
+	for i, k := range keys {
+		ms := groups[k]
+		tm := rdf.NewIRI(fmt.Sprintf("%smap/%d", baseIRI, i+1))
+		g.Add(rdf.NewTriple(tm, typeIRI, rdf.NewIRI(rrTriplesMap)))
+
+		lt := rdf.NewBlank(fmt.Sprintf("lt%d", i+1))
+		g.Add(rdf.NewTriple(tm, rdf.NewIRI(rrLogicalTable), lt))
+		if k.where == "" {
+			g.Add(rdf.NewTriple(lt, rdf.NewIRI(rrTableName), rdf.NewLiteral(k.source)))
+		} else {
+			q := fmt.Sprintf("SELECT * FROM %s WHERE %s", k.source, k.where)
+			g.Add(rdf.NewTriple(lt, rdf.NewIRI(rrSQLQuery), rdf.NewLiteral(q)))
+		}
+
+		sm := rdf.NewBlank(fmt.Sprintf("sm%d", i+1))
+		g.Add(rdf.NewTriple(tm, rdf.NewIRI(rrSubjectMap), sm))
+		g.Add(rdf.NewTriple(sm, rdf.NewIRI(rrTemplate), rdf.NewLiteral(k.subject)))
+
+		pomIdx := 0
+		for _, m := range ms {
+			if m.IsClass {
+				g.Add(rdf.NewTriple(sm, rdf.NewIRI(rrClass), rdf.NewIRI(m.Pred)))
+				continue
+			}
+			pomIdx++
+			pom := rdf.NewBlank(fmt.Sprintf("pom%d_%d", i+1, pomIdx))
+			g.Add(rdf.NewTriple(tm, rdf.NewIRI(rrPredObjMap), pom))
+			g.Add(rdf.NewTriple(pom, rdf.NewIRI(rrPredicate), rdf.NewIRI(m.Pred)))
+			om := rdf.NewBlank(fmt.Sprintf("om%d_%d", i+1, pomIdx))
+			g.Add(rdf.NewTriple(pom, rdf.NewIRI(rrObjectMap), om))
+			if m.ObjectIsData && m.Object.IsRawColumn() {
+				g.Add(rdf.NewTriple(om, rdf.NewIRI(rrColumn), rdf.NewLiteral(m.Object.Columns[0])))
+			} else {
+				g.Add(rdf.NewTriple(om, rdf.NewIRI(rrTemplate), rdf.NewLiteral(m.Object.String())))
+			}
+		}
+	}
+	return g
+}
+
+// R2RMLTurtle serialises the set as Turtle text with the rr: prefix.
+func (s *Set) R2RMLTurtle(baseIRI string) string {
+	g := s.ToR2RML(baseIRI)
+	pm := rdf.StandardPrefixes()
+	pm["rr"] = rrNS
+	return rdf.WriteTurtle(g.Triples(), pm)
+}
+
+func exprString(e sql.Expr) string {
+	if e == nil {
+		return ""
+	}
+	return e.String()
+}

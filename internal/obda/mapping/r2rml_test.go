@@ -1,0 +1,82 @@
+package mapping
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/rdf"
+	"repro/internal/relation"
+	"repro/internal/sql"
+)
+
+func TestR2RMLExport(t *testing.T) {
+	set := siemensMappings(t)
+	g := set.ToR2RML("http://siemens.com/mappings/")
+
+	rrType := rdf.NewIRI(rdf.RDFType)
+	maps := g.Subjects(rrType, rdf.NewIRI(rrTriplesMap))
+	// Grouping by (source, subject template): turbines_a, turbines_b,
+	// sensors, and the msmt stream = 4 triples maps (the model mapping
+	// shares turbines_a's subject; inAssembly shares the sensors one).
+	if len(maps) != 4 {
+		t.Fatalf("TriplesMaps = %d: %v", len(maps), maps)
+	}
+	// Every triples map has a logical table and a subject map.
+	for _, tm := range maps {
+		if len(g.Objects(tm, rdf.NewIRI(rrLogicalTable))) != 1 {
+			t.Errorf("%v lacks a logical table", tm)
+		}
+		if len(g.Objects(tm, rdf.NewIRI(rrSubjectMap))) != 1 {
+			t.Errorf("%v lacks a subject map", tm)
+		}
+	}
+	// The Turbine class appears as rr:class on some subject map.
+	classTriples := g.Match(rdf.Wildcard, rdf.NewIRI(rrClass), rdf.NewIRI("Turbine"))
+	if len(classTriples) != 2 { // turbines_a and turbines_b
+		t.Errorf("rr:class Turbine triples = %d", len(classTriples))
+	}
+	// Data property objects use rr:column.
+	cols := g.Match(rdf.Wildcard, rdf.NewIRI(rrColumn), rdf.Wildcard)
+	if len(cols) == 0 {
+		t.Error("no rr:column object maps")
+	}
+}
+
+func TestR2RMLTurtleRoundTrips(t *testing.T) {
+	set := siemensMappings(t)
+	ttl := set.R2RMLTurtle("http://siemens.com/mappings/")
+	if !strings.Contains(ttl, "@prefix rr:") {
+		t.Errorf("missing rr prefix:\n%s", ttl)
+	}
+	ts, _, err := rdf.ParseTurtle(ttl)
+	if err != nil {
+		t.Fatalf("exported Turtle does not reparse: %v", err)
+	}
+	g := rdf.NewGraph()
+	g.AddAll(ts)
+	if g.Len() != set.ToR2RML("http://siemens.com/mappings/").Len() {
+		t.Errorf("round trip changed triple count")
+	}
+}
+
+func TestR2RMLViewForFilteredSource(t *testing.T) {
+	set := MustNewSet(Mapping{
+		Pred: "Hot", IsClass: true,
+		Subject: MustParseTemplate("http://e/s/{sid}"),
+		Source: SourceRef{Table: "sensors",
+			Where: mustWhere(t)},
+	})
+	g := set.ToR2RML("http://e/maps/")
+	views := g.Match(rdf.Wildcard, rdf.NewIRI(rrSQLQuery), rdf.Wildcard)
+	if len(views) != 1 {
+		t.Fatalf("rr:sqlQuery views = %d", len(views))
+	}
+	if !strings.Contains(views[0].O.Value, "SELECT * FROM sensors WHERE") {
+		t.Errorf("view SQL = %q", views[0].O.Value)
+	}
+}
+
+func mustWhere(t *testing.T) sql.Expr {
+	t.Helper()
+	return sql.Bin(">", sql.Col("temp"), sql.Lit(relation.Int(90)))
+}

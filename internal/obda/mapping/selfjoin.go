@@ -1,0 +1,178 @@
+package mapping
+
+import (
+	"strings"
+
+	"repro/internal/sql"
+)
+
+// eliminateSelfJoins removes redundant self-joins from an unfolded
+// statement: when two FROM aliases scan the same source and the WHERE
+// clause equates all of the source's declared key columns between them,
+// the second alias is merged into the first (the join can only pair each
+// row with itself). This is the paper's "redundant joins" optimisation
+// for automatically generated queries.
+//
+// It returns the number of aliases removed. The statement is modified in
+// place: FROM items are dropped, column references rewritten, and
+// trivially-true equalities (m0.k = m0.k) pruned.
+func eliminateSelfJoins(stmt *sql.SelectStmt, combo []Mapping, aliases []string) int {
+	removed := 0
+	for {
+		merged := false
+		for i := 0; i < len(stmt.From) && !merged; i++ {
+			for j := i + 1; j < len(stmt.From) && !merged; j++ {
+				if combo[i].Source.Table != combo[j].Source.Table ||
+					combo[i].Source.IsStream != combo[j].Source.IsStream {
+					continue
+				}
+				key := combo[i].KeyColumns
+				if len(key) == 0 || !equalStrings(key, combo[j].KeyColumns) {
+					continue
+				}
+				if !keysEquated(stmt.Where, aliases[i], aliases[j], key) {
+					continue
+				}
+				// Merge alias j into alias i.
+				renameAliasInStmt(stmt, aliases[j], aliases[i])
+				stmt.From = append(stmt.From[:j], stmt.From[j+1:]...)
+				combo = append(combo[:j:j], combo[j+1:]...)
+				aliases = append(aliases[:j:j], aliases[j+1:]...)
+				stmt.Where = pruneTrivialEqualities(stmt.Where)
+				removed++
+				merged = true
+			}
+		}
+		if !merged {
+			return removed
+		}
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !strings.EqualFold(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func conjunctsOf(e sql.Expr) []sql.Expr {
+	if e == nil {
+		return nil
+	}
+	if be, ok := e.(*sql.BinaryExpr); ok && be.Op == "AND" {
+		return append(conjunctsOf(be.Left), conjunctsOf(be.Right)...)
+	}
+	return []sql.Expr{e}
+}
+
+// keysEquated reports whether the predicate contains aliasA.k = aliasB.k
+// (either orientation) for every key column k.
+func keysEquated(where sql.Expr, aliasA, aliasB string, key []string) bool {
+	conj := conjunctsOf(where)
+	for _, k := range key {
+		found := false
+		for _, c := range conj {
+			be, ok := c.(*sql.BinaryExpr)
+			if !ok || be.Op != "=" {
+				continue
+			}
+			l, lok := be.Left.(*sql.ColumnRef)
+			r, rok := be.Right.(*sql.ColumnRef)
+			if !lok || !rok {
+				continue
+			}
+			if !strings.EqualFold(l.Name, k) || !strings.EqualFold(r.Name, k) {
+				continue
+			}
+			if (strings.EqualFold(l.Table, aliasA) && strings.EqualFold(r.Table, aliasB)) ||
+				(strings.EqualFold(l.Table, aliasB) && strings.EqualFold(r.Table, aliasA)) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// renameAliasInStmt rewrites every column reference using alias 'from' to
+// use alias 'to' in the statement's items and WHERE clause.
+func renameAliasInStmt(stmt *sql.SelectStmt, from, to string) {
+	for i := range stmt.Items {
+		stmt.Items[i].Expr = renameAlias(stmt.Items[i].Expr, from, to)
+	}
+	stmt.Where = renameAlias(stmt.Where, from, to)
+}
+
+func renameAlias(e sql.Expr, from, to string) sql.Expr {
+	switch x := e.(type) {
+	case nil:
+		return nil
+	case *sql.ColumnRef:
+		if strings.EqualFold(x.Table, from) {
+			return &sql.ColumnRef{Table: to, Name: x.Name}
+		}
+		return x
+	case *sql.BinaryExpr:
+		return sql.Bin(x.Op, renameAlias(x.Left, from, to), renameAlias(x.Right, from, to))
+	case *sql.UnaryExpr:
+		return &sql.UnaryExpr{Op: x.Op, Expr: renameAlias(x.Expr, from, to)}
+	case *sql.IsNullExpr:
+		return &sql.IsNullExpr{Expr: renameAlias(x.Expr, from, to), Negate: x.Negate}
+	case *sql.FuncExpr:
+		args := make([]sql.Expr, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = renameAlias(a, from, to)
+		}
+		return &sql.FuncExpr{Name: x.Name, Args: args, Star: x.Star, Distinct: x.Distinct}
+	case *sql.InExpr:
+		out := &sql.InExpr{Expr: renameAlias(x.Expr, from, to), Negate: x.Negate}
+		for _, i := range x.List {
+			out.List = append(out.List, renameAlias(i, from, to))
+		}
+		return out
+	case *sql.CaseExpr:
+		out := &sql.CaseExpr{Else: renameAlias(x.Else, from, to)}
+		for _, w := range x.Whens {
+			out.Whens = append(out.Whens, sql.CaseWhen{
+				Cond: renameAlias(w.Cond, from, to),
+				Then: renameAlias(w.Then, from, to),
+			})
+		}
+		return out
+	default:
+		return e
+	}
+}
+
+// pruneTrivialEqualities drops conjuncts of the form x = x (same alias
+// and column on both sides) and duplicate conjuncts.
+func pruneTrivialEqualities(where sql.Expr) sql.Expr {
+	conj := conjunctsOf(where)
+	seen := map[string]bool{}
+	var kept []sql.Expr
+	for _, c := range conj {
+		if be, ok := c.(*sql.BinaryExpr); ok && be.Op == "=" {
+			l, lok := be.Left.(*sql.ColumnRef)
+			r, rok := be.Right.(*sql.ColumnRef)
+			if lok && rok && strings.EqualFold(l.Table, r.Table) && strings.EqualFold(l.Name, r.Name) {
+				continue
+			}
+		}
+		key := c.String()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		kept = append(kept, c)
+	}
+	return sql.AndAll(kept...)
+}

@@ -1,0 +1,166 @@
+// Package mapping implements the OBSSDI mapping layer (challenge C2):
+// global-as-view mappings in the paper's form
+//
+//	Turbine(f(~x)) <- EXISTS ~y SQL(~x, ~y)
+//
+// where f is an IRI template over the SQL output columns, plus the
+// unfolding stage that translates an enriched UCQ into a fleet of SQL(+)
+// queries, including the redundant-join (self-join) elimination that
+// makes unfolded fleets executable.
+package mapping
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Template is the function symbol f(~x) of a mapping: an IRI (or value)
+// template with literal segments and column placeholders, e.g.
+// "http://siemens.com/turbine/{tid}". A bare "{col}" template denotes the
+// raw column value (used for data property objects).
+type Template struct {
+	// Literals has len(Columns)+1 entries; the rendered value is
+	// Literals[0] + col0 + Literals[1] + col1 + ... + Literals[n].
+	Literals []string
+	Columns  []string
+}
+
+// ParseTemplate parses "lit{col}lit{col}..." syntax.
+func ParseTemplate(s string) (Template, error) {
+	var t Template
+	rest := s
+	lit := strings.Builder{}
+	for {
+		open := strings.IndexByte(rest, '{')
+		if open < 0 {
+			lit.WriteString(rest)
+			break
+		}
+		closeIdx := strings.IndexByte(rest[open:], '}')
+		if closeIdx < 0 {
+			return Template{}, fmt.Errorf("mapping: unterminated '{' in template %q", s)
+		}
+		col := rest[open+1 : open+closeIdx]
+		if col == "" {
+			return Template{}, fmt.Errorf("mapping: empty column in template %q", s)
+		}
+		lit.WriteString(rest[:open])
+		t.Literals = append(t.Literals, lit.String())
+		lit.Reset()
+		t.Columns = append(t.Columns, col)
+		rest = rest[open+closeIdx+1:]
+	}
+	t.Literals = append(t.Literals, lit.String())
+	if len(t.Columns) == 0 {
+		return Template{}, fmt.Errorf("mapping: template %q has no columns", s)
+	}
+	return t, nil
+}
+
+// MustParseTemplate panics on error; for statically-known templates.
+func MustParseTemplate(s string) Template {
+	t, err := ParseTemplate(s)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// IsRawColumn reports whether the template is a bare "{col}" denoting a
+// raw value (data property object).
+func (t Template) IsRawColumn() bool {
+	return len(t.Columns) == 1 && t.Literals[0] == "" && t.Literals[1] == ""
+}
+
+// String renders the template back to its source syntax.
+func (t Template) String() string {
+	var sb strings.Builder
+	for i, c := range t.Columns {
+		sb.WriteString(t.Literals[i])
+		sb.WriteString("{" + c + "}")
+	}
+	sb.WriteString(t.Literals[len(t.Literals)-1])
+	return sb.String()
+}
+
+// Compatible reports whether two templates can produce equal values only
+// when their corresponding columns are equal: i.e. they share the literal
+// skeleton. Joining variables across incompatible templates yields the
+// empty result, so unfolding prunes such combinations.
+func (t Template) Compatible(u Template) bool {
+	if len(t.Columns) != len(u.Columns) || len(t.Literals) != len(u.Literals) {
+		return false
+	}
+	for i := range t.Literals {
+		if t.Literals[i] != u.Literals[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Invert matches a concrete value against the template and returns the
+// column segment values in order; ok is false when the value cannot be
+// produced by this template. Inversion is unambiguous when literal
+// separators are non-empty; with empty separators it takes the shortest
+// match, which suffices for the identifier schemes used here.
+func (t Template) Invert(value string) (segments []string, ok bool) {
+	rest := value
+	if !strings.HasPrefix(rest, t.Literals[0]) {
+		return nil, false
+	}
+	rest = rest[len(t.Literals[0]):]
+	for i := range t.Columns {
+		sep := t.Literals[i+1]
+		if i == len(t.Columns)-1 && sep == "" {
+			segments = append(segments, rest)
+			rest = ""
+			continue
+		}
+		var idx int
+		if sep == "" {
+			idx = 1 // shortest non-empty segment
+			if len(rest) == 0 {
+				return nil, false
+			}
+			segments = append(segments, rest[:idx])
+			rest = rest[idx:]
+			continue
+		}
+		idx = strings.Index(rest, sep)
+		if idx < 0 {
+			return nil, false
+		}
+		segments = append(segments, rest[:idx])
+		rest = rest[idx+len(sep):]
+	}
+	if len(t.Literals[len(t.Literals)-1]) > 0 {
+		// Final literal already consumed above via separator logic only
+		// when it acted as a separator; ensure nothing dangles.
+		if rest != "" {
+			return nil, false
+		}
+	} else if rest != "" {
+		return nil, false
+	}
+	for _, s := range segments {
+		if s == "" {
+			return nil, false
+		}
+	}
+	return segments, true
+}
+
+// Render substitutes concrete segment values into the template.
+func (t Template) Render(segments []string) (string, error) {
+	if len(segments) != len(t.Columns) {
+		return "", fmt.Errorf("mapping: template %s needs %d segments, got %d", t, len(t.Columns), len(segments))
+	}
+	var sb strings.Builder
+	for i, s := range segments {
+		sb.WriteString(t.Literals[i])
+		sb.WriteString(s)
+	}
+	sb.WriteString(t.Literals[len(t.Literals)-1])
+	return sb.String(), nil
+}

@@ -1,0 +1,267 @@
+package rewrite
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/obda/cq"
+	"repro/internal/ontology"
+)
+
+// contains reports whether the UCQ has a disjunct isomorphic to want.
+func contains(u cq.UCQ, want cq.CQ) bool {
+	key := want.Canonical()
+	for _, q := range u {
+		if q.Canonical() == key {
+			return true
+		}
+	}
+	return false
+}
+
+func TestSubclassRewriting(t *testing.T) {
+	tb := ontology.New()
+	tb.AddConceptInclusion(ontology.Named("GasTurbine"), ontology.Named("Turbine"))
+	tb.AddConceptInclusion(ontology.Named("SteamTurbine"), ontology.Named("Turbine"))
+
+	q := cq.New([]string{"x"}, cq.ClassAtom("Turbine", cq.V("x")))
+	u, stats, err := PerfectRef(q, tb, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(u) != 3 {
+		t.Fatalf("rewriting produced %d disjuncts: %v", len(u), u)
+	}
+	for _, c := range []string{"Turbine", "GasTurbine", "SteamTurbine"} {
+		if !contains(u, cq.New([]string{"x"}, cq.ClassAtom(c, cq.V("x")))) {
+			t.Errorf("missing disjunct for %s", c)
+		}
+	}
+	if stats.Generated < 3 || stats.Result != 3 {
+		t.Errorf("stats = %+v", stats)
+	}
+}
+
+func TestTransitiveSubclassRewriting(t *testing.T) {
+	tb := ontology.New()
+	tb.AddConceptInclusion(ontology.Named("A"), ontology.Named("B"))
+	tb.AddConceptInclusion(ontology.Named("B"), ontology.Named("C"))
+	q := cq.New([]string{"x"}, cq.ClassAtom("C", cq.V("x")))
+	u, _, err := PerfectRef(q, tb, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !contains(u, cq.New([]string{"x"}, cq.ClassAtom("A", cq.V("x")))) {
+		t.Errorf("transitive rewriting missing A: %v", u)
+	}
+}
+
+func TestDomainAxiomRewriting(t *testing.T) {
+	// ∃inAssembly ⊑ Sensor: query Sensor(x) also reaches inAssembly(x,_).
+	tb := ontology.New()
+	tb.AddDomain("inAssembly", ontology.Named("Sensor"))
+	q := cq.New([]string{"x"}, cq.ClassAtom("Sensor", cq.V("x")))
+	u, _, err := PerfectRef(q, tb, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := cq.New([]string{"x"}, cq.PropAtom("inAssembly", cq.V("x"), cq.V("f")))
+	if !contains(u, want) {
+		t.Errorf("domain rewriting missing: %v", u)
+	}
+}
+
+func TestRangeAxiomRewriting(t *testing.T) {
+	tb := ontology.New()
+	tb.AddRange("inAssembly", ontology.Named("Assembly"))
+	q := cq.New([]string{"x"}, cq.ClassAtom("Assembly", cq.V("x")))
+	u, _, err := PerfectRef(q, tb, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := cq.New([]string{"x"}, cq.PropAtom("inAssembly", cq.V("f"), cq.V("x")))
+	if !contains(u, want) {
+		t.Errorf("range rewriting missing: %v", u)
+	}
+}
+
+func TestExistentialAppliesOnlyWhenUnbound(t *testing.T) {
+	// Turbine ⊑ ∃hasPart. Query hasPart(x,y) with y in the head must NOT
+	// rewrite to Turbine(x); with y unbound it must.
+	tb := ontology.New()
+	tb.AddConceptInclusion(ontology.Named("Turbine"), ontology.Exists(ontology.NewRole("hasPart")))
+
+	bound := cq.New([]string{"x", "y"}, cq.PropAtom("hasPart", cq.V("x"), cq.V("y")))
+	u, _, err := PerfectRef(bound, tb, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if contains(u, cq.New([]string{"x", "y"}, cq.ClassAtom("Turbine", cq.V("x")))) {
+		t.Error("existential axiom applied to bound variable")
+	}
+	if len(u) != 1 {
+		t.Errorf("bound query should not rewrite: %v", u)
+	}
+
+	unbound := cq.New([]string{"x"}, cq.PropAtom("hasPart", cq.V("x"), cq.V("y")))
+	u2, _, err := PerfectRef(unbound, tb, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !contains(u2, cq.New([]string{"x"}, cq.ClassAtom("Turbine", cq.V("x")))) {
+		t.Errorf("existential axiom not applied: %v", u2)
+	}
+}
+
+func TestInverseExistentialRewriting(t *testing.T) {
+	// Assembly ⊑ ∃inAssembly⁻ : query inAssembly(x, y) with x unbound
+	// rewrites to Assembly(y).
+	tb := ontology.New()
+	tb.AddConceptInclusion(ontology.Named("Assembly"),
+		ontology.Exists(ontology.NewRole("inAssembly").Inv()))
+	q := cq.New([]string{"y"}, cq.PropAtom("inAssembly", cq.V("x"), cq.V("y")))
+	u, _, err := PerfectRef(q, tb, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !contains(u, cq.New([]string{"y"}, cq.ClassAtom("Assembly", cq.V("y")))) {
+		t.Errorf("inverse existential missing: %v", u)
+	}
+}
+
+func TestRoleInclusionRewriting(t *testing.T) {
+	tb := ontology.New()
+	tb.AddRoleInclusion(ontology.NewRole("feeds"), ontology.NewRole("connectedTo"))
+	q := cq.New([]string{"x", "y"}, cq.PropAtom("connectedTo", cq.V("x"), cq.V("y")))
+	u, _, err := PerfectRef(q, tb, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !contains(u, cq.New([]string{"x", "y"}, cq.PropAtom("feeds", cq.V("x"), cq.V("y")))) {
+		t.Errorf("role inclusion missing: %v", u)
+	}
+}
+
+func TestInversePropertyRewriting(t *testing.T) {
+	// hasPart ≡ partOf⁻: query hasPart(x,y) rewrites to partOf(y,x).
+	tb := ontology.New()
+	tb.AddInverse("hasPart", "partOf")
+	q := cq.New([]string{"x", "y"}, cq.PropAtom("hasPart", cq.V("x"), cq.V("y")))
+	u, _, err := PerfectRef(q, tb, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !contains(u, cq.New([]string{"x", "y"}, cq.PropAtom("partOf", cq.V("y"), cq.V("x")))) {
+		t.Errorf("inverse rewriting missing:\n%v", u)
+	}
+}
+
+func TestReduceEnablesExistential(t *testing.T) {
+	// Classic PerfectRef example: the reduce step merges two atoms making
+	// a variable unbound, which then enables an existential axiom.
+	// TBox: A ⊑ ∃P. Query: q(x) :- P(x,y), P(x,z).
+	// Reduce unifies the atoms -> q(x) :- P(x,y) with y unbound -> A(x).
+	tb := ontology.New()
+	tb.AddConceptInclusion(ontology.Named("A"), ontology.Exists(ontology.NewRole("P")))
+	q := cq.New([]string{"x"},
+		cq.PropAtom("P", cq.V("x"), cq.V("y")),
+		cq.PropAtom("P", cq.V("x"), cq.V("z")))
+	u, stats, err := PerfectRef(q, tb, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !contains(u, cq.New([]string{"x"}, cq.ClassAtom("A", cq.V("x")))) {
+		t.Errorf("reduce+existential rewriting missing:\n%v", u)
+	}
+	if stats.ReduceSteps == 0 {
+		t.Error("no reduce steps recorded")
+	}
+}
+
+func TestMultiAtomQueryRewriting(t *testing.T) {
+	// Figure 1 shape: q(a, s) :- Assembly(a), Sensor(s), inAssembly(a, s).
+	// With MonitoredAssembly ⊑ Assembly and TempSensor ⊑ Sensor the union
+	// must contain all 4 combinations.
+	tb := ontology.New()
+	tb.AddConceptInclusion(ontology.Named("MonitoredAssembly"), ontology.Named("Assembly"))
+	tb.AddConceptInclusion(ontology.Named("TempSensor"), ontology.Named("Sensor"))
+	q := cq.New([]string{"a", "s"},
+		cq.ClassAtom("Assembly", cq.V("a")),
+		cq.ClassAtom("Sensor", cq.V("s")),
+		cq.PropAtom("inAssembly", cq.V("a"), cq.V("s")))
+	u, _, err := PerfectRef(q, tb, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(u) != 4 {
+		t.Fatalf("expected 4 disjuncts, got %d:\n%v", len(u), u)
+	}
+}
+
+func TestMinimizePrunesSubsumed(t *testing.T) {
+	// A ⊑ B and query q(x) :- B(x), A(x): rewriting generates
+	// q(x) :- A(x) (after applying axiom to B and reducing), which
+	// subsumes the original two-atom disjunct... and in the minimised
+	// output no disjunct strictly contains another.
+	tb := ontology.New()
+	tb.AddConceptInclusion(ontology.Named("A"), ontology.Named("B"))
+	q := cq.New([]string{"x"}, cq.ClassAtom("B", cq.V("x")), cq.ClassAtom("A", cq.V("x")))
+	u, _, err := PerfectRef(q, tb, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, qi := range u {
+		for j, qj := range u {
+			if i != j && cq.ContainedIn(qi, qj) && !cq.ContainedIn(qj, qi) {
+				t.Errorf("disjunct %v subsumed by %v survived minimisation", qi, qj)
+			}
+		}
+	}
+}
+
+func TestMaxQueriesCap(t *testing.T) {
+	tb := ontology.New()
+	// 20 subclasses of C explode the union past the cap.
+	for i := 0; i < 20; i++ {
+		tb.AddConceptInclusion(ontology.Named(fmt.Sprintf("S%d", i)), ontology.Named("C"))
+	}
+	q := cq.New([]string{"x"}, cq.ClassAtom("C", cq.V("x")))
+	if _, _, err := PerfectRef(q, tb, Options{MaxQueries: 5}); err == nil {
+		t.Error("cap not enforced")
+	}
+}
+
+func TestInvalidQueryRejected(t *testing.T) {
+	tb := ontology.New()
+	if _, _, err := PerfectRef(cq.New([]string{"x"}), tb, Options{}); err == nil {
+		t.Error("invalid query accepted")
+	}
+}
+
+func TestRewritingPolynomialGrowth(t *testing.T) {
+	// A chain hierarchy of depth n yields n+1 disjuncts, not 2^n.
+	for _, n := range []int{4, 8, 16} {
+		tb := ontology.New()
+		for i := 0; i < n; i++ {
+			tb.AddConceptInclusion(
+				ontology.Named(fmt.Sprintf("L%d", i+1)),
+				ontology.Named(fmt.Sprintf("L%d", i)))
+		}
+		q := cq.New([]string{"x"}, cq.ClassAtom("L0", cq.V("x")))
+		u, _, err := PerfectRef(q, tb, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(u) != n+1 {
+			t.Errorf("depth %d: %d disjuncts, want %d", n, len(u), n+1)
+		}
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	s := Stats{Generated: 5, Result: 3}
+	if !strings.Contains(fmt.Sprintf("%+v", s), "Generated:5") {
+		t.Skip("formatting detail")
+	}
+}

@@ -1,0 +1,305 @@
+package rewrite
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/obda/cq"
+	"repro/internal/ontology"
+)
+
+// Property test for the correctness of PerfectRef: for TBoxes without
+// existential heads (subclass, subproperty, inverse, domain, range —
+// i.e. every axiom that derives *named* facts over *named* individuals),
+// the certain answers equal the answers of the original query over the
+// forward-chained saturation of the data. PerfectRef must therefore
+// satisfy, for every such TBox T, dataset D, and query q:
+//
+//	eval(PerfectRef(q, T), D) == eval(q, saturate(D, T))
+//
+// Randomised over 200 (TBox, dataset, query) triples.
+
+// fact is one ground atom.
+type fact struct {
+	pred string
+	args [2]string // args[1] == "" for class facts
+}
+
+func (f fact) class() bool { return f.args[1] == "" }
+
+// saturate forward-chains the named-head axioms to a fixpoint.
+func saturate(facts map[fact]bool, t *ontology.TBox) map[fact]bool {
+	out := map[fact]bool{}
+	for f := range facts {
+		out[f] = true
+	}
+	for changed := true; changed; {
+		changed = false
+		add := func(f fact) {
+			if !out[f] {
+				out[f] = true
+				changed = true
+			}
+		}
+		for f := range out {
+			if f.class() {
+				// A ⊑ B over named concepts.
+				for _, ci := range t.ConceptInclusions() {
+					if ci.Sub.Kind == ontology.NamedConcept && ci.Sub.IRI == f.pred &&
+						ci.Sup.Kind == ontology.NamedConcept {
+						add(fact{pred: ci.Sup.IRI, args: [2]string{f.args[0], ""}})
+					}
+				}
+				continue
+			}
+			// Role inclusions (with polarity).
+			for _, ri := range t.RoleInclusions() {
+				if ri.Sub.IRI != f.pred {
+					continue
+				}
+				x, y := f.args[0], f.args[1]
+				if ri.Sub.Inverse {
+					x, y = y, x
+				}
+				if ri.Sup.Inverse {
+					x, y = y, x
+				}
+				add(fact{pred: ri.Sup.IRI, args: [2]string{x, y}})
+			}
+			// Domain/range: ∃P ⊑ C and ∃P⁻ ⊑ C with named C.
+			for _, ci := range t.ConceptInclusions() {
+				if ci.Sub.Kind != ontology.ExistsConcept || ci.Sup.Kind != ontology.NamedConcept {
+					continue
+				}
+				if ci.Sub.Role.IRI != f.pred {
+					continue
+				}
+				ind := f.args[0]
+				if ci.Sub.Role.Inverse {
+					ind = f.args[1]
+				}
+				add(fact{pred: ci.Sup.IRI, args: [2]string{ind, ""}})
+			}
+		}
+	}
+	return out
+}
+
+// evalCQ enumerates the answers of a CQ over ground facts by backtracking.
+func evalCQ(q cq.CQ, facts map[fact]bool) map[string]bool {
+	var factList []fact
+	for f := range facts {
+		factList = append(factList, f)
+	}
+	answers := map[string]bool{}
+	var rec func(i int, binding map[string]string)
+	rec = func(i int, binding map[string]string) {
+		if i == len(q.Body) {
+			parts := make([]string, len(q.Head))
+			for j, h := range q.Head {
+				parts[j] = binding[h]
+			}
+			answers[strings.Join(parts, "|")] = true
+			return
+		}
+		atom := q.Body[i]
+		for _, f := range factList {
+			if f.pred != atom.Pred || f.class() != atom.IsClass() {
+				continue
+			}
+			ext := map[string]string{}
+			for k, v := range binding {
+				ext[k] = v
+			}
+			ok := true
+			for p, arg := range atom.Args {
+				want := f.args[p]
+				if !arg.IsVar {
+					if arg.Const.Value != want {
+						ok = false
+					}
+					continue
+				}
+				if cur, bound := ext[arg.Var]; bound {
+					if cur != want {
+						ok = false
+					}
+					continue
+				}
+				ext[arg.Var] = want
+			}
+			if ok {
+				rec(i+1, ext)
+			}
+		}
+	}
+	rec(0, map[string]string{})
+	return answers
+}
+
+func evalUCQ(u cq.UCQ, facts map[fact]bool) map[string]bool {
+	out := map[string]bool{}
+	for _, q := range u {
+		for a := range evalCQ(q, facts) {
+			out[a] = true
+		}
+	}
+	return out
+}
+
+// randomTBox builds a TBox over small vocabularies with named-head
+// axioms only.
+func randomTBox(rng *rand.Rand, classes, props []string) *ontology.TBox {
+	t := ontology.New()
+	nAxioms := 3 + rng.Intn(6)
+	for i := 0; i < nAxioms; i++ {
+		switch rng.Intn(4) {
+		case 0: // subclass
+			t.AddConceptInclusion(
+				ontology.Named(classes[rng.Intn(len(classes))]),
+				ontology.Named(classes[rng.Intn(len(classes))]))
+		case 1: // subproperty, random polarity
+			sub := ontology.NewRole(props[rng.Intn(len(props))])
+			sup := ontology.NewRole(props[rng.Intn(len(props))])
+			if rng.Intn(2) == 0 {
+				sub = sub.Inv()
+			}
+			if rng.Intn(2) == 0 {
+				sup = sup.Inv()
+			}
+			t.AddRoleInclusion(sub, sup)
+		case 2: // domain
+			t.AddDomain(props[rng.Intn(len(props))], ontology.Named(classes[rng.Intn(len(classes))]))
+		case 3: // range
+			t.AddRange(props[rng.Intn(len(props))], ontology.Named(classes[rng.Intn(len(classes))]))
+		}
+	}
+	return t
+}
+
+func randomFacts(rng *rand.Rand, classes, props, inds []string) map[fact]bool {
+	facts := map[fact]bool{}
+	n := 4 + rng.Intn(10)
+	for i := 0; i < n; i++ {
+		if rng.Intn(2) == 0 {
+			facts[fact{pred: classes[rng.Intn(len(classes))],
+				args: [2]string{inds[rng.Intn(len(inds))], ""}}] = true
+		} else {
+			facts[fact{pred: props[rng.Intn(len(props))],
+				args: [2]string{inds[rng.Intn(len(inds))], inds[rng.Intn(len(inds))]}}] = true
+		}
+	}
+	return facts
+}
+
+// randomQuery builds a connected 1–3 atom CQ.
+func randomQuery(rng *rand.Rand, classes, props []string) cq.CQ {
+	vars := []string{"x", "y", "z"}
+	nAtoms := 1 + rng.Intn(3)
+	var body []cq.Atom
+	for i := 0; i < nAtoms; i++ {
+		if rng.Intn(2) == 0 {
+			body = append(body, cq.ClassAtom(classes[rng.Intn(len(classes))],
+				cq.V(vars[rng.Intn(2)])))
+		} else {
+			body = append(body, cq.PropAtom(props[rng.Intn(len(props))],
+				cq.V(vars[rng.Intn(2)]), cq.V(vars[rng.Intn(3)])))
+		}
+	}
+	// Head: the variables that occur, possibly a subset (projection).
+	occurring := map[string]bool{}
+	for _, a := range body {
+		for _, arg := range a.Args {
+			occurring[arg.Var] = true
+		}
+	}
+	var head []string
+	for _, v := range vars {
+		if occurring[v] && rng.Intn(3) > 0 {
+			head = append(head, v)
+		}
+	}
+	if len(head) == 0 {
+		for _, v := range vars {
+			if occurring[v] {
+				head = append(head, v)
+				break
+			}
+		}
+	}
+	return cq.New(head, body...)
+}
+
+func TestPerfectRefMatchesSaturation(t *testing.T) {
+	classes := []string{"A", "B", "C"}
+	props := []string{"p", "q"}
+	inds := []string{"i1", "i2", "i3", "i4"}
+	rng := rand.New(rand.NewSource(2016))
+
+	for trial := 0; trial < 200; trial++ {
+		tb := randomTBox(rng, classes, props)
+		facts := randomFacts(rng, classes, props, inds)
+		q := randomQuery(rng, classes, props)
+		if err := q.Validate(); err != nil {
+			continue
+		}
+		u, _, err := PerfectRef(q, tb, Options{MaxQueries: 20000})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		got := evalUCQ(u, facts)
+		want := evalCQ(q, saturate(facts, tb))
+		if !sameSet(got, want) {
+			t.Fatalf("trial %d:\nquery: %v\ntbox: %v\nfacts: %v\nrewritten: %v\ngot:  %v\nwant: %v",
+				trial, q, describeTBox(tb), factStrings(facts), u, keysOf(got), keysOf(want))
+		}
+	}
+}
+
+func sameSet(a, b map[string]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func keysOf(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func factStrings(fs map[fact]bool) []string {
+	out := make([]string, 0, len(fs))
+	for f := range fs {
+		if f.class() {
+			out = append(out, fmt.Sprintf("%s(%s)", f.pred, f.args[0]))
+		} else {
+			out = append(out, fmt.Sprintf("%s(%s,%s)", f.pred, f.args[0], f.args[1]))
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func describeTBox(t *ontology.TBox) []string {
+	var out []string
+	for _, ci := range t.ConceptInclusions() {
+		out = append(out, ci.Sub.String()+" ⊑ "+ci.Sup.String())
+	}
+	for _, ri := range t.RoleInclusions() {
+		out = append(out, ri.Sub.String()+" ⊑ "+ri.Sup.String())
+	}
+	return out
+}

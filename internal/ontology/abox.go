@@ -1,0 +1,142 @@
+package ontology
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/rdf"
+)
+
+// ABox quality verification (challenge C1: OPTIQUE offers
+// "semi-automatic quality verification" of deployment assets): checks an
+// RDF data graph against the TBox and reports violations of disjointness
+// axioms and of domain/range typing. OWL 2 QL has no unique-name or
+// closed-world assumption, so only violations that are logical
+// inconsistencies (disjointness) or missing-entailment warnings
+// (domain/range types not derivable) are reported.
+
+// Violation describes one problem found by CheckABox.
+type Violation struct {
+	// Kind is "disjointness" or "untyped-domain" / "untyped-range".
+	Kind    string
+	Subject rdf.Term
+	Detail  string
+}
+
+func (v Violation) String() string {
+	return v.Kind + ": " + v.Subject.String() + ": " + v.Detail
+}
+
+// CheckABox verifies a data graph against the TBox. Disjointness
+// violations are inconsistencies; domain/range findings are warnings
+// that an individual's required type is not derivable from the graph
+// (common after hand-editing bootstrapped mappings).
+func (t *TBox) CheckABox(g *rdf.Graph) []Violation {
+	var out []Violation
+	typeIRI := rdf.NewIRI(rdf.RDFType)
+
+	// Materialise each individual's derivable named classes: asserted
+	// types plus superclasses plus domain/range of asserted properties.
+	closure := t.SubClassClosure()
+	superOf := map[string][]string{}
+	for sup, subs := range closure {
+		for sub := range subs {
+			superOf[sub] = append(superOf[sub], sup)
+		}
+	}
+	// asserted: closure of explicitly asserted rdf:type triples, used for
+	// the domain/range warnings. derived: asserted plus domain/range
+	// derivation, used for disjointness (an inconsistency needs full
+	// entailment).
+	asserted := map[rdf.Term]map[string]bool{}
+	types := map[rdf.Term]map[string]bool{}
+	addInto := func(store map[rdf.Term]map[string]bool, ind rdf.Term, cls string) {
+		m, ok := store[ind]
+		if !ok {
+			m = map[string]bool{}
+			store[ind] = m
+		}
+		if m[cls] {
+			return
+		}
+		m[cls] = true
+		for _, sup := range superOf[cls] {
+			m[sup] = true
+		}
+	}
+	addType := func(ind rdf.Term, cls string) { addInto(types, ind, cls) }
+	for _, tr := range g.Match(rdf.Wildcard, typeIRI, rdf.Wildcard) {
+		if tr.O.IsIRI() {
+			addInto(asserted, tr.S, tr.O.Value)
+			addType(tr.S, tr.O.Value)
+		}
+	}
+	// Domain/range axioms type the participants of properties.
+	for _, ci := range t.conceptIncl {
+		if ci.Sub.Kind != ExistsConcept || ci.Sup.Kind != NamedConcept {
+			continue
+		}
+		p := rdf.NewIRI(ci.Sub.Role.IRI)
+		for _, tr := range g.Match(rdf.Wildcard, p, rdf.Wildcard) {
+			if ci.Sub.Role.Inverse {
+				if tr.O.IsIRI() || tr.O.IsBlank() {
+					addType(tr.O, ci.Sup.IRI)
+				}
+			} else {
+				addType(tr.S, ci.Sup.IRI)
+			}
+		}
+	}
+
+	// Disjointness: an individual derivably in both halves is an
+	// inconsistency.
+	inds := make([]rdf.Term, 0, len(types))
+	for ind := range types {
+		inds = append(inds, ind)
+	}
+	sort.Slice(inds, func(i, j int) bool { return inds[i].Compare(inds[j]) < 0 })
+	for _, ind := range inds {
+		m := types[ind]
+		for _, d := range t.disjoint {
+			if d.A.Kind != NamedConcept || d.B.Kind != NamedConcept {
+				continue
+			}
+			if m[d.A.IRI] && m[d.B.IRI] {
+				out = append(out, Violation{
+					Kind:    "disjointness",
+					Subject: ind,
+					Detail:  fmt.Sprintf("member of disjoint classes %s and %s", d.A.IRI, d.B.IRI),
+				})
+			}
+		}
+	}
+
+	// Domain/range warnings: a property assertion whose participant does
+	// not carry the required type among its asserted types — derivable
+	// only through the axiom itself, which usually means a mapping gap.
+	for _, ci := range t.conceptIncl {
+		if ci.Sub.Kind != ExistsConcept || ci.Sup.Kind != NamedConcept {
+			continue
+		}
+		p := rdf.NewIRI(ci.Sub.Role.IRI)
+		for _, tr := range g.Match(rdf.Wildcard, p, rdf.Wildcard) {
+			ind := tr.S
+			kind := "untyped-domain"
+			if ci.Sub.Role.Inverse {
+				ind = tr.O
+				kind = "untyped-range"
+				if ind.IsLiteral() {
+					continue
+				}
+			}
+			if !asserted[ind][ci.Sup.IRI] {
+				out = append(out, Violation{
+					Kind:    kind,
+					Subject: ind,
+					Detail:  fmt.Sprintf("uses %s but is not derivably a %s", ci.Sub.Role.IRI, ci.Sup.IRI),
+				})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,110 @@
+package ontology
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/rdf"
+)
+
+func aboxFixtureTBox() *TBox {
+	tb := New()
+	tb.AddConceptInclusion(Named("GasTurbine"), Named("Turbine"))
+	tb.AddConceptInclusion(Named("SteamTurbine"), Named("Turbine"))
+	tb.AddDisjoint(Named("GasTurbine"), Named("SteamTurbine"))
+	tb.AddDomain("hasBurner", Named("GasTurbine"))
+	tb.AddRange("hasBurner", Named("Burner"))
+	return tb
+}
+
+func TestCheckABoxClean(t *testing.T) {
+	tb := aboxFixtureTBox()
+	g := rdf.NewGraph()
+	g.Add(rdf.NewTriple(rdf.NewIRI("t1"), rdf.NewIRI(rdf.RDFType), rdf.NewIRI("GasTurbine")))
+	g.Add(rdf.NewTriple(rdf.NewIRI("b1"), rdf.NewIRI(rdf.RDFType), rdf.NewIRI("Burner")))
+	g.Add(rdf.NewTriple(rdf.NewIRI("t1"), rdf.NewIRI("hasBurner"), rdf.NewIRI("b1")))
+	if vs := tb.CheckABox(g); len(vs) != 0 {
+		t.Fatalf("clean ABox reported: %v", vs)
+	}
+}
+
+func TestCheckABoxDisjointnessViolation(t *testing.T) {
+	tb := aboxFixtureTBox()
+	g := rdf.NewGraph()
+	g.Add(rdf.NewTriple(rdf.NewIRI("t1"), rdf.NewIRI(rdf.RDFType), rdf.NewIRI("GasTurbine")))
+	g.Add(rdf.NewTriple(rdf.NewIRI("t1"), rdf.NewIRI(rdf.RDFType), rdf.NewIRI("SteamTurbine")))
+	vs := tb.CheckABox(g)
+	found := false
+	for _, v := range vs {
+		if v.Kind == "disjointness" && v.Subject.Value == "t1" {
+			found = true
+			if !strings.Contains(v.String(), "disjoint") {
+				t.Errorf("String = %q", v.String())
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("disjointness not reported: %v", vs)
+	}
+}
+
+func TestCheckABoxDerivedDisjointness(t *testing.T) {
+	// Type derived through a domain axiom clashes with an asserted type.
+	tb := aboxFixtureTBox()
+	g := rdf.NewGraph()
+	g.Add(rdf.NewTriple(rdf.NewIRI("t1"), rdf.NewIRI(rdf.RDFType), rdf.NewIRI("SteamTurbine")))
+	g.Add(rdf.NewTriple(rdf.NewIRI("t1"), rdf.NewIRI("hasBurner"), rdf.NewIRI("b1"))) // implies GasTurbine
+	vs := tb.CheckABox(g)
+	found := false
+	for _, v := range vs {
+		if v.Kind == "disjointness" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("derived disjointness not reported: %v", vs)
+	}
+}
+
+func TestCheckABoxUntypedWarnings(t *testing.T) {
+	tb := aboxFixtureTBox()
+	g := rdf.NewGraph()
+	// hasBurner used by an individual with no asserted GasTurbine type,
+	// pointing at an object with no asserted Burner type.
+	g.Add(rdf.NewTriple(rdf.NewIRI("x"), rdf.NewIRI("hasBurner"), rdf.NewIRI("y")))
+	vs := tb.CheckABox(g)
+	kinds := map[string]int{}
+	for _, v := range vs {
+		kinds[v.Kind]++
+	}
+	if kinds["untyped-domain"] != 1 || kinds["untyped-range"] != 1 {
+		t.Fatalf("warnings = %v", vs)
+	}
+	// Literal objects never warn on range.
+	g2 := rdf.NewGraph()
+	tb2 := New()
+	tb2.DeclareDataProperty("hasVal")
+	tb2.AddDomain("hasVal", Named("Sensor"))
+	g2.Add(rdf.NewTriple(rdf.NewIRI("s"), rdf.NewIRI("hasVal"), rdf.NewLiteral("5")))
+	vs2 := tb2.CheckABox(g2)
+	for _, v := range vs2 {
+		if v.Kind == "untyped-range" {
+			t.Errorf("literal object warned: %v", v)
+		}
+	}
+}
+
+func TestCheckABoxSubclassSatisfiesDomain(t *testing.T) {
+	// An asserted subclass type satisfies the superclass requirement.
+	tb := New()
+	tb.AddConceptInclusion(Named("GasTurbine"), Named("Turbine"))
+	tb.AddDomain("spins", Named("Turbine"))
+	g := rdf.NewGraph()
+	g.Add(rdf.NewTriple(rdf.NewIRI("t"), rdf.NewIRI(rdf.RDFType), rdf.NewIRI("GasTurbine")))
+	g.Add(rdf.NewTriple(rdf.NewIRI("t"), rdf.NewIRI("spins"), rdf.NewIRI("r")))
+	for _, v := range tb.CheckABox(g) {
+		if v.Kind == "untyped-domain" {
+			t.Fatalf("subclass type not accepted: %v", v)
+		}
+	}
+}

@@ -1,0 +1,340 @@
+// Package ontology implements the OWL 2 QL (DL-Lite_R) ontology model used
+// by Optique: named classes, object and data properties, basic concepts
+// (named classes and unqualified existential restrictions ∃R / ∃R⁻),
+// concept and role inclusion axioms, disjointness, and a classification
+// procedure that materialises the subsumption hierarchy.
+//
+// OWL 2 QL is the profile for which conjunctive-query rewriting is
+// polynomial in the size of the TBox, which the paper relies on for the
+// enrichment stage (challenge C2).
+package ontology
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Role is a possibly-inverted object or data property.
+type Role struct {
+	IRI     string
+	Inverse bool
+}
+
+// NewRole returns the direct role for a property IRI.
+func NewRole(iri string) Role { return Role{IRI: iri} }
+
+// Inv returns the inverse of r.
+func (r Role) Inv() Role { return Role{IRI: r.IRI, Inverse: !r.Inverse} }
+
+// String renders the role in DL syntax.
+func (r Role) String() string {
+	if r.Inverse {
+		return r.IRI + "⁻"
+	}
+	return r.IRI
+}
+
+// ConceptKind discriminates basic concept forms.
+type ConceptKind uint8
+
+const (
+	// NamedConcept is an atomic class A.
+	NamedConcept ConceptKind = iota
+	// ExistsConcept is an unqualified existential ∃R (or ∃R⁻).
+	ExistsConcept
+)
+
+// Concept is a DL-Lite basic concept: a named class or ∃R.
+type Concept struct {
+	Kind ConceptKind
+	IRI  string // class IRI for NamedConcept
+	Role Role   // role for ExistsConcept
+}
+
+// Named returns the basic concept for a class IRI.
+func Named(iri string) Concept { return Concept{Kind: NamedConcept, IRI: iri} }
+
+// Exists returns the concept ∃r.
+func Exists(r Role) Concept { return Concept{Kind: ExistsConcept, Role: r} }
+
+// String renders the concept in DL syntax.
+func (c Concept) String() string {
+	if c.Kind == NamedConcept {
+		return c.IRI
+	}
+	return "∃" + c.Role.String()
+}
+
+// ConceptInclusion is the axiom Sub ⊑ Sup.
+type ConceptInclusion struct {
+	Sub, Sup Concept
+}
+
+// RoleInclusion is the axiom Sub ⊑ Sup over roles.
+type RoleInclusion struct {
+	Sub, Sup Role
+}
+
+// Disjointness is the axiom A ⊓ B ⊑ ⊥ over basic concepts.
+type Disjointness struct {
+	A, B Concept
+}
+
+// TBox is an OWL 2 QL terminology. The zero value is not usable; call New.
+type TBox struct {
+	classes   map[string]struct{}
+	objProps  map[string]struct{}
+	dataProps map[string]struct{}
+
+	conceptIncl []ConceptInclusion
+	roleIncl    []RoleInclusion
+	disjoint    []Disjointness
+
+	// inclIntoConcept indexes concept inclusions by superconcept for the
+	// rewriting engine's "applicable axiom" lookups.
+	inclIntoConcept map[Concept][]Concept
+	// inclIntoRole indexes role inclusions by superrole.
+	inclIntoRole map[Role][]Role
+
+	labels map[string]string
+}
+
+// New returns an empty TBox.
+func New() *TBox {
+	return &TBox{
+		classes:         make(map[string]struct{}),
+		objProps:        make(map[string]struct{}),
+		dataProps:       make(map[string]struct{}),
+		inclIntoConcept: make(map[Concept][]Concept),
+		inclIntoRole:    make(map[Role][]Role),
+		labels:          make(map[string]string),
+	}
+}
+
+// DeclareClass registers a named class.
+func (t *TBox) DeclareClass(iri string) { t.classes[iri] = struct{}{} }
+
+// DeclareObjectProperty registers an object property.
+func (t *TBox) DeclareObjectProperty(iri string) { t.objProps[iri] = struct{}{} }
+
+// DeclareDataProperty registers a data property.
+func (t *TBox) DeclareDataProperty(iri string) { t.dataProps[iri] = struct{}{} }
+
+// SetLabel attaches a human-readable label to a term (used by the query
+// formulation UI and by BootOX's visual bootstrapper).
+func (t *TBox) SetLabel(iri, label string) { t.labels[iri] = label }
+
+// Label returns the label for a term, or its local name when unset.
+func (t *TBox) Label(iri string) string {
+	if l, ok := t.labels[iri]; ok {
+		return l
+	}
+	if i := strings.LastIndexAny(iri, "#/"); i >= 0 && i+1 < len(iri) {
+		return iri[i+1:]
+	}
+	return iri
+}
+
+// IsClass reports whether iri is a declared class.
+func (t *TBox) IsClass(iri string) bool { _, ok := t.classes[iri]; return ok }
+
+// IsObjectProperty reports whether iri is a declared object property.
+func (t *TBox) IsObjectProperty(iri string) bool { _, ok := t.objProps[iri]; return ok }
+
+// IsDataProperty reports whether iri is a declared data property.
+func (t *TBox) IsDataProperty(iri string) bool { _, ok := t.dataProps[iri]; return ok }
+
+// Classes returns all declared class IRIs, sorted.
+func (t *TBox) Classes() []string { return sortedSet(t.classes) }
+
+// ObjectProperties returns all declared object property IRIs, sorted.
+func (t *TBox) ObjectProperties() []string { return sortedSet(t.objProps) }
+
+// DataProperties returns all declared data property IRIs, sorted.
+func (t *TBox) DataProperties() []string { return sortedSet(t.dataProps) }
+
+func sortedSet(m map[string]struct{}) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AddConceptInclusion asserts Sub ⊑ Sup, declaring mentioned terms.
+func (t *TBox) AddConceptInclusion(sub, sup Concept) {
+	t.declareConceptTerms(sub)
+	t.declareConceptTerms(sup)
+	t.conceptIncl = append(t.conceptIncl, ConceptInclusion{sub, sup})
+	t.inclIntoConcept[sup] = append(t.inclIntoConcept[sup], sub)
+}
+
+func (t *TBox) declareConceptTerms(c Concept) {
+	switch c.Kind {
+	case NamedConcept:
+		t.DeclareClass(c.IRI)
+	case ExistsConcept:
+		if !t.IsDataProperty(c.Role.IRI) {
+			t.DeclareObjectProperty(c.Role.IRI)
+		}
+	}
+}
+
+// AddRoleInclusion asserts Sub ⊑ Sup. The symmetric inverse inclusion
+// Sub⁻ ⊑ Sup⁻ is implied and indexed automatically.
+func (t *TBox) AddRoleInclusion(sub, sup Role) {
+	if !t.IsDataProperty(sub.IRI) {
+		t.DeclareObjectProperty(sub.IRI)
+	}
+	if !t.IsDataProperty(sup.IRI) {
+		t.DeclareObjectProperty(sup.IRI)
+	}
+	t.roleIncl = append(t.roleIncl, RoleInclusion{sub, sup})
+	t.inclIntoRole[sup] = append(t.inclIntoRole[sup], sub)
+	t.inclIntoRole[sup.Inv()] = append(t.inclIntoRole[sup.Inv()], sub.Inv())
+}
+
+// AddInverse asserts that p and q are inverse properties (p ≡ q⁻).
+func (t *TBox) AddInverse(p, q string) {
+	t.AddRoleInclusion(NewRole(p), NewRole(q).Inv())
+	t.AddRoleInclusion(NewRole(q).Inv(), NewRole(p))
+}
+
+// AddDomain asserts ∃p ⊑ c, i.e. the domain of p is c.
+func (t *TBox) AddDomain(p string, c Concept) {
+	t.AddConceptInclusion(Exists(NewRole(p)), c)
+}
+
+// AddRange asserts ∃p⁻ ⊑ c, i.e. the range of p is c.
+func (t *TBox) AddRange(p string, c Concept) {
+	t.AddConceptInclusion(Exists(NewRole(p).Inv()), c)
+}
+
+// AddDisjoint asserts that a and b cannot share instances.
+func (t *TBox) AddDisjoint(a, b Concept) {
+	t.declareConceptTerms(a)
+	t.declareConceptTerms(b)
+	t.disjoint = append(t.disjoint, Disjointness{a, b})
+}
+
+// ConceptInclusions returns all asserted concept inclusions.
+func (t *TBox) ConceptInclusions() []ConceptInclusion { return t.conceptIncl }
+
+// RoleInclusions returns all asserted role inclusions.
+func (t *TBox) RoleInclusions() []RoleInclusion { return t.roleIncl }
+
+// Disjointnesses returns all asserted disjointness axioms.
+func (t *TBox) Disjointnesses() []Disjointness { return t.disjoint }
+
+// DirectSubConceptsOf returns the concepts I with an asserted axiom I ⊑ c.
+// The rewriting engine applies these one step at a time.
+func (t *TBox) DirectSubConceptsOf(c Concept) []Concept { return t.inclIntoConcept[c] }
+
+// DirectSubRolesOf returns the roles S with S ⊑ r asserted or implied by
+// inverse symmetry.
+func (t *TBox) DirectSubRolesOf(r Role) []Role { return t.inclIntoRole[r] }
+
+// Len returns the number of axioms in the TBox.
+func (t *TBox) Len() int {
+	return len(t.conceptIncl) + len(t.roleIncl) + len(t.disjoint)
+}
+
+// String summarises the TBox.
+func (t *TBox) String() string {
+	return fmt.Sprintf("TBox{classes: %d, objProps: %d, dataProps: %d, axioms: %d}",
+		len(t.classes), len(t.objProps), len(t.dataProps), t.Len())
+}
+
+// SubClassClosure computes, for every named class, the set of its named
+// subclasses (reflexive-transitive closure restricted to named concepts).
+// This is the classification used by the UI and BootOX; the rewriter works
+// on direct axioms instead.
+func (t *TBox) SubClassClosure() map[string]map[string]bool {
+	closure := make(map[string]map[string]bool, len(t.classes))
+	for c := range t.classes {
+		closure[c] = map[string]bool{c: true}
+	}
+	// Saturate named-to-named edges via fixpoint iteration. The number of
+	// iterations is bounded by the hierarchy depth.
+	for changed := true; changed; {
+		changed = false
+		for _, incl := range t.conceptIncl {
+			if incl.Sub.Kind != NamedConcept || incl.Sup.Kind != NamedConcept {
+				continue
+			}
+			subs := closure[incl.Sub.IRI]
+			dst := closure[incl.Sup.IRI]
+			if dst == nil {
+				dst = map[string]bool{incl.Sup.IRI: true}
+				closure[incl.Sup.IRI] = dst
+			}
+			for s := range subs {
+				if !dst[s] {
+					dst[s] = true
+					changed = true
+				}
+			}
+		}
+	}
+	return closure
+}
+
+// SubPropertyClosure computes, for every property, the set of its
+// subproperties (reflexive-transitive, direct polarity only).
+func (t *TBox) SubPropertyClosure() map[string]map[string]bool {
+	props := make(map[string]struct{}, len(t.objProps)+len(t.dataProps))
+	for p := range t.objProps {
+		props[p] = struct{}{}
+	}
+	for p := range t.dataProps {
+		props[p] = struct{}{}
+	}
+	closure := make(map[string]map[string]bool, len(props))
+	for p := range props {
+		closure[p] = map[string]bool{p: true}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, incl := range t.roleIncl {
+			if incl.Sub.Inverse || incl.Sup.Inverse {
+				continue
+			}
+			subs := closure[incl.Sub.IRI]
+			dst := closure[incl.Sup.IRI]
+			for s := range subs {
+				if !dst[s] {
+					dst[s] = true
+					changed = true
+				}
+			}
+		}
+	}
+	return closure
+}
+
+// IsSubClassOf reports whether sub ⊑ sup is entailed between named classes.
+func (t *TBox) IsSubClassOf(sub, sup string) bool {
+	return t.SubClassClosure()[sup][sub]
+}
+
+// Validate checks profile conformance and reports the first violation:
+// every axiom must mention declared terms consistently (a property cannot
+// be both a data and an object property).
+func (t *TBox) Validate() error {
+	for p := range t.dataProps {
+		if _, ok := t.objProps[p]; ok {
+			return fmt.Errorf("ontology: %s declared as both object and data property", p)
+		}
+	}
+	for _, ri := range t.roleIncl {
+		if t.IsDataProperty(ri.Sub.IRI) != t.IsDataProperty(ri.Sup.IRI) {
+			return fmt.Errorf("ontology: role inclusion %v ⊑ %v mixes object and data properties", ri.Sub, ri.Sup)
+		}
+		if t.IsDataProperty(ri.Sub.IRI) && (ri.Sub.Inverse || ri.Sup.Inverse) {
+			return fmt.Errorf("ontology: data property inclusion %v ⊑ %v uses an inverse", ri.Sub, ri.Sup)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,252 @@
+package ontology
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRoleInverse(t *testing.T) {
+	r := NewRole("p")
+	if r.Inverse {
+		t.Fatal("direct role marked inverse")
+	}
+	if !r.Inv().Inverse {
+		t.Fatal("Inv() not inverse")
+	}
+	if r.Inv().Inv() != r {
+		t.Fatal("double inverse not identity")
+	}
+	if r.Inv().String() != "p⁻" {
+		t.Fatalf("String = %q", r.Inv().String())
+	}
+}
+
+func TestConceptString(t *testing.T) {
+	if Named("A").String() != "A" {
+		t.Error("named concept string")
+	}
+	if Exists(NewRole("p")).String() != "∃p" {
+		t.Error("exists concept string")
+	}
+	if Exists(NewRole("p").Inv()).String() != "∃p⁻" {
+		t.Error("exists inverse concept string")
+	}
+}
+
+func TestTBoxDeclarations(t *testing.T) {
+	tb := New()
+	tb.DeclareClass("A")
+	tb.DeclareObjectProperty("p")
+	tb.DeclareDataProperty("d")
+	if !tb.IsClass("A") || tb.IsClass("B") {
+		t.Error("IsClass")
+	}
+	if !tb.IsObjectProperty("p") || tb.IsObjectProperty("d") {
+		t.Error("IsObjectProperty")
+	}
+	if !tb.IsDataProperty("d") {
+		t.Error("IsDataProperty")
+	}
+	if got := tb.Classes(); len(got) != 1 || got[0] != "A" {
+		t.Errorf("Classes = %v", got)
+	}
+}
+
+func TestSubClassClosure(t *testing.T) {
+	tb := New()
+	tb.AddConceptInclusion(Named("GasTurbine"), Named("Turbine"))
+	tb.AddConceptInclusion(Named("SteamTurbine"), Named("Turbine"))
+	tb.AddConceptInclusion(Named("Turbine"), Named("Appliance"))
+
+	if !tb.IsSubClassOf("GasTurbine", "Appliance") {
+		t.Error("transitive subclass not derived")
+	}
+	if !tb.IsSubClassOf("Turbine", "Turbine") {
+		t.Error("closure not reflexive")
+	}
+	if tb.IsSubClassOf("Appliance", "GasTurbine") {
+		t.Error("closure inverted")
+	}
+	cl := tb.SubClassClosure()
+	if len(cl["Appliance"]) != 4 { // itself + 3 subclasses
+		t.Errorf("Appliance subclasses = %v", cl["Appliance"])
+	}
+}
+
+func TestSubClassClosureCycle(t *testing.T) {
+	tb := New()
+	tb.AddConceptInclusion(Named("A"), Named("B"))
+	tb.AddConceptInclusion(Named("B"), Named("A"))
+	// Equivalent classes: each is a subclass of the other; must terminate.
+	if !tb.IsSubClassOf("A", "B") || !tb.IsSubClassOf("B", "A") {
+		t.Error("cycle not closed")
+	}
+}
+
+func TestSubPropertyClosure(t *testing.T) {
+	tb := New()
+	tb.AddRoleInclusion(NewRole("feeds"), NewRole("connectedTo"))
+	tb.AddRoleInclusion(NewRole("connectedTo"), NewRole("relatedTo"))
+	cl := tb.SubPropertyClosure()
+	if !cl["relatedTo"]["feeds"] {
+		t.Error("transitive subproperty not derived")
+	}
+}
+
+func TestDirectSubRolesIncludeInverseSymmetry(t *testing.T) {
+	tb := New()
+	tb.AddRoleInclusion(NewRole("s"), NewRole("r"))
+	got := tb.DirectSubRolesOf(NewRole("r").Inv())
+	found := false
+	for _, r := range got {
+		if r == NewRole("s").Inv() {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("s⁻ ⊑ r⁻ not derived; got %v", got)
+	}
+}
+
+func TestAddInverse(t *testing.T) {
+	tb := New()
+	tb.AddInverse("hasPart", "partOf")
+	// hasPart ⊑ partOf⁻ and partOf⁻ ⊑ hasPart.
+	subs := tb.DirectSubRolesOf(NewRole("partOf").Inv())
+	if len(subs) == 0 {
+		t.Fatal("no subroles of partOf⁻")
+	}
+	if subs[0] != NewRole("hasPart") {
+		t.Errorf("subrole = %v", subs[0])
+	}
+}
+
+func TestDomainRangeAxioms(t *testing.T) {
+	tb := New()
+	tb.AddDomain("inAssembly", Named("Sensor"))
+	tb.AddRange("inAssembly", Named("Assembly"))
+	subs := tb.DirectSubConceptsOf(Named("Sensor"))
+	if len(subs) != 1 || subs[0] != Exists(NewRole("inAssembly")) {
+		t.Errorf("domain axiom = %v", subs)
+	}
+	subs = tb.DirectSubConceptsOf(Named("Assembly"))
+	if len(subs) != 1 || subs[0] != Exists(NewRole("inAssembly").Inv()) {
+		t.Errorf("range axiom = %v", subs)
+	}
+}
+
+func TestValidateRejectsMixedProperty(t *testing.T) {
+	tb := New()
+	tb.DeclareObjectProperty("p")
+	tb.DeclareDataProperty("p")
+	if err := tb.Validate(); err == nil {
+		t.Error("object+data property accepted")
+	}
+}
+
+const sampleOntology = `
+# Siemens-flavoured test ontology
+Prefix(sie: <http://siemens.com/ontology#>)
+Class(sie:Turbine)
+Class(sie:GasTurbine)
+ObjectProperty(sie:inAssembly)
+DataProperty(sie:hasValue)
+SubClassOf(sie:GasTurbine sie:Turbine)
+SubClassOf(sie:Turbine Exists(sie:hasPart))
+SubClassOf(ExistsInv(sie:inAssembly) sie:Assembly)
+SubPropertyOf(sie:feeds sie:connectedTo)
+InverseOf(sie:hasPart sie:partOf)
+ObjectPropertyDomain(sie:inAssembly sie:Sensor)
+ObjectPropertyRange(sie:inAssembly sie:Assembly)
+DataPropertyDomain(sie:hasValue sie:Sensor)
+DisjointClasses(sie:GasTurbine sie:SteamTurbine)
+Label(sie:Turbine "power generating turbine")
+`
+
+func TestParseOntology(t *testing.T) {
+	tb, pm, err := Parse(sampleOntology)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	ns := "http://siemens.com/ontology#"
+	if pm["sie"] != ns {
+		t.Errorf("prefix = %q", pm["sie"])
+	}
+	if !tb.IsClass(ns + "Turbine") {
+		t.Error("Turbine not declared")
+	}
+	if !tb.IsSubClassOf(ns+"GasTurbine", ns+"Turbine") {
+		t.Error("subclass not parsed")
+	}
+	if !tb.IsDataProperty(ns + "hasValue") {
+		t.Error("data property not parsed")
+	}
+	// Domain axiom: ∃inAssembly ⊑ Sensor.
+	subs := tb.DirectSubConceptsOf(Named(ns + "Sensor"))
+	foundDomain := false
+	for _, s := range subs {
+		if s == Exists(NewRole(ns+"inAssembly")) {
+			foundDomain = true
+		}
+	}
+	if !foundDomain {
+		t.Errorf("domain axiom missing; subs of Sensor = %v", subs)
+	}
+	// Existential superclass: Turbine ⊑ ∃hasPart.
+	subs = tb.DirectSubConceptsOf(Exists(NewRole(ns + "hasPart")))
+	if len(subs) != 1 || subs[0] != Named(ns+"Turbine") {
+		t.Errorf("existential superclass = %v", subs)
+	}
+	if len(tb.Disjointnesses()) != 1 {
+		t.Error("disjointness missing")
+	}
+	if tb.Label(ns+"Turbine") != "power generating turbine" {
+		t.Errorf("label = %q", tb.Label(ns+"Turbine"))
+	}
+	if tb.Label(ns+"GasTurbine") != "GasTurbine" {
+		t.Errorf("default label = %q", tb.Label(ns+"GasTurbine"))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		`SubClassOf(a:B c:D)`,            // unknown prefix
+		`SubClassOf(owl:Thing)`,          // arity
+		`Frobnicate(owl:Thing)`,          // unknown head
+		`SubClassOf owl:Thing owl:Thing`, // no parens
+		`SubClassOf(Exists(owl:p owl:q)`, // unbalanced
+		`Class(owl:A) Class(owl:B)`,      // trailing garbage -> arity error
+	}
+	for _, src := range bad {
+		if _, _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) accepted invalid input", src)
+		}
+	}
+}
+
+func TestParseIgnoresCommentsAndBlank(t *testing.T) {
+	tb, _, err := Parse("\n# comment\n\nClass(owl:A)\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Classes()) != 1 {
+		t.Errorf("Classes = %v", tb.Classes())
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParse did not panic")
+		}
+	}()
+	MustParse("Bogus(x)")
+}
+
+func TestTBoxStringSummary(t *testing.T) {
+	tb := MustParse(sampleOntology)
+	s := tb.String()
+	if !strings.Contains(s, "axioms") {
+		t.Errorf("String = %q", s)
+	}
+}

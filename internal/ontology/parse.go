@@ -1,0 +1,305 @@
+package ontology
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/rdf"
+)
+
+// Parse reads a TBox from a functional-style text syntax, a practical
+// subset of OWL 2 functional syntax extended with Exists/ExistsInv for
+// DL-Lite existential concepts:
+//
+//	Prefix(sie: <http://siemens.com/ontology#>)
+//	Class(sie:Turbine)
+//	ObjectProperty(sie:inAssembly)
+//	DataProperty(sie:hasValue)
+//	SubClassOf(sie:GasTurbine sie:Turbine)
+//	SubClassOf(sie:Turbine Exists(sie:hasPart))
+//	SubClassOf(Exists(sie:inAssembly) sie:Sensor)
+//	SubClassOf(ExistsInv(sie:inAssembly) sie:Assembly)
+//	SubPropertyOf(sie:feeds sie:connectedTo)
+//	InverseOf(sie:hasPart sie:partOf)
+//	ObjectPropertyDomain(sie:inAssembly sie:Sensor)
+//	ObjectPropertyRange(sie:inAssembly sie:Assembly)
+//	DataPropertyDomain(sie:hasValue sie:Sensor)
+//	DisjointClasses(sie:GasTurbine sie:SteamTurbine)
+//	Label(sie:Turbine "power generating turbine")
+//
+// Lines starting with '#' and blank lines are ignored.
+func Parse(src string) (*TBox, rdf.PrefixMap, error) {
+	t := New()
+	prefixes := rdf.StandardPrefixes()
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if err := parseLine(t, prefixes, line); err != nil {
+			return nil, nil, fmt.Errorf("ontology: line %d: %w", lineNo+1, err)
+		}
+	}
+	if err := t.Validate(); err != nil {
+		return nil, nil, err
+	}
+	return t, prefixes, nil
+}
+
+// MustParse is Parse that panics on error; for static ontologies.
+func MustParse(src string) *TBox {
+	t, _, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+func parseLine(t *TBox, prefixes rdf.PrefixMap, line string) error {
+	open := strings.Index(line, "(")
+	if open < 0 || !strings.HasSuffix(line, ")") {
+		return fmt.Errorf("malformed statement %q", line)
+	}
+	head := line[:open]
+	body := line[open+1 : len(line)-1]
+
+	if head == "Prefix" {
+		i := strings.Index(body, ":")
+		if i < 0 {
+			return fmt.Errorf("malformed Prefix %q", body)
+		}
+		name := strings.TrimSpace(body[:i])
+		iri := strings.TrimSpace(body[i+1:])
+		iri = strings.TrimPrefix(iri, "<")
+		iri = strings.TrimSuffix(iri, ">")
+		prefixes[name] = iri
+		return nil
+	}
+	if head == "Label" {
+		parts := strings.SplitN(body, " ", 2)
+		if len(parts) != 2 {
+			return fmt.Errorf("malformed Label %q", body)
+		}
+		iri, err := prefixes.Expand(strings.TrimSpace(parts[0]))
+		if err != nil {
+			return err
+		}
+		label := strings.Trim(strings.TrimSpace(parts[1]), `"`)
+		t.SetLabel(iri, label)
+		return nil
+	}
+
+	args, err := splitArgs(body)
+	if err != nil {
+		return err
+	}
+	expand := func(s string) (string, error) { return prefixes.Expand(s) }
+
+	switch head {
+	case "Class":
+		return withOne(args, func(a string) error {
+			iri, err := expand(a)
+			if err != nil {
+				return err
+			}
+			t.DeclareClass(iri)
+			return nil
+		})
+	case "ObjectProperty":
+		return withOne(args, func(a string) error {
+			iri, err := expand(a)
+			if err != nil {
+				return err
+			}
+			t.DeclareObjectProperty(iri)
+			return nil
+		})
+	case "DataProperty":
+		return withOne(args, func(a string) error {
+			iri, err := expand(a)
+			if err != nil {
+				return err
+			}
+			t.DeclareDataProperty(iri)
+			return nil
+		})
+	case "SubClassOf":
+		return withTwo(args, func(a, b string) error {
+			sub, err := parseConcept(a, prefixes)
+			if err != nil {
+				return err
+			}
+			sup, err := parseConcept(b, prefixes)
+			if err != nil {
+				return err
+			}
+			t.AddConceptInclusion(sub, sup)
+			return nil
+		})
+	case "SubPropertyOf":
+		return withTwo(args, func(a, b string) error {
+			sub, err := parseRole(a, prefixes)
+			if err != nil {
+				return err
+			}
+			sup, err := parseRole(b, prefixes)
+			if err != nil {
+				return err
+			}
+			t.AddRoleInclusion(sub, sup)
+			return nil
+		})
+	case "InverseOf":
+		return withTwo(args, func(a, b string) error {
+			p, err := expand(a)
+			if err != nil {
+				return err
+			}
+			q, err := expand(b)
+			if err != nil {
+				return err
+			}
+			t.AddInverse(p, q)
+			return nil
+		})
+	case "ObjectPropertyDomain", "DataPropertyDomain":
+		return withTwo(args, func(a, b string) error {
+			p, err := expand(a)
+			if err != nil {
+				return err
+			}
+			if head == "DataPropertyDomain" {
+				t.DeclareDataProperty(p)
+			} else {
+				t.DeclareObjectProperty(p)
+			}
+			c, err := parseConcept(b, prefixes)
+			if err != nil {
+				return err
+			}
+			t.AddDomain(p, c)
+			return nil
+		})
+	case "ObjectPropertyRange":
+		return withTwo(args, func(a, b string) error {
+			p, err := expand(a)
+			if err != nil {
+				return err
+			}
+			t.DeclareObjectProperty(p)
+			c, err := parseConcept(b, prefixes)
+			if err != nil {
+				return err
+			}
+			t.AddRange(p, c)
+			return nil
+		})
+	case "DisjointClasses":
+		return withTwo(args, func(a, b string) error {
+			ca, err := parseConcept(a, prefixes)
+			if err != nil {
+				return err
+			}
+			cb, err := parseConcept(b, prefixes)
+			if err != nil {
+				return err
+			}
+			t.AddDisjoint(ca, cb)
+			return nil
+		})
+	default:
+		return fmt.Errorf("unknown statement %q", head)
+	}
+}
+
+func withOne(args []string, f func(string) error) error {
+	if len(args) != 1 {
+		return fmt.Errorf("expected 1 argument, got %d", len(args))
+	}
+	return f(args[0])
+}
+
+func withTwo(args []string, f func(a, b string) error) error {
+	if len(args) != 2 {
+		return fmt.Errorf("expected 2 arguments, got %d", len(args))
+	}
+	return f(args[0], args[1])
+}
+
+// splitArgs splits on spaces at parenthesis depth zero, so nested
+// Exists(...) terms stay intact.
+func splitArgs(body string) ([]string, error) {
+	var out []string
+	depth, start := 0, 0
+	for i := 0; i <= len(body); i++ {
+		if i == len(body) {
+			if tok := strings.TrimSpace(body[start:]); tok != "" {
+				out = append(out, tok)
+			}
+			break
+		}
+		switch body[i] {
+		case '(':
+			depth++
+		case ')':
+			depth--
+			if depth < 0 {
+				return nil, fmt.Errorf("unbalanced parentheses in %q", body)
+			}
+		case ' ':
+			if depth == 0 {
+				if tok := strings.TrimSpace(body[start:i]); tok != "" {
+					out = append(out, tok)
+				}
+				start = i + 1
+			}
+		}
+	}
+	if depth != 0 {
+		return nil, fmt.Errorf("unbalanced parentheses in %q", body)
+	}
+	return out, nil
+}
+
+func parseConcept(s string, prefixes rdf.PrefixMap) (Concept, error) {
+	s = strings.TrimSpace(s)
+	for _, form := range []struct {
+		prefix string
+		inv    bool
+	}{{"ExistsInv(", true}, {"Exists(", false}} {
+		if strings.HasPrefix(s, form.prefix) && strings.HasSuffix(s, ")") {
+			inner := s[len(form.prefix) : len(s)-1]
+			r, err := parseRole(inner, prefixes)
+			if err != nil {
+				return Concept{}, err
+			}
+			if form.inv {
+				r = r.Inv()
+			}
+			return Exists(r), nil
+		}
+	}
+	iri, err := prefixes.Expand(s)
+	if err != nil {
+		return Concept{}, err
+	}
+	return Named(iri), nil
+}
+
+func parseRole(s string, prefixes rdf.PrefixMap) (Role, error) {
+	s = strings.TrimSpace(s)
+	inv := false
+	if strings.HasPrefix(s, "Inv(") && strings.HasSuffix(s, ")") {
+		inv = true
+		s = s[len("Inv(") : len(s)-1]
+	}
+	iri, err := prefixes.Expand(s)
+	if err != nil {
+		return Role{}, err
+	}
+	r := NewRole(iri)
+	if inv {
+		r = r.Inv()
+	}
+	return r, nil
+}

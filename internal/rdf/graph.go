@@ -1,0 +1,217 @@
+package rdf
+
+import (
+	"sort"
+	"sync"
+)
+
+// Graph is an in-memory RDF graph with SPO/POS/OSP indexes supporting
+// pattern matching with any combination of bound positions. It is safe for
+// concurrent use; reads take a shared lock.
+//
+// The zero value is not ready to use; call NewGraph.
+type Graph struct {
+	mu  sync.RWMutex
+	spo map[Term]map[Term]map[Term]struct{}
+	pos map[Term]map[Term]map[Term]struct{}
+	osp map[Term]map[Term]map[Term]struct{}
+	n   int
+}
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph {
+	return &Graph{
+		spo: make(map[Term]map[Term]map[Term]struct{}),
+		pos: make(map[Term]map[Term]map[Term]struct{}),
+		osp: make(map[Term]map[Term]map[Term]struct{}),
+	}
+}
+
+func insert(idx map[Term]map[Term]map[Term]struct{}, a, b, c Term) bool {
+	l2, ok := idx[a]
+	if !ok {
+		l2 = make(map[Term]map[Term]struct{})
+		idx[a] = l2
+	}
+	l3, ok := l2[b]
+	if !ok {
+		l3 = make(map[Term]struct{})
+		l2[b] = l3
+	}
+	if _, ok := l3[c]; ok {
+		return false
+	}
+	l3[c] = struct{}{}
+	return true
+}
+
+func remove(idx map[Term]map[Term]map[Term]struct{}, a, b, c Term) bool {
+	l2, ok := idx[a]
+	if !ok {
+		return false
+	}
+	l3, ok := l2[b]
+	if !ok {
+		return false
+	}
+	if _, ok := l3[c]; !ok {
+		return false
+	}
+	delete(l3, c)
+	if len(l3) == 0 {
+		delete(l2, b)
+		if len(l2) == 0 {
+			delete(idx, a)
+		}
+	}
+	return true
+}
+
+// Add inserts a triple, returning true if it was not already present.
+func (g *Graph) Add(t Triple) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if !insert(g.spo, t.S, t.P, t.O) {
+		return false
+	}
+	insert(g.pos, t.P, t.O, t.S)
+	insert(g.osp, t.O, t.S, t.P)
+	g.n++
+	return true
+}
+
+// AddAll inserts each triple in ts and returns the number newly added.
+func (g *Graph) AddAll(ts []Triple) int {
+	added := 0
+	for _, t := range ts {
+		if g.Add(t) {
+			added++
+		}
+	}
+	return added
+}
+
+// Remove deletes a triple, returning true if it was present.
+func (g *Graph) Remove(t Triple) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if !remove(g.spo, t.S, t.P, t.O) {
+		return false
+	}
+	remove(g.pos, t.P, t.O, t.S)
+	remove(g.osp, t.O, t.S, t.P)
+	g.n--
+	return true
+}
+
+// Len returns the number of triples in the graph.
+func (g *Graph) Len() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.n
+}
+
+// Has reports whether the exact triple is present.
+func (g *Graph) Has(t Triple) bool {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	if l2, ok := g.spo[t.S]; ok {
+		if l3, ok := l2[t.P]; ok {
+			_, ok := l3[t.O]
+			return ok
+		}
+	}
+	return false
+}
+
+// Wildcard marks an unbound position in Match patterns. Any term with
+// this exact value matches every term.
+var Wildcard = Term{Kind: KindBlank, Value: "*"}
+
+func isWild(t Term) bool { return t == Wildcard }
+
+// Match returns all triples matching the pattern, where Wildcard in any
+// position matches anything. Results are in deterministic (sorted) order.
+func (g *Graph) Match(s, p, o Term) []Triple {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	var out []Triple
+	emit := func(t Triple) { out = append(out, t) }
+	switch {
+	case !isWild(s):
+		for pp, l3 := range g.spo[s] {
+			if !isWild(p) && pp != p {
+				continue
+			}
+			for oo := range l3 {
+				if !isWild(o) && oo != o {
+					continue
+				}
+				emit(Triple{s, pp, oo})
+			}
+		}
+	case !isWild(p):
+		for oo, l3 := range g.pos[p] {
+			if !isWild(o) && oo != o {
+				continue
+			}
+			for ss := range l3 {
+				emit(Triple{ss, p, oo})
+			}
+		}
+	case !isWild(o):
+		for ss, l3 := range g.osp[o] {
+			for pp := range l3 {
+				emit(Triple{ss, pp, o})
+			}
+		}
+	default:
+		for ss, l2 := range g.spo {
+			for pp, l3 := range l2 {
+				for oo := range l3 {
+					emit(Triple{ss, pp, oo})
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+// Subjects returns the distinct subjects of triples matching (*, p, o).
+func (g *Graph) Subjects(p, o Term) []Term {
+	ts := g.Match(Wildcard, p, o)
+	return distinct(ts, func(t Triple) Term { return t.S })
+}
+
+// Objects returns the distinct objects of triples matching (s, p, *).
+func (g *Graph) Objects(s, p Term) []Term {
+	ts := g.Match(s, p, Wildcard)
+	return distinct(ts, func(t Triple) Term { return t.O })
+}
+
+func distinct(ts []Triple, f func(Triple) Term) []Term {
+	seen := make(map[Term]struct{}, len(ts))
+	var out []Term
+	for _, t := range ts {
+		k := f(t)
+		if _, ok := seen[k]; ok {
+			continue
+		}
+		seen[k] = struct{}{}
+		out = append(out, k)
+	}
+	return out
+}
+
+// Triples returns every triple in the graph in deterministic order.
+func (g *Graph) Triples() []Triple {
+	return g.Match(Wildcard, Wildcard, Wildcard)
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	out := NewGraph()
+	out.AddAll(g.Triples())
+	return out
+}

@@ -1,0 +1,167 @@
+package rdf
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func tr(s, p, o string) Triple {
+	return Triple{NewIRI(s), NewIRI(p), NewIRI(o)}
+}
+
+func TestGraphAddHasRemove(t *testing.T) {
+	g := NewGraph()
+	a := tr("s", "p", "o")
+	if !g.Add(a) {
+		t.Fatal("first Add returned false")
+	}
+	if g.Add(a) {
+		t.Fatal("duplicate Add returned true")
+	}
+	if g.Len() != 1 {
+		t.Fatalf("Len = %d", g.Len())
+	}
+	if !g.Has(a) {
+		t.Fatal("Has = false")
+	}
+	if !g.Remove(a) {
+		t.Fatal("Remove returned false")
+	}
+	if g.Remove(a) {
+		t.Fatal("second Remove returned true")
+	}
+	if g.Len() != 0 || g.Has(a) {
+		t.Fatal("graph not empty after Remove")
+	}
+}
+
+func TestGraphMatchPatterns(t *testing.T) {
+	g := NewGraph()
+	g.Add(tr("s1", "p1", "o1"))
+	g.Add(tr("s1", "p2", "o2"))
+	g.Add(tr("s2", "p1", "o1"))
+	g.Add(tr("s2", "p1", "o3"))
+
+	cases := []struct {
+		s, p, o Term
+		want    int
+	}{
+		{Wildcard, Wildcard, Wildcard, 4},
+		{NewIRI("s1"), Wildcard, Wildcard, 2},
+		{Wildcard, NewIRI("p1"), Wildcard, 3},
+		{Wildcard, Wildcard, NewIRI("o1"), 2},
+		{NewIRI("s1"), NewIRI("p1"), Wildcard, 1},
+		{Wildcard, NewIRI("p1"), NewIRI("o1"), 2},
+		{NewIRI("s2"), Wildcard, NewIRI("o3"), 1},
+		{NewIRI("s1"), NewIRI("p1"), NewIRI("o1"), 1},
+		{NewIRI("nope"), Wildcard, Wildcard, 0},
+	}
+	for i, c := range cases {
+		got := g.Match(c.s, c.p, c.o)
+		if len(got) != c.want {
+			t.Errorf("case %d: Match returned %d triples, want %d: %v", i, len(got), c.want, got)
+		}
+		for _, m := range got {
+			if !g.Has(m) {
+				t.Errorf("case %d: Match returned absent triple %v", i, m)
+			}
+		}
+	}
+}
+
+func TestGraphMatchDeterministicOrder(t *testing.T) {
+	g := NewGraph()
+	for i := 0; i < 50; i++ {
+		g.Add(tr(fmt.Sprintf("s%02d", rand.Intn(10)), fmt.Sprintf("p%d", rand.Intn(3)), fmt.Sprintf("o%02d", i)))
+	}
+	first := g.Triples()
+	for trial := 0; trial < 5; trial++ {
+		again := g.Triples()
+		if len(again) != len(first) {
+			t.Fatalf("Triples length changed: %d vs %d", len(again), len(first))
+		}
+		for i := range again {
+			if again[i] != first[i] {
+				t.Fatalf("Triples order unstable at %d: %v vs %v", i, again[i], first[i])
+			}
+		}
+	}
+	for i := 1; i < len(first); i++ {
+		if first[i-1].Compare(first[i]) >= 0 {
+			t.Fatalf("Triples not sorted at %d", i)
+		}
+	}
+}
+
+func TestGraphSubjectsObjects(t *testing.T) {
+	g := NewGraph()
+	g.Add(tr("t1", RDFType, "Turbine"))
+	g.Add(tr("t2", RDFType, "Turbine"))
+	g.Add(tr("t1", "locatedIn", "DE"))
+	subs := g.Subjects(NewIRI(RDFType), NewIRI("Turbine"))
+	if len(subs) != 2 {
+		t.Fatalf("Subjects = %v", subs)
+	}
+	objs := g.Objects(NewIRI("t1"), NewIRI("locatedIn"))
+	if len(objs) != 1 || objs[0].Value != "DE" {
+		t.Fatalf("Objects = %v", objs)
+	}
+}
+
+func TestGraphClone(t *testing.T) {
+	g := NewGraph()
+	g.Add(tr("s", "p", "o"))
+	c := g.Clone()
+	c.Add(tr("s2", "p", "o"))
+	if g.Len() != 1 || c.Len() != 2 {
+		t.Fatalf("clone not independent: g=%d c=%d", g.Len(), c.Len())
+	}
+}
+
+func TestGraphConcurrentAccess(t *testing.T) {
+	g := NewGraph()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				g.Add(tr(fmt.Sprintf("s%d-%d", w, i), "p", "o"))
+				g.Match(Wildcard, NewIRI("p"), Wildcard)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if g.Len() != 8*200 {
+		t.Fatalf("Len = %d, want %d", g.Len(), 8*200)
+	}
+}
+
+// Property: Add/Remove round-trips leave the graph where it started, and
+// Len always equals the number of distinct triples added.
+func TestGraphAddRemoveProperty(t *testing.T) {
+	f := func(keys []uint8) bool {
+		g := NewGraph()
+		seen := map[Triple]struct{}{}
+		for _, k := range keys {
+			trp := tr(fmt.Sprintf("s%d", k%7), fmt.Sprintf("p%d", k%3), fmt.Sprintf("o%d", k%5))
+			g.Add(trp)
+			seen[trp] = struct{}{}
+		}
+		if g.Len() != len(seen) {
+			return false
+		}
+		for trp := range seen {
+			if !g.Remove(trp) {
+				return false
+			}
+		}
+		return g.Len() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,209 @@
+// Package rdf implements the RDF data model used throughout Optique:
+// IRIs, literals, blank nodes, triples, and an indexed in-memory graph.
+//
+// The package is deliberately self-contained (stdlib only) and favours
+// value types with cheap equality so terms can be used as map keys by the
+// ontology reasoner and the query rewriter.
+package rdf
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// TermKind discriminates the three kinds of RDF terms.
+type TermKind uint8
+
+const (
+	// KindIRI identifies an IRI term.
+	KindIRI TermKind = iota
+	// KindBlank identifies a blank node.
+	KindBlank
+	// KindLiteral identifies a literal term.
+	KindLiteral
+)
+
+// Common XSD datatype IRIs.
+const (
+	XSDString   = "http://www.w3.org/2001/XMLSchema#string"
+	XSDInteger  = "http://www.w3.org/2001/XMLSchema#integer"
+	XSDDecimal  = "http://www.w3.org/2001/XMLSchema#decimal"
+	XSDDouble   = "http://www.w3.org/2001/XMLSchema#double"
+	XSDBoolean  = "http://www.w3.org/2001/XMLSchema#boolean"
+	XSDDateTime = "http://www.w3.org/2001/XMLSchema#dateTime"
+	XSDDuration = "http://www.w3.org/2001/XMLSchema#duration"
+)
+
+// Well-known RDF/RDFS/OWL vocabulary IRIs.
+const (
+	RDFType         = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type"
+	RDFSSubClassOf  = "http://www.w3.org/2000/01/rdf-schema#subClassOf"
+	RDFSSubPropOf   = "http://www.w3.org/2000/01/rdf-schema#subPropertyOf"
+	RDFSDomain      = "http://www.w3.org/2000/01/rdf-schema#domain"
+	RDFSRange       = "http://www.w3.org/2000/01/rdf-schema#range"
+	RDFSLabel       = "http://www.w3.org/2000/01/rdf-schema#label"
+	RDFSComment     = "http://www.w3.org/2000/01/rdf-schema#comment"
+	OWLClass        = "http://www.w3.org/2002/07/owl#Class"
+	OWLObjectProp   = "http://www.w3.org/2002/07/owl#ObjectProperty"
+	OWLDataProp     = "http://www.w3.org/2002/07/owl#DatatypeProperty"
+	OWLInverseOf    = "http://www.w3.org/2002/07/owl#inverseOf"
+	OWLThing        = "http://www.w3.org/2002/07/owl#Thing"
+	OWLDisjointWith = "http://www.w3.org/2002/07/owl#disjointWith"
+)
+
+// Term is a single RDF term. The zero value is an IRI with an empty value,
+// which is treated as invalid by Validate.
+//
+// Terms are comparable: two terms are equal iff all fields are equal, which
+// matches RDF term equality for IRIs and blank nodes and simple (syntactic)
+// equality for literals.
+type Term struct {
+	Kind TermKind
+	// Value holds the IRI string, the literal lexical form, or the blank
+	// node label depending on Kind.
+	Value string
+	// Datatype holds the datatype IRI for literals; empty means xsd:string.
+	Datatype string
+	// Lang holds the language tag for language-tagged string literals.
+	Lang string
+}
+
+// NewIRI returns an IRI term.
+func NewIRI(iri string) Term { return Term{Kind: KindIRI, Value: iri} }
+
+// NewBlank returns a blank-node term with the given label.
+func NewBlank(label string) Term { return Term{Kind: KindBlank, Value: label} }
+
+// NewLiteral returns a plain (xsd:string) literal.
+func NewLiteral(lexical string) Term {
+	return Term{Kind: KindLiteral, Value: lexical, Datatype: XSDString}
+}
+
+// NewTypedLiteral returns a literal with an explicit datatype IRI.
+func NewTypedLiteral(lexical, datatype string) Term {
+	return Term{Kind: KindLiteral, Value: lexical, Datatype: datatype}
+}
+
+// NewLangLiteral returns a language-tagged string literal.
+func NewLangLiteral(lexical, lang string) Term {
+	return Term{Kind: KindLiteral, Value: lexical, Datatype: XSDString, Lang: lang}
+}
+
+// NewInteger returns an xsd:integer literal.
+func NewInteger(v int64) Term {
+	return NewTypedLiteral(strconv.FormatInt(v, 10), XSDInteger)
+}
+
+// NewDouble returns an xsd:double literal.
+func NewDouble(v float64) Term {
+	return NewTypedLiteral(strconv.FormatFloat(v, 'g', -1, 64), XSDDouble)
+}
+
+// NewBoolean returns an xsd:boolean literal.
+func NewBoolean(v bool) Term {
+	return NewTypedLiteral(strconv.FormatBool(v), XSDBoolean)
+}
+
+// IsIRI reports whether t is an IRI.
+func (t Term) IsIRI() bool { return t.Kind == KindIRI }
+
+// IsLiteral reports whether t is a literal.
+func (t Term) IsLiteral() bool { return t.Kind == KindLiteral }
+
+// IsBlank reports whether t is a blank node.
+func (t Term) IsBlank() bool { return t.Kind == KindBlank }
+
+// Validate reports whether the term is structurally well formed.
+func (t Term) Validate() error {
+	switch t.Kind {
+	case KindIRI:
+		if t.Value == "" {
+			return fmt.Errorf("rdf: empty IRI")
+		}
+		if t.Datatype != "" || t.Lang != "" {
+			return fmt.Errorf("rdf: IRI %q must not carry datatype or language", t.Value)
+		}
+	case KindBlank:
+		if t.Value == "" {
+			return fmt.Errorf("rdf: empty blank node label")
+		}
+	case KindLiteral:
+		if t.Lang != "" && t.Datatype != XSDString && t.Datatype != "" {
+			return fmt.Errorf("rdf: literal %q has both language %q and datatype %q", t.Value, t.Lang, t.Datatype)
+		}
+	default:
+		return fmt.Errorf("rdf: unknown term kind %d", t.Kind)
+	}
+	return nil
+}
+
+// Integer returns the integer value of an xsd:integer literal.
+func (t Term) Integer() (int64, error) {
+	if !t.IsLiteral() {
+		return 0, fmt.Errorf("rdf: %s is not a literal", t)
+	}
+	return strconv.ParseInt(t.Value, 10, 64)
+}
+
+// Float returns the floating-point value of a numeric literal.
+func (t Term) Float() (float64, error) {
+	if !t.IsLiteral() {
+		return 0, fmt.Errorf("rdf: %s is not a literal", t)
+	}
+	return strconv.ParseFloat(t.Value, 64)
+}
+
+// Bool returns the boolean value of an xsd:boolean literal.
+func (t Term) Bool() (bool, error) {
+	if !t.IsLiteral() {
+		return false, fmt.Errorf("rdf: %s is not a literal", t)
+	}
+	return strconv.ParseBool(t.Value)
+}
+
+// LocalName returns the fragment or last path segment of an IRI, or the
+// raw value for other term kinds. It is used for human-readable output.
+func (t Term) LocalName() string {
+	if !t.IsIRI() {
+		return t.Value
+	}
+	if i := strings.LastIndexAny(t.Value, "#/"); i >= 0 && i+1 < len(t.Value) {
+		return t.Value[i+1:]
+	}
+	return t.Value
+}
+
+// String renders the term in N-Triples-like syntax.
+func (t Term) String() string {
+	switch t.Kind {
+	case KindIRI:
+		return "<" + t.Value + ">"
+	case KindBlank:
+		return "_:" + t.Value
+	default:
+		s := strconv.Quote(t.Value)
+		if t.Lang != "" {
+			return s + "@" + t.Lang
+		}
+		if t.Datatype != "" && t.Datatype != XSDString {
+			return s + "^^<" + t.Datatype + ">"
+		}
+		return s
+	}
+}
+
+// Compare orders terms: IRIs < blanks < literals, then lexicographically.
+// It gives graphs a deterministic iteration order for tests and output.
+func (t Term) Compare(u Term) int {
+	if t.Kind != u.Kind {
+		return int(t.Kind) - int(u.Kind)
+	}
+	if c := strings.Compare(t.Value, u.Value); c != 0 {
+		return c
+	}
+	if c := strings.Compare(t.Datatype, u.Datatype); c != 0 {
+		return c
+	}
+	return strings.Compare(t.Lang, u.Lang)
+}

@@ -1,0 +1,153 @@
+package rdf
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTermConstructors(t *testing.T) {
+	cases := []struct {
+		term Term
+		kind TermKind
+		str  string
+	}{
+		{NewIRI("http://x#A"), KindIRI, "<http://x#A>"},
+		{NewBlank("b0"), KindBlank, "_:b0"},
+		{NewLiteral("hi"), KindLiteral, `"hi"`},
+		{NewTypedLiteral("5", XSDInteger), KindLiteral, `"5"^^<` + XSDInteger + `>`},
+		{NewLangLiteral("hallo", "de"), KindLiteral, `"hallo"@de`},
+		{NewInteger(42), KindLiteral, `"42"^^<` + XSDInteger + `>`},
+		{NewBoolean(true), KindLiteral, `"true"^^<` + XSDBoolean + `>`},
+	}
+	for _, c := range cases {
+		if c.term.Kind != c.kind {
+			t.Errorf("%v: kind = %d, want %d", c.term, c.term.Kind, c.kind)
+		}
+		if got := c.term.String(); got != c.str {
+			t.Errorf("String() = %q, want %q", got, c.str)
+		}
+		if err := c.term.Validate(); err != nil {
+			t.Errorf("Validate(%v) = %v", c.term, err)
+		}
+	}
+}
+
+func TestTermValidateRejects(t *testing.T) {
+	bad := []Term{
+		{},                                      // empty IRI
+		{Kind: KindBlank},                       // empty blank label
+		{Kind: KindIRI, Value: "x", Lang: "en"}, // IRI with language
+		{Kind: KindLiteral, Value: "x", Lang: "en", Datatype: XSDInteger},
+		{Kind: 42, Value: "x"},
+	}
+	for _, b := range bad {
+		if err := b.Validate(); err == nil {
+			t.Errorf("Validate(%#v) = nil, want error", b)
+		}
+	}
+}
+
+func TestLiteralValueAccessors(t *testing.T) {
+	if v, err := NewInteger(-7).Integer(); err != nil || v != -7 {
+		t.Errorf("Integer() = %d, %v", v, err)
+	}
+	if v, err := NewDouble(2.5).Float(); err != nil || v != 2.5 {
+		t.Errorf("Float() = %g, %v", v, err)
+	}
+	if v, err := NewBoolean(true).Bool(); err != nil || !v {
+		t.Errorf("Bool() = %t, %v", v, err)
+	}
+	if _, err := NewIRI("x").Integer(); err == nil {
+		t.Error("Integer() on IRI should fail")
+	}
+	if _, err := NewIRI("x").Float(); err == nil {
+		t.Error("Float() on IRI should fail")
+	}
+	if _, err := NewIRI("x").Bool(); err == nil {
+		t.Error("Bool() on IRI should fail")
+	}
+}
+
+func TestLocalName(t *testing.T) {
+	cases := map[string]string{
+		"http://a/b#Turbine": "Turbine",
+		"http://a/b/Sensor":  "Sensor",
+		"urn:thing":          "urn:thing",
+	}
+	for iri, want := range cases {
+		if got := NewIRI(iri).LocalName(); got != want {
+			t.Errorf("LocalName(%q) = %q, want %q", iri, got, want)
+		}
+	}
+	if got := NewLiteral("v").LocalName(); got != "v" {
+		t.Errorf("LocalName(literal) = %q", got)
+	}
+}
+
+func TestTermCompareProperties(t *testing.T) {
+	// Antisymmetry and consistency with equality.
+	f := func(a, b string) bool {
+		x, y := NewIRI("i/"+a), NewIRI("i/"+b)
+		c1, c2 := x.Compare(y), y.Compare(x)
+		if x == y {
+			return c1 == 0 && c2 == 0
+		}
+		return (c1 > 0) == (c2 < 0) && c1 != 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// Kind ordering: IRI < blank < literal.
+	if NewIRI("z").Compare(NewBlank("a")) >= 0 {
+		t.Error("IRI should sort before blank")
+	}
+	if NewBlank("z").Compare(NewLiteral("a")) >= 0 {
+		t.Error("blank should sort before literal")
+	}
+}
+
+func TestTripleValidate(t *testing.T) {
+	ok := NewTriple(NewIRI("s"), NewIRI("p"), NewLiteral("o"))
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("Validate = %v", err)
+	}
+	if err := NewTriple(NewLiteral("s"), NewIRI("p"), NewIRI("o")).Validate(); err == nil {
+		t.Error("literal subject accepted")
+	}
+	if err := NewTriple(NewIRI("s"), NewBlank("p"), NewIRI("o")).Validate(); err == nil {
+		t.Error("blank predicate accepted")
+	}
+}
+
+func TestPrefixMapExpandShrink(t *testing.T) {
+	pm := PrefixMap{"sie": "http://siemens/ns#"}
+	got, err := pm.Expand("sie:Turbine")
+	if err != nil || got != "http://siemens/ns#Turbine" {
+		t.Fatalf("Expand = %q, %v", got, err)
+	}
+	if _, err := pm.Expand("nope:X"); err == nil {
+		t.Error("unknown prefix accepted")
+	}
+	if got, _ := pm.Expand("<http://a/b>"); got != "http://a/b" {
+		t.Errorf("Expand(<...>) = %q", got)
+	}
+	if got, _ := pm.Expand("plain"); got != "plain" {
+		t.Errorf("Expand(plain) = %q", got)
+	}
+	if got := pm.Shrink("http://siemens/ns#Sensor"); got != "sie:Sensor" {
+		t.Errorf("Shrink = %q", got)
+	}
+	if got := pm.Shrink("http://other/X"); got != "<http://other/X>" {
+		t.Errorf("Shrink(unknown) = %q", got)
+	}
+}
+
+func TestPrefixShrinkLongestMatch(t *testing.T) {
+	pm := PrefixMap{
+		"a":  "http://x/",
+		"ab": "http://x/deep/",
+	}
+	if got := pm.Shrink("http://x/deep/T"); got != "ab:T" {
+		t.Errorf("Shrink picked %q, want longest namespace ab:T", got)
+	}
+}

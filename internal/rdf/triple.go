@@ -1,0 +1,103 @@
+package rdf
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Triple is an RDF statement.
+type Triple struct {
+	S, P, O Term
+}
+
+// NewTriple builds a triple from its three terms.
+func NewTriple(s, p, o Term) Triple { return Triple{S: s, P: p, O: o} }
+
+// Validate checks positional constraints: the subject must be an IRI or a
+// blank node and the predicate must be an IRI.
+func (t Triple) Validate() error {
+	if err := t.S.Validate(); err != nil {
+		return err
+	}
+	if err := t.P.Validate(); err != nil {
+		return err
+	}
+	if err := t.O.Validate(); err != nil {
+		return err
+	}
+	if t.S.IsLiteral() {
+		return fmt.Errorf("rdf: literal subject in %s", t)
+	}
+	if !t.P.IsIRI() {
+		return fmt.Errorf("rdf: non-IRI predicate in %s", t)
+	}
+	return nil
+}
+
+// String renders the triple in N-Triples syntax.
+func (t Triple) String() string {
+	return t.S.String() + " " + t.P.String() + " " + t.O.String() + " ."
+}
+
+// Compare orders triples by subject, predicate, object.
+func (t Triple) Compare(u Triple) int {
+	if c := t.S.Compare(u.S); c != 0 {
+		return c
+	}
+	if c := t.P.Compare(u.P); c != 0 {
+		return c
+	}
+	return t.O.Compare(u.O)
+}
+
+// PrefixMap maps prefix labels (without the trailing colon) to namespace
+// IRIs, e.g. "sie" -> "http://siemens.com/ontology#".
+type PrefixMap map[string]string
+
+// Expand resolves a CURIE such as "sie:Turbine" against the map. Inputs
+// already wrapped in angle brackets, or containing no colon, are returned
+// with brackets stripped / unchanged respectively.
+func (pm PrefixMap) Expand(curie string) (string, error) {
+	if strings.HasPrefix(curie, "<") && strings.HasSuffix(curie, ">") {
+		return curie[1 : len(curie)-1], nil
+	}
+	i := strings.Index(curie, ":")
+	if i < 0 {
+		return curie, nil
+	}
+	prefix, local := curie[:i], curie[i+1:]
+	// Absolute IRIs like http://... pass through untouched.
+	if strings.HasPrefix(local, "//") {
+		return curie, nil
+	}
+	ns, ok := pm[prefix]
+	if !ok {
+		return "", fmt.Errorf("rdf: unknown prefix %q in %q", prefix, curie)
+	}
+	return ns + local, nil
+}
+
+// Shrink produces a CURIE for an IRI when one of the registered namespaces
+// is a prefix of it; otherwise it returns the bracketed IRI.
+func (pm PrefixMap) Shrink(iri string) string {
+	best, bestNS := "", ""
+	for p, ns := range pm {
+		if strings.HasPrefix(iri, ns) && len(ns) > len(bestNS) {
+			best, bestNS = p, ns
+		}
+	}
+	if bestNS == "" {
+		return "<" + iri + ">"
+	}
+	return best + ":" + iri[len(bestNS):]
+}
+
+// StandardPrefixes returns a PrefixMap preloaded with the usual suspects.
+func StandardPrefixes() PrefixMap {
+	return PrefixMap{
+		"rdf":  "http://www.w3.org/1999/02/22-rdf-syntax-ns#",
+		"rdfs": "http://www.w3.org/2000/01/rdf-schema#",
+		"owl":  "http://www.w3.org/2002/07/owl#",
+		"xsd":  "http://www.w3.org/2001/XMLSchema#",
+	}
+}

@@ -1,0 +1,142 @@
+package rdf
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleTurtle = `
+@prefix sie: <http://siemens.com/ontology#> .
+@prefix : <http://example.org/data#> .
+
+# a small fleet
+:t1 a sie:Turbine ;
+    sie:hasModel "SGT-400" ;
+    sie:ratedPowerMW 13.4 ;
+    sie:sensorCount 2000 ;
+    sie:active true ;
+    sie:locatedIn :germany , :plant7 .
+
+:s1 a sie:Sensor .
+:s1 sie:inAssembly :t1 .
+:s1 sie:hasValue "71.5"^^<http://www.w3.org/2001/XMLSchema#double> .
+:s1 rdfs:label "inlet temperature"@en .
+_:b0 a sie:Event .
+`
+
+func TestParseTurtleBasics(t *testing.T) {
+	ts, pm, err := ParseTurtle(sampleTurtle)
+	if err != nil {
+		t.Fatalf("ParseTurtle: %v", err)
+	}
+	if pm["sie"] != "http://siemens.com/ontology#" {
+		t.Errorf("prefix sie = %q", pm["sie"])
+	}
+	g := NewGraph()
+	g.AddAll(ts)
+
+	sie := func(l string) Term { return NewIRI("http://siemens.com/ontology#" + l) }
+	ex := func(l string) Term { return NewIRI("http://example.org/data#" + l) }
+
+	if !g.Has(Triple{ex("t1"), NewIRI(RDFType), sie("Turbine")}) {
+		t.Error("missing type triple")
+	}
+	if !g.Has(Triple{ex("t1"), sie("hasModel"), NewLiteral("SGT-400")}) {
+		t.Error("missing string literal triple")
+	}
+	if !g.Has(Triple{ex("t1"), sie("ratedPowerMW"), NewTypedLiteral("13.4", XSDDecimal)}) {
+		t.Error("missing decimal triple")
+	}
+	if !g.Has(Triple{ex("t1"), sie("sensorCount"), NewTypedLiteral("2000", XSDInteger)}) {
+		t.Error("missing integer triple")
+	}
+	if !g.Has(Triple{ex("t1"), sie("active"), NewTypedLiteral("true", XSDBoolean)}) {
+		t.Error("missing boolean triple")
+	}
+	// Object list via comma.
+	if !g.Has(Triple{ex("t1"), sie("locatedIn"), ex("germany")}) ||
+		!g.Has(Triple{ex("t1"), sie("locatedIn"), ex("plant7")}) {
+		t.Error("missing comma-separated objects")
+	}
+	if !g.Has(Triple{ex("s1"), sie("hasValue"), NewTypedLiteral("71.5", XSDDouble)}) {
+		t.Error("missing typed double triple")
+	}
+	if !g.Has(Triple{ex("s1"), NewIRI(RDFSLabel), NewLangLiteral("inlet temperature", "en")}) {
+		t.Error("missing language-tagged literal")
+	}
+	if !g.Has(Triple{NewBlank("b0"), NewIRI(RDFType), sie("Event")}) {
+		t.Error("missing blank node triple")
+	}
+}
+
+func TestParseTurtleErrors(t *testing.T) {
+	bad := []string{
+		`:s :p `,               // missing object and dot
+		`:s "lit" :o .`,        // literal subject... actually "lit" as predicate
+		`@prefix x <http://a>`, // malformed prefix
+		`:s :p "unterminated .`,
+		`<http://a> <http://b> "x"^^5 .`,
+		`:s :p "bad\qescape" .`,
+	}
+	for _, src := range bad {
+		if _, _, err := ParseTurtle(src); err == nil {
+			t.Errorf("ParseTurtle(%q) accepted invalid input", src)
+		}
+	}
+}
+
+func TestParseTurtleUnknownPrefix(t *testing.T) {
+	if _, _, err := ParseTurtle(`nope:s rdf:type nope:C .`); err == nil {
+		t.Fatal("unknown prefix accepted")
+	}
+}
+
+func TestTurtleRoundTrip(t *testing.T) {
+	ts, pm, err := ParseTurtle(sampleTurtle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := WriteTurtle(ts, pm)
+	ts2, _, err := ParseTurtle(out)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, out)
+	}
+	g1, g2 := NewGraph(), NewGraph()
+	g1.AddAll(ts)
+	g2.AddAll(ts2)
+	if g1.Len() != g2.Len() {
+		t.Fatalf("round trip changed triple count: %d vs %d", g1.Len(), g2.Len())
+	}
+	for _, trp := range g1.Triples() {
+		if !g2.Has(trp) {
+			t.Errorf("round trip lost %v", trp)
+		}
+	}
+}
+
+func TestWriteTurtleUsesAKeyword(t *testing.T) {
+	out := WriteTurtle([]Triple{tr("s", RDFType, "C")}, nil)
+	if !strings.Contains(out, " a ") {
+		t.Errorf("expected 'a' keyword in %q", out)
+	}
+}
+
+func TestMustParseTurtlePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParseTurtle did not panic")
+		}
+	}()
+	MustParseTurtle(`:s :p`)
+}
+
+func TestParseTurtleEscapes(t *testing.T) {
+	ts, _, err := ParseTurtle(`<http://s> <http://p> "a\nb\t\"c\\" .`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "a\nb\t\"c\\"
+	if ts[0].O.Value != want {
+		t.Errorf("escape handling: %q, want %q", ts[0].O.Value, want)
+	}
+}

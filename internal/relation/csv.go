@@ -1,0 +1,121 @@
+package relation
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ReadCSV loads rows from CSV data into a new table with the given schema.
+// The first record must be a header whose names match the schema columns
+// (order-insensitively). Empty fields load as NULL.
+func ReadCSV(name string, schema Schema, r io.Reader) (*Table, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("relation: csv header: %w", err)
+	}
+	perm := make([]int, len(header))
+	if len(header) != schema.Arity() {
+		return nil, fmt.Errorf("relation: csv has %d columns, schema %d", len(header), schema.Arity())
+	}
+	for i, h := range header {
+		p, err := schema.IndexOf(strings.TrimSpace(h))
+		if err != nil {
+			return nil, err
+		}
+		perm[i] = p
+	}
+	t := NewTable(name, schema)
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("relation: csv line %d: %w", line, err)
+		}
+		row := make(Tuple, schema.Arity())
+		for i, field := range rec {
+			p := perm[i]
+			v, err := ParseValue(field, schema.Columns[p].Type)
+			if err != nil {
+				return nil, fmt.Errorf("relation: csv line %d column %s: %w", line, schema.Columns[p].Name, err)
+			}
+			row[p] = v
+		}
+		if err := t.Insert(row); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// ParseValue converts a textual field to a Value of the wanted type.
+// The empty string parses as NULL.
+func ParseValue(s string, want Type) (Value, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return Null, nil
+	}
+	switch want {
+	case TInt:
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return Null, err
+		}
+		return Int(v), nil
+	case TFloat:
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return Null, err
+		}
+		return Float(v), nil
+	case TBool:
+		v, err := strconv.ParseBool(s)
+		if err != nil {
+			return Null, err
+		}
+		return Bool_(v), nil
+	case TTime:
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return Null, err
+		}
+		return Time(v), nil
+	default:
+		return String_(s), nil
+	}
+}
+
+// WriteCSV serialises the table (header plus rows) to w.
+func WriteCSV(t *Table, w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Schema().Names()); err != nil {
+		return err
+	}
+	for _, row := range t.Rows() {
+		rec := make([]string, len(row))
+		for i, v := range row {
+			switch v.Type {
+			case TNull:
+				rec[i] = ""
+			case TString:
+				rec[i] = v.Str
+			case TInt, TTime:
+				rec[i] = strconv.FormatInt(v.Int, 10)
+			case TFloat:
+				rec[i] = strconv.FormatFloat(v.Float, 'g', -1, 64)
+			case TBool:
+				rec[i] = strconv.FormatBool(v.Bool)
+			}
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

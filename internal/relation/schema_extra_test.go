@@ -1,0 +1,85 @@
+package relation
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSchemaHasAndString(t *testing.T) {
+	s := NewSchema(Col("a", TInt), Col("b", TString))
+	if !s.Has("a") || s.Has("zz") {
+		t.Error("Has")
+	}
+	str := s.String()
+	if !strings.Contains(str, "a INTEGER") || !strings.Contains(str, "b TEXT") {
+		t.Errorf("String = %q", str)
+	}
+}
+
+func TestTupleCloneConcatString(t *testing.T) {
+	a := Tuple{Int(1), String_("x")}
+	c := a.Clone()
+	c[0] = Int(9)
+	if a[0] != Int(1) {
+		t.Error("Clone shares storage")
+	}
+	cat := a.Concat(Tuple{Bool_(true)})
+	if len(cat) != 3 {
+		t.Errorf("Concat = %v", cat)
+	}
+	if a.String() != "(1, 'x')" {
+		t.Errorf("String = %q", a.String())
+	}
+}
+
+func TestCatalogPutReplaces(t *testing.T) {
+	c := NewCatalog()
+	t1 := NewTable("T", NewSchema(Col("a", TInt)))
+	c.Put(t1)
+	t2 := NewTable("t", NewSchema(Col("b", TInt)))
+	c.Put(t2) // case-insensitive replace
+	got, err := c.Get("T")
+	if err != nil || got != t2 {
+		t.Errorf("Put did not replace: %v, %v", got, err)
+	}
+}
+
+func TestParseValueAllTypes(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Value
+		typ  Type
+	}{
+		{"42", Int(42), TInt},
+		{"2.5", Float(2.5), TFloat},
+		{"true", Bool_(true), TBool},
+		{"99", Time(99), TTime},
+		{"hello", String_("hello"), TString},
+		{"", Null, TInt},
+		{"  ", Null, TFloat},
+	}
+	for _, c := range cases {
+		got, err := ParseValue(c.in, c.typ)
+		if err != nil || got != c.want {
+			t.Errorf("ParseValue(%q, %v) = %v, %v", c.in, c.typ, got, err)
+		}
+	}
+	for _, bad := range []struct {
+		in  string
+		typ Type
+	}{{"x", TInt}, {"x", TFloat}, {"x", TBool}, {"x", TTime}} {
+		if _, err := ParseValue(bad.in, bad.typ); err == nil {
+			t.Errorf("ParseValue(%q, %v) accepted", bad.in, bad.typ)
+		}
+	}
+}
+
+func TestMustInsertPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustInsert did not panic")
+		}
+	}()
+	tb := NewTable("t", NewSchema(Col("a", TInt)))
+	tb.MustInsert(Tuple{String_("wrong")})
+}

@@ -1,0 +1,285 @@
+package relation
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Table is an in-memory relation with optional hash indexes. It is safe
+// for concurrent use.
+type Table struct {
+	name   string
+	schema Schema
+
+	mu      sync.RWMutex
+	rows    []Tuple
+	indexes map[string]*hashIndex // key: comma-joined column positions
+}
+
+// hashIndex maps a tuple key over indexed columns to row positions.
+type hashIndex struct {
+	cols []int
+	m    map[string][]int
+}
+
+// NewTable creates an empty table.
+func NewTable(name string, schema Schema) *Table {
+	return &Table{name: name, schema: schema, indexes: make(map[string]*hashIndex)}
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Schema returns the table schema.
+func (t *Table) Schema() Schema { return t.schema }
+
+// Len returns the number of rows.
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.rows)
+}
+
+// Insert appends a row after checking arity and type compatibility
+// (NULL is accepted in any column; integers widen to floats).
+func (t *Table) Insert(row Tuple) error {
+	if len(row) != t.schema.Arity() {
+		return fmt.Errorf("relation: %s: arity mismatch: row has %d values, schema %d", t.name, len(row), t.schema.Arity())
+	}
+	for i, v := range row {
+		want := t.schema.Columns[i].Type
+		if v.IsNull() || v.Type == want {
+			continue
+		}
+		if v.Type == TInt && want == TFloat {
+			row[i] = Float(float64(v.Int))
+			continue
+		}
+		if v.Type == TInt && want == TTime {
+			row[i] = Time(v.Int)
+			continue
+		}
+		return fmt.Errorf("relation: %s: column %s expects %s, got %s",
+			t.name, t.schema.Columns[i].Name, want, v.Type)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	pos := len(t.rows)
+	t.rows = append(t.rows, row)
+	for _, idx := range t.indexes {
+		k := row.Key(idx.cols)
+		idx.m[k] = append(idx.m[k], pos)
+	}
+	return nil
+}
+
+// MustInsert inserts and panics on error; for statically-known fixtures.
+func (t *Table) MustInsert(row Tuple) {
+	if err := t.Insert(row); err != nil {
+		panic(err)
+	}
+}
+
+// Rows returns a snapshot of all rows. The returned slice is shared;
+// callers must not mutate tuples.
+func (t *Table) Rows() []Tuple {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]Tuple, len(t.rows))
+	copy(out, t.rows)
+	return out
+}
+
+// Truncate removes all rows, keeping indexes registered but empty.
+func (t *Table) Truncate() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.rows = nil
+	for _, idx := range t.indexes {
+		idx.m = make(map[string][]int)
+	}
+}
+
+func indexKey(cols []int) string {
+	parts := make([]string, len(cols))
+	for i, c := range cols {
+		parts[i] = fmt.Sprint(c)
+	}
+	return strings.Join(parts, ",")
+}
+
+// CreateIndex builds a hash index on the named columns. Creating an index
+// that already exists is a no-op.
+func (t *Table) CreateIndex(cols ...string) error {
+	positions := make([]int, len(cols))
+	for i, c := range cols {
+		p, err := t.schema.IndexOf(c)
+		if err != nil {
+			return err
+		}
+		positions[i] = p
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	key := indexKey(positions)
+	if _, ok := t.indexes[key]; ok {
+		return nil
+	}
+	idx := &hashIndex{cols: positions, m: make(map[string][]int)}
+	for pos, row := range t.rows {
+		k := row.Key(positions)
+		idx.m[k] = append(idx.m[k], pos)
+	}
+	t.indexes[key] = idx
+	return nil
+}
+
+// HasIndex reports whether an index exists exactly on the named columns.
+func (t *Table) HasIndex(cols ...string) bool {
+	positions := make([]int, len(cols))
+	for i, c := range cols {
+		p, err := t.schema.IndexOf(c)
+		if err != nil {
+			return false
+		}
+		positions[i] = p
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	_, ok := t.indexes[indexKey(positions)]
+	return ok
+}
+
+// Lookup returns the rows whose indexed columns equal the given values,
+// using a hash index when one exists on exactly those columns and a scan
+// otherwise. The bool result reports whether an index was used (the
+// adaptive-indexing benchmarks observe it).
+func (t *Table) Lookup(cols []string, vals []Value) ([]Tuple, bool, error) {
+	if len(cols) != len(vals) {
+		return nil, false, fmt.Errorf("relation: Lookup arity mismatch")
+	}
+	positions := make([]int, len(cols))
+	for i, c := range cols {
+		p, err := t.schema.IndexOf(c)
+		if err != nil {
+			return nil, false, err
+		}
+		positions[i] = p
+	}
+	probe := make(Tuple, t.schema.Arity())
+	for i, p := range positions {
+		probe[p] = vals[i]
+	}
+	key := probe.Key(positions)
+
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if idx, ok := t.indexes[indexKey(positions)]; ok {
+		rowIDs := idx.m[key]
+		out := make([]Tuple, len(rowIDs))
+		for i, id := range rowIDs {
+			out[i] = t.rows[id]
+		}
+		return out, true, nil
+	}
+	var out []Tuple
+	for _, row := range t.rows {
+		match := true
+		for i, p := range positions {
+			if !Equal(row[p], vals[i]) {
+				match = false
+				break
+			}
+		}
+		if match {
+			out = append(out, row)
+		}
+	}
+	return out, false, nil
+}
+
+// SortRows orders rows in place of a snapshot by the given columns
+// (ascending) and returns them; used for deterministic test output.
+func SortRows(rows []Tuple, cols []int) []Tuple {
+	sort.SliceStable(rows, func(i, j int) bool {
+		for _, c := range cols {
+			cmp, ok := Compare(rows[i][c], rows[j][c])
+			if !ok {
+				continue
+			}
+			if cmp != 0 {
+				return cmp < 0
+			}
+		}
+		return false
+	})
+	return rows
+}
+
+// Catalog is a named collection of tables. It is safe for concurrent use.
+type Catalog struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{tables: make(map[string]*Table)}
+}
+
+// Create adds a new table; it fails if the name is taken.
+func (c *Catalog) Create(name string, schema Schema) (*Table, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := strings.ToLower(name)
+	if _, ok := c.tables[key]; ok {
+		return nil, fmt.Errorf("relation: table %q already exists", name)
+	}
+	t := NewTable(name, schema)
+	c.tables[key] = t
+	return t, nil
+}
+
+// Put registers an existing table, replacing any previous one of the name.
+func (c *Catalog) Put(t *Table) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tables[strings.ToLower(t.Name())] = t
+}
+
+// Get returns the named table.
+func (c *Catalog) Get(name string) (*Table, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	t, ok := c.tables[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("relation: unknown table %q", name)
+	}
+	return t, nil
+}
+
+// Drop removes the named table.
+func (c *Catalog) Drop(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := strings.ToLower(name)
+	if _, ok := c.tables[key]; !ok {
+		return fmt.Errorf("relation: unknown table %q", name)
+	}
+	delete(c.tables, key)
+	return nil
+}
+
+// Names lists the table names, sorted.
+func (c *Catalog) Names() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.tables))
+	for _, t := range c.tables {
+		out = append(out, t.Name())
+	}
+	sort.Strings(out)
+	return out
+}

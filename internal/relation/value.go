@@ -1,0 +1,275 @@
+// Package relation provides the relational data model underneath
+// ExaStream: typed values, schemas, tuples, in-memory tables with hash
+// indexes, and a catalog. It corresponds to the storage layer of the
+// SQLite-based engine the paper extends.
+package relation
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Type enumerates the column types supported by the engine.
+type Type uint8
+
+const (
+	// TNull is the type of the SQL NULL value.
+	TNull Type = iota
+	// TInt is a 64-bit signed integer.
+	TInt
+	// TFloat is a 64-bit IEEE float.
+	TFloat
+	// TString is a UTF-8 string.
+	TString
+	// TBool is a boolean.
+	TBool
+	// TTime is a timestamp in milliseconds since the epoch; the stream
+	// layer uses it for window arithmetic.
+	TTime
+)
+
+// String returns the SQL name of the type.
+func (t Type) String() string {
+	switch t {
+	case TNull:
+		return "NULL"
+	case TInt:
+		return "INTEGER"
+	case TFloat:
+		return "REAL"
+	case TString:
+		return "TEXT"
+	case TBool:
+		return "BOOLEAN"
+	case TTime:
+		return "TIMESTAMP"
+	default:
+		return fmt.Sprintf("Type(%d)", uint8(t))
+	}
+}
+
+// ParseType converts a SQL type name to a Type.
+func ParseType(s string) (Type, error) {
+	switch strings.ToUpper(s) {
+	case "NULL":
+		return TNull, nil
+	case "INT", "INTEGER", "BIGINT":
+		return TInt, nil
+	case "REAL", "FLOAT", "DOUBLE":
+		return TFloat, nil
+	case "TEXT", "VARCHAR", "STRING", "CHAR":
+		return TString, nil
+	case "BOOL", "BOOLEAN":
+		return TBool, nil
+	case "TIMESTAMP", "TIME", "DATETIME":
+		return TTime, nil
+	default:
+		return TNull, fmt.Errorf("relation: unknown type %q", s)
+	}
+}
+
+// Value is a single typed SQL value. Values are comparable and can be used
+// directly as map keys (hash-join build keys, group-by keys).
+type Value struct {
+	Type  Type
+	Int   int64 // also holds TTime milliseconds
+	Float float64
+	Str   string
+	Bool  bool
+}
+
+// Null is the SQL NULL value.
+var Null = Value{Type: TNull}
+
+// Int returns an integer value.
+func Int(v int64) Value { return Value{Type: TInt, Int: v} }
+
+// Float returns a float value.
+func Float(v float64) Value { return Value{Type: TFloat, Float: v} }
+
+// String_ returns a string value. The underscore avoids colliding with the
+// fmt.Stringer method on Value.
+func String_(v string) Value { return Value{Type: TString, Str: v} }
+
+// Bool_ returns a boolean value.
+func Bool_(v bool) Value { return Value{Type: TBool, Bool: v} }
+
+// Time returns a timestamp value (milliseconds since epoch).
+func Time(ms int64) Value { return Value{Type: TTime, Int: ms} }
+
+// IsNull reports whether v is NULL.
+func (v Value) IsNull() bool { return v.Type == TNull }
+
+// AsFloat converts numeric values to float64.
+func (v Value) AsFloat() (float64, bool) {
+	switch v.Type {
+	case TInt, TTime:
+		return float64(v.Int), true
+	case TFloat:
+		return v.Float, true
+	default:
+		return 0, false
+	}
+}
+
+// AsInt converts numeric values to int64, truncating floats.
+func (v Value) AsInt() (int64, bool) {
+	switch v.Type {
+	case TInt, TTime:
+		return v.Int, true
+	case TFloat:
+		return int64(v.Float), true
+	default:
+		return 0, false
+	}
+}
+
+// Truthy reports whether the value counts as true in a WHERE context.
+// NULL is not truthy.
+func (v Value) Truthy() bool {
+	switch v.Type {
+	case TBool:
+		return v.Bool
+	case TInt, TTime:
+		return v.Int != 0
+	case TFloat:
+		return v.Float != 0
+	case TString:
+		return v.Str != ""
+	default:
+		return false
+	}
+}
+
+// String renders the value in SQL literal syntax.
+func (v Value) String() string {
+	switch v.Type {
+	case TNull:
+		return "NULL"
+	case TInt:
+		return strconv.FormatInt(v.Int, 10)
+	case TFloat:
+		return strconv.FormatFloat(v.Float, 'g', -1, 64)
+	case TString:
+		return "'" + strings.ReplaceAll(v.Str, "'", "''") + "'"
+	case TBool:
+		return strings.ToUpper(strconv.FormatBool(v.Bool))
+	case TTime:
+		return fmt.Sprintf("TIMESTAMP %d", v.Int)
+	default:
+		return fmt.Sprintf("Value(%d)", v.Type)
+	}
+}
+
+// numeric reports whether the type participates in arithmetic.
+func (t Type) numeric() bool { return t == TInt || t == TFloat || t == TTime }
+
+// Compare orders two values. NULL sorts before everything; numeric types
+// compare by value across int/float/time; otherwise values must share a
+// type. The second result is false for incomparable values.
+func Compare(a, b Value) (int, bool) {
+	if a.IsNull() || b.IsNull() {
+		switch {
+		case a.IsNull() && b.IsNull():
+			return 0, true
+		case a.IsNull():
+			return -1, true
+		default:
+			return 1, true
+		}
+	}
+	if a.Type.numeric() && b.Type.numeric() {
+		af, _ := a.AsFloat()
+		bf, _ := b.AsFloat()
+		switch {
+		case af < bf:
+			return -1, true
+		case af > bf:
+			return 1, true
+		default:
+			return 0, true
+		}
+	}
+	if a.Type != b.Type {
+		return 0, false
+	}
+	switch a.Type {
+	case TString:
+		return strings.Compare(a.Str, b.Str), true
+	case TBool:
+		switch {
+		case a.Bool == b.Bool:
+			return 0, true
+		case !a.Bool:
+			return -1, true
+		default:
+			return 1, true
+		}
+	}
+	return 0, false
+}
+
+// Equal reports whether two values are equal under SQL comparison
+// semantics (NULL equals nothing, numeric cross-type equality allowed).
+func Equal(a, b Value) bool {
+	if a.IsNull() || b.IsNull() {
+		return false
+	}
+	c, ok := Compare(a, b)
+	return ok && c == 0
+}
+
+// Arith applies a binary arithmetic operator (+ - * / %) to two values,
+// following SQL NULL propagation. Integer operands yield integers except
+// for division by a non-divisor, which yields a float.
+func Arith(op byte, a, b Value) (Value, error) {
+	if a.IsNull() || b.IsNull() {
+		return Null, nil
+	}
+	if !a.Type.numeric() || !b.Type.numeric() {
+		return Null, fmt.Errorf("relation: %s %c %s: non-numeric operand", a, op, b)
+	}
+	if a.Type == TInt && b.Type == TInt {
+		x, y := a.Int, b.Int
+		switch op {
+		case '+':
+			return Int(x + y), nil
+		case '-':
+			return Int(x - y), nil
+		case '*':
+			return Int(x * y), nil
+		case '/':
+			if y == 0 {
+				return Null, fmt.Errorf("relation: division by zero")
+			}
+			if x%y == 0 {
+				return Int(x / y), nil
+			}
+			return Float(float64(x) / float64(y)), nil
+		case '%':
+			if y == 0 {
+				return Null, fmt.Errorf("relation: modulo by zero")
+			}
+			return Int(x % y), nil
+		}
+	}
+	x, _ := a.AsFloat()
+	y, _ := b.AsFloat()
+	switch op {
+	case '+':
+		return Float(x + y), nil
+	case '-':
+		return Float(x - y), nil
+	case '*':
+		return Float(x * y), nil
+	case '/':
+		if y == 0 {
+			return Null, fmt.Errorf("relation: division by zero")
+		}
+		return Float(x / y), nil
+	case '%':
+		return Null, fmt.Errorf("relation: modulo on floats")
+	}
+	return Null, fmt.Errorf("relation: unknown operator %c", op)
+}

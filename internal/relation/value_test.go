@@ -1,0 +1,175 @@
+package relation
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTypeStringAndParse(t *testing.T) {
+	for _, tt := range []Type{TNull, TInt, TFloat, TString, TBool, TTime} {
+		parsed, err := ParseType(tt.String())
+		if err != nil || parsed != tt {
+			t.Errorf("round trip %v: got %v, %v", tt, parsed, err)
+		}
+	}
+	if _, err := ParseType("BLOB"); err == nil {
+		t.Error("unknown type accepted")
+	}
+	if got, _ := ParseType("varchar"); got != TString {
+		t.Error("case-insensitive parse failed")
+	}
+}
+
+func TestValueConstructorsAndAccessors(t *testing.T) {
+	if v, ok := Int(7).AsFloat(); !ok || v != 7 {
+		t.Error("Int.AsFloat")
+	}
+	if v, ok := Float(2.5).AsInt(); !ok || v != 2 {
+		t.Error("Float.AsInt truncation")
+	}
+	if _, ok := String_("x").AsFloat(); ok {
+		t.Error("String.AsFloat should fail")
+	}
+	if !Null.IsNull() || Int(0).IsNull() {
+		t.Error("IsNull")
+	}
+	if v, ok := Time(99).AsInt(); !ok || v != 99 {
+		t.Error("Time.AsInt")
+	}
+}
+
+func TestTruthy(t *testing.T) {
+	truthy := []Value{Bool_(true), Int(1), Float(0.5), String_("x"), Time(1)}
+	falsy := []Value{Null, Bool_(false), Int(0), Float(0), String_("")}
+	for _, v := range truthy {
+		if !v.Truthy() {
+			t.Errorf("%v should be truthy", v)
+		}
+	}
+	for _, v := range falsy {
+		if v.Truthy() {
+			t.Errorf("%v should be falsy", v)
+		}
+	}
+}
+
+func TestValueString(t *testing.T) {
+	cases := map[string]Value{
+		"NULL":   Null,
+		"42":     Int(42),
+		"2.5":    Float(2.5),
+		"'a''b'": String_("a'b"),
+		"TRUE":   Bool_(true),
+	}
+	for want, v := range cases {
+		if got := v.String(); got != want {
+			t.Errorf("String(%#v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestCompare(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+		ok   bool
+	}{
+		{Int(1), Int(2), -1, true},
+		{Int(2), Float(2.0), 0, true},
+		{Float(3.5), Int(3), 1, true},
+		{Time(5), Int(5), 0, true},
+		{String_("a"), String_("b"), -1, true},
+		{Bool_(false), Bool_(true), -1, true},
+		{Null, Int(1), -1, true},
+		{Int(1), Null, 1, true},
+		{Null, Null, 0, true},
+		{String_("a"), Int(1), 0, false},
+	}
+	for i, c := range cases {
+		got, ok := Compare(c.a, c.b)
+		if ok != c.ok || (ok && got != c.want) {
+			t.Errorf("case %d: Compare(%v,%v) = %d,%t want %d,%t", i, c.a, c.b, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestEqualNullSemantics(t *testing.T) {
+	if Equal(Null, Null) {
+		t.Error("NULL = NULL should be false in SQL semantics")
+	}
+	if !Equal(Int(3), Float(3)) {
+		t.Error("cross-numeric equality")
+	}
+	if Equal(String_("1"), Int(1)) {
+		t.Error("string/int equality")
+	}
+}
+
+func TestArithInt(t *testing.T) {
+	cases := []struct {
+		op   byte
+		a, b int64
+		want Value
+	}{
+		{'+', 2, 3, Int(5)},
+		{'-', 2, 3, Int(-1)},
+		{'*', 4, 3, Int(12)},
+		{'/', 6, 3, Int(2)},
+		{'/', 7, 2, Float(3.5)},
+		{'%', 7, 2, Int(1)},
+	}
+	for _, c := range cases {
+		got, err := Arith(c.op, Int(c.a), Int(c.b))
+		if err != nil || got != c.want {
+			t.Errorf("Arith(%c,%d,%d) = %v, %v; want %v", c.op, c.a, c.b, got, err, c.want)
+		}
+	}
+}
+
+func TestArithErrorsAndNull(t *testing.T) {
+	if _, err := Arith('/', Int(1), Int(0)); err == nil {
+		t.Error("division by zero accepted")
+	}
+	if _, err := Arith('%', Float(1), Float(2)); err == nil {
+		t.Error("float modulo accepted")
+	}
+	if _, err := Arith('+', String_("a"), Int(1)); err == nil {
+		t.Error("string arithmetic accepted")
+	}
+	if v, err := Arith('+', Null, Int(1)); err != nil || !v.IsNull() {
+		t.Error("NULL propagation failed")
+	}
+}
+
+func TestArithFloatMix(t *testing.T) {
+	v, err := Arith('*', Int(2), Float(1.5))
+	if err != nil || v != Float(3) {
+		t.Errorf("mixed arithmetic = %v, %v", v, err)
+	}
+}
+
+// Property: Compare is antisymmetric over ints and consistent with Equal.
+func TestComparePropertyInts(t *testing.T) {
+	f := func(a, b int64) bool {
+		c1, _ := Compare(Int(a), Int(b))
+		c2, _ := Compare(Int(b), Int(a))
+		if a == b {
+			return c1 == 0 && Equal(Int(a), Int(b))
+		}
+		return c1 == -c2 && !Equal(Int(a), Int(b)) == (c1 != 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: integer addition via Arith matches native addition (within range).
+func TestArithAddProperty(t *testing.T) {
+	f := func(a, b int32) bool {
+		v, err := Arith('+', Int(int64(a)), Int(int64(b)))
+		return err == nil && v == Int(int64(a)+int64(b))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

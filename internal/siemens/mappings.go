@@ -1,0 +1,125 @@
+package siemens
+
+import (
+	"repro/internal/obda/mapping"
+	"repro/internal/relation"
+	"repro/internal/sql"
+)
+
+// Mappings builds the GAV mappings of the deployment: each ontological
+// term is mapped to queries over both source schemas, which is exactly
+// the situation motivating OBSSDI — "semantically the same but
+// syntactically different" sources hidden behind one vocabulary.
+func Mappings() *mapping.Set {
+	var (
+		turbineT  = mapping.MustParseTemplate(DataNS + "turbine/{tid}")
+		turbineTB = mapping.MustParseTemplate(DataNS + "turbine/{unit_id}")
+		assemblyT = mapping.MustParseTemplate(DataNS + "assembly/{aid}")
+		assemblyB = mapping.MustParseTemplate(DataNS + "assembly/{part_id}")
+		sensorT   = mapping.MustParseTemplate(DataNS + "sensor/{sid}")
+		sensorB   = mapping.MustParseTemplate(DataNS + "sensor/{chan_id}")
+		sensorSA  = mapping.MustParseTemplate(DataNS + "sensor/{sid}")
+		sensorSB  = mapping.MustParseTemplate(DataNS + "sensor/{chan_nr}")
+	)
+	kindFilter := func(col, kind string) sql.Expr {
+		return sql.Bin("=", sql.Col(col), sql.Lit(relation.String_(kind)))
+	}
+
+	ms := []mapping.Mapping{
+		// Turbine from both sources.
+		{ID: "turbineA", Pred: NS + "Turbine", IsClass: true,
+			Subject: turbineT, Source: mapping.SourceRef{Table: "a_turbines"},
+			KeyColumns: []string{"tid"}},
+		{ID: "turbineB", Pred: NS + "Turbine", IsClass: true,
+			Subject: turbineTB, Source: mapping.SourceRef{Table: "b_units"},
+			KeyColumns: []string{"unit_id"}},
+
+		// Assembly from both sources.
+		{ID: "assemblyA", Pred: NS + "Assembly", IsClass: true,
+			Subject: assemblyT, Source: mapping.SourceRef{Table: "a_assemblies"},
+			KeyColumns: []string{"aid"}},
+		{ID: "assemblyB", Pred: NS + "Assembly", IsClass: true,
+			Subject: assemblyB, Source: mapping.SourceRef{Table: "b_parts"},
+			KeyColumns: []string{"part_id"}},
+
+		// Sensor from both sources.
+		{ID: "sensorA", Pred: NS + "Sensor", IsClass: true,
+			Subject: sensorT, Source: mapping.SourceRef{Table: "a_sensors"},
+			KeyColumns: []string{"sid"}},
+		{ID: "sensorB", Pred: NS + "Sensor", IsClass: true,
+			Subject: sensorB, Source: mapping.SourceRef{Table: "b_channels"},
+			KeyColumns: []string{"chan_id"}},
+
+		// inAssembly: assembly -> sensor (the paper's Figure 1 direction).
+		{ID: "inAssemblyA", Pred: NS + "inAssembly",
+			Subject: mapping.MustParseTemplate(DataNS + "assembly/{aid}"),
+			Object:  sensorT,
+			Source:  mapping.SourceRef{Table: "a_sensors"}, KeyColumns: []string{"sid"}},
+		{ID: "inAssemblyB", Pred: NS + "inAssembly",
+			Subject: mapping.MustParseTemplate(DataNS + "assembly/{part_id}"),
+			Object:  sensorB,
+			Source:  mapping.SourceRef{Table: "b_channels"}, KeyColumns: []string{"chan_id"}},
+
+		// inTurbine: assembly -> turbine.
+		{ID: "inTurbineA", Pred: NS + "inTurbine",
+			Subject: assemblyT, Object: turbineT,
+			Source: mapping.SourceRef{Table: "a_assemblies"}, KeyColumns: []string{"aid"}},
+		{ID: "inTurbineB", Pred: NS + "inTurbine",
+			Subject: assemblyB, Object: mapping.MustParseTemplate(DataNS + "turbine/{unit_id}"),
+			Source: mapping.SourceRef{Table: "b_parts"}, KeyColumns: []string{"part_id"}},
+
+		// Model data property.
+		{ID: "modelA", Pred: NS + "hasModel",
+			Subject: turbineT, Object: mapping.MustParseTemplate("{model}"), ObjectIsData: true,
+			Source: mapping.SourceRef{Table: "a_turbines"}, KeyColumns: []string{"tid"}},
+		{ID: "modelB", Pred: NS + "hasModel",
+			Subject: turbineTB, Object: mapping.MustParseTemplate("{unit_model}"), ObjectIsData: true,
+			Source: mapping.SourceRef{Table: "b_units"}, KeyColumns: []string{"unit_id"}},
+
+		// Streaming measurement value from both streams.
+		{ID: "valueA", Pred: NS + "hasValue",
+			Subject: sensorSA, Object: mapping.MustParseTemplate("{val}"), ObjectIsData: true,
+			Source: mapping.SourceRef{Table: "msmt_a", IsStream: true}},
+		{ID: "valueB", Pred: NS + "hasValue",
+			Subject: sensorSB, Object: mapping.MustParseTemplate("{reading}"), ObjectIsData: true,
+			Source: mapping.SourceRef{Table: "msmt_b", IsStream: true}},
+
+		// Failure flag from both streams.
+		{ID: "failureA", Pred: NS + "showsFailure",
+			Subject: sensorSA, Object: mapping.MustParseTemplate("{fail}"), ObjectIsData: true,
+			Source: mapping.SourceRef{Table: "msmt_a", IsStream: true,
+				Where: sql.Bin("=", sql.Col("fail"), sql.Lit(relation.Int(1)))}},
+		{ID: "failureB", Pred: NS + "showsFailure",
+			Subject: sensorSB, Object: mapping.MustParseTemplate("{status}"), ObjectIsData: true,
+			Source: mapping.SourceRef{Table: "msmt_b", IsStream: true,
+				Where: sql.Bin("=", sql.Col("status"), sql.Lit(relation.Int(1)))}},
+	}
+
+	// Sensor-kind subclasses from both sources, via kind filters.
+	kinds := map[string]string{
+		"temperature": "TemperatureSensor",
+		"pressure":    "PressureSensor",
+		"vibration":   "VibrationSensor",
+		"flow":        "FlowSensor",
+		"speed":       "SpeedSensor",
+	}
+	for kind, class := range kinds {
+		ms = append(ms,
+			mapping.Mapping{
+				ID: "kindA:" + kind, Pred: NS + class, IsClass: true,
+				Subject: sensorT,
+				Source: mapping.SourceRef{Table: "a_sensors",
+					Where: kindFilter("kind", kind)},
+				KeyColumns: []string{"sid"},
+			},
+			mapping.Mapping{
+				ID: "kindB:" + kind, Pred: NS + class, IsClass: true,
+				Subject: sensorB,
+				Source: mapping.SourceRef{Table: "b_channels",
+					Where: kindFilter("chan_type", kind)},
+				KeyColumns: []string{"chan_id"},
+			},
+		)
+	}
+	return mapping.MustNewSet(ms...)
+}

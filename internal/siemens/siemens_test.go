@@ -1,0 +1,291 @@
+package siemens
+
+import (
+	"testing"
+
+	"repro/internal/obda/cq"
+	"repro/internal/obda/mapping"
+	"repro/internal/obda/rewrite"
+	"repro/internal/starql"
+)
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Config{}).Validate(); err == nil {
+		t.Error("zero config accepted")
+	}
+	if err := (Config{Turbines: 1, SensorsPerTurbine: 1, AssembliesPerTurbine: 1, SourceASplit: 2}).Validate(); err == nil {
+		t.Error("bad split accepted")
+	}
+}
+
+func TestFleetScaleMatchesPaper(t *testing.T) {
+	g, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Config().Turbines != 950 {
+		t.Errorf("turbines = %d, paper says 950", g.Config().Turbines)
+	}
+	if g.SensorCount() <= 100_000 {
+		t.Errorf("sensors = %d, paper says more than 100,000", g.SensorCount())
+	}
+}
+
+func TestStaticCatalogHeterogeneous(t *testing.T) {
+	g, err := New(SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat, err := g.StaticCatalog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both source schemas populated.
+	aT, err := cat.Get("a_turbines")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bU, err := cat.Get("b_units")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aT.Len() == 0 || bU.Len() == 0 {
+		t.Fatalf("split fleet: a=%d b=%d", aT.Len(), bU.Len())
+	}
+	if aT.Len()+bU.Len() != g.Config().Turbines {
+		t.Errorf("turbine total = %d", aT.Len()+bU.Len())
+	}
+	aS, _ := cat.Get("a_sensors")
+	bC, _ := cat.Get("b_channels")
+	if aS.Len()+bC.Len() != g.SensorCount() {
+		t.Errorf("sensor total = %d, want %d", aS.Len()+bC.Len(), g.SensorCount())
+	}
+	// Weather and service history exist.
+	if w, err := cat.Get("weather"); err != nil || w.Len() == 0 {
+		t.Error("weather missing")
+	}
+	if s, err := cat.Get("service_events"); err != nil || s.Len() == 0 {
+		t.Error("service history missing")
+	}
+}
+
+func TestTBoxScale(t *testing.T) {
+	tb := TBox()
+	terms := len(tb.Classes()) + len(tb.ObjectProperties()) + len(tb.DataProperties())
+	// Paper [10]: "hundreds of terms and axioms".
+	if terms < 100 {
+		t.Errorf("ontology has %d terms, want hundreds", terms)
+	}
+	if tb.Len() < 100 {
+		t.Errorf("ontology has %d axioms", tb.Len())
+	}
+	if !tb.IsSubClassOf(NS+"GasTurbine", NS+"PowerAppliance") {
+		t.Error("hierarchy broken")
+	}
+	if !tb.IsSubClassOf(NS+"InletTemperatureSensor", NS+"Sensor") {
+		t.Error("sensor hierarchy broken")
+	}
+	if err := tb.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMappingsCoverVocabulary(t *testing.T) {
+	set := Mappings()
+	for _, pred := range []string{
+		NS + "Turbine", NS + "Assembly", NS + "Sensor", NS + "inAssembly",
+		NS + "hasValue", NS + "showsFailure", NS + "TemperatureSensor",
+	} {
+		ms := set.ForPred(pred)
+		if len(ms) < 2 {
+			t.Errorf("%s mapped by %d sources, want both", pred, len(ms))
+		}
+	}
+	// Enrich+unfold a Sensor query: both sources and all kind classes
+	// must surface.
+	u, _, err := rewrite.PerfectRef(
+		cq.New([]string{"x"}, cq.ClassAtom(NS+"Sensor", cq.V("x"))),
+		TBox(), rewrite.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet, stats, err := mapping.Unfold(u, set, mapping.UnfoldOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sensor alone: 2 sources; 5 kind subclasses x 2 sources; plus the
+	// domain/range routes (inAssembly range, hasValue and showsFailure
+	// domains) x 2 sources each = 18. Placement variants are unmapped.
+	if len(fleet) != 18 {
+		t.Errorf("sensor fleet = %d queries, want 18", len(fleet))
+	}
+	if stats.UnmappedAtoms == 0 {
+		t.Error("expected unmapped placement subclasses to be dropped")
+	}
+}
+
+func TestGenerateStreamDeterministic(t *testing.T) {
+	g, _ := New(SmallConfig())
+	cfg := StreamConfig{FromMS: 0, ToMS: 5_000, StepMS: 1_000, Seed: 7,
+		Sensors: []int64{1, 2}}
+	a1, r1, err := g.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, r2, err := g.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a1) != len(a2) || len(a1) != 2*5 {
+		t.Fatalf("tuples = %d", len(a1))
+	}
+	for i := range a1 {
+		if a1[i].TS != a2[i].TS || a1[i].Row.String() != a2[i].Row.String() || r1[i] != r2[i] {
+			t.Fatal("generation not deterministic")
+		}
+	}
+	// Timestamps are non-decreasing.
+	for i := 1; i < len(a1); i++ {
+		if a1[i].TS < a1[i-1].TS {
+			t.Fatal("timestamps out of order")
+		}
+	}
+}
+
+func TestPlantedMonotonicEvent(t *testing.T) {
+	g, _ := New(SmallConfig())
+	events := []Event{{
+		Kind: EventMonotonicFailure, SensorID: 1, StartMS: 1_000, EndMS: 9_000,
+	}}
+	tuples, _, err := g.Generate(StreamConfig{
+		FromMS: 0, ToMS: 10_000, StepMS: 500,
+		Sensors: []int64{1}, Events: events, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Within the event, values are strictly increasing and the flag is
+	// raised near the end.
+	var inEvent []float64
+	sawFail := false
+	for _, el := range tuples {
+		ts := el.TS
+		if ts >= 1000 && ts < 9000 {
+			v, _ := el.Row[2].AsFloat()
+			inEvent = append(inEvent, v)
+			if f, _ := el.Row[3].AsInt(); f == 1 {
+				sawFail = true
+			}
+		}
+	}
+	for i := 1; i < len(inEvent); i++ {
+		if inEvent[i] <= inEvent[i-1] {
+			t.Fatalf("ramp not increasing at %d: %v", i, inEvent)
+		}
+	}
+	if !sawFail {
+		t.Fatal("failure flag never raised")
+	}
+}
+
+func TestPlantedThresholdAndCorrelation(t *testing.T) {
+	g, _ := New(SmallConfig())
+	events := g.PlantDefaultEvents(0, 60_000)
+	if len(events) < 3 {
+		t.Fatalf("events = %v", events)
+	}
+	kinds := map[EventKind]bool{}
+	for _, e := range events {
+		kinds[e.Kind] = true
+		if e.Kind == EventCorrelatedPair && e.PairID == 0 {
+			t.Error("pair event without pair")
+		}
+	}
+	if !kinds[EventMonotonicFailure] || !kinds[EventThreshold] || !kinds[EventCorrelatedPair] {
+		t.Errorf("event kinds = %v", kinds)
+	}
+	// Threshold event actually exceeds the alarm threshold.
+	var thrEvent Event
+	for _, e := range events {
+		if e.Kind == EventThreshold {
+			thrEvent = e
+		}
+	}
+	tuples, _, err := g.Generate(StreamConfig{
+		FromMS: thrEvent.StartMS, ToMS: thrEvent.EndMS, StepMS: 1000,
+		Sensors: []int64{thrEvent.SensorID}, Events: events, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	limit := g.Threshold(thrEvent.SensorID)
+	for _, el := range tuples {
+		if v, _ := el.Row[2].AsFloat(); v <= limit {
+			t.Fatalf("threshold event value %g below limit %g", v, limit)
+		}
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	g, _ := New(SmallConfig())
+	if _, _, err := g.Generate(StreamConfig{FromMS: 5, ToMS: 5, StepMS: 1}); err == nil {
+		t.Error("empty range accepted")
+	}
+	if _, _, err := g.Generate(StreamConfig{FromMS: 0, ToMS: 10, StepMS: 0}); err == nil {
+		t.Error("zero step accepted")
+	}
+	if _, _, err := g.Generate(StreamConfig{FromMS: 0, ToMS: 10, StepMS: 1,
+		Events: []Event{{StartMS: 5, EndMS: 5}}}); err == nil {
+		t.Error("empty event accepted")
+	}
+}
+
+func TestCatalogTwentyTasksParse(t *testing.T) {
+	tasks := Catalog()
+	if len(tasks) != 20 {
+		t.Fatalf("catalog has %d tasks, paper says 20", len(tasks))
+	}
+	seen := map[string]bool{}
+	for _, task := range tasks {
+		if seen[task.ID] {
+			t.Errorf("duplicate task id %s", task.ID)
+		}
+		seen[task.ID] = true
+		if _, err := starql.Parse(task.Query); err != nil {
+			t.Errorf("task %s does not parse: %v\n%s", task.ID, err, task.Query)
+		}
+	}
+	if _, ok := TaskByID(tasks[3].ID); !ok {
+		t.Error("TaskByID failed")
+	}
+	if _, ok := TaskByID("nope"); ok {
+		t.Error("TaskByID found a ghost")
+	}
+}
+
+func TestTestSetsGrowToFullCatalog(t *testing.T) {
+	sets := TestSets()
+	if len(sets) != 10 {
+		t.Fatalf("test sets = %d, paper says 10", len(sets))
+	}
+	for i, s := range sets {
+		want := 2 * (i + 1)
+		if want > 20 {
+			want = 20
+		}
+		if len(s) != want {
+			t.Errorf("set %d has %d tasks, want %d", i+1, len(s), want)
+		}
+	}
+}
+
+func TestStreamSchemasValidate(t *testing.T) {
+	for _, s := range StreamSchemas() {
+		if err := s.Validate(); err != nil {
+			t.Errorf("schema %s: %v", s.Name, err)
+		}
+	}
+}

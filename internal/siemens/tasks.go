@@ -1,0 +1,133 @@
+package siemens
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Task is one diagnostic task of the demo catalog: a named STARQL query.
+type Task struct {
+	ID    string
+	Title string
+	Query string // STARQL text
+}
+
+// monotonicAggregate is the Figure 1 macro, shared by the ramp tasks.
+const monotonicAggregate = `
+CREATE AGGREGATE MONOTONIC:HAVING ($var, $attr) AS
+HAVING EXISTS ?k IN SEQ: GRAPH ?k { $var sie:showsFailure } AND
+FORALL ?i < ?j IN seq, ?x, ?y:
+IF ( ?i, ?j < ?k AND GRAPH ?i {$var $attr ?x} AND GRAPH ?j {$var $attr ?y}) THEN ?x<=?y
+`
+
+// taskTemplate renders one catalog entry.
+func taskTemplate(id, title, construct, stream, window, slide, where, having, extra string) Task {
+	q := fmt.Sprintf(`PREFIX sie: <%s>
+PREFIX out: <%s>
+
+CREATE STREAM %s AS
+CONSTRUCT GRAPH NOW { %s }
+FROM STREAM %s [NOW-"%s", NOW]->"%s",
+STATIC DATA <%sstatic>,
+ONTOLOGY <%stbox>
+USING PULSE WITH START = "00:00:00Z", FREQUENCY = "%s"
+WHERE { %s }
+SEQUENCE BY StdSeq AS seq
+HAVING %s
+%s`, NS, OutNS, id, construct, stream, window, slide, DataNS, DataNS, slide, where, having, extra)
+	return Task{ID: id, Title: title, Query: q}
+}
+
+// Catalog returns the 20 diagnostic tasks of the demo (paper §3: "we
+// selected 20 diagnostic tasks typical for Siemens Energy service
+// centres and expressed these tasks in STARQL"). The tasks combine the
+// five sensor kinds with four diagnostic conditions; the Pearson task is
+// the paper's worked example ("calculate the Pearson correlation
+// coefficient between turbine stream data").
+func Catalog() []Task {
+	kinds := []struct {
+		class string
+		label string
+	}{
+		{"TemperatureSensor", "temperature"},
+		{"PressureSensor", "pressure"},
+		{"VibrationSensor", "vibration"},
+		{"FlowSensor", "flow"},
+		{"SpeedSensor", "speed"},
+	}
+	thresholds := map[string]string{
+		"temperature": "105", "pressure": "7.5", "vibration": "0.75",
+		"flow": "180", "speed": "4500",
+	}
+	var tasks []Task
+	for i, k := range kinds {
+		// 1) Figure 1: monotonic increase before a failure.
+		tasks = append(tasks, taskTemplate(
+			fmt.Sprintf("T%02d_mon_%s", i*4+1, k.label),
+			fmt.Sprintf("monotonic %s increase before failure", k.label),
+			"?s rdf:type out:MonInc",
+			"msmt_a", "PT10S", "PT1S",
+			fmt.Sprintf("?a a sie:Assembly. ?s a sie:%s. ?a sie:inAssembly ?s.", k.class),
+			"MONOTONIC.HAVING(?s, sie:hasValue)",
+			monotonicAggregate,
+		))
+		// 2) Threshold exceedance.
+		tasks = append(tasks, taskTemplate(
+			fmt.Sprintf("T%02d_thr_%s", i*4+2, k.label),
+			fmt.Sprintf("%s above alarm threshold", k.label),
+			"?s rdf:type out:Alarm",
+			"msmt_a", "PT5S", "PT1S",
+			fmt.Sprintf("?s a sie:%s.", k.class),
+			fmt.Sprintf("THRESHOLD.ABOVE(?s, sie:hasValue, %s)", thresholds[k.label]),
+			"",
+		))
+		// 3) Rising trend over the window.
+		tasks = append(tasks, taskTemplate(
+			fmt.Sprintf("T%02d_trend_%s", i*4+3, k.label),
+			fmt.Sprintf("rising %s trend", k.label),
+			"?s rdf:type out:Rising",
+			"msmt_a", "PT30S", "PT5S",
+			fmt.Sprintf("?s a sie:%s.", k.class),
+			"TREND.INCREASE(?s, sie:hasValue)",
+			"",
+		))
+		// 4) Pearson correlation between same-assembly sensor pairs.
+		tasks = append(tasks, taskTemplate(
+			fmt.Sprintf("T%02d_corr_%s", i*4+4, k.label),
+			fmt.Sprintf("correlated %s sensor pairs", k.label),
+			"?s rdf:type out:Correlated",
+			"msmt_a", "PT20S", "PT5S",
+			fmt.Sprintf("?a a sie:Assembly. ?s a sie:%s. ?t a sie:%s. ?a sie:inAssembly ?s. ?a sie:inAssembly ?t.",
+				k.class, k.class),
+			"PEARSON.CORRELATION(?s, ?t, sie:hasValue, 0.9)",
+			"",
+		))
+	}
+	return tasks
+}
+
+// TestSets returns the 10 preconfigured query sets of demo scenario S2:
+// growing subsets of the catalog (set i holds the first 2i tasks), so
+// set 10 is the full catalog.
+func TestSets() [][]Task {
+	catalog := Catalog()
+	sets := make([][]Task, 10)
+	for i := 1; i <= 10; i++ {
+		n := 2 * i
+		if n > len(catalog) {
+			n = len(catalog)
+		}
+		sets[i-1] = catalog[:n]
+	}
+	return sets
+}
+
+// TaskByID finds a catalog task.
+func TaskByID(id string) (Task, bool) {
+	for _, t := range Catalog() {
+		if t.ID == id || strings.EqualFold(t.ID, id) {
+			return t, true
+		}
+	}
+	return Task{}, false
+}

@@ -1,0 +1,76 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+// TestExprStringForms covers the printers for every expression node.
+func TestExprStringForms(t *testing.T) {
+	cases := map[string]Expr{
+		"(NOT a)":                &UnaryExpr{Op: "NOT", Expr: Col("a")},
+		"(-a)":                   &UnaryExpr{Op: "-", Expr: Col("a")},
+		"(a IS NULL)":            &IsNullExpr{Expr: Col("a")},
+		"(a IS NOT NULL)":        &IsNullExpr{Expr: Col("a"), Negate: true},
+		"COUNT(*)":               &FuncExpr{Name: "count", Star: true},
+		"SUM(DISTINCT a)":        &FuncExpr{Name: "sum", Args: []Expr{Col("a")}, Distinct: true},
+		"(a NOT IN (1))":         &InExpr{Expr: Col("a"), List: []Expr{Lit(relation.Int(1))}, Negate: true},
+		"t.a":                    Col("t.a"),
+		"CASE WHEN a THEN 1 END": &CaseExpr{Whens: []CaseWhen{{Cond: Col("a"), Then: Lit(relation.Int(1))}}},
+		"[RANGE 5 SLIDE 2]":      nil, // handled below
+	}
+	for want, e := range cases {
+		if e == nil {
+			continue
+		}
+		if got := e.String(); got != want {
+			t.Errorf("String = %q, want %q", got, want)
+		}
+	}
+	if got := (WindowSpec{RangeMS: 5, SlideMS: 2}).String(); got != "[RANGE 5 SLIDE 2]" {
+		t.Errorf("window = %q", got)
+	}
+	if got := (SelectItem{Star: true, Table: "t"}).String(); got != "t.*" {
+		t.Errorf("star item = %q", got)
+	}
+	if got := (SelectItem{Expr: Col("a"), Alias: "x"}).String(); got != "a AS x" {
+		t.Errorf("aliased item = %q", got)
+	}
+}
+
+func TestTableRefStringAndName(t *testing.T) {
+	tr := &TableRef{Table: "t", Alias: "x"}
+	if tr.Name() != "x" {
+		t.Errorf("Name = %q", tr.Name())
+	}
+	tr2 := &TableRef{Table: "t"}
+	if tr2.Name() != "t" {
+		t.Errorf("Name = %q", tr2.Name())
+	}
+	sub := &TableRef{Subquery: MustParse("SELECT a FROM u"), Alias: "s"}
+	if !strings.Contains(sub.String(), "(SELECT a FROM u) AS s") {
+		t.Errorf("subquery ref = %q", sub.String())
+	}
+	st := &TableRef{Table: "m", IsStream: true, Window: &WindowSpec{RangeMS: 1, SlideMS: 1}}
+	if !strings.Contains(st.String(), "STREAM m [RANGE 1 SLIDE 1]") {
+		t.Errorf("stream ref = %q", st.String())
+	}
+	join := &TableRef{Table: "a", Joins: []Join{
+		{Kind: JoinLeft, Right: &TableRef{Table: "b"}, On: Bin("=", Col("a.x"), Col("b.x"))},
+		{Kind: JoinCross, Right: &TableRef{Table: "c"}},
+	}}
+	s := join.String()
+	if !strings.Contains(s, "LEFT JOIN b ON") || !strings.Contains(s, "CROSS JOIN c") {
+		t.Errorf("join ref = %q", s)
+	}
+}
+
+func TestQuotedIdentifierLexing(t *testing.T) {
+	s := MustParse(`SELECT "weird name" FROM t`)
+	c, ok := s.Items[0].Expr.(*ColumnRef)
+	if !ok || c.Name != "weird name" {
+		t.Errorf("quoted ident = %+v", s.Items[0].Expr)
+	}
+}

@@ -1,0 +1,176 @@
+// Package sql implements the SQL(+) dialect of ExaStream: standard SQL
+// SELECT queries extended with stream references and window specifications
+// ("FROM STREAM s [RANGE 10000 SLIDE 1000]"), which is the target language
+// of the STARQL-to-SQL(+) translator.
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokKind classifies lexical tokens.
+type TokKind uint8
+
+const (
+	// TokEOF marks the end of input.
+	TokEOF TokKind = iota
+	// TokIdent is an identifier or unquoted keyword.
+	TokIdent
+	// TokNumber is an integer or decimal literal.
+	TokNumber
+	// TokString is a single-quoted string literal.
+	TokString
+	// TokOp is an operator or punctuation token.
+	TokOp
+)
+
+// Token is one lexical token with its source position.
+type Token struct {
+	Kind TokKind
+	Text string
+	Pos  int
+}
+
+// String renders the token for error messages.
+func (t Token) String() string {
+	if t.Kind == TokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.Text)
+}
+
+// lexer tokenises SQL(+) input.
+type lexer struct {
+	src    string
+	pos    int
+	tokens []Token
+}
+
+// Lex splits src into tokens. Keywords are returned as TokIdent; the
+// parser matches them case-insensitively.
+func Lex(src string) ([]Token, error) {
+	l := &lexer{src: src}
+	if err := l.run(); err != nil {
+		return nil, err
+	}
+	return l.tokens, nil
+}
+
+var multiOps = []string{"<=", ">=", "<>", "!=", "||"}
+
+func (l *lexer) run() error {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '\'':
+			if err := l.lexString(); err != nil {
+				return err
+			}
+		case c >= '0' && c <= '9':
+			l.lexNumber()
+		case isIdentStart(rune(c)):
+			l.lexIdent()
+		default:
+			if op := l.matchMultiOp(); op != "" {
+				l.tokens = append(l.tokens, Token{TokOp, op, l.pos})
+				l.pos += len(op)
+				break
+			}
+			if strings.ContainsRune("()[],.;*+-/%<>=?", rune(c)) {
+				l.tokens = append(l.tokens, Token{TokOp, string(c), l.pos})
+				l.pos++
+				break
+			}
+			return fmt.Errorf("sql: unexpected character %q at offset %d", string(c), l.pos)
+		}
+	}
+	l.tokens = append(l.tokens, Token{TokEOF, "", l.pos})
+	return nil
+}
+
+func (l *lexer) matchMultiOp() string {
+	for _, op := range multiOps {
+		if strings.HasPrefix(l.src[l.pos:], op) {
+			return op
+		}
+	}
+	return ""
+}
+
+func isIdentStart(c rune) bool {
+	return unicode.IsLetter(c) || c == '_' || c == '"'
+}
+
+func (l *lexer) lexIdent() {
+	start := l.pos
+	if l.src[l.pos] == '"' {
+		// Quoted identifier.
+		l.pos++
+		for l.pos < len(l.src) && l.src[l.pos] != '"' {
+			l.pos++
+		}
+		text := l.src[start+1 : l.pos]
+		if l.pos < len(l.src) {
+			l.pos++
+		}
+		l.tokens = append(l.tokens, Token{TokIdent, text, start})
+		return
+	}
+	for l.pos < len(l.src) {
+		c := rune(l.src[l.pos])
+		if !unicode.IsLetter(c) && !unicode.IsDigit(c) && c != '_' {
+			break
+		}
+		l.pos++
+	}
+	l.tokens = append(l.tokens, Token{TokIdent, l.src[start:l.pos], start})
+}
+
+func (l *lexer) lexNumber() {
+	start := l.pos
+	seenDot := false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '.' && !seenDot {
+			seenDot = true
+			l.pos++
+			continue
+		}
+		if c < '0' || c > '9' {
+			break
+		}
+		l.pos++
+	}
+	l.tokens = append(l.tokens, Token{TokNumber, l.src[start:l.pos], start})
+}
+
+func (l *lexer) lexString() error {
+	start := l.pos
+	l.pos++ // opening quote
+	var sb strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\'' {
+			// '' escapes a quote.
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+				sb.WriteByte('\'')
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			l.tokens = append(l.tokens, Token{TokString, sb.String(), start})
+			return nil
+		}
+		sb.WriteByte(c)
+		l.pos++
+	}
+	return fmt.Errorf("sql: unterminated string literal at offset %d", start)
+}

@@ -1,0 +1,228 @@
+// Package starql implements the STARQL query language of the paper
+// (Özçep, Möller, Neuenstadt [12]): continuous semantic queries that
+// blend streaming and static data over an OWL 2 QL ontology, with
+// window operators, pulse declarations, sequencing (StdSeq), and
+// HAVING conditions with EXISTS/FORALL quantification over window
+// states — the language of the paper's Figure 1.
+//
+// The package provides the parser, the semantic checks, the sequence
+// evaluator for HAVING conditions, and the STARQL→SQL(+) translator that
+// performs enrichment (PerfectRef) and unfolding (GAV mappings).
+package starql
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/rdf"
+)
+
+// Node is a term position in a triple pattern: a variable, an IRI, or a
+// literal.
+type Node struct {
+	Var  string   // "?x" style variables, stored without '?'
+	Term rdf.Term // constant when Var == ""
+}
+
+// NVar returns a variable node.
+func NVar(name string) Node { return Node{Var: name} }
+
+// NTerm returns a constant node.
+func NTerm(t rdf.Term) Node { return Node{Term: t} }
+
+// IsVar reports whether the node is a variable.
+func (n Node) IsVar() bool { return n.Var != "" }
+
+// String renders the node.
+func (n Node) String() string {
+	if n.IsVar() {
+		return "?" + n.Var
+	}
+	return n.Term.String()
+}
+
+// TriplePattern is one BGP or CONSTRUCT pattern. An empty Object (zero
+// Node) with a non-empty predicate denotes the two-element form
+// "?s sie:showsFailure", read as ∃o: (s, p, o).
+type TriplePattern struct {
+	S, P, O  Node
+	NoObject bool // two-element form
+	TypeAtom bool // "?s a Class" (P holds the class IRI)
+}
+
+// String renders the pattern.
+func (t TriplePattern) String() string {
+	if t.TypeAtom {
+		return t.S.String() + " a " + t.P.String()
+	}
+	if t.NoObject {
+		return t.S.String() + " " + t.P.String()
+	}
+	return t.S.String() + " " + t.P.String() + " " + t.O.String()
+}
+
+// StreamClause is one "FROM STREAM s [NOW-range, NOW]->slide" input.
+type StreamClause struct {
+	Name    string
+	RangeMS int64
+	SlideMS int64
+}
+
+// PulseClause is "USING PULSE WITH START = ..., FREQUENCY = ...".
+type PulseClause struct {
+	StartMS     int64
+	FrequencyMS int64
+}
+
+// Query is a parsed STARQL CREATE STREAM statement.
+type Query struct {
+	Name         string
+	Construct    []TriplePattern
+	Streams      []StreamClause
+	StaticIRI    string
+	OntologyIRI  string
+	Pulse        *PulseClause
+	Where        []TriplePattern
+	WhereFilters []FilterPattern
+	SequenceBy   string // sequencing method, e.g. "StdSeq"
+	SeqAlias     string // "AS seq"
+	Having       HavingExpr
+
+	// Aggregates holds macro definitions from CREATE AGGREGATE
+	// statements parsed alongside the query.
+	Aggregates map[string]*AggregateDef
+
+	Prefixes rdf.PrefixMap
+}
+
+// FilterPattern is a WHERE-clause FILTER(?x op literal) condition on the
+// static bindings.
+type FilterPattern struct {
+	Arg   Node
+	Op    string
+	Value Node
+}
+
+// String renders the filter.
+func (f FilterPattern) String() string {
+	return "FILTER(" + f.Arg.String() + " " + f.Op + " " + f.Value.String() + ")"
+}
+
+// AggregateDef is a "CREATE AGGREGATE NAME:SUB ($a, $b) AS HAVING body"
+// macro: the body is a HAVING expression with $-parameters.
+type AggregateDef struct {
+	Name   string // canonical "MONOTONIC.HAVING"
+	Params []string
+	Body   HavingExpr
+}
+
+// WhereVars returns the distinct variables of the WHERE clause in order
+// of first appearance.
+func (q *Query) WhereVars() []string {
+	seen := map[string]bool{}
+	var out []string
+	add := func(n Node) {
+		if n.IsVar() && !seen[n.Var] {
+			seen[n.Var] = true
+			out = append(out, n.Var)
+		}
+	}
+	for _, t := range q.Where {
+		add(t.S)
+		if !t.TypeAtom {
+			add(t.P)
+			if !t.NoObject {
+				add(t.O)
+			}
+		}
+	}
+	return out
+}
+
+// Validate performs the semantic checks the paper's query formulation
+// layer applies before enrichment.
+func (q *Query) Validate() error {
+	if q.Name == "" {
+		return fmt.Errorf("starql: output stream has no name")
+	}
+	if len(q.Streams) == 0 {
+		return fmt.Errorf("starql: query %s reads no stream", q.Name)
+	}
+	for _, s := range q.Streams {
+		if s.RangeMS <= 0 || s.SlideMS <= 0 {
+			return fmt.Errorf("starql: query %s: window range and slide must be positive", q.Name)
+		}
+	}
+	if q.Pulse != nil && q.Pulse.FrequencyMS <= 0 {
+		return fmt.Errorf("starql: query %s: pulse frequency must be positive", q.Name)
+	}
+	if len(q.Construct) == 0 {
+		return fmt.Errorf("starql: query %s constructs nothing", q.Name)
+	}
+	// CONSTRUCT variables must be bound in WHERE or HAVING scope.
+	whereVars := map[string]bool{}
+	for _, v := range q.WhereVars() {
+		whereVars[v] = true
+	}
+	for _, f := range q.WhereFilters {
+		if f.Arg.IsVar() && !whereVars[f.Arg.Var] {
+			return fmt.Errorf("starql: query %s: FILTER variable ?%s not bound in WHERE", q.Name, f.Arg.Var)
+		}
+		if f.Value.IsVar() {
+			return fmt.Errorf("starql: query %s: FILTER right-hand side must be a constant", q.Name)
+		}
+	}
+	for _, t := range q.Construct {
+		for _, n := range []Node{t.S, t.P, t.O} {
+			if n.IsVar() && !whereVars[n.Var] {
+				return fmt.Errorf("starql: query %s: CONSTRUCT variable ?%s not bound in WHERE", q.Name, n.Var)
+			}
+		}
+	}
+	if q.Having != nil {
+		if err := q.Having.check(&checkCtx{
+			stateVars: map[string]bool{},
+			valueVars: map[string]bool{},
+			whereVars: whereVars,
+			aggs:      q.Aggregates,
+		}); err != nil {
+			return fmt.Errorf("starql: query %s: HAVING: %w", q.Name, err)
+		}
+	}
+	return nil
+}
+
+// String reassembles a readable form of the query (not a verbatim echo).
+func (q *Query) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "CREATE STREAM %s AS\n", q.Name)
+	sb.WriteString("CONSTRUCT GRAPH NOW {")
+	for i, t := range q.Construct {
+		if i > 0 {
+			sb.WriteString(" . ")
+		}
+		sb.WriteString(" " + t.String())
+	}
+	sb.WriteString(" }\n")
+	for _, s := range q.Streams {
+		fmt.Fprintf(&sb, "FROM STREAM %s [NOW-%dms, NOW]->%dms\n", s.Name, s.RangeMS, s.SlideMS)
+	}
+	if q.Pulse != nil {
+		fmt.Fprintf(&sb, "USING PULSE WITH START = %dms, FREQUENCY = %dms\n", q.Pulse.StartMS, q.Pulse.FrequencyMS)
+	}
+	sb.WriteString("WHERE {")
+	for i, t := range q.Where {
+		if i > 0 {
+			sb.WriteString(" . ")
+		}
+		sb.WriteString(" " + t.String())
+	}
+	sb.WriteString(" }\n")
+	if q.SequenceBy != "" {
+		fmt.Fprintf(&sb, "SEQUENCE BY %s AS %s\n", q.SequenceBy, q.SeqAlias)
+	}
+	if q.Having != nil {
+		sb.WriteString("HAVING " + q.Having.String() + "\n")
+	}
+	return sb.String()
+}

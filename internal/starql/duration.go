@@ -1,0 +1,110 @@
+package starql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseDuration converts a STARQL duration literal into milliseconds.
+// It accepts the ISO 8601 subset used by xsd:duration time parts
+// ("PT10S", "PT1M30S", "PT0.5S", "PT2H") and the shorthand the demo UI
+// uses ("1S", "500MS", "2M", "1H", or a bare integer meaning ms).
+func ParseDuration(s string) (int64, error) {
+	orig := s
+	s = strings.ToUpper(strings.TrimSpace(s))
+	if s == "" {
+		return 0, fmt.Errorf("starql: empty duration")
+	}
+	if n, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return n, nil
+	}
+	s = strings.TrimPrefix(s, "P")
+	s = strings.TrimPrefix(s, "T")
+	var totalMS int64
+	num := strings.Builder{}
+	flush := func(unit string) error {
+		if num.Len() == 0 {
+			return fmt.Errorf("starql: duration %q: missing number before %s", orig, unit)
+		}
+		v, err := strconv.ParseFloat(num.String(), 64)
+		if err != nil {
+			return fmt.Errorf("starql: duration %q: %v", orig, err)
+		}
+		num.Reset()
+		switch unit {
+		case "MS":
+			totalMS += int64(v)
+		case "S":
+			totalMS += int64(v * 1000)
+		case "M":
+			totalMS += int64(v * 60_000)
+		case "H":
+			totalMS += int64(v * 3_600_000)
+		default:
+			return fmt.Errorf("starql: duration %q: unknown unit %q", orig, unit)
+		}
+		return nil
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= '0' && c <= '9' || c == '.':
+			num.WriteByte(c)
+		case c == 'M' && i+1 < len(s) && s[i+1] == 'S':
+			if err := flush("MS"); err != nil {
+				return 0, err
+			}
+			i++
+		case c == 'S' || c == 'M' || c == 'H':
+			if err := flush(string(c)); err != nil {
+				return 0, err
+			}
+		default:
+			return 0, fmt.Errorf("starql: duration %q: unexpected %q", orig, string(c))
+		}
+	}
+	if num.Len() > 0 {
+		return 0, fmt.Errorf("starql: duration %q: trailing number without unit", orig)
+	}
+	if totalMS <= 0 {
+		return 0, fmt.Errorf("starql: duration %q is not positive", orig)
+	}
+	return totalMS, nil
+}
+
+// ParseClockTime converts a pulse START literal like "00:10:00CET" into
+// milliseconds since midnight; time-zone suffixes are recorded but
+// ignored (the replayer runs on a single simulated clock). Bare integers
+// are taken as milliseconds.
+func ParseClockTime(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	if n, err := strconv.ParseInt(s, 10, 64); err == nil {
+		if n < 0 {
+			return 0, fmt.Errorf("starql: negative clock time %q", s)
+		}
+		return n, nil
+	}
+	// Strip a trailing alphabetic time-zone tag.
+	end := len(s)
+	for end > 0 && (s[end-1] >= 'A' && s[end-1] <= 'Z' || s[end-1] >= 'a' && s[end-1] <= 'z') {
+		end--
+	}
+	core := s[:end]
+	parts := strings.Split(core, ":")
+	if len(parts) != 3 {
+		return 0, fmt.Errorf("starql: clock time %q: want HH:MM:SS", s)
+	}
+	vals := make([]int64, 3)
+	for i, p := range parts {
+		v, err := strconv.ParseInt(p, 10, 64)
+		if err != nil || v < 0 {
+			return 0, fmt.Errorf("starql: clock time %q: bad component %q", s, p)
+		}
+		vals[i] = v
+	}
+	if vals[1] >= 60 || vals[2] >= 60 {
+		return 0, fmt.Errorf("starql: clock time %q out of range", s)
+	}
+	return (vals[0]*3600 + vals[1]*60 + vals[2]) * 1000, nil
+}

@@ -1,0 +1,300 @@
+package starql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// HavingExpr is the HAVING condition language: boolean combinations of
+// graph atoms over sequence states, comparisons, quantifiers over state
+// indexes, guarded implications, and aggregate-macro invocations.
+type HavingExpr interface {
+	fmt.Stringer
+	check(ctx *checkCtx) error
+	// substitute replaces $-parameters (macro expansion) and returns the
+	// rewritten expression.
+	substitute(args map[string]Node) HavingExpr
+}
+
+// checkCtx tracks variable scopes during validation.
+type checkCtx struct {
+	stateVars map[string]bool
+	valueVars map[string]bool
+	whereVars map[string]bool
+	aggs      map[string]*AggregateDef
+}
+
+func (c *checkCtx) child() *checkCtx {
+	out := &checkCtx{
+		stateVars: map[string]bool{},
+		valueVars: map[string]bool{},
+		whereVars: c.whereVars,
+		aggs:      c.aggs,
+	}
+	for k := range c.stateVars {
+		out.stateVars[k] = true
+	}
+	for k := range c.valueVars {
+		out.valueVars[k] = true
+	}
+	return out
+}
+
+// ---- Boolean connectives ----
+
+// AndExpr is conjunction.
+type AndExpr struct{ L, R HavingExpr }
+
+func (a *AndExpr) String() string { return "(" + a.L.String() + " AND " + a.R.String() + ")" }
+func (a *AndExpr) check(ctx *checkCtx) error {
+	if err := a.L.check(ctx); err != nil {
+		return err
+	}
+	return a.R.check(ctx)
+}
+func (a *AndExpr) substitute(args map[string]Node) HavingExpr {
+	return &AndExpr{a.L.substitute(args), a.R.substitute(args)}
+}
+
+// OrExpr is disjunction.
+type OrExpr struct{ L, R HavingExpr }
+
+func (o *OrExpr) String() string { return "(" + o.L.String() + " OR " + o.R.String() + ")" }
+func (o *OrExpr) check(ctx *checkCtx) error {
+	if err := o.L.check(ctx); err != nil {
+		return err
+	}
+	return o.R.check(ctx)
+}
+func (o *OrExpr) substitute(args map[string]Node) HavingExpr {
+	return &OrExpr{o.L.substitute(args), o.R.substitute(args)}
+}
+
+// NotExpr is negation.
+type NotExpr struct{ E HavingExpr }
+
+func (n *NotExpr) String() string                             { return "NOT " + n.E.String() }
+func (n *NotExpr) check(ctx *checkCtx) error                  { return n.E.check(ctx) }
+func (n *NotExpr) substitute(args map[string]Node) HavingExpr { return &NotExpr{n.E.substitute(args)} }
+
+// ---- Quantifiers ----
+
+// ExistsExpr is "EXISTS ?k IN SEQ: cond".
+type ExistsExpr struct {
+	StateVar string
+	Cond     HavingExpr
+}
+
+func (e *ExistsExpr) String() string {
+	return "EXISTS ?" + e.StateVar + " IN SEQ: " + e.Cond.String()
+}
+func (e *ExistsExpr) check(ctx *checkCtx) error {
+	child := ctx.child()
+	child.stateVars[e.StateVar] = true
+	return e.Cond.check(child)
+}
+func (e *ExistsExpr) substitute(args map[string]Node) HavingExpr {
+	return &ExistsExpr{e.StateVar, e.Cond.substitute(args)}
+}
+
+// ForallExpr is "FORALL ?i < ?j IN seq, ?x, ?y: IF (guard) THEN conclusion"
+// (the guard generates value-variable bindings; the conclusion must hold
+// for each). The Rel field orders the two state variables ("<", "<=");
+// a single-state form has StateVar2 == "".
+type ForallExpr struct {
+	StateVar1  string
+	Rel        string // "<" or "<=" between the state vars; "" if one var
+	StateVar2  string
+	ValueVars  []string
+	Guard      HavingExpr // nil means unguarded (conclusion must always hold)
+	Conclusion HavingExpr
+}
+
+func (f *ForallExpr) String() string {
+	var sb strings.Builder
+	sb.WriteString("FORALL ?" + f.StateVar1)
+	if f.StateVar2 != "" {
+		sb.WriteString(" " + f.Rel + " ?" + f.StateVar2)
+	}
+	sb.WriteString(" IN seq")
+	for _, v := range f.ValueVars {
+		sb.WriteString(", ?" + v)
+	}
+	sb.WriteString(": ")
+	if f.Guard != nil {
+		sb.WriteString("IF (" + f.Guard.String() + ") THEN ")
+	}
+	sb.WriteString(f.Conclusion.String())
+	return sb.String()
+}
+
+func (f *ForallExpr) check(ctx *checkCtx) error {
+	child := ctx.child()
+	child.stateVars[f.StateVar1] = true
+	if f.StateVar2 != "" {
+		child.stateVars[f.StateVar2] = true
+		if f.Rel != "<" && f.Rel != "<=" {
+			return fmt.Errorf("invalid state relation %q", f.Rel)
+		}
+	}
+	for _, v := range f.ValueVars {
+		child.valueVars[v] = true
+	}
+	if f.Guard != nil {
+		if err := f.Guard.check(child); err != nil {
+			return err
+		}
+	}
+	return f.Conclusion.check(child)
+}
+
+func (f *ForallExpr) substitute(args map[string]Node) HavingExpr {
+	out := &ForallExpr{
+		StateVar1: f.StateVar1, Rel: f.Rel, StateVar2: f.StateVar2,
+		ValueVars: f.ValueVars, Conclusion: f.Conclusion.substitute(args),
+	}
+	if f.Guard != nil {
+		out.Guard = f.Guard.substitute(args)
+	}
+	return out
+}
+
+// ---- Atoms ----
+
+// GraphAtom is "GRAPH ?k { s p o }": the pattern must hold in the
+// sequence state bound to the state variable. Patterns follow
+// TriplePattern conventions (NoObject = existential object).
+type GraphAtom struct {
+	StateVar string
+	Pattern  TriplePattern
+}
+
+func (g *GraphAtom) String() string {
+	return "GRAPH ?" + g.StateVar + " { " + g.Pattern.String() + " }"
+}
+
+func (g *GraphAtom) check(ctx *checkCtx) error {
+	if !ctx.stateVars[g.StateVar] {
+		return fmt.Errorf("unbound state variable ?%s", g.StateVar)
+	}
+	for _, n := range []Node{g.Pattern.S, g.Pattern.P} {
+		if n.IsVar() && !ctx.whereVars[n.Var] && !ctx.valueVars[n.Var] {
+			return fmt.Errorf("unbound variable ?%s in graph atom", n.Var)
+		}
+	}
+	// Object variables may be fresh: they are bound by the atom itself
+	// (generator position).
+	return nil
+}
+
+func (g *GraphAtom) substitute(args map[string]Node) HavingExpr {
+	out := &GraphAtom{StateVar: g.StateVar, Pattern: g.Pattern}
+	out.Pattern.S = substNode(g.Pattern.S, args)
+	out.Pattern.P = substNode(g.Pattern.P, args)
+	out.Pattern.O = substNode(g.Pattern.O, args)
+	return out
+}
+
+func substNode(n Node, args map[string]Node) Node {
+	if n.IsVar() {
+		if r, ok := args[n.Var]; ok {
+			return r
+		}
+	}
+	return n
+}
+
+// Comparison is "a op b" where a, b are value variables, state
+// variables, or constants, and op ∈ {<, <=, >, >=, =, !=}. The LHS may
+// be a comma list ("?i, ?j < ?k" means both compare).
+type Comparison struct {
+	Left  []Node
+	Op    string
+	Right Node
+}
+
+func (c *Comparison) String() string {
+	parts := make([]string, len(c.Left))
+	for i, l := range c.Left {
+		parts[i] = l.String()
+	}
+	return strings.Join(parts, ", ") + " " + c.Op + " " + c.Right.String()
+}
+
+func (c *Comparison) check(ctx *checkCtx) error {
+	switch c.Op {
+	case "<", "<=", ">", ">=", "=", "!=":
+	default:
+		return fmt.Errorf("invalid comparison operator %q", c.Op)
+	}
+	for _, n := range append(append([]Node{}, c.Left...), c.Right) {
+		if n.IsVar() && !ctx.stateVars[n.Var] && !ctx.valueVars[n.Var] && !ctx.whereVars[n.Var] {
+			return fmt.Errorf("unbound variable ?%s in comparison", n.Var)
+		}
+	}
+	return nil
+}
+
+func (c *Comparison) substitute(args map[string]Node) HavingExpr {
+	out := &Comparison{Op: c.Op, Right: substNode(c.Right, args)}
+	for _, l := range c.Left {
+		out.Left = append(out.Left, substNode(l, args))
+	}
+	return out
+}
+
+// AggCall invokes a registered aggregate macro, e.g.
+// "MONOTONIC.HAVING(?c2, sie:hasValue)".
+type AggCall struct {
+	Name string // canonical dotted name, upper-cased
+	Args []Node
+}
+
+func (a *AggCall) String() string {
+	parts := make([]string, len(a.Args))
+	for i, x := range a.Args {
+		parts[i] = x.String()
+	}
+	return a.Name + "(" + strings.Join(parts, ",") + ")"
+}
+
+func (a *AggCall) check(ctx *checkCtx) error {
+	def, ok := ctx.aggs[a.Name]
+	if !ok {
+		if _, builtin := builtinAggregates[a.Name]; builtin {
+			return nil
+		}
+		return fmt.Errorf("unknown aggregate %s", a.Name)
+	}
+	if len(a.Args) != len(def.Params) {
+		return fmt.Errorf("aggregate %s expects %d arguments, got %d", a.Name, len(def.Params), len(a.Args))
+	}
+	// Check the expanded body.
+	return a.Expand(def).check(ctx)
+}
+
+// Expand substitutes the call's arguments into the macro body.
+func (a *AggCall) Expand(def *AggregateDef) HavingExpr {
+	args := map[string]Node{}
+	for i, p := range def.Params {
+		args[p] = a.Args[i]
+	}
+	return def.Body.substitute(args)
+}
+
+func (a *AggCall) substitute(args map[string]Node) HavingExpr {
+	out := &AggCall{Name: a.Name}
+	for _, x := range a.Args {
+		out.Args = append(out.Args, substNode(x, args))
+	}
+	return out
+}
+
+// builtinAggregates are natively-evaluated sequence aggregates; they
+// cover the paper's catalog tasks that are cumbersome as macros
+// (Pearson correlation across two streams of states, thresholds).
+var builtinAggregates = map[string]struct{}{
+	"PEARSON.CORRELATION": {},
+	"THRESHOLD.ABOVE":     {},
+	"TREND.INCREASE":      {},
+}

@@ -1,0 +1,117 @@
+package starql
+
+import (
+	"testing"
+
+	"repro/internal/obda/mapping"
+	"repro/internal/relation"
+	"repro/internal/sql"
+)
+
+// mappingSetWrap bundles the test mapping set with its catalog so
+// translation tests can evaluate static fleets.
+type mappingSetWrap struct {
+	set *mapping.Set
+	cat *relation.Catalog
+}
+
+// newTestMappings builds the Siemens-flavoured deployment used across the
+// starql tests: assemblies and sensors in static tables, measurements on
+// the S_Msmt stream, and a showsFailure property realised from the
+// stream's fail flag.
+func newTestMappings(t *testing.T) *mappingSetWrap {
+	t.Helper()
+	const (
+		sensorT   = "http://siemens.com/data/sensor/{sid}"
+		assemblyT = "http://siemens.com/data/assembly/{aid}"
+	)
+	set, err := mapping.NewSet(
+		mapping.Mapping{
+			ID: "assembly", Pred: sieNS + "Assembly", IsClass: true,
+			Subject:    mapping.MustParseTemplate(assemblyT),
+			Source:     mapping.SourceRef{Table: "assemblies"},
+			KeyColumns: []string{"aid"},
+		},
+		mapping.Mapping{
+			ID: "sensor", Pred: sieNS + "Sensor", IsClass: true,
+			Subject:    mapping.MustParseTemplate(sensorT),
+			Source:     mapping.SourceRef{Table: "sensors"},
+			KeyColumns: []string{"sid"},
+		},
+		mapping.Mapping{
+			ID: "inAssembly", Pred: sieNS + "inAssembly",
+			Subject:    mapping.MustParseTemplate(assemblyT),
+			Object:     mapping.MustParseTemplate(sensorT),
+			Source:     mapping.SourceRef{Table: "sensors"},
+			KeyColumns: []string{"sid"},
+		},
+		mapping.Mapping{
+			ID: "hasValue", Pred: sieNS + "hasValue",
+			Subject: mapping.MustParseTemplate(sensorT),
+			Object:  mapping.MustParseTemplate("{val}"), ObjectIsData: true,
+			Source: mapping.SourceRef{Table: "S_Msmt", IsStream: true},
+		},
+		mapping.Mapping{
+			ID: "showsFailure", Pred: sieNS + "showsFailure",
+			Subject: mapping.MustParseTemplate(sensorT),
+			Object:  mapping.MustParseTemplate("{fail}"), ObjectIsData: true,
+			Source: mapping.SourceRef{
+				Table: "S_Msmt", IsStream: true,
+				Where: sql.Bin("=", sql.Col("fail"), sql.Lit(relation.Int(1))),
+			},
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cat := relation.NewCatalog()
+	assemblies, err := cat.Create("assemblies", relation.NewSchema(
+		relation.Col("aid", relation.TInt),
+		relation.Col("name", relation.TString),
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assemblies.MustInsert(relation.Tuple{relation.Int(1), relation.String_("burner")})
+	assemblies.MustInsert(relation.Tuple{relation.Int(2), relation.String_("rotor")})
+
+	sensors, err := cat.Create("sensors", relation.NewSchema(
+		relation.Col("sid", relation.TInt),
+		relation.Col("aid", relation.TInt),
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sensors 7 and 8 in assembly 1, sensor 9 in assembly 2.
+	sensors.MustInsert(relation.Tuple{relation.Int(7), relation.Int(1)})
+	sensors.MustInsert(relation.Tuple{relation.Int(8), relation.Int(1)})
+	sensors.MustInsert(relation.Tuple{relation.Int(9), relation.Int(2)})
+
+	return &mappingSetWrap{set: set, cat: cat}
+}
+
+// mappingForObjectProp is a stream-sourced object-property mapping used
+// by the sequence-builder tests.
+func mappingForObjectProp() mapping.Mapping {
+	return mapping.Mapping{
+		ID:      "emits",
+		Pred:    sieNS + "emits",
+		Subject: mapping.MustParseTemplate("http://siemens.com/data/sensor/{sid}"),
+		Object:  mapping.MustParseTemplate("http://siemens.com/data/reading/{sid}"),
+		Source:  mapping.SourceRef{Table: "S_Msmt", IsStream: true},
+	}
+}
+
+// mappingHasSid exposes the sensor id as a data property for the filter
+// tests.
+func mappingHasSid() mapping.Mapping {
+	return mapping.Mapping{
+		ID:      "hasSid",
+		Pred:    sieNS + "hasSid",
+		Subject: mapping.MustParseTemplate("http://siemens.com/data/sensor/{sid}"),
+		Object:  mapping.MustParseTemplate("{sid}"), ObjectIsData: true,
+		Source:     mapping.SourceRef{Table: "sensors"},
+		KeyColumns: []string{"sid"},
+	}
+}

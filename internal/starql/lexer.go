@@ -1,0 +1,205 @@
+package starql
+
+import (
+	"fmt"
+	"strings"
+)
+
+type tokKind uint8
+
+const (
+	tEOF    tokKind = iota
+	tIdent          // keywords, prefixed names, plain names
+	tVar            // ?x or $x (Text holds the name without the sigil)
+	tParam          // $x specifically (macro parameter)
+	tIRI            // <...>
+	tString         // "..." with optional ^^datatype (datatype in Extra)
+	tNumber
+	tPunct
+)
+
+type token struct {
+	kind  tokKind
+	text  string
+	extra string // datatype IRI or CURIE for typed strings
+	pos   int
+}
+
+func (t token) String() string {
+	if t.kind == tEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// isIdentChar reports characters allowed inside prefixed names and
+// keywords. ':' supports CURIEs; '-' supports names like S_out-1.
+func isIdentChar(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' ||
+		c >= '0' && c <= '9' || c == '_' || c == ':' || c == '#' || c == '/'
+}
+
+// lex tokenises STARQL text.
+func lex(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '#' && (i == 0 || src[i-1] == '\n' || src[i-1] == ' '):
+			// Line comment only at line/space boundary ('#' also occurs
+			// inside IRIs and CURIEs, which are lexed elsewhere).
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == '<' && isIRIBody(src[i+1:]):
+			j := strings.IndexByte(src[i:], '>')
+			toks = append(toks, token{tIRI, src[i+1 : i+j], "", i})
+			i += j + 1
+		case c == '"':
+			text, extra, n, err := lexString(src[i:])
+			if err != nil {
+				return nil, fmt.Errorf("starql: %v at offset %d", err, i)
+			}
+			toks = append(toks, token{tString, text, extra, i})
+			i += n
+		case c == '?' || c == '$':
+			j := i + 1
+			for j < len(src) && isNameChar(src[j]) {
+				j++
+			}
+			if j == i+1 {
+				return nil, fmt.Errorf("starql: empty variable at offset %d", i)
+			}
+			kind := tVar
+			if c == '$' {
+				kind = tParam
+			}
+			toks = append(toks, token{kind, src[i+1 : j], "", i})
+			i = j
+		case c >= '0' && c <= '9':
+			j := i
+			for j < len(src) && (src[j] >= '0' && src[j] <= '9' || src[j] == '.') {
+				j++
+			}
+			// A trailing '.' is a statement dot, not part of the number.
+			if j > i && src[j-1] == '.' {
+				j--
+			}
+			toks = append(toks, token{tNumber, src[i:j], "", i})
+			i = j
+		case isIdentStart(c):
+			j := i
+			for j < len(src) {
+				if isIdentChar(src[j]) {
+					j++
+					continue
+				}
+				// '.' joins identifier segments only when surrounded by
+				// ident chars (MONOTONIC.HAVING), not as a triple dot.
+				if src[j] == '.' && j+1 < len(src) && j > i && isIdentStart(src[j+1]) {
+					j++
+					continue
+				}
+				break
+			}
+			text := src[i:j]
+			// A lone ':' is punctuation ("?y :" after a FORALL var list).
+			if text == ":" {
+				toks = append(toks, token{tPunct, ":", "", i})
+				i = j
+				break
+			}
+			// A trailing ':' is clause punctuation ("IN SEQ:"), not part
+			// of a CURIE; split it off.
+			if len(text) > 1 && strings.HasSuffix(text, ":") {
+				toks = append(toks, token{tIdent, text[:len(text)-1], "", i})
+				toks = append(toks, token{tPunct, ":", "", j - 1})
+			} else {
+				toks = append(toks, token{tIdent, text, "", i})
+			}
+			i = j
+		default:
+			for _, op := range []string{"->", "<=", ">=", "!=", "="} {
+				if strings.HasPrefix(src[i:], op) {
+					toks = append(toks, token{tPunct, op, "", i})
+					i += len(op)
+					goto next
+				}
+			}
+			if strings.ContainsRune("{}[](),.;:<>-+*", rune(c)) {
+				toks = append(toks, token{tPunct, string(c), "", i})
+				i++
+				goto next
+			}
+			return nil, fmt.Errorf("starql: unexpected character %q at offset %d", string(c), i)
+		next:
+		}
+	}
+	toks = append(toks, token{tEOF, "", "", len(src)})
+	return toks, nil
+}
+
+// isIRIBody reports whether the text after '<' looks like an IRI body:
+// a '>' occurs before any whitespace. Otherwise '<' is the comparison
+// operator.
+func isIRIBody(rest string) bool {
+	for i := 0; i < len(rest); i++ {
+		switch rest[i] {
+		case '>':
+			return true
+		case ' ', '\t', '\n', '\r', '=', '?', '$':
+			return false
+		}
+	}
+	return false
+}
+
+func isIdentStart(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' || c == ':'
+}
+
+func isNameChar(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_'
+}
+
+// lexString reads "..." with optional ^^<iri> or ^^curie suffix; returns
+// the body, the datatype, and the consumed byte count.
+func lexString(src string) (body, datatype string, n int, err error) {
+	j := 1
+	var sb strings.Builder
+	for j < len(src) {
+		if src[j] == '\\' && j+1 < len(src) {
+			sb.WriteByte(src[j+1])
+			j += 2
+			continue
+		}
+		if src[j] == '"' {
+			j++
+			if strings.HasPrefix(src[j:], "^^") {
+				j += 2
+				if j < len(src) && src[j] == '<' {
+					k := strings.IndexByte(src[j:], '>')
+					if k < 0 {
+						return "", "", 0, fmt.Errorf("unterminated datatype IRI")
+					}
+					datatype = src[j+1 : j+k]
+					j += k + 1
+				} else {
+					k := j
+					for k < len(src) && isIdentChar(src[k]) {
+						k++
+					}
+					datatype = src[j:k]
+					j = k
+				}
+			}
+			return sb.String(), datatype, j, nil
+		}
+		sb.WriteByte(src[j])
+		j++
+	}
+	return "", "", 0, fmt.Errorf("unterminated string literal")
+}

@@ -1,0 +1,756 @@
+package starql
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/rdf"
+)
+
+// Parse reads a STARQL document: optional PREFIX declarations, one
+// CREATE STREAM statement, and any number of CREATE AGGREGATE macro
+// definitions (before or after the query).
+func Parse(src string) (*Query, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &sparser{
+		toks:     toks,
+		prefixes: rdf.StandardPrefixes(),
+		aggs:     make(map[string]*AggregateDef),
+	}
+	var q *Query
+	for !p.at(tEOF) {
+		switch {
+		case p.peekKW("PREFIX"):
+			if err := p.parsePrefix(); err != nil {
+				return nil, err
+			}
+		case p.peekKW("CREATE"):
+			kind := p.lookaheadKW(1)
+			switch strings.ToUpper(kind) {
+			case "STREAM":
+				if q != nil {
+					return nil, fmt.Errorf("starql: multiple CREATE STREAM statements")
+				}
+				q, err = p.parseCreateStream()
+				if err != nil {
+					return nil, err
+				}
+			case "AGGREGATE":
+				if err := p.parseCreateAggregate(); err != nil {
+					return nil, err
+				}
+			default:
+				return nil, fmt.Errorf("starql: expected STREAM or AGGREGATE after CREATE, found %q", kind)
+			}
+		default:
+			return nil, fmt.Errorf("starql: unexpected %s", p.peek())
+		}
+	}
+	if q == nil {
+		return nil, fmt.Errorf("starql: no CREATE STREAM statement")
+	}
+	q.Aggregates = p.aggs
+	q.Prefixes = p.prefixes
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// MustParse panics on error; for statically-known queries.
+func MustParse(src string) *Query {
+	q, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+type sparser struct {
+	toks     []token
+	pos      int
+	prefixes rdf.PrefixMap
+	aggs     map[string]*AggregateDef
+}
+
+func (p *sparser) peek() token       { return p.toks[p.pos] }
+func (p *sparser) next() token       { t := p.toks[p.pos]; p.pos++; return t }
+func (p *sparser) at(k tokKind) bool { return p.peek().kind == k }
+
+func (p *sparser) peekKW(kw string) bool {
+	t := p.peek()
+	return t.kind == tIdent && strings.EqualFold(t.text, kw)
+}
+
+func (p *sparser) lookaheadKW(n int) string {
+	if p.pos+n < len(p.toks) && p.toks[p.pos+n].kind == tIdent {
+		return p.toks[p.pos+n].text
+	}
+	return ""
+}
+
+func (p *sparser) acceptKW(kw string) bool {
+	if p.peekKW(kw) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *sparser) expectKW(kw string) error {
+	if !p.acceptKW(kw) {
+		return fmt.Errorf("starql: expected %s, found %s", kw, p.peek())
+	}
+	return nil
+}
+
+func (p *sparser) acceptPunct(s string) bool {
+	t := p.peek()
+	if t.kind == tPunct && t.text == s {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *sparser) expectPunct(s string) error {
+	if !p.acceptPunct(s) {
+		return fmt.Errorf("starql: expected %q, found %s", s, p.peek())
+	}
+	return nil
+}
+
+func (p *sparser) expectIdent() (string, error) {
+	t := p.peek()
+	if t.kind != tIdent {
+		return "", fmt.Errorf("starql: expected identifier, found %s", t)
+	}
+	p.pos++
+	return t.text, nil
+}
+
+func (p *sparser) parsePrefix() error {
+	p.pos++ // PREFIX
+	var name string
+	if !p.acceptPunct(":") { // empty prefix: "PREFIX : <iri>"
+		n, err := p.expectIdent()
+		if err != nil {
+			return err
+		}
+		name = strings.TrimSuffix(n, ":")
+		p.acceptPunct(":")
+	}
+	t := p.peek()
+	if t.kind != tIRI {
+		return fmt.Errorf("starql: expected IRI after PREFIX %s, found %s", name, t)
+	}
+	p.pos++
+	p.prefixes[name] = t.text
+	return nil
+}
+
+func (p *sparser) parseCreateStream() (*Query, error) {
+	p.pos++ // CREATE
+	p.pos++ // STREAM
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	q := &Query{Name: name}
+	if err := p.expectKW("AS"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKW("CONSTRUCT"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKW("GRAPH"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKW("NOW"); err != nil {
+		return nil, err
+	}
+	patterns, err := p.parsePatternBlock()
+	if err != nil {
+		return nil, err
+	}
+	q.Construct = patterns
+
+	if err := p.expectKW("FROM"); err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.acceptKW("STREAM"):
+			sc, err := p.parseStreamClause()
+			if err != nil {
+				return nil, err
+			}
+			q.Streams = append(q.Streams, sc)
+		case p.acceptKW("STATIC"):
+			if err := p.expectKW("DATA"); err != nil {
+				return nil, err
+			}
+			t := p.next()
+			if t.kind != tIRI {
+				return nil, fmt.Errorf("starql: expected IRI after STATIC DATA, found %s", t)
+			}
+			q.StaticIRI = t.text
+		case p.acceptKW("ONTOLOGY"):
+			t := p.next()
+			if t.kind != tIRI {
+				return nil, fmt.Errorf("starql: expected IRI after ONTOLOGY, found %s", t)
+			}
+			q.OntologyIRI = t.text
+		default:
+			return nil, fmt.Errorf("starql: expected STREAM, STATIC DATA, or ONTOLOGY in FROM, found %s", p.peek())
+		}
+		if !p.acceptPunct(",") {
+			break
+		}
+	}
+
+	if p.acceptKW("USING") {
+		if err := p.expectKW("PULSE"); err != nil {
+			return nil, err
+		}
+		if err := p.expectKW("WITH"); err != nil {
+			return nil, err
+		}
+		pulse := &PulseClause{}
+		for {
+			key, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct("="); err != nil {
+				return nil, err
+			}
+			t := p.next()
+			if t.kind != tString && t.kind != tNumber {
+				return nil, fmt.Errorf("starql: expected literal for %s, found %s", key, t)
+			}
+			switch strings.ToUpper(key) {
+			case "START":
+				ms, err := ParseClockTime(t.text)
+				if err != nil {
+					return nil, err
+				}
+				pulse.StartMS = ms
+			case "FREQUENCY":
+				ms, err := ParseDuration(t.text)
+				if err != nil {
+					return nil, err
+				}
+				pulse.FrequencyMS = ms
+			default:
+				return nil, fmt.Errorf("starql: unknown pulse parameter %q", key)
+			}
+			if !p.acceptPunct(",") {
+				break
+			}
+		}
+		q.Pulse = pulse
+	}
+
+	if err := p.expectKW("WHERE"); err != nil {
+		return nil, err
+	}
+	where, filters, err := p.parsePatternBlockWithFilters()
+	if err != nil {
+		return nil, err
+	}
+	q.Where = where
+	q.WhereFilters = filters
+
+	if p.acceptKW("SEQUENCE") {
+		if err := p.expectKW("BY"); err != nil {
+			return nil, err
+		}
+		m, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		q.SequenceBy = m
+		if p.acceptKW("AS") {
+			a, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			q.SeqAlias = a
+		}
+	}
+
+	if p.acceptKW("HAVING") {
+		h, err := p.parseHaving()
+		if err != nil {
+			return nil, err
+		}
+		q.Having = h
+	}
+	return q, nil
+}
+
+func (p *sparser) parseStreamClause() (StreamClause, error) {
+	name, err := p.expectIdent()
+	if err != nil {
+		return StreamClause{}, err
+	}
+	sc := StreamClause{Name: name}
+	if err := p.expectPunct("["); err != nil {
+		return sc, err
+	}
+	if err := p.expectKW("NOW"); err != nil {
+		return sc, err
+	}
+	if err := p.expectPunct("-"); err != nil {
+		return sc, err
+	}
+	t := p.next()
+	if t.kind != tString && t.kind != tNumber {
+		return sc, fmt.Errorf("starql: expected window range literal, found %s", t)
+	}
+	rng, err := ParseDuration(t.text)
+	if err != nil {
+		return sc, err
+	}
+	sc.RangeMS = rng
+	if err := p.expectPunct(","); err != nil {
+		return sc, err
+	}
+	if err := p.expectKW("NOW"); err != nil {
+		return sc, err
+	}
+	if err := p.expectPunct("]"); err != nil {
+		return sc, err
+	}
+	if err := p.expectPunct("->"); err != nil {
+		return sc, err
+	}
+	t = p.next()
+	if t.kind != tString && t.kind != tNumber {
+		return sc, fmt.Errorf("starql: expected slide literal, found %s", t)
+	}
+	slide, err := ParseDuration(t.text)
+	if err != nil {
+		return sc, err
+	}
+	sc.SlideMS = slide
+	return sc, nil
+}
+
+// parsePatternBlock parses "{ t1 . t2 . ... }" where each triple has 2
+// or 3 components; FILTER conditions are collected separately.
+func (p *sparser) parsePatternBlock() ([]TriplePattern, error) {
+	pats, filters, err := p.parsePatternBlockWithFilters()
+	if err != nil {
+		return nil, err
+	}
+	if len(filters) > 0 {
+		return nil, fmt.Errorf("starql: FILTER is only allowed in WHERE")
+	}
+	return pats, nil
+}
+
+func (p *sparser) parsePatternBlockWithFilters() ([]TriplePattern, []FilterPattern, error) {
+	if err := p.expectPunct("{"); err != nil {
+		return nil, nil, err
+	}
+	var out []TriplePattern
+	var filters []FilterPattern
+	for !p.acceptPunct("}") {
+		if p.acceptKW("FILTER") {
+			f, err := p.parseFilter()
+			if err != nil {
+				return nil, nil, err
+			}
+			filters = append(filters, f)
+			p.acceptPunct(".")
+			continue
+		}
+		tp, err := p.parseTriplePattern()
+		if err != nil {
+			return nil, nil, err
+		}
+		out = append(out, tp)
+		p.acceptPunct(".") // separator and optional terminator
+	}
+	return out, filters, nil
+}
+
+// parseFilter parses "( arg op value )" after the FILTER keyword.
+func (p *sparser) parseFilter() (FilterPattern, error) {
+	if err := p.expectPunct("("); err != nil {
+		return FilterPattern{}, err
+	}
+	arg, err := p.parseNode()
+	if err != nil {
+		return FilterPattern{}, err
+	}
+	var op string
+	for _, cand := range []string{"<=", ">=", "!=", "=", "<", ">"} {
+		if p.acceptPunct(cand) {
+			op = cand
+			break
+		}
+	}
+	if op == "" {
+		return FilterPattern{}, fmt.Errorf("starql: expected comparison in FILTER, found %s", p.peek())
+	}
+	val, err := p.parseNode()
+	if err != nil {
+		return FilterPattern{}, err
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return FilterPattern{}, err
+	}
+	return FilterPattern{Arg: arg, Op: op, Value: val}, nil
+}
+
+func (p *sparser) parseTriplePattern() (TriplePattern, error) {
+	s, err := p.parseNode()
+	if err != nil {
+		return TriplePattern{}, err
+	}
+	// Predicate: "a" keyword, rdf:type, or a term.
+	if p.acceptKW("a") {
+		cls, err := p.parseNode()
+		if err != nil {
+			return TriplePattern{}, err
+		}
+		return TriplePattern{S: s, P: cls, TypeAtom: true}, nil
+	}
+	pred, err := p.parseNode()
+	if err != nil {
+		return TriplePattern{}, err
+	}
+	if !pred.IsVar() && pred.Term.IsIRI() && pred.Term.Value == rdf.RDFType {
+		cls, err := p.parseNode()
+		if err != nil {
+			return TriplePattern{}, err
+		}
+		return TriplePattern{S: s, P: cls, TypeAtom: true}, nil
+	}
+	// Two-element form: next token closes the pattern.
+	if t := p.peek(); t.kind == tPunct && (t.text == "." || t.text == "}") {
+		return TriplePattern{S: s, P: pred, NoObject: true}, nil
+	}
+	o, err := p.parseNode()
+	if err != nil {
+		return TriplePattern{}, err
+	}
+	return TriplePattern{S: s, P: pred, O: o}, nil
+}
+
+func (p *sparser) parseNode() (Node, error) {
+	t := p.next()
+	switch t.kind {
+	case tVar, tParam:
+		return NVar(t.text), nil
+	case tIRI:
+		return NTerm(rdf.NewIRI(t.text)), nil
+	case tIdent:
+		iri, err := p.prefixes.Expand(t.text)
+		if err != nil {
+			return Node{}, fmt.Errorf("starql: %v", err)
+		}
+		return NTerm(rdf.NewIRI(iri)), nil
+	case tString:
+		if t.extra != "" {
+			dt, err := p.prefixes.Expand(t.extra)
+			if err != nil {
+				return Node{}, err
+			}
+			return NTerm(rdf.NewTypedLiteral(t.text, dt)), nil
+		}
+		return NTerm(rdf.NewLiteral(t.text)), nil
+	case tNumber:
+		if strings.Contains(t.text, ".") {
+			return NTerm(rdf.NewTypedLiteral(t.text, rdf.XSDDouble)), nil
+		}
+		return NTerm(rdf.NewTypedLiteral(t.text, rdf.XSDInteger)), nil
+	default:
+		return Node{}, fmt.Errorf("starql: expected term, found %s", t)
+	}
+}
+
+func (p *sparser) parseCreateAggregate() error {
+	p.pos++ // CREATE
+	p.pos++ // AGGREGATE
+	rawName, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	// Accept NAME:SUB and NAME.SUB; canonical form is dotted upper case.
+	name := strings.ToUpper(strings.ReplaceAll(rawName, ":", "."))
+	if err := p.expectPunct("("); err != nil {
+		return err
+	}
+	var params []string
+	for {
+		t := p.next()
+		if t.kind != tParam && t.kind != tVar {
+			return fmt.Errorf("starql: expected parameter, found %s", t)
+		}
+		params = append(params, t.text)
+		if !p.acceptPunct(",") {
+			break
+		}
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return err
+	}
+	if err := p.expectKW("AS"); err != nil {
+		return err
+	}
+	if err := p.expectKW("HAVING"); err != nil {
+		return err
+	}
+	body, err := p.parseHaving()
+	if err != nil {
+		return err
+	}
+	if _, dup := p.aggs[name]; dup {
+		return fmt.Errorf("starql: aggregate %s defined twice", name)
+	}
+	p.aggs[name] = &AggregateDef{Name: name, Params: params, Body: body}
+	return nil
+}
+
+// ---- HAVING expression parsing ----
+
+func (p *sparser) parseHaving() (HavingExpr, error) { return p.parseHavingOr() }
+
+func (p *sparser) parseHavingOr() (HavingExpr, error) {
+	left, err := p.parseHavingAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKW("OR") {
+		right, err := p.parseHavingAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = &OrExpr{left, right}
+	}
+	return left, nil
+}
+
+func (p *sparser) parseHavingAnd() (HavingExpr, error) {
+	left, err := p.parseHavingPrimary()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKW("AND") {
+		right, err := p.parseHavingPrimary()
+		if err != nil {
+			return nil, err
+		}
+		left = &AndExpr{left, right}
+	}
+	return left, nil
+}
+
+func (p *sparser) parseHavingPrimary() (HavingExpr, error) {
+	switch {
+	case p.acceptKW("NOT"):
+		e, err := p.parseHavingPrimary()
+		if err != nil {
+			return nil, err
+		}
+		return &NotExpr{e}, nil
+	case p.acceptKW("EXISTS"):
+		return p.parseExists()
+	case p.acceptKW("FORALL"):
+		return p.parseForall()
+	case p.acceptKW("IF"):
+		return p.parseIfThen()
+	case p.acceptKW("GRAPH"):
+		return p.parseGraphAtom()
+	case p.acceptPunct("("):
+		e, err := p.parseHaving()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	// Aggregate call: IDENT '(' args ')'.
+	if t := p.peek(); t.kind == tIdent &&
+		p.pos+1 < len(p.toks) && p.toks[p.pos+1].kind == tPunct && p.toks[p.pos+1].text == "(" {
+		p.pos += 2
+		name := strings.ToUpper(strings.ReplaceAll(t.text, ":", "."))
+		var args []Node
+		for {
+			n, err := p.parseNode()
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, n)
+			if !p.acceptPunct(",") {
+				break
+			}
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return &AggCall{Name: name, Args: args}, nil
+	}
+	return p.parseComparison()
+}
+
+func (p *sparser) parseExists() (HavingExpr, error) {
+	t := p.next()
+	if t.kind != tVar {
+		return nil, fmt.Errorf("starql: expected state variable after EXISTS, found %s", t)
+	}
+	if err := p.expectKW("IN"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expectIdent(); err != nil { // SEQ / seq alias
+		return nil, err
+	}
+	if err := p.expectPunct(":"); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseHaving()
+	if err != nil {
+		return nil, err
+	}
+	return &ExistsExpr{StateVar: t.text, Cond: cond}, nil
+}
+
+func (p *sparser) parseForall() (HavingExpr, error) {
+	f := &ForallExpr{}
+	t := p.next()
+	if t.kind != tVar {
+		return nil, fmt.Errorf("starql: expected state variable after FORALL, found %s", t)
+	}
+	f.StateVar1 = t.text
+	if p.acceptPunct("<") {
+		f.Rel = "<"
+	} else if p.acceptPunct("<=") {
+		f.Rel = "<="
+	}
+	if f.Rel != "" {
+		t = p.next()
+		if t.kind != tVar {
+			return nil, fmt.Errorf("starql: expected second state variable, found %s", t)
+		}
+		f.StateVar2 = t.text
+	}
+	if err := p.expectKW("IN"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expectIdent(); err != nil {
+		return nil, err
+	}
+	for p.acceptPunct(",") {
+		t = p.next()
+		if t.kind != tVar {
+			return nil, fmt.Errorf("starql: expected value variable, found %s", t)
+		}
+		f.ValueVars = append(f.ValueVars, t.text)
+	}
+	if err := p.expectPunct(":"); err != nil {
+		return nil, err
+	}
+	body, err := p.parseHaving()
+	if err != nil {
+		return nil, err
+	}
+	if ifTE, ok := body.(*ifThenExpr); ok {
+		f.Guard, f.Conclusion = ifTE.guard, ifTE.then
+	} else {
+		f.Conclusion = body
+	}
+	return f, nil
+}
+
+// ifThenExpr is a parse-time carrier for IF (...) THEN ...; it only
+// appears inside FORALL, which absorbs it into guard/conclusion.
+type ifThenExpr struct {
+	guard, then HavingExpr
+}
+
+func (i *ifThenExpr) String() string {
+	return "IF (" + i.guard.String() + ") THEN " + i.then.String()
+}
+func (i *ifThenExpr) check(ctx *checkCtx) error {
+	if err := i.guard.check(ctx); err != nil {
+		return err
+	}
+	return i.then.check(ctx)
+}
+func (i *ifThenExpr) substitute(args map[string]Node) HavingExpr {
+	return &ifThenExpr{i.guard.substitute(args), i.then.substitute(args)}
+}
+
+func (p *sparser) parseIfThen() (HavingExpr, error) {
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	guard, err := p.parseHaving()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKW("THEN"); err != nil {
+		return nil, err
+	}
+	then, err := p.parseHaving()
+	if err != nil {
+		return nil, err
+	}
+	return &ifThenExpr{guard, then}, nil
+}
+
+func (p *sparser) parseGraphAtom() (HavingExpr, error) {
+	t := p.next()
+	if t.kind != tVar {
+		return nil, fmt.Errorf("starql: expected state variable after GRAPH, found %s", t)
+	}
+	pats, err := p.parsePatternBlock()
+	if err != nil {
+		return nil, err
+	}
+	if len(pats) != 1 {
+		return nil, fmt.Errorf("starql: GRAPH block must contain exactly one pattern, got %d", len(pats))
+	}
+	return &GraphAtom{StateVar: t.text, Pattern: pats[0]}, nil
+}
+
+func (p *sparser) parseComparison() (HavingExpr, error) {
+	var left []Node
+	for {
+		n, err := p.parseNode()
+		if err != nil {
+			return nil, err
+		}
+		left = append(left, n)
+		if !p.acceptPunct(",") {
+			break
+		}
+	}
+	var op string
+	for _, cand := range []string{"<=", ">=", "!=", "=", "<", ">"} {
+		if p.acceptPunct(cand) {
+			op = cand
+			break
+		}
+	}
+	if op == "" {
+		return nil, fmt.Errorf("starql: expected comparison operator, found %s", p.peek())
+	}
+	right, err := p.parseNode()
+	if err != nil {
+		return nil, err
+	}
+	return &Comparison{Left: left, Op: op, Right: right}, nil
+}

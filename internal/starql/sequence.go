@@ -1,0 +1,735 @@
+package starql
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/obda/mapping"
+	"repro/internal/rdf"
+	"repro/internal/relation"
+	"repro/internal/sql"
+	"repro/internal/stream"
+)
+
+// Binding assigns WHERE-clause variables to RDF terms; it is one answer
+// of the unfolded static query.
+type Binding map[string]rdf.Term
+
+// State is one element of a STARQL sequence: the ABox snapshot at one
+// timestamp, restricted to stream-derived assertions. Property values
+// are indexed by subject IRI and property IRI.
+type State struct {
+	TS    int64
+	props map[string]map[string][]relation.Value
+}
+
+// Values returns the values of (subject, property) at this state.
+func (s *State) Values(subject, property string) []relation.Value {
+	return s.props[subject][property]
+}
+
+// Sequence is the ordered list of states of one window (StdSeq: one
+// state per distinct timestamp, ascending — the standard sequencing of
+// [12], which respects functionality constraints by keeping simultaneous
+// measurements in one state).
+type Sequence struct {
+	States []State
+}
+
+// Len returns the number of states.
+func (s *Sequence) Len() int { return len(s.States) }
+
+// SequenceBuilder turns window batches into sequences using the stream
+// mappings: each stream-sourced property mapping contributes assertions
+// subject→property→value realised from the batch rows.
+type SequenceBuilder struct {
+	schema   stream.Schema
+	tsIdx    int
+	mappings []mapping.Mapping // stream-sourced property mappings
+}
+
+// NewSequenceBuilder selects the stream-sourced mappings relevant to the
+// given stream from the mapping set.
+func NewSequenceBuilder(schema stream.Schema, set *mapping.Set) (*SequenceBuilder, error) {
+	tsIdx, err := schema.Tuple.IndexOf(schema.TSCol)
+	if err != nil {
+		return nil, err
+	}
+	b := &SequenceBuilder{schema: schema, tsIdx: tsIdx}
+	for _, m := range set.All() {
+		if m.Source.IsStream && equalFold(m.Source.Table, schema.Name) {
+			b.mappings = append(b.mappings, m)
+		}
+	}
+	if len(b.mappings) == 0 {
+		return nil, fmt.Errorf("starql: no stream mappings for %q", schema.Name)
+	}
+	return b, nil
+}
+
+func equalFold(a, b string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := 0; i < len(a); i++ {
+		ca, cb := a[i], b[i]
+		if 'A' <= ca && ca <= 'Z' {
+			ca += 'a' - 'A'
+		}
+		if 'A' <= cb && cb <= 'Z' {
+			cb += 'a' - 'A'
+		}
+		if ca != cb {
+			return false
+		}
+	}
+	return true
+}
+
+// Build constructs the StdSeq sequence of a window batch, restricted to
+// the given subjects (nil means all subjects — used by correlation
+// tasks that scan every sensor).
+func (b *SequenceBuilder) Build(batch stream.Batch, subjects map[string]bool) (*Sequence, error) {
+	byTS := map[int64]*State{}
+	for _, row := range batch.Rows {
+		ts, ok := row[b.tsIdx].AsInt()
+		if !ok {
+			return nil, fmt.Errorf("starql: row without timestamp: %v", row)
+		}
+		st, ok := byTS[ts]
+		if !ok {
+			st = &State{TS: ts, props: map[string]map[string][]relation.Value{}}
+			byTS[ts] = st
+		}
+		for _, m := range b.mappings {
+			// Source-level filter.
+			if m.Source.Where != nil {
+				v, err := evalRowExpr(m.Source.Where, b.schema.Tuple, row)
+				if err != nil {
+					return nil, err
+				}
+				if !v.Truthy() {
+					continue
+				}
+			}
+			subj, err := renderTemplateRow(m.Subject, b.schema.Tuple, row)
+			if err != nil {
+				return nil, err
+			}
+			if subjects != nil && !subjects[subj] {
+				continue
+			}
+			var val relation.Value
+			if m.IsClass {
+				val = relation.Bool_(true)
+			} else {
+				val, err = objectValue(m, b.schema.Tuple, row)
+				if err != nil {
+					return nil, err
+				}
+			}
+			props, ok := st.props[subj]
+			if !ok {
+				props = map[string][]relation.Value{}
+				st.props[subj] = props
+			}
+			props[m.Pred] = append(props[m.Pred], val)
+		}
+	}
+	seq := &Sequence{States: make([]State, 0, len(byTS))}
+	for _, st := range byTS {
+		seq.States = append(seq.States, *st)
+	}
+	sort.Slice(seq.States, func(i, j int) bool { return seq.States[i].TS < seq.States[j].TS })
+	return seq, nil
+}
+
+// renderTemplateRow applies an IRI template to one stream row.
+func renderTemplateRow(t mapping.Template, schema relation.Schema, row relation.Tuple) (string, error) {
+	segs := make([]string, len(t.Columns))
+	for i, c := range t.Columns {
+		idx, err := schema.IndexOf(c)
+		if err != nil {
+			return "", err
+		}
+		segs[i] = rawString(row[idx])
+	}
+	return t.Render(segs)
+}
+
+func rawString(v relation.Value) string {
+	switch v.Type {
+	case relation.TString:
+		return v.Str
+	default:
+		s := v.String()
+		if len(s) >= 2 && s[0] == '\'' && s[len(s)-1] == '\'' {
+			return s[1 : len(s)-1]
+		}
+		return s
+	}
+}
+
+// objectValue extracts a property mapping's object from a row: the raw
+// column for data properties, the rendered IRI for object properties.
+func objectValue(m mapping.Mapping, schema relation.Schema, row relation.Tuple) (relation.Value, error) {
+	if m.ObjectIsData {
+		idx, err := schema.IndexOf(m.Object.Columns[0])
+		if err != nil {
+			return relation.Null, err
+		}
+		return row[idx], nil
+	}
+	iri, err := renderTemplateRow(m.Object, schema, row)
+	if err != nil {
+		return relation.Null, err
+	}
+	return relation.String_(iri), nil
+}
+
+// evalRowExpr evaluates a mapping source filter against one row without
+// needing the full engine context.
+func evalRowExpr(e sql.Expr, schema relation.Schema, row relation.Tuple) (relation.Value, error) {
+	return rowEval{schema, row}.eval(e)
+}
+
+type rowEval struct {
+	schema relation.Schema
+	row    relation.Tuple
+}
+
+func (r rowEval) eval(e sql.Expr) (relation.Value, error) {
+	switch x := e.(type) {
+	case *sql.Literal:
+		return x.Value, nil
+	case *sql.ColumnRef:
+		idx, err := r.schema.IndexOf(x.Name)
+		if err != nil {
+			return relation.Null, err
+		}
+		return r.row[idx], nil
+	case *sql.BinaryExpr:
+		l, err := r.eval(x.Left)
+		if err != nil {
+			return relation.Null, err
+		}
+		rt, err := r.eval(x.Right)
+		if err != nil {
+			return relation.Null, err
+		}
+		switch x.Op {
+		case "AND":
+			return relation.Bool_(l.Truthy() && rt.Truthy()), nil
+		case "OR":
+			return relation.Bool_(l.Truthy() || rt.Truthy()), nil
+		case "+", "-", "*", "/", "%":
+			return relation.Arith(x.Op[0], l, rt)
+		default:
+			c, ok := relation.Compare(l, rt)
+			if !ok || l.IsNull() || rt.IsNull() {
+				return relation.Bool_(false), nil
+			}
+			switch x.Op {
+			case "=":
+				return relation.Bool_(c == 0), nil
+			case "<>":
+				return relation.Bool_(c != 0), nil
+			case "<":
+				return relation.Bool_(c < 0), nil
+			case "<=":
+				return relation.Bool_(c <= 0), nil
+			case ">":
+				return relation.Bool_(c > 0), nil
+			case ">=":
+				return relation.Bool_(c >= 0), nil
+			}
+			return relation.Null, fmt.Errorf("starql: unsupported operator %q in mapping filter", x.Op)
+		}
+	case *sql.UnaryExpr:
+		v, err := r.eval(x.Expr)
+		if err != nil {
+			return relation.Null, err
+		}
+		if x.Op == "NOT" {
+			return relation.Bool_(!v.Truthy()), nil
+		}
+		return relation.Null, fmt.Errorf("starql: unsupported unary %q in mapping filter", x.Op)
+	default:
+		return relation.Null, fmt.Errorf("starql: unsupported expression %T in mapping filter", e)
+	}
+}
+
+// ---- HAVING evaluation ----
+
+// evalEnv carries variable assignments during HAVING evaluation.
+type evalEnv struct {
+	seq     *Sequence
+	binding Binding
+	states  map[string]int
+	values  map[string]relation.Value
+	aggs    map[string]*AggregateDef
+}
+
+func (e *evalEnv) child() *evalEnv {
+	out := &evalEnv{seq: e.seq, binding: e.binding, aggs: e.aggs,
+		states: map[string]int{}, values: map[string]relation.Value{}}
+	for k, v := range e.states {
+		out.states[k] = v
+	}
+	for k, v := range e.values {
+		out.values[k] = v
+	}
+	return out
+}
+
+// EvalHaving evaluates a HAVING condition over a sequence under a WHERE
+// binding. Aggregate macros are expanded from defs.
+func EvalHaving(h HavingExpr, seq *Sequence, binding Binding, defs map[string]*AggregateDef) (bool, error) {
+	env := &evalEnv{seq: seq, binding: binding, aggs: defs,
+		states: map[string]int{}, values: map[string]relation.Value{}}
+	envs, err := matches(h, env)
+	if err != nil {
+		return false, err
+	}
+	return len(envs) > 0, nil
+}
+
+// matches returns the environments extending env under which h holds;
+// atoms with fresh object variables act as binding generators.
+func matches(h HavingExpr, env *evalEnv) ([]*evalEnv, error) {
+	switch x := h.(type) {
+	case *AndExpr:
+		ls, err := matches(x.L, env)
+		if err != nil {
+			return nil, err
+		}
+		var out []*evalEnv
+		for _, l := range ls {
+			rs, err := matches(x.R, l)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, rs...)
+		}
+		return out, nil
+	case *OrExpr:
+		ls, err := matches(x.L, env)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := matches(x.R, env)
+		if err != nil {
+			return nil, err
+		}
+		return append(ls, rs...), nil
+	case *NotExpr:
+		sub, err := matches(x.E, env)
+		if err != nil {
+			return nil, err
+		}
+		if len(sub) == 0 {
+			return []*evalEnv{env}, nil
+		}
+		return nil, nil
+	case *ExistsExpr:
+		for i := range env.seq.States {
+			child := env.child()
+			child.states[x.StateVar] = i
+			sub, err := matches(x.Cond, child)
+			if err != nil {
+				return nil, err
+			}
+			if len(sub) > 0 {
+				return []*evalEnv{env}, nil
+			}
+		}
+		return nil, nil
+	case *ForallExpr:
+		ok, err := evalForall(x, env)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			return []*evalEnv{env}, nil
+		}
+		return nil, nil
+	case *ifThenExpr:
+		guards, err := matches(x.guard, env)
+		if err != nil {
+			return nil, err
+		}
+		for _, g := range guards {
+			sub, err := matches(x.then, g)
+			if err != nil {
+				return nil, err
+			}
+			if len(sub) == 0 {
+				return nil, nil
+			}
+		}
+		return []*evalEnv{env}, nil
+	case *GraphAtom:
+		return matchGraphAtom(x, env)
+	case *Comparison:
+		ok, err := evalComparison(x, env)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			return []*evalEnv{env}, nil
+		}
+		return nil, nil
+	case *AggCall:
+		ok, err := evalAggCall(x, env)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			return []*evalEnv{env}, nil
+		}
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("starql: cannot evaluate %T", h)
+	}
+}
+
+func evalForall(f *ForallExpr, env *evalEnv) (bool, error) {
+	n := len(env.seq.States)
+	check := func(child *evalEnv) (bool, error) {
+		body := f.Conclusion
+		if f.Guard != nil {
+			guards, err := matches(f.Guard, child)
+			if err != nil {
+				return false, err
+			}
+			for _, g := range guards {
+				sub, err := matches(body, g)
+				if err != nil {
+					return false, err
+				}
+				if len(sub) == 0 {
+					return false, nil
+				}
+			}
+			return true, nil
+		}
+		if len(f.ValueVars) > 0 {
+			return false, fmt.Errorf("starql: FORALL with value variables requires an IF guard")
+		}
+		sub, err := matches(body, child)
+		if err != nil {
+			return false, err
+		}
+		return len(sub) > 0, nil
+	}
+	if f.StateVar2 == "" {
+		for i := 0; i < n; i++ {
+			child := env.child()
+			child.states[f.StateVar1] = i
+			ok, err := check(child)
+			if err != nil || !ok {
+				return false, err
+			}
+		}
+		return true, nil
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if f.Rel == "<" && !(i < j) {
+				continue
+			}
+			if f.Rel == "<=" && !(i <= j) {
+				continue
+			}
+			child := env.child()
+			child.states[f.StateVar1] = i
+			child.states[f.StateVar2] = j
+			ok, err := check(child)
+			if err != nil || !ok {
+				return false, err
+			}
+		}
+	}
+	return true, nil
+}
+
+func matchGraphAtom(g *GraphAtom, env *evalEnv) ([]*evalEnv, error) {
+	idx, ok := env.states[g.StateVar]
+	if !ok {
+		return nil, fmt.Errorf("starql: unbound state variable ?%s", g.StateVar)
+	}
+	st := &env.seq.States[idx]
+	subj, err := resolveIRI(g.Pattern.S, env)
+	if err != nil {
+		return nil, err
+	}
+	var pred string
+	if g.Pattern.TypeAtom || !g.Pattern.P.IsVar() {
+		p := g.Pattern.P
+		if p.IsVar() {
+			return nil, fmt.Errorf("starql: variable predicate in graph atom")
+		}
+		pred = p.Term.Value
+	} else {
+		return nil, fmt.Errorf("starql: variable predicate in graph atom")
+	}
+	vals := st.Values(subj, pred)
+	if g.Pattern.TypeAtom || g.Pattern.NoObject {
+		if len(vals) > 0 {
+			return []*evalEnv{env}, nil
+		}
+		return nil, nil
+	}
+	obj := g.Pattern.O
+	if obj.IsVar() {
+		if bound, ok := env.values[obj.Var]; ok {
+			for _, v := range vals {
+				if relation.Equal(v, bound) {
+					return []*evalEnv{env}, nil
+				}
+			}
+			return nil, nil
+		}
+		var out []*evalEnv
+		for _, v := range vals {
+			child := env.child()
+			child.values[obj.Var] = v
+			out = append(out, child)
+		}
+		return out, nil
+	}
+	want := termToValue(obj.Term)
+	for _, v := range vals {
+		if relation.Equal(v, want) {
+			return []*evalEnv{env}, nil
+		}
+	}
+	return nil, nil
+}
+
+func evalComparison(c *Comparison, env *evalEnv) (bool, error) {
+	right, err := resolveValue(c.Right, env)
+	if err != nil {
+		return false, err
+	}
+	for _, l := range c.Left {
+		left, err := resolveValue(l, env)
+		if err != nil {
+			return false, err
+		}
+		cmp, ok := relation.Compare(left, right)
+		if !ok {
+			return false, nil
+		}
+		var pass bool
+		switch c.Op {
+		case "<":
+			pass = cmp < 0
+		case "<=":
+			pass = cmp <= 0
+		case ">":
+			pass = cmp > 0
+		case ">=":
+			pass = cmp >= 0
+		case "=":
+			pass = cmp == 0
+		case "!=":
+			pass = cmp != 0
+		}
+		if !pass {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// resolveIRI resolves a node to a subject IRI string.
+func resolveIRI(n Node, env *evalEnv) (string, error) {
+	if !n.IsVar() {
+		return n.Term.Value, nil
+	}
+	if t, ok := env.binding[n.Var]; ok {
+		return t.Value, nil
+	}
+	if v, ok := env.values[n.Var]; ok {
+		return rawString(v), nil
+	}
+	return "", fmt.Errorf("starql: unbound subject variable ?%s", n.Var)
+}
+
+// resolveValue resolves a node to a comparable value: state variables
+// become their state index, bound value variables their value, WHERE
+// variables their term, constants their literal value.
+func resolveValue(n Node, env *evalEnv) (relation.Value, error) {
+	if !n.IsVar() {
+		return termToValue(n.Term), nil
+	}
+	if i, ok := env.states[n.Var]; ok {
+		return relation.Int(int64(i)), nil
+	}
+	if v, ok := env.values[n.Var]; ok {
+		return v, nil
+	}
+	if t, ok := env.binding[n.Var]; ok {
+		return termToValue(t), nil
+	}
+	return relation.Null, fmt.Errorf("starql: unbound variable ?%s", n.Var)
+}
+
+// termToValue converts an RDF term to an engine value.
+func termToValue(t rdf.Term) relation.Value {
+	if t.IsLiteral() {
+		switch t.Datatype {
+		case rdf.XSDInteger:
+			if v, err := t.Integer(); err == nil {
+				return relation.Int(v)
+			}
+		case rdf.XSDDouble, rdf.XSDDecimal:
+			if v, err := t.Float(); err == nil {
+				return relation.Float(v)
+			}
+		case rdf.XSDBoolean:
+			if v, err := t.Bool(); err == nil {
+				return relation.Bool_(v)
+			}
+		}
+	}
+	return relation.String_(t.Value)
+}
+
+// evalAggCall expands macros and evaluates built-in aggregates.
+func evalAggCall(a *AggCall, env *evalEnv) (bool, error) {
+	if def, ok := env.aggs[a.Name]; ok {
+		if len(a.Args) != len(def.Params) {
+			return false, fmt.Errorf("starql: aggregate %s arity mismatch", a.Name)
+		}
+		body := a.Expand(def)
+		sub, err := matches(body, env)
+		if err != nil {
+			return false, err
+		}
+		return len(sub) > 0, nil
+	}
+	switch a.Name {
+	case "THRESHOLD.ABOVE":
+		// THRESHOLD.ABOVE(?s, attr, limit): some state has value > limit.
+		if len(a.Args) != 3 {
+			return false, fmt.Errorf("starql: THRESHOLD.ABOVE expects 3 arguments")
+		}
+		subj, err := resolveIRI(a.Args[0], env)
+		if err != nil {
+			return false, err
+		}
+		limit, err := resolveValue(a.Args[2], env)
+		if err != nil {
+			return false, err
+		}
+		for _, st := range env.seq.States {
+			for _, v := range st.Values(subj, a.Args[1].Term.Value) {
+				if c, ok := relation.Compare(v, limit); ok && c > 0 {
+					return true, nil
+				}
+			}
+		}
+		return false, nil
+	case "TREND.INCREASE":
+		// TREND.INCREASE(?s, attr): last observed value exceeds the first.
+		if len(a.Args) != 2 {
+			return false, fmt.Errorf("starql: TREND.INCREASE expects 2 arguments")
+		}
+		subj, err := resolveIRI(a.Args[0], env)
+		if err != nil {
+			return false, err
+		}
+		series := seriesOf(env.seq, subj, a.Args[1].Term.Value)
+		if len(series) < 2 {
+			return false, nil
+		}
+		return series[len(series)-1] > series[0], nil
+	case "PEARSON.CORRELATION":
+		// PEARSON.CORRELATION(?a, ?b, attr, min): correlation of the two
+		// subjects' per-state series is at least min.
+		if len(a.Args) != 4 {
+			return false, fmt.Errorf("starql: PEARSON.CORRELATION expects 4 arguments")
+		}
+		sa, err := resolveIRI(a.Args[0], env)
+		if err != nil {
+			return false, err
+		}
+		sb, err := resolveIRI(a.Args[1], env)
+		if err != nil {
+			return false, err
+		}
+		attr := a.Args[2].Term.Value
+		min, err := resolveValue(a.Args[3], env)
+		if err != nil {
+			return false, err
+		}
+		minF, _ := min.AsFloat()
+		r, ok := PearsonOverStates(env.seq, sa, sb, attr)
+		return ok && r >= minF, nil
+	default:
+		return false, fmt.Errorf("starql: unknown aggregate %s", a.Name)
+	}
+}
+
+// seriesOf extracts the per-state series of a subject's attribute
+// (first value per state).
+func seriesOf(seq *Sequence, subject, attr string) []float64 {
+	var out []float64
+	for _, st := range seq.States {
+		vals := st.Values(subject, attr)
+		if len(vals) == 0 {
+			continue
+		}
+		if f, ok := vals[0].AsFloat(); ok {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// PearsonOverStates computes the Pearson correlation coefficient of two
+// subjects' attribute series over states where both are present.
+func PearsonOverStates(seq *Sequence, subjA, subjB, attr string) (float64, bool) {
+	var xs, ys []float64
+	for _, st := range seq.States {
+		va := st.Values(subjA, attr)
+		vb := st.Values(subjB, attr)
+		if len(va) == 0 || len(vb) == 0 {
+			continue
+		}
+		fa, ok1 := va[0].AsFloat()
+		fb, ok2 := vb[0].AsFloat()
+		if ok1 && ok2 {
+			xs = append(xs, fa)
+			ys = append(ys, fb)
+		}
+	}
+	return Pearson(xs, ys)
+}
+
+// Pearson computes the correlation coefficient of two equal-length
+// series; ok is false for fewer than two points or zero variance.
+func Pearson(xs, ys []float64) (float64, bool) {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return 0, false
+	}
+	n := float64(len(xs))
+	var sx, sy, sxx, syy, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		syy += ys[i] * ys[i]
+		sxy += xs[i] * ys[i]
+	}
+	cov := sxy - sx*sy/n
+	vx := sxx - sx*sx/n
+	vy := syy - sy*sy/n
+	if vx <= 0 || vy <= 0 {
+		return 0, false
+	}
+	return cov / math.Sqrt(vx*vy), true
+}

@@ -1,0 +1,394 @@
+package starql
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/engine"
+	"repro/internal/obda/cq"
+	"repro/internal/obda/mapping"
+	"repro/internal/obda/rewrite"
+	"repro/internal/ontology"
+	"repro/internal/rdf"
+	"repro/internal/relation"
+	"repro/internal/sql"
+	"repro/internal/stream"
+)
+
+// Translation is the output of the STARQL2SQL(+) translator: the
+// enrichment and unfolding artefacts plus everything the runtime needs
+// to register the query.
+type Translation struct {
+	Query *Query
+
+	// StaticCQ is the WHERE clause as a conjunctive query.
+	StaticCQ cq.CQ
+	// Enriched is the UCQ after PerfectRef enrichment (stage i).
+	Enriched cq.UCQ
+	// StaticFleet is the unfolded SQL fleet for the WHERE bindings
+	// (stage ii); its union evaluates to the bindings.
+	StaticFleet []*sql.SelectStmt
+	// StreamFleet is the fleet of low-level window queries the high-level
+	// query replaces: one SQL(+) query per (binding, stream attribute,
+	// stream mapping). This is what the paper's engineers wrote by hand.
+	StreamFleet []*sql.SelectStmt
+
+	// WindowSpec/Pulse for the runtime.
+	Window stream.WindowSpec
+	Pulse  *stream.Pulse
+
+	RewriteStats rewrite.Stats
+	UnfoldStats  mapping.UnfoldStats
+}
+
+// Options tunes the translator.
+type Options struct {
+	Rewrite rewrite.Options
+	Unfold  mapping.UnfoldOptions
+	// SkipStreamFleet suppresses per-binding stream fleet generation
+	// (used when only the runtime registration is needed).
+	SkipStreamFleet bool
+	// Bindings, when non-nil, are used for stream-fleet generation
+	// instead of evaluating the static fleet (the caller already knows
+	// the bindings).
+	Bindings []Binding
+}
+
+// Translator holds the deployment assets: ontology, mappings, and the
+// static catalog the unfolded queries run on.
+type Translator struct {
+	TBox     *ontology.TBox
+	Mappings *mapping.Set
+	Catalog  *relation.Catalog
+}
+
+// NewTranslator bundles the deployment assets.
+func NewTranslator(tbox *ontology.TBox, set *mapping.Set, cat *relation.Catalog) *Translator {
+	return &Translator{TBox: tbox, Mappings: set, Catalog: cat}
+}
+
+// BGPToCQ converts WHERE triple patterns (and FILTER conditions) to a
+// conjunctive query whose answer variables are all pattern variables.
+func BGPToCQ(patterns []TriplePattern, head []string, filters ...FilterPattern) (cq.CQ, error) {
+	var body []cq.Atom
+	fresh := 0
+	for _, t := range patterns {
+		if t.P.IsVar() {
+			return cq.CQ{}, fmt.Errorf("starql: variable predicates are not supported in WHERE")
+		}
+		pred := t.P.Term.Value
+		switch {
+		case t.TypeAtom:
+			body = append(body, cq.ClassAtom(pred, toArg(t.S)))
+		case t.NoObject:
+			fresh++
+			body = append(body, cq.PropAtom(pred, toArg(t.S), cq.V(fmt.Sprintf("_o%d", fresh))))
+		default:
+			body = append(body, cq.PropAtom(pred, toArg(t.S), toArg(t.O)))
+		}
+	}
+	q := cq.New(head, body...)
+	for _, f := range filters {
+		if f.Value.IsVar() {
+			return cq.CQ{}, fmt.Errorf("starql: FILTER right-hand side must be a constant")
+		}
+		q.Filters = append(q.Filters, cq.Filter{Arg: toArg(f.Arg), Op: f.Op, Value: f.Value.Term})
+	}
+	if err := q.Validate(); err != nil {
+		return cq.CQ{}, err
+	}
+	return q, nil
+}
+
+// toArg converts a pattern node to a CQ argument.
+func toArg(n Node) cq.Arg {
+	if n.IsVar() {
+		return cq.V(n.Var)
+	}
+	return cq.C(n.Term)
+}
+
+// Translate runs the full pipeline: enrichment of the WHERE clause,
+// unfolding into the static SQL fleet, window/pulse extraction, and
+// (optionally) the per-binding stream fleet.
+func (tr *Translator) Translate(q *Query, opts Options) (*Translation, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	out := &Translation{Query: q}
+
+	staticCQ, err := BGPToCQ(q.Where, q.WhereVars(), q.WhereFilters...)
+	if err != nil {
+		return nil, err
+	}
+	out.StaticCQ = staticCQ
+
+	enriched, rstats, err := rewrite.PerfectRef(staticCQ, tr.TBox, opts.Rewrite)
+	if err != nil {
+		return nil, err
+	}
+	out.Enriched = enriched
+	out.RewriteStats = rstats
+
+	fleet, ustats, err := mapping.Unfold(enriched, tr.Mappings, opts.Unfold)
+	if err != nil {
+		return nil, err
+	}
+	out.StaticFleet = fleet
+	out.UnfoldStats = ustats
+
+	sc := q.Streams[0]
+	out.Window = stream.WindowSpec{RangeMS: sc.RangeMS, SlideMS: sc.SlideMS}
+	if q.Pulse != nil {
+		out.Pulse = &stream.Pulse{StartMS: q.Pulse.StartMS, FrequencyMS: q.Pulse.FrequencyMS}
+	}
+
+	if !opts.SkipStreamFleet {
+		bindings := opts.Bindings
+		if bindings == nil {
+			bindings, err = tr.EvalBindings(out)
+			if err != nil {
+				return nil, err
+			}
+		}
+		out.StreamFleet, err = tr.streamFleet(q, bindings)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// EvalBindings executes the static fleet against the catalog and decodes
+// the result rows into WHERE bindings.
+func (tr *Translator) EvalBindings(t *Translation) ([]Binding, error) {
+	headVars := t.StaticCQ.Head
+	seen := map[string]bool{}
+	var out []Binding
+	ctx := engine.NewExecContext(tr.Catalog)
+	for _, stmt := range t.StaticFleet {
+		// Static bindings come only from non-stream sources; fleets whose
+		// FROM references a stream are runtime-only.
+		if referencesStream(stmt) {
+			continue
+		}
+		plan, err := engine.Build(stmt, engine.CatalogResolver(tr.Catalog))
+		if err != nil {
+			return nil, err
+		}
+		rows, err := plan.Execute(ctx)
+		if err != nil {
+			return nil, err
+		}
+		schema := plan.Schema()
+		for _, row := range rows {
+			b := Binding{}
+			var key strings.Builder
+			for _, h := range headVars {
+				idx, err := schema.IndexOf(h)
+				if err != nil {
+					return nil, fmt.Errorf("starql: fleet output lacks variable %s: %w", h, err)
+				}
+				b[h] = valueToTerm(row[idx])
+				key.WriteString(b[h].String())
+				key.WriteByte(0x1f)
+			}
+			if !seen[key.String()] {
+				seen[key.String()] = true
+				out = append(out, b)
+			}
+		}
+	}
+	return out, nil
+}
+
+func referencesStream(stmt *sql.SelectStmt) bool {
+	for _, b := range stmt.Branches() {
+		for _, tr := range b.From {
+			if tr.IsStream {
+				return true
+			}
+			for _, j := range tr.Joins {
+				if j.Right.IsStream {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// valueToTerm converts an engine value back to an RDF term: strings that
+// look like IRIs become IRIs, everything else becomes a typed literal.
+func valueToTerm(v relation.Value) rdf.Term {
+	switch v.Type {
+	case relation.TString:
+		if strings.Contains(v.Str, "://") || strings.HasPrefix(v.Str, "urn:") {
+			return rdf.NewIRI(v.Str)
+		}
+		return rdf.NewLiteral(v.Str)
+	case relation.TInt:
+		return rdf.NewInteger(v.Int)
+	case relation.TFloat:
+		return rdf.NewDouble(v.Float)
+	case relation.TBool:
+		return rdf.NewBoolean(v.Bool)
+	case relation.TTime:
+		return rdf.NewTypedLiteral(fmt.Sprint(v.Int), rdf.XSDDateTime)
+	default:
+		return rdf.NewLiteral(v.String())
+	}
+}
+
+// HavingStreamPredicates returns the distinct predicate IRIs the HAVING
+// clause reads from stream states, after macro expansion.
+func (q *Query) HavingStreamPredicates() []string {
+	if q.Having == nil {
+		return nil
+	}
+	seen := map[string]bool{}
+	var out []string
+	var walk func(h HavingExpr)
+	add := func(iri string) {
+		if !seen[iri] {
+			seen[iri] = true
+			out = append(out, iri)
+		}
+	}
+	walk = func(h HavingExpr) {
+		switch x := h.(type) {
+		case *AndExpr:
+			walk(x.L)
+			walk(x.R)
+		case *OrExpr:
+			walk(x.L)
+			walk(x.R)
+		case *NotExpr:
+			walk(x.E)
+		case *ExistsExpr:
+			walk(x.Cond)
+		case *ForallExpr:
+			if x.Guard != nil {
+				walk(x.Guard)
+			}
+			walk(x.Conclusion)
+		case *ifThenExpr:
+			walk(x.guard)
+			walk(x.then)
+		case *GraphAtom:
+			if !x.Pattern.P.IsVar() {
+				add(x.Pattern.P.Term.Value)
+			}
+		case *AggCall:
+			if def, ok := q.Aggregates[x.Name]; ok && len(x.Args) == len(def.Params) {
+				walk(x.Expand(def))
+				return
+			}
+			// Built-ins take the attribute as an IRI argument.
+			for _, a := range x.Args {
+				if !a.IsVar() && a.Term.IsIRI() {
+					add(a.Term.Value)
+				}
+			}
+		}
+	}
+	walk(q.Having)
+	return out
+}
+
+// streamFleet generates the low-level per-binding window queries: for
+// every binding, every HAVING stream predicate, and every stream mapping
+// of that predicate, one SQL(+) query that an engineer would otherwise
+// write by hand (the paper: "a fleet with hundreds of queries ...
+// semantically the same but syntactically different").
+func (tr *Translator) streamFleet(q *Query, bindings []Binding) ([]*sql.SelectStmt, error) {
+	sc := q.Streams[0]
+	preds := q.HavingStreamPredicates()
+	var fleet []*sql.SelectStmt
+	for _, b := range bindings {
+		for _, pred := range preds {
+			for _, m := range tr.Mappings.ForPred(pred) {
+				if !m.Source.IsStream {
+					continue
+				}
+				// The subject of the HAVING atoms is the sensor-like WHERE
+				// variable; find a binding value the subject template can
+				// invert. Try each bound term.
+				for _, v := range q.WhereVars() {
+					term, ok := b[v]
+					if !ok || !term.IsIRI() {
+						continue
+					}
+					segs, ok := m.Subject.Invert(term.Value)
+					if !ok {
+						continue
+					}
+					stmt := sql.NewSelect()
+					alias := "w"
+					stmt.From = []*sql.TableRef{{
+						Table: m.Source.Table, IsStream: true, Alias: alias,
+						Window: &sql.WindowSpec{RangeMS: sc.RangeMS, SlideMS: sc.SlideMS},
+					}}
+					var conds []sql.Expr
+					for i, seg := range segs {
+						conds = append(conds, sql.Bin("=",
+							&sql.ColumnRef{Table: alias, Name: m.Subject.Columns[i]},
+							segmentLit(seg)))
+					}
+					if m.Source.Where != nil {
+						conds = append(conds, qualify(m.Source.Where, alias))
+					}
+					stmt.Where = sql.AndAll(conds...)
+					if m.IsClass || m.ObjectIsData {
+						col := "1"
+						if !m.IsClass {
+							col = m.Object.Columns[0]
+						}
+						stmt.Items = []sql.SelectItem{{Expr: &sql.ColumnRef{Table: alias, Name: col}, Alias: "value"}}
+					} else {
+						stmt.Items = []sql.SelectItem{{Expr: &sql.ColumnRef{Table: alias, Name: m.Object.Columns[0]}, Alias: "value"}}
+					}
+					fleet = append(fleet, stmt)
+				}
+			}
+		}
+	}
+	return fleet, nil
+}
+
+func segmentLit(seg string) sql.Expr {
+	allDigits := len(seg) > 0
+	for i := 0; i < len(seg); i++ {
+		if seg[i] < '0' || seg[i] > '9' {
+			allDigits = false
+			break
+		}
+	}
+	if allDigits && len(seg) < 19 {
+		var n int64
+		for i := 0; i < len(seg); i++ {
+			n = n*10 + int64(seg[i]-'0')
+		}
+		return sql.Lit(relation.Int(n))
+	}
+	return sql.Lit(relation.String_(seg))
+}
+
+// qualify rewrites bare column refs to alias-qualified ones (local copy
+// of the mapping package helper, kept unexported there).
+func qualify(e sql.Expr, alias string) sql.Expr {
+	switch x := e.(type) {
+	case nil:
+		return nil
+	case *sql.ColumnRef:
+		return &sql.ColumnRef{Table: alias, Name: x.Name}
+	case *sql.BinaryExpr:
+		return sql.Bin(x.Op, qualify(x.Left, alias), qualify(x.Right, alias))
+	case *sql.UnaryExpr:
+		return &sql.UnaryExpr{Op: x.Op, Expr: qualify(x.Expr, alias)}
+	case *sql.IsNullExpr:
+		return &sql.IsNullExpr{Expr: qualify(x.Expr, alias), Negate: x.Negate}
+	default:
+		return e
+	}
+}

@@ -1,0 +1,171 @@
+package starql
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ontology"
+	"repro/internal/sql"
+)
+
+// testTBox mirrors the Siemens ontology fragment used by Figure 1, with
+// a subclass to exercise enrichment.
+func testTBox() *ontology.TBox {
+	tb := ontology.New()
+	tb.AddConceptInclusion(ontology.Named(sieNS+"TemperatureSensor"), ontology.Named(sieNS+"Sensor"))
+	tb.AddDomain(sieNS+"inAssembly", ontology.Named(sieNS+"Assembly"))
+	tb.AddRange(sieNS+"inAssembly", ontology.Named(sieNS+"Sensor"))
+	return tb
+}
+
+func TestBGPToCQ(t *testing.T) {
+	q := MustParse(figure1)
+	c, err := BGPToCQ(q.Where, q.WhereVars())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Body) != 3 || len(c.Head) != 2 {
+		t.Fatalf("cq = %v", c)
+	}
+	if c.Body[0].Pred != sieNS+"Assembly" || !c.Body[0].IsClass() {
+		t.Errorf("atom 0 = %v", c.Body[0])
+	}
+	if c.Body[2].Pred != sieNS+"inAssembly" || c.Body[2].IsClass() {
+		t.Errorf("atom 2 = %v", c.Body[2])
+	}
+}
+
+func TestTranslateFigure1(t *testing.T) {
+	q := MustParse(figure1)
+	w := newTestMappings(t)
+	tr := NewTranslator(testTBox(), w.set, w.cat)
+	out, err := tr.Translate(q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Enrichment explores TemperatureSensor and the domain/range axioms;
+	// minimisation then collapses the union to its most general disjunct
+	// (inAssembly alone implies Assembly and Sensor via domain/range).
+	if out.RewriteStats.Generated <= 1 {
+		t.Errorf("enrichment generated %d queries before minimisation", out.RewriteStats.Generated)
+	}
+	if len(out.Enriched) != 1 {
+		t.Errorf("minimised union = %d disjuncts (domain/range should collapse it)", len(out.Enriched))
+	}
+	if out.RewriteStats.AtomSteps == 0 {
+		t.Error("no rewrite steps recorded")
+	}
+	// Unfolding yields at least one static SQL query.
+	if len(out.StaticFleet) == 0 {
+		t.Fatal("empty static fleet")
+	}
+	for _, stmt := range out.StaticFleet {
+		if _, err := sql.Parse(stmt.String()); err != nil {
+			t.Errorf("fleet SQL does not reparse: %v\n%s", err, stmt)
+		}
+	}
+	// Window and pulse extracted.
+	if out.Window.RangeMS != 10_000 || out.Window.SlideMS != 1_000 {
+		t.Errorf("window = %+v", out.Window)
+	}
+	if out.Pulse == nil || out.Pulse.FrequencyMS != 1000 {
+		t.Errorf("pulse = %+v", out.Pulse)
+	}
+}
+
+func TestEvalBindingsFigure1(t *testing.T) {
+	q := MustParse(figure1)
+	w := newTestMappings(t)
+	tr := NewTranslator(testTBox(), w.set, w.cat)
+	out, err := tr.Translate(q, Options{SkipStreamFleet: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bindings, err := tr.EvalBindings(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sensors 7, 8 in assembly 1; sensor 9 in assembly 2.
+	if len(bindings) != 3 {
+		t.Fatalf("bindings = %v", bindings)
+	}
+	seen := map[string]bool{}
+	for _, b := range bindings {
+		c1, c2 := b["c1"], b["c2"]
+		if !c1.IsIRI() || !c2.IsIRI() {
+			t.Fatalf("non-IRI binding: %v", b)
+		}
+		seen[c1.Value+"|"+c2.Value] = true
+	}
+	if !seen["http://siemens.com/data/assembly/1|http://siemens.com/data/sensor/7"] {
+		t.Errorf("missing expected binding; got %v", seen)
+	}
+}
+
+func TestStreamFleetPerBinding(t *testing.T) {
+	q := MustParse(figure1)
+	w := newTestMappings(t)
+	tr := NewTranslator(testTBox(), w.set, w.cat)
+	out, err := tr.Translate(q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// HAVING reads hasValue and showsFailure; 3 bindings × 2 predicates ×
+	// 1 stream mapping each, inverted on the sensor variable = 6 queries.
+	if len(out.StreamFleet) != 6 {
+		t.Fatalf("stream fleet = %d queries:\n%v", len(out.StreamFleet), out.StreamFleet)
+	}
+	for _, stmt := range out.StreamFleet {
+		s := stmt.String()
+		if !strings.Contains(s, "STREAM S_Msmt [RANGE 10000 SLIDE 1000]") {
+			t.Errorf("fleet query lacks window: %s", s)
+		}
+		if !strings.Contains(s, "w.sid =") {
+			t.Errorf("fleet query lacks sensor selection: %s", s)
+		}
+		if _, err := sql.Parse(s); err != nil {
+			t.Errorf("fleet SQL does not reparse: %v\n%s", err, s)
+		}
+	}
+	// Conciseness claim (E3): the single STARQL query is much shorter
+	// than its fleet.
+	starqlLen := len(figure1)
+	fleetLen := 0
+	for _, stmt := range out.StreamFleet {
+		fleetLen += len(stmt.String())
+	}
+	for _, stmt := range out.StaticFleet {
+		fleetLen += len(stmt.String())
+	}
+	if fleetLen <= starqlLen/2 {
+		t.Logf("fleet unexpectedly compact: starql=%d fleet=%d", starqlLen, fleetLen)
+	}
+}
+
+func TestHavingStreamPredicates(t *testing.T) {
+	q := MustParse(figure1)
+	preds := q.HavingStreamPredicates()
+	want := map[string]bool{sieNS + "hasValue": true, sieNS + "showsFailure": true}
+	if len(preds) != 2 {
+		t.Fatalf("preds = %v", preds)
+	}
+	for _, p := range preds {
+		if !want[p] {
+			t.Errorf("unexpected predicate %s", p)
+		}
+	}
+}
+
+func TestTranslateRejectsVariablePredicate(t *testing.T) {
+	q := &Query{
+		Name:      "s",
+		Construct: []TriplePattern{{S: NVar("c"), P: NVar("p"), NoObject: true}},
+		Streams:   []StreamClause{{Name: "m", RangeMS: 1000, SlideMS: 1000}},
+		Where:     []TriplePattern{{S: NVar("c"), P: NVar("p"), NoObject: true}},
+	}
+	w := newTestMappings(t)
+	tr := NewTranslator(testTBox(), w.set, w.cat)
+	if _, err := tr.Translate(q, Options{}); err == nil {
+		t.Error("variable predicate accepted")
+	}
+}

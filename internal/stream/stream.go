@@ -1,0 +1,256 @@
+// Package stream implements the streaming substrate of ExaStream: CQL
+// time-based sliding windows with snapshot semantics (Arasu et al., the
+// semantics the paper's SQL(+) dialect conforms to), the paper's two core
+// stream operators — timeSlidingWindow, which groups tuples into windows
+// and tags them with window ids, and wCache, which indexes window batches
+// by their id so many concurrent queries share one materialisation — and
+// the pulse clock that paces query output.
+package stream
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/relation"
+)
+
+// Timestamped is one stream element: a relational tuple plus its
+// timestamp in milliseconds.
+type Timestamped struct {
+	TS  int64
+	Row relation.Tuple
+}
+
+// Schema describes a stream: a name, the tuple schema, and which column
+// carries the timestamp (the generator keeps them consistent).
+type Schema struct {
+	Name  string
+	Tuple relation.Schema
+	TSCol string
+}
+
+// Validate checks that the timestamp column exists.
+func (s Schema) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("stream: empty stream name")
+	}
+	if _, err := s.Tuple.IndexOf(s.TSCol); err != nil {
+		return fmt.Errorf("stream: %s: timestamp column: %w", s.Name, err)
+	}
+	return nil
+}
+
+// WindowSpec is a time-based sliding window: at every pulse time
+// t_i = Start + i*Slide the window holds tuples with t_i-Range < ts <= t_i
+// (half-open on the left, the usual CQL convention, so tumbling windows
+// partition the stream and boundary tuples are never double-counted).
+type WindowSpec struct {
+	RangeMS int64
+	SlideMS int64
+	StartMS int64
+}
+
+// Validate rejects non-positive ranges and slides.
+func (w WindowSpec) Validate() error {
+	if w.RangeMS <= 0 || w.SlideMS <= 0 {
+		return fmt.Errorf("stream: window range and slide must be positive, got %d/%d", w.RangeMS, w.SlideMS)
+	}
+	return nil
+}
+
+// PulseTime returns t_i for window id i.
+func (w WindowSpec) PulseTime(id int64) int64 { return w.StartMS + id*w.SlideMS }
+
+// WindowsFor returns the inclusive range [lo, hi] of window ids whose
+// interval contains a tuple at ts; ok is false when no window contains it
+// (ts before the first pulse's coverage).
+func (w WindowSpec) WindowsFor(ts int64) (lo, hi int64, ok bool) {
+	// Need: PulseTime(i) - Range < ts <= PulseTime(i)
+	// i >= (ts - Start)/Slide            (ceil)
+	// i <  (ts + Range - Start)/Slide    (strict; ceil-1 handles exact hits)
+	lo = ceilDiv(ts-w.StartMS, w.SlideMS)
+	if lo < 0 {
+		lo = 0
+	}
+	hi = ceilDiv(ts+w.RangeMS-w.StartMS, w.SlideMS) - 1
+	return lo, hi, hi >= lo && hi >= 0
+}
+
+func ceilDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a > 0) == (b > 0) {
+		q++
+	}
+	return q
+}
+
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a > 0) != (b > 0) {
+		q--
+	}
+	return q
+}
+
+// Batch is the contents of one window instance: the paper's
+// timeSlidingWindow operator "groups tuples that belong to the same time
+// window and associates them with a unique window id".
+type Batch struct {
+	WindowID int64
+	Start    int64 // exclusive window start (PulseTime - Range)
+	End      int64 // inclusive window end (PulseTime)
+	Rows     []relation.Tuple
+}
+
+// TimeSlidingWindow consumes an ordered stream of timestamped tuples and
+// emits completed window batches. Tuples that fall into several
+// overlapping windows (Range > Slide) are placed in each.
+//
+// The operator assumes non-decreasing timestamps; late tuples are counted
+// and dropped (the stream generator never produces them, but failure
+// injection tests do).
+type TimeSlidingWindow struct {
+	Spec WindowSpec
+
+	mu       sync.Mutex
+	pending  map[int64]*Batch
+	nextEmit int64 // smallest window id not yet emitted
+	maxTS    int64
+	Late     int64 // dropped late tuples
+}
+
+// NewTimeSlidingWindow builds the operator.
+func NewTimeSlidingWindow(spec WindowSpec) (*TimeSlidingWindow, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return &TimeSlidingWindow{Spec: spec, pending: make(map[int64]*Batch), maxTS: -1 << 62}, nil
+}
+
+// Push adds one tuple and returns any windows completed by the advance of
+// time to its timestamp, in window-id order.
+func (t *TimeSlidingWindow) Push(el Timestamped) []Batch {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if el.TS < t.maxTS {
+		t.Late++
+		return nil
+	}
+	t.maxTS = el.TS
+	lo, hi, ok := t.Spec.WindowsFor(el.TS)
+	if ok {
+		for id := lo; id <= hi; id++ {
+			if id < t.nextEmit {
+				continue // window already emitted; treat as late
+			}
+			b, found := t.pending[id]
+			if !found {
+				pt := t.Spec.PulseTime(id)
+				b = &Batch{WindowID: id, Start: pt - t.Spec.RangeMS, End: pt}
+				t.pending[id] = b
+			}
+			b.Rows = append(b.Rows, el.Row)
+		}
+	}
+	return t.completeLocked(el.TS)
+}
+
+// completeLocked emits every window whose end time has passed.
+func (t *TimeSlidingWindow) completeLocked(now int64) []Batch {
+	var out []Batch
+	for {
+		if t.Spec.PulseTime(t.nextEmit) >= now {
+			break
+		}
+		b, found := t.pending[t.nextEmit]
+		if found {
+			delete(t.pending, t.nextEmit)
+			out = append(out, *b)
+		} else {
+			pt := t.Spec.PulseTime(t.nextEmit)
+			out = append(out, Batch{WindowID: t.nextEmit, Start: pt - t.Spec.RangeMS, End: pt})
+		}
+		t.nextEmit++
+	}
+	return out
+}
+
+// Flush emits all remaining pending windows at end of stream.
+func (t *TimeSlidingWindow) Flush() []Batch {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ids := make([]int64, 0, len(t.pending))
+	for id := range t.pending {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	var out []Batch
+	for _, id := range ids {
+		if id < t.nextEmit {
+			continue
+		}
+		out = append(out, *t.pending[id])
+	}
+	t.pending = make(map[int64]*Batch)
+	if len(ids) > 0 && ids[len(ids)-1] >= t.nextEmit {
+		t.nextEmit = ids[len(ids)-1] + 1
+	}
+	return out
+}
+
+// Replay runs a finite, ordered tuple sequence through a window operator
+// and returns all batches (including the flush).
+func Replay(spec WindowSpec, els []Timestamped) ([]Batch, error) {
+	w, err := NewTimeSlidingWindow(spec)
+	if err != nil {
+		return nil, err
+	}
+	var out []Batch
+	for _, el := range els {
+		out = append(out, w.Push(el)...)
+	}
+	out = append(out, w.Flush()...)
+	return out, nil
+}
+
+// Pulse is the output clock of a continuous query: it fires at
+// Start + k*Frequency, pacing when results are reported (the STARQL
+// "USING PULSE WITH START..., FREQUENCY..." clause).
+type Pulse struct {
+	StartMS     int64
+	FrequencyMS int64
+}
+
+// Validate rejects non-positive frequencies.
+func (p Pulse) Validate() error {
+	if p.FrequencyMS <= 0 {
+		return fmt.Errorf("stream: pulse frequency must be positive")
+	}
+	return nil
+}
+
+// Ticks returns the pulse times in (from, to]; it is used by the replayer
+// to decide which window results to surface.
+func (p Pulse) Ticks(from, to int64) []int64 {
+	if to <= from {
+		return nil
+	}
+	var out []int64
+	// First tick strictly after from.
+	k := ceilDiv(from-p.StartMS+1, p.FrequencyMS)
+	if k < 0 {
+		k = 0
+	}
+	for {
+		t := p.StartMS + k*p.FrequencyMS
+		if t > to {
+			break
+		}
+		if t > from {
+			out = append(out, t)
+		}
+		k++
+	}
+	return out
+}

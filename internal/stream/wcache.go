@@ -1,0 +1,124 @@
+package stream
+
+import (
+	"fmt"
+	"sync"
+)
+
+// WCache is the paper's wCache operator: an index for answering equality
+// constraints on the window-id column when many continuous queries read
+// the same stream. The first query to ask for a window materialises it;
+// the others hit the cache, so N queries over one stream share one
+// windowing pass.
+//
+// Entries older than the watermark (smallest window id any registered
+// consumer may still need) are evicted.
+type WCache struct {
+	mu      sync.Mutex
+	entries map[wcKey]Batch
+	// consumer watermarks: per consumer id, the smallest window id still
+	// needed. Eviction keeps everything >= min over consumers.
+	marks map[string]int64
+
+	Hits   int64
+	Misses int64
+}
+
+type wcKey struct {
+	stream string
+	spec   WindowSpec
+	window int64
+}
+
+// NewWCache returns an empty cache.
+func NewWCache() *WCache {
+	return &WCache{entries: make(map[wcKey]Batch), marks: make(map[string]int64)}
+}
+
+// Register adds a consumer; its watermark starts at 0.
+func (c *WCache) Register(consumer string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.marks[consumer]; !ok {
+		c.marks[consumer] = 0
+	}
+}
+
+// Unregister removes a consumer and may unblock eviction.
+func (c *WCache) Unregister(consumer string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.marks, consumer)
+	c.evictLocked()
+}
+
+// Advance moves a consumer's watermark to windowID; windows below the
+// minimum watermark across consumers are evicted.
+func (c *WCache) Advance(consumer string, windowID int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if cur, ok := c.marks[consumer]; !ok || windowID > cur {
+		c.marks[consumer] = windowID
+	}
+	c.evictLocked()
+}
+
+func (c *WCache) evictLocked() {
+	if len(c.marks) == 0 {
+		return
+	}
+	min := int64(1<<62 - 1)
+	for _, m := range c.marks {
+		if m < min {
+			min = m
+		}
+	}
+	for k := range c.entries {
+		if k.window < min {
+			delete(c.entries, k)
+		}
+	}
+}
+
+// Get returns the cached batch for (stream, spec, windowID); when absent
+// it calls materialise, stores the result, and returns it. Concurrent
+// callers for the same key may both materialise; the last write wins,
+// which is harmless because materialisation is deterministic.
+func (c *WCache) Get(stream string, spec WindowSpec, windowID int64, materialise func() (Batch, error)) (Batch, error) {
+	key := wcKey{stream, spec, windowID}
+	c.mu.Lock()
+	if b, ok := c.entries[key]; ok {
+		c.Hits++
+		c.mu.Unlock()
+		return b, nil
+	}
+	c.Misses++
+	c.mu.Unlock()
+
+	b, err := materialise()
+	if err != nil {
+		return Batch{}, err
+	}
+	if b.WindowID != windowID {
+		return Batch{}, fmt.Errorf("stream: wCache: materialiser returned window %d, want %d", b.WindowID, windowID)
+	}
+	c.mu.Lock()
+	c.entries[key] = b
+	c.mu.Unlock()
+	return b, nil
+}
+
+// Put stores a batch directly (the windowing pass pushes completed
+// windows here).
+func (c *WCache) Put(stream string, spec WindowSpec, b Batch) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries[wcKey{stream, spec, b.WindowID}] = b
+}
+
+// Len returns the number of cached batches.
+func (c *WCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

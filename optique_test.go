@@ -1,0 +1,74 @@
+package optique_test
+
+import (
+	"testing"
+
+	optique "repro"
+	"repro/internal/siemens"
+)
+
+func TestFacadeParseSTARQL(t *testing.T) {
+	task, ok := siemens.TaskByID("T01_mon_temperature")
+	if !ok {
+		t.Fatal("catalog task missing")
+	}
+	q, err := optique.ParseSTARQL(task.Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Name != task.ID {
+		t.Errorf("query name = %q", q.Name)
+	}
+	if _, err := optique.ParseSTARQL("CREATE NONSENSE"); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestFacadeParseOntology(t *testing.T) {
+	tb, err := optique.ParseOntology(`
+Prefix(sie: <http://siemens.com/ontology#>)
+SubClassOf(sie:GasTurbine sie:Turbine)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tb.IsSubClassOf("http://siemens.com/ontology#GasTurbine", "http://siemens.com/ontology#Turbine") {
+		t.Error("axiom lost")
+	}
+	if _, err := optique.ParseOntology("Bogus(x)"); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestFacadeSystemLifecycle(t *testing.T) {
+	gen, err := siemens.New(siemens.SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat, err := gen.StaticCatalog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := optique.NewSystem(optique.Config{Nodes: 2, Placement: optique.PlaceRoundRobin},
+		siemens.TBox(), siemens.Mappings(), cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	for _, sc := range siemens.StreamSchemas() {
+		if err := sys.DeclareStream(sc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	task, _ := siemens.TaskByID("T02_thr_temperature")
+	reg, err := sys.RegisterTask(task.ID, task.Query, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg.FleetSize() == 0 || len(reg.Bindings) == 0 {
+		t.Errorf("fleet=%d bindings=%d", reg.FleetSize(), len(reg.Bindings))
+	}
+	if err := sys.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
