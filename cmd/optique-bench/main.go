@@ -162,6 +162,13 @@ func runConcurrent(queries, nodes, tuples int) (float64, float64, int64) {
 		deliveries += st.Tuples
 		windows += st.Engine.WindowsExecuted
 	}
+	// A degraded run (dead workers, shed tuples, quarantined queries)
+	// invalidates the throughput numbers; flag it rather than report
+	// silently wrong rates.
+	if h := cl.Health(); h.Degraded() || h.Dropped > 0 {
+		fmt.Printf("  !! degraded run: %d/%d nodes live, %d restarts, %d dropped, %d salvaged, %d quarantined, %d errors\n",
+			h.Live, h.Nodes, h.Restarts, h.Dropped, h.Requeued, h.Suspended, h.Errors)
+	}
 	return float64(tuples) / elapsed.Seconds(), float64(deliveries) / elapsed.Seconds(), windows
 }
 

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	optique "repro"
+	"repro/internal/faults"
 	"repro/internal/rdf"
 	"repro/internal/siemens"
 )
@@ -27,13 +28,14 @@ func main() {
 	testSet := flag.Int("set", 3, "test set 1..10 (s2)")
 	seconds := flag.Int64("seconds", 30, "length of the replayed telemetry")
 	turbines := flag.Int("turbines", 8, "fleet size for the replay")
+	chaos := flag.Bool("chaos", false, "kill a worker mid-replay (s2) to showcase query failover")
 	flag.Parse()
 
 	switch *scenario {
 	case "s1":
 		runS1(*seconds, *turbines)
 	case "s2":
-		runS2(*nodes, *testSet, *seconds, *turbines)
+		runS2(*nodes, *testSet, *seconds, *turbines, *chaos)
 	case "s3":
 		fmt.Println("scenario S3 is the examples/bootstrap program; run: go run ./examples/bootstrap")
 	default:
@@ -41,8 +43,10 @@ func main() {
 	}
 }
 
-// deploy builds a system over a fleet of the given size.
-func deploy(nodes, turbines int) (*optique.System, *siemens.Generator) {
+// deploy builds a system over a fleet of the given size. A non-nil
+// fault injector runs the cluster with restarts disabled so an injected
+// crash exercises query failover rather than a silent restart.
+func deploy(nodes, turbines int, inj optique.FaultInjector) (*optique.System, *siemens.Generator) {
 	gen, err := siemens.New(siemens.Config{
 		Turbines: turbines, SensorsPerTurbine: 10, AssembliesPerTurbine: 2,
 		SourceASplit: 0.5, Seed: 1,
@@ -54,7 +58,11 @@ func deploy(nodes, turbines int) (*optique.System, *siemens.Generator) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	sys, err := optique.NewSystem(optique.Config{Nodes: nodes}, siemens.TBox(), siemens.Mappings(), cat)
+	cfg := optique.Config{Nodes: nodes, Faults: inj}
+	if inj != nil {
+		cfg.MaxRestarts = -1
+	}
+	sys, err := optique.NewSystem(cfg, siemens.TBox(), siemens.Mappings(), cat)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -91,7 +99,7 @@ func replay(sys *optique.System, gen *siemens.Generator, seconds int64, turbines
 }
 
 func runS1(seconds int64, turbines int) {
-	sys, gen := deploy(2, turbines)
+	sys, gen := deploy(2, turbines, nil)
 	defer sys.Close()
 	var alerts int64
 	for _, id := range []string{"T01_mon_temperature", "T06_thr_pressure", "T12_corr_vibration"} {
@@ -110,11 +118,17 @@ func runS1(seconds int64, turbines int) {
 	fmt.Printf("\nS1 done: %d tuples replayed, %d alert triples\n", n, alerts)
 }
 
-func runS2(nodes, setIdx int, seconds int64, turbines int) {
+func runS2(nodes, setIdx int, seconds int64, turbines int, chaos bool) {
 	if setIdx < 1 || setIdx > 10 {
 		log.Fatalf("test set must be 1..10, got %d", setIdx)
 	}
-	sys, gen := deploy(nodes, turbines)
+	var inj optique.FaultInjector
+	if chaos {
+		// Crash the last worker on its 500th tuple: its tasks fail over
+		// to the survivors and the replay keeps running.
+		inj = faults.New(7).PanicAt(nodes-1, 500)
+	}
+	sys, gen := deploy(nodes, turbines, inj)
 	defer sys.Close()
 	set := siemens.TestSets()[setIdx-1]
 	var rows int64
@@ -141,4 +155,15 @@ func runS2(nodes, setIdx int, seconds int64, turbines int) {
 	}
 	fmt.Printf("  engine: %d tuple deliveries, %d windows executed (%.0f deliveries/s)\n",
 		totalIn, totalWindows, float64(totalIn)/elapsed.Seconds())
+	h := sys.Health()
+	fmt.Printf("  health: %d/%d nodes live (%d restarting, %d dead, %d restarts), "+
+		"%d dropped, %d salvaged, %d quarantined, %d errors\n",
+		h.Live, h.Nodes, h.Restarting, h.Dead, h.Restarts,
+		h.Dropped, h.Requeued, h.Suspended, h.Errors)
+	if chaos {
+		for _, st := range sys.Stats() {
+			fmt.Printf("  node %d: %-10s %6d tuples, %d queries\n",
+				st.Node, st.State, st.Tuples, st.Queries)
+		}
+	}
 }

@@ -1,0 +1,226 @@
+package cluster
+
+import (
+	"context"
+	"sync"
+)
+
+// Backpressure selects what Ingest does when a worker's bounded queue is
+// full. The paper's deployment ran workers near saturation; an explicit
+// policy replaces the previous unbounded block (and follows the
+// bounded-memory criteria of Schiff & Özçep, arXiv:2007.16040).
+type Backpressure int
+
+const (
+	// BackpressureBlock waits for queue space, honouring the context's
+	// cancellation/deadline. The default.
+	BackpressureBlock Backpressure = iota
+	// BackpressureDropNewest discards the incoming tuple when the queue
+	// is full (counted in NodeStats.Dropped).
+	BackpressureDropNewest
+	// BackpressureDropOldest evicts the oldest queued tuple to make room
+	// for the incoming one (the eviction is counted in
+	// NodeStats.Dropped); fresh data wins over stale data.
+	BackpressureDropOldest
+)
+
+func (b Backpressure) String() string {
+	switch b {
+	case BackpressureDropNewest:
+		return "drop-newest"
+	case BackpressureDropOldest:
+		return "drop-oldest"
+	default:
+		return "block"
+	}
+}
+
+// pushResult reports what a push did with the work item.
+type pushResult int
+
+const (
+	pushQueued  pushResult = iota
+	pushDropped            // DropNewest: incoming item discarded
+	pushEvicted            // DropOldest: an older item was discarded
+)
+
+// inbox is a node's bounded work queue. Unlike a raw channel it supports
+// front-of-queue eviction (DropOldest), requeueing an in-flight item
+// after a worker restart (pushFront), salvaging queued work when a node
+// dies (drain), and waking blocked producers on shutdown — the
+// send-on-closed-channel panic the old implementation risked cannot
+// happen here.
+//
+// Flush markers always fit regardless of capacity (they carry no data
+// and must not be subject to load shedding) and are never evicted.
+type inbox struct {
+	mu       sync.Mutex
+	buf      []work
+	capacity int
+	closed   bool // cluster shut down: pushes fail with ErrClusterClosed
+	failed   bool // node declared dead: pushes fail with errNodeDown
+	itemCh   chan struct{} // closed when an item arrives; consumer waits on it
+	spaceCh  chan struct{} // closed when space frees up; producers wait on it
+}
+
+func newInbox(capacity int) *inbox {
+	return &inbox{capacity: capacity}
+}
+
+// push enqueues w under the given policy. It returns what happened to
+// the item, or an error: ctx.Err() for an expired Block wait,
+// ErrClusterClosed / errNodeDown when the inbox is down.
+func (q *inbox) push(ctx context.Context, w work, policy Backpressure) (pushResult, error) {
+	for {
+		q.mu.Lock()
+		if q.closed {
+			q.mu.Unlock()
+			return 0, ErrClusterClosed
+		}
+		if q.failed {
+			q.mu.Unlock()
+			return 0, errNodeDown
+		}
+		if len(q.buf) < q.capacity || w.flush != nil {
+			q.appendLocked(w)
+			q.mu.Unlock()
+			return pushQueued, nil
+		}
+		switch policy {
+		case BackpressureDropNewest:
+			q.mu.Unlock()
+			return pushDropped, nil
+		case BackpressureDropOldest:
+			if q.evictOldestLocked() {
+				q.appendLocked(w)
+				q.mu.Unlock()
+				return pushEvicted, nil
+			}
+			// Queue somehow full of unevictable flush markers; fall
+			// through to a blocking wait.
+		}
+		if q.spaceCh == nil {
+			q.spaceCh = make(chan struct{})
+		}
+		ch := q.spaceCh
+		q.mu.Unlock()
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return 0, ctx.Err()
+		}
+	}
+}
+
+// appendLocked adds w and wakes the consumer.
+func (q *inbox) appendLocked(w work) {
+	q.buf = append(q.buf, w)
+	if q.itemCh != nil {
+		close(q.itemCh)
+		q.itemCh = nil
+	}
+}
+
+// evictOldestLocked removes the oldest non-flush item.
+func (q *inbox) evictOldestLocked() bool {
+	for i := range q.buf {
+		if q.buf[i].flush == nil {
+			q.buf = append(q.buf[:i], q.buf[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// pushFront requeues an item at the head of the queue (retry of the
+// in-flight item after a worker restart). Capacity is ignored: the item
+// was already admitted once.
+func (q *inbox) pushFront(w work) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed || q.failed {
+		if w.flush != nil {
+			close(w.flush)
+		}
+		return
+	}
+	q.buf = append([]work{w}, q.buf...)
+	if q.itemCh != nil {
+		close(q.itemCh)
+		q.itemCh = nil
+	}
+}
+
+// pop blocks until an item is available. ok=false means the inbox is
+// closed (or failed) and drained: the worker should exit.
+func (q *inbox) pop() (work, bool) {
+	for {
+		q.mu.Lock()
+		if len(q.buf) > 0 {
+			w := q.buf[0]
+			q.buf = q.buf[1:]
+			if q.spaceCh != nil {
+				close(q.spaceCh)
+				q.spaceCh = nil
+			}
+			q.mu.Unlock()
+			return w, true
+		}
+		if q.closed || q.failed {
+			q.mu.Unlock()
+			return work{}, false
+		}
+		if q.itemCh == nil {
+			q.itemCh = make(chan struct{})
+		}
+		ch := q.itemCh
+		q.mu.Unlock()
+		<-ch
+	}
+}
+
+// length reports the current queue depth.
+func (q *inbox) length() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.buf)
+}
+
+// fail marks the inbox dead (node failure): blocked producers wake and
+// their pushes convert to drops; queued items stay for drain.
+func (q *inbox) fail() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.failed = true
+	q.wakeAllLocked()
+}
+
+// close marks the inbox shut down (cluster Close). The worker drains
+// what remains and exits.
+func (q *inbox) close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	q.wakeAllLocked()
+}
+
+func (q *inbox) wakeAllLocked() {
+	if q.itemCh != nil {
+		close(q.itemCh)
+		q.itemCh = nil
+	}
+	if q.spaceCh != nil {
+		close(q.spaceCh)
+		q.spaceCh = nil
+	}
+}
+
+// drain removes and returns everything still queued (salvage on node
+// death).
+func (q *inbox) drain() []work {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	items := q.buf
+	q.buf = nil
+	return items
+}

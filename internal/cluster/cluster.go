@@ -5,18 +5,25 @@
 // worker runs its own stream-engine instance.
 //
 // The paper's deployment ran 1–128 VMs; here each node is an in-process
-// worker (goroutine + its own ExaStream engine) connected by channels.
-// The scheduling and partitioning logic — what produces the paper's
-// scaling behaviour — is the real thing; only the transport is simulated.
+// worker (goroutine + its own ExaStream engine) connected by bounded
+// queues. The scheduling and partitioning logic — what produces the
+// paper's scaling behaviour — is the real thing; only the transport is
+// simulated. The runtime is failure-aware: workers are supervised
+// (panic recovery, capped restarts, query failover — see supervisor.go),
+// ingest queues carry explicit backpressure policies (backpressure.go),
+// and asynchronous errors land in bounded per-node rings (errors.go).
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"repro/internal/engine"
 	"repro/internal/exastream"
 	"repro/internal/relation"
 	"repro/internal/sql"
@@ -42,53 +49,100 @@ type Options struct {
 	Placement Placement
 	// Engine options applied to every node's ExaStream instance.
 	Engine exastream.Options
-	// QueueSize is each node's input channel capacity (default 1024).
+	// QueueSize is each node's input queue capacity (default 1024).
 	QueueSize int
 	// PartitionColumn, when set, routes stream tuples to a single node by
 	// hash of this column instead of broadcasting to all hosting nodes.
 	// Queries must then be partition-compatible (they filter or group by
 	// the same column), which holds for the per-sensor diagnostic tasks.
 	PartitionColumn string
+
+	// Backpressure selects the full-queue policy for Ingest (default
+	// BackpressureBlock; use IngestContext to bound the wait).
+	Backpressure Backpressure
+	// MaxRestarts caps how often the supervisor restarts a crashed
+	// worker before declaring it dead and failing its queries over.
+	// 0 means the default (3); negative disables restarts entirely.
+	MaxRestarts int
+	// RestartBackoff is the initial delay before a worker restart; it
+	// doubles per consecutive restart, capped at 500ms. Default 5ms.
+	RestartBackoff time.Duration
+	// QuarantineAfter suspends a query after this many consecutive
+	// failed window executions (poison-query isolation). 0 disables.
+	QuarantineAfter int
+	// Faults, when set, injects failures into worker loops (chaos
+	// testing; see internal/faults).
+	Faults FaultInjector
+	// GatewayQueue is the gateway submission queue capacity (default
+	// 256). Submit returns ErrGatewayBusy when it is full.
+	GatewayQueue int
 }
 
 // Cluster is a set of worker nodes behind a gateway and scheduler.
 type Cluster struct {
-	opts  Options
-	nodes []*Node
+	opts       Options
+	catalogFor func(node int) *relation.Catalog
+	nodes      []*Node
 
-	mu sync.Mutex
-	// queryNode maps query id -> node index.
-	queryNode map[string]int
+	mu     sync.Mutex
+	closed bool
+	// queries retains every registration (id, AST, pulse, sink, current
+	// node) so crashed nodes can be rebuilt and dead nodes' queries can
+	// fail over.
+	queries map[string]*queryRecord
 	// streamHosts maps stream name -> set of node indexes hosting
 	// queries over it.
 	streamHosts map[string]map[int]struct{}
 	rrNext      int
 	schemas     map[string]stream.Schema
+	udfs        map[string]engine.ScalarFunc
+	recovering  int // in-flight worker recoveries (WaitSettled)
 
 	gateway *Gateway
 }
 
-// Node is one worker: an ExaStream engine fed by a channel.
+// queryRecord is the retained registration of one continuous query.
+type queryRecord struct {
+	id    string
+	stmt  *sql.SelectStmt
+	pulse *stream.Pulse
+	sink  exastream.Sink
+	node  int
+}
+
+// Node is one worker: an ExaStream engine fed by a bounded inbox and
+// run under supervision.
 type Node struct {
 	ID     int
-	engine *exastream.Engine
+	engine *exastream.Engine // swapped on restart; guarded by Cluster.mu for cross-goroutine reads
 
-	in      chan work
+	in      *inbox
 	wg      sync.WaitGroup
-	queries int32
-	tuples  int64
-	errs    chan error
+	current work // item being processed; owned by the worker goroutine
+
+	state    int32 // NodeState
+	queries  int32
+	tuples   int64
+	restarts int32
+	dropped  int64
+	requeued int64
+
+	errs errorRing
 }
 
 type work struct {
-	stream string
-	el     stream.Timestamped
-	flush  chan struct{}
+	stream  string
+	el      stream.Timestamped
+	flush   chan error
+	retries int
 }
+
+func lowerKey(s string) string { return strings.ToLower(s) }
 
 // New builds and starts a cluster. The catalog factory is called once per
 // node so each worker owns its static data copy (as the paper's VMs did);
-// pass a closure returning a shared catalog to model shared storage.
+// pass a closure returning a shared catalog to model shared storage. The
+// factory is also invoked when the supervisor rebuilds a crashed node.
 func New(opts Options, catalogFor func(node int) *relation.Catalog) (*Cluster, error) {
 	if opts.Nodes <= 0 {
 		return nil, fmt.Errorf("cluster: need at least one node, got %d", opts.Nodes)
@@ -96,59 +150,90 @@ func New(opts Options, catalogFor func(node int) *relation.Catalog) (*Cluster, e
 	if opts.QueueSize <= 0 {
 		opts.QueueSize = 1024
 	}
+	if opts.GatewayQueue <= 0 {
+		opts.GatewayQueue = 256
+	}
 	c := &Cluster{
 		opts:        opts,
-		queryNode:   make(map[string]int),
+		catalogFor:  catalogFor,
+		queries:     make(map[string]*queryRecord),
 		streamHosts: make(map[string]map[int]struct{}),
 		schemas:     make(map[string]stream.Schema),
+		udfs:        make(map[string]engine.ScalarFunc),
 	}
 	for i := 0; i < opts.Nodes; i++ {
 		n := &Node{
-			ID:     i,
-			engine: exastream.NewEngine(catalogFor(i), opts.Engine),
-			in:     make(chan work, opts.QueueSize),
-			errs:   make(chan error, 16),
+			ID: i,
+			in: newInbox(opts.QueueSize),
 		}
+		n.engine = exastream.NewEngine(catalogFor(i), c.engineOptsFor(n))
 		n.wg.Add(1)
-		go n.run()
+		go n.supervise(c)
 		c.nodes = append(c.nodes, n)
 	}
 	c.gateway = newGateway(c)
 	return c, nil
 }
 
-func (n *Node) run() {
-	defer n.wg.Done()
-	for w := range n.in {
-		if w.flush != nil {
-			if err := n.engine.Flush(); err != nil {
-				n.offerErr(err)
-			}
-			close(w.flush)
-			continue
-		}
-		if err := n.engine.Ingest(w.stream, w.el); err != nil {
-			n.offerErr(err)
-		}
-		atomic.AddInt64(&n.tuples, 1)
+// engineOptsFor clones the configured engine options with the node's
+// error hook installed: per-query execution failures are recorded in
+// the node's error ring (structured, counted) instead of aborting the
+// worker loop, and repeated failures quarantine the query.
+func (c *Cluster) engineOptsFor(n *Node) exastream.Options {
+	o := c.opts.Engine
+	if o.QuarantineAfter == 0 {
+		o.QuarantineAfter = c.opts.QuarantineAfter
 	}
+	user := o.OnQueryError
+	o.OnQueryError = func(queryID string, err error) {
+		n.errs.add(NodeError{Node: n.ID, QueryID: queryID, Err: err})
+		if user != nil {
+			user(queryID, err)
+		}
+	}
+	return o
 }
 
-func (n *Node) offerErr(err error) {
-	select {
-	case n.errs <- err:
-	default:
-	}
-}
-
-// Err returns the first asynchronous error a node reported, if any.
+// Err returns (and consumes) the oldest asynchronous error a node
+// recorded, if any.
 func (n *Node) Err() error {
-	select {
-	case err := <-n.errs:
-		return err
-	default:
-		return nil
+	if e, ok := n.errs.pop(); ok {
+		return e.Err
 	}
+	return nil
+}
+
+// State reports the node's lifecycle state.
+func (n *Node) State() NodeState { return NodeState(atomic.LoadInt32(&n.state)) }
+
+// enqueue admits one work item under the node's backpressure policy.
+// Pushes at dead nodes are accounted as drops, not errors: a dead
+// worker is a routing race the caller cannot act on.
+func (n *Node) enqueue(ctx context.Context, w work, policy Backpressure) error {
+	if n.State() == NodeDead {
+		if w.flush != nil {
+			close(w.flush)
+		} else {
+			atomic.AddInt64(&n.dropped, 1)
+		}
+		return errNodeDown
+	}
+	res, err := n.in.push(ctx, w, policy)
+	switch {
+	case err == errNodeDown:
+		if w.flush != nil {
+			close(w.flush)
+		} else {
+			atomic.AddInt64(&n.dropped, 1)
+		}
+		return err
+	case err != nil:
+		return err // ErrClusterClosed or ctx error
+	}
+	if res == pushDropped || res == pushEvicted {
+		atomic.AddInt64(&n.dropped, 1)
+	}
+	return nil
 }
 
 // NodeCount returns the number of workers.
@@ -161,11 +246,17 @@ func (c *Cluster) Gateway() *Gateway { return c.gateway }
 func (c *Cluster) DeclareStream(s stream.Schema) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	key := strings.ToLower(s.Name)
+	if c.closed {
+		return ErrClusterClosed
+	}
+	key := lowerKey(s.Name)
 	if _, dup := c.schemas[key]; dup {
 		return fmt.Errorf("cluster: stream %q already declared", s.Name)
 	}
 	for _, n := range c.nodes {
+		if n.State() == NodeDead {
+			continue
+		}
 		if err := n.engine.DeclareStream(s); err != nil {
 			return err
 		}
@@ -174,20 +265,41 @@ func (c *Cluster) DeclareStream(s stream.Schema) error {
 	return nil
 }
 
+// RegisterUDF installs a scalar UDF on every node's engine (and on any
+// engine rebuilt after a crash). Call it before ingest begins.
+func (c *Cluster) RegisterUDF(name string, f engine.ScalarFunc) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.udfs[name] = f
+	for _, n := range c.nodes {
+		if n.State() != NodeDead {
+			n.engine.RegisterUDF(name, f)
+		}
+	}
+}
+
 // Register parses nothing (the statement is already an AST): it schedules
-// the query on a worker and returns the chosen node id.
+// the query on a live worker, retains the registration record for
+// failover, and returns the chosen node id. It returns ErrNoLiveNodes
+// when every worker is dead.
 func (c *Cluster) Register(id string, stmt *sql.SelectStmt, pulse *stream.Pulse, sink exastream.Sink) (int, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if _, dup := c.queryNode[id]; dup {
+	if c.closed {
+		return -1, ErrClusterClosed
+	}
+	if _, dup := c.queries[id]; dup {
 		return -1, fmt.Errorf("cluster: query %q already registered", id)
 	}
 	node := c.pickNodeLocked()
+	if node < 0 {
+		return -1, ErrNoLiveNodes
+	}
 	if err := c.nodes[node].engine.Register(id, stmt, pulse, sink); err != nil {
 		return -1, err
 	}
 	atomic.AddInt32(&c.nodes[node].queries, 1)
-	c.queryNode[id] = node
+	c.queries[id] = &queryRecord{id: id, stmt: stmt, pulse: pulse, sink: sink, node: node}
 	for _, ref := range streamNamesOf(stmt) {
 		hosts, ok := c.streamHosts[ref]
 		if !ok {
@@ -203,28 +315,53 @@ func (c *Cluster) Register(id string, stmt *sql.SelectStmt, pulse *stream.Pulse,
 func (c *Cluster) Unregister(id string) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	node, ok := c.queryNode[id]
+	rec, ok := c.queries[id]
 	if !ok {
 		return fmt.Errorf("cluster: unknown query %q", id)
 	}
-	if err := c.nodes[node].engine.Unregister(id); err != nil {
+	if err := c.nodes[rec.node].engine.Unregister(id); err != nil {
 		return err
 	}
-	atomic.AddInt32(&c.nodes[node].queries, -1)
-	delete(c.queryNode, id)
+	atomic.AddInt32(&c.nodes[rec.node].queries, -1)
+	delete(c.queries, id)
+	c.rebuildHostsLocked()
 	return nil
 }
 
-// pickNodeLocked implements the placement strategies.
+// Resume lifts the quarantine of a suspended query so it executes
+// again on its hosting node.
+func (c *Cluster) Resume(id string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rec, ok := c.queries[id]
+	if !ok {
+		return fmt.Errorf("cluster: unknown query %q", id)
+	}
+	return c.nodes[rec.node].engine.Resume(id)
+}
+
+// pickNodeLocked implements the placement strategies over live nodes
+// only; dead and restarting workers are skipped. Returns -1 when no
+// live node remains.
 func (c *Cluster) pickNodeLocked() int {
+	live := make([]int, 0, len(c.nodes))
+	for i, n := range c.nodes {
+		if n.State() == NodeLive {
+			live = append(live, i)
+		}
+	}
+	if len(live) == 0 {
+		return -1
+	}
 	switch c.opts.Placement {
 	case PlaceRoundRobin:
-		n := c.rrNext % len(c.nodes)
+		n := live[c.rrNext%len(live)]
 		c.rrNext++
 		return n
 	default:
-		best, bestLoad := 0, int64(1<<62)
-		for i, n := range c.nodes {
+		best, bestLoad := live[0], int64(1<<62)
+		for _, i := range live {
+			n := c.nodes[i]
 			load := int64(atomic.LoadInt32(&n.queries))*1_000_000 + atomic.LoadInt64(&n.tuples)
 			if load < bestLoad {
 				best, bestLoad = i, load
@@ -234,23 +371,57 @@ func (c *Cluster) pickNodeLocked() int {
 	}
 }
 
-// Ingest routes one tuple: to the partition owner when a partition
-// column is configured, otherwise to every node hosting queries over the
-// stream.
+// rebuildHostsLocked recomputes the stream -> hosting-nodes routing
+// table from the retained query records (after unregister or failover).
+func (c *Cluster) rebuildHostsLocked() {
+	hosts := make(map[string]map[int]struct{})
+	for _, rec := range c.queries {
+		for _, s := range streamNamesOf(rec.stmt) {
+			h, ok := hosts[s]
+			if !ok {
+				h = make(map[int]struct{})
+				hosts[s] = h
+			}
+			h[rec.node] = struct{}{}
+		}
+	}
+	c.streamHosts = hosts
+}
+
+func (c *Cluster) sortedHostsLocked(key string) []int {
+	hosts := make([]int, 0, len(c.streamHosts[key]))
+	for h := range c.streamHosts[key] {
+		hosts = append(hosts, h)
+	}
+	sort.Ints(hosts)
+	return hosts
+}
+
+// Ingest routes one tuple with the configured backpressure policy and
+// no deadline; see IngestContext for bounded waits.
 func (c *Cluster) Ingest(streamName string, el stream.Timestamped) error {
-	key := strings.ToLower(streamName)
+	return c.IngestContext(context.Background(), streamName, el)
+}
+
+// IngestContext routes one tuple: to the partition owner when a
+// partition column is configured, otherwise to every node hosting
+// queries over the stream. When a target queue is full the configured
+// Backpressure policy applies; a blocking wait honours ctx. Tuples
+// routed at dead nodes are counted as drops, not errors.
+func (c *Cluster) IngestContext(ctx context.Context, streamName string, el stream.Timestamped) error {
+	key := lowerKey(streamName)
 	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClusterClosed
+	}
 	schema, ok := c.schemas[key]
 	if !ok {
 		c.mu.Unlock()
 		return fmt.Errorf("cluster: unknown stream %q", streamName)
 	}
-	hosts := make([]int, 0, len(c.streamHosts[key]))
-	for h := range c.streamHosts[key] {
-		hosts = append(hosts, h)
-	}
+	hosts := c.sortedHostsLocked(key)
 	c.mu.Unlock()
-	sort.Ints(hosts)
 	if len(hosts) == 0 {
 		return nil // nobody listening
 	}
@@ -261,11 +432,17 @@ func (c *Cluster) Ingest(streamName string, el stream.Timestamped) error {
 		}
 		h := valueHash(el.Row[idx])
 		target := hosts[int(h%uint64(len(hosts)))]
-		c.nodes[target].in <- work{stream: streamName, el: el}
-		return nil
+		err = c.nodes[target].enqueue(ctx, work{stream: streamName, el: el}, c.opts.Backpressure)
+		if err == errNodeDown {
+			return nil // counted as a drop on the node
+		}
+		return err
 	}
 	for _, h := range hosts {
-		c.nodes[h].in <- work{stream: streamName, el: el}
+		err := c.nodes[h].enqueue(ctx, work{stream: streamName, el: el}, c.opts.Backpressure)
+		if err != nil && err != errNodeDown {
+			return err
+		}
 	}
 	return nil
 }
@@ -281,51 +458,92 @@ func valueHash(v relation.Value) uint64 {
 	return h
 }
 
-// Flush drains every node's queue and completes open windows.
+// Flush drains every live node's queue and completes open windows. It
+// returns errors from the flush itself; asynchronous worker errors stay
+// in the per-node rings (see Errors and NodeStats).
 func (c *Cluster) Flush() error {
-	acks := make([]chan struct{}, len(c.nodes))
-	for i, n := range c.nodes {
-		acks[i] = make(chan struct{})
-		n.in <- work{flush: acks[i]}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClusterClosed
 	}
-	for _, a := range acks {
-		<-a
-	}
+	c.mu.Unlock()
+	var acks []chan error
 	for _, n := range c.nodes {
-		if err := n.Err(); err != nil {
+		if n.State() == NodeDead {
+			continue
+		}
+		ack := make(chan error, 1)
+		if err := n.enqueue(context.Background(), work{flush: ack}, BackpressureBlock); err != nil {
+			if err == errNodeDown {
+				continue // node died under us; its queries already failed over
+			}
 			return err
 		}
+		acks = append(acks, ack)
 	}
-	return nil
+	var firstErr error
+	for _, a := range acks {
+		if err := <-a; err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
 }
 
-// Close shuts down the workers. The cluster is unusable afterwards.
+// Close shuts down the workers. The cluster is unusable afterwards;
+// Ingest/Flush/Register return ErrClusterClosed. Close is idempotent
+// and safe to race with in-flight Ingest calls.
 func (c *Cluster) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	c.mu.Unlock()
 	for _, n := range c.nodes {
-		close(n.in)
+		n.in.close()
 	}
 	for _, n := range c.nodes {
 		n.wg.Wait()
 	}
 }
 
-// NodeStats describes one worker's load.
+// NodeStats describes one worker's load and failure counters.
 type NodeStats struct {
-	Node    int
-	Queries int
-	Tuples  int64
-	Engine  exastream.Stats
+	Node      int
+	State     NodeState
+	Queries   int
+	Tuples    int64
+	Dropped   int64 // tuples shed by backpressure or routed at this node while dead
+	Requeued  int64 // tuples salvaged from this node's queue at failover
+	Restarts  int
+	Suspended int   // queries quarantined on this node
+	ErrTotal  int64 // asynchronous errors recorded
+	ErrKept   int64 // still retained in the ring (rest were evicted)
+	Engine    exastream.Stats
 }
 
 // Stats returns per-node statistics.
 func (c *Cluster) Stats() []NodeStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	out := make([]NodeStats, len(c.nodes))
 	for i, n := range c.nodes {
+		total, evicted := n.errs.counts()
 		out[i] = NodeStats{
-			Node:    i,
-			Queries: int(atomic.LoadInt32(&n.queries)),
-			Tuples:  atomic.LoadInt64(&n.tuples),
-			Engine:  n.engine.Stats(),
+			Node:      i,
+			State:     n.State(),
+			Queries:   int(atomic.LoadInt32(&n.queries)),
+			Tuples:    atomic.LoadInt64(&n.tuples),
+			Dropped:   atomic.LoadInt64(&n.dropped),
+			Requeued:  atomic.LoadInt64(&n.requeued),
+			Restarts:  int(atomic.LoadInt32(&n.restarts)),
+			Suspended: len(n.engine.SuspendedQueries()),
+			ErrTotal:  total,
+			ErrKept:   total - evicted,
+			Engine:    n.engine.Stats(),
 		}
 	}
 	return out
@@ -335,8 +553,11 @@ func (c *Cluster) Stats() []NodeStats {
 func (c *Cluster) QueryNode(id string) (int, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	n, ok := c.queryNode[id]
-	return n, ok
+	rec, ok := c.queries[id]
+	if !ok {
+		return -1, false
+	}
+	return rec.node, true
 }
 
 // streamNamesOf lists the distinct stream names a statement references.
@@ -347,7 +568,7 @@ func streamNamesOf(stmt *sql.SelectStmt) []string {
 	var visitStmt func(s *sql.SelectStmt)
 	visitRef = func(tr *sql.TableRef) {
 		if tr.IsStream {
-			key := strings.ToLower(tr.Table)
+			key := lowerKey(tr.Table)
 			if _, dup := seen[key]; !dup {
 				seen[key] = struct{}{}
 				out = append(out, key)

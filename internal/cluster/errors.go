@@ -1,0 +1,90 @@
+package cluster
+
+import (
+	"errors"
+	"sync"
+)
+
+// Typed errors of the fault-tolerant runtime. Callers branch on these
+// with errors.Is.
+var (
+	// ErrClusterClosed is returned by Ingest/Flush/Register after Close.
+	ErrClusterClosed = errors.New("cluster: closed")
+	// ErrGatewayBusy is returned by Gateway.Submit when the submission
+	// queue is full; the caller should back off and retry.
+	ErrGatewayBusy = errors.New("cluster: gateway queue full")
+	// ErrNoLiveNodes is returned by Register when every worker is dead:
+	// the cluster degrades gracefully instead of placing queries on
+	// corpses.
+	ErrNoLiveNodes = errors.New("cluster: no live nodes")
+
+	// errNodeDown is the internal signal that a push hit a dead node's
+	// inbox; the caller converts it into a dropped-tuple count.
+	errNodeDown = errors.New("cluster: node down")
+)
+
+// NodeError is one asynchronous error recorded by a worker. QueryID is
+// set when the error is attributable to a single continuous query
+// (execution failures routed through the engine's error hook) and empty
+// for node-level errors (ingest failures, worker panics).
+type NodeError struct {
+	Node    int
+	QueryID string
+	Err     error
+}
+
+// errRingSize bounds the per-node ring of retained errors. Older errors
+// are evicted (and counted) rather than silently discarded, replacing
+// the previous lossy 16-slot channel.
+const errRingSize = 64
+
+// errorRing is a bounded buffer of recent errors with total/evicted
+// counters. It never blocks and never loses count.
+type errorRing struct {
+	mu      sync.Mutex
+	buf     []NodeError
+	total   int64
+	evicted int64
+}
+
+func (r *errorRing) add(e NodeError) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.total++
+	if len(r.buf) >= errRingSize {
+		n := copy(r.buf, r.buf[1:])
+		r.buf = r.buf[:n]
+		r.evicted++
+	}
+	r.buf = append(r.buf, e)
+}
+
+// pop consumes the oldest retained error.
+func (r *errorRing) pop() (NodeError, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.buf) == 0 {
+		return NodeError{}, false
+	}
+	e := r.buf[0]
+	n := copy(r.buf, r.buf[1:])
+	r.buf = r.buf[:n]
+	return e, true
+}
+
+// recent returns a copy of the retained errors, oldest first.
+func (r *errorRing) recent() []NodeError {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]NodeError, len(r.buf))
+	copy(out, r.buf)
+	return out
+}
+
+// counts reports how many errors were recorded and how many of those
+// were evicted from the ring.
+func (r *errorRing) counts() (total, evicted int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total, r.evicted
+}

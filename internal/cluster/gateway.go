@@ -16,12 +16,14 @@ import (
 type Gateway struct {
 	cluster *Cluster
 
-	mu      sync.Mutex
+	mu      sync.Mutex // ticket bookkeeping only; never held across a send
 	next    int
 	tickets map[int]*Ticket
-	queue   chan *submission
-	wg      sync.WaitGroup
-	closed  bool
+
+	sendMu sync.RWMutex // guards queue sends against Close
+	queue  chan *submission
+	closed bool
+	wg     sync.WaitGroup
 }
 
 // Ticket tracks one asynchronous registration.
@@ -46,7 +48,7 @@ func newGateway(c *Cluster) *Gateway {
 	g := &Gateway{
 		cluster: c,
 		tickets: make(map[int]*Ticket),
-		queue:   make(chan *submission, 256),
+		queue:   make(chan *submission, c.opts.GatewayQueue),
 	}
 	g.wg.Add(1)
 	go g.run()
@@ -72,18 +74,30 @@ func (g *Gateway) process(s *submission) (int, error) {
 	return g.cluster.Register(s.queryID, stmt, s.pulse, s.sink)
 }
 
-// Submit enqueues a registration and returns its ticket immediately.
+// Submit enqueues a registration and returns its ticket immediately. A
+// full submission queue returns ErrGatewayBusy instead of blocking (the
+// old implementation held the gateway lock across the send, deadlocking
+// Wait and Close under load).
 func (g *Gateway) Submit(queryID, queryText string, pulse *stream.Pulse, sink exastream.Sink) (*Ticket, error) {
-	g.mu.Lock()
-	defer g.mu.Unlock()
+	g.sendMu.RLock()
+	defer g.sendMu.RUnlock()
 	if g.closed {
 		return nil, fmt.Errorf("gateway: closed")
 	}
+	g.mu.Lock()
 	t := &Ticket{ID: g.next, done: make(chan struct{}), node: -1}
 	g.next++
 	g.tickets[t.ID] = t
-	g.queue <- &submission{ticket: t, queryID: queryID, text: queryText, pulse: pulse, sink: sink}
-	return t, nil
+	g.mu.Unlock()
+	select {
+	case g.queue <- &submission{ticket: t, queryID: queryID, text: queryText, pulse: pulse, sink: sink}:
+		return t, nil
+	default:
+		g.mu.Lock()
+		delete(g.tickets, t.ID)
+		g.mu.Unlock()
+		return nil, ErrGatewayBusy
+	}
 }
 
 // Wait blocks until the registration completes and returns the node the
@@ -106,14 +120,16 @@ func (t *Ticket) Done() bool {
 }
 
 // Close stops accepting submissions and waits for the queue to drain.
+// It is safe to race with Submit: the queue is only closed once every
+// in-flight send has completed.
 func (g *Gateway) Close() {
-	g.mu.Lock()
+	g.sendMu.Lock()
 	if g.closed {
-		g.mu.Unlock()
+		g.sendMu.Unlock()
 		return
 	}
 	g.closed = true
-	g.mu.Unlock()
+	g.sendMu.Unlock()
 	close(g.queue)
 	g.wg.Wait()
 }

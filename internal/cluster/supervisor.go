@@ -1,0 +1,400 @@
+// Worker supervision and query failover. Each node's run loop is
+// wrapped in panic recovery: a crashed worker is restarted with a fresh
+// engine (capped restarts, exponential backoff) and its queries are
+// re-registered from the cluster's retained registration records. A
+// node that exhausts its restart budget is declared dead; its queries
+// migrate to surviving nodes, the stream routing tables are rebuilt,
+// and tuples still queued on the corpse are salvaged and re-routed.
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/exastream"
+)
+
+// NodeState is a worker's lifecycle state.
+type NodeState int32
+
+const (
+	// NodeLive workers accept queries and process tuples.
+	NodeLive NodeState = iota
+	// NodeRestarting workers crashed and are being rebuilt; their queue
+	// keeps accepting work, which is processed once the restart lands.
+	NodeRestarting
+	// NodeDead workers exhausted their restart budget; their queries
+	// have failed over and tuples routed at them are dropped.
+	NodeDead
+)
+
+func (s NodeState) String() string {
+	switch s {
+	case NodeRestarting:
+		return "restarting"
+	case NodeDead:
+		return "dead"
+	default:
+		return "live"
+	}
+}
+
+// FaultInjector hooks the worker loop for chaos testing (see
+// internal/faults for the deterministic implementation). BeforeProcess
+// runs on the worker goroutine before each tuple: returning an error
+// simulates a failed ingest (the tuple is dropped and the error
+// recorded), panicking simulates a worker crash (the supervisor takes
+// over), and sleeping simulates a slow node (exercises backpressure).
+type FaultInjector interface {
+	BeforeProcess(node int, stream string) error
+}
+
+const (
+	defaultMaxRestarts    = 3
+	defaultRestartBackoff = 5 * time.Millisecond
+	maxRestartBackoff     = 500 * time.Millisecond
+)
+
+// maxRestarts resolves the configured restart cap: 0 means the default,
+// negative means "no restarts" (first panic kills the node).
+func (o Options) maxRestarts() int {
+	if o.MaxRestarts == 0 {
+		return defaultMaxRestarts
+	}
+	if o.MaxRestarts < 0 {
+		return 0
+	}
+	return o.MaxRestarts
+}
+
+func (o Options) backoffFor(attempt int) time.Duration {
+	d := o.RestartBackoff
+	if d <= 0 {
+		d = defaultRestartBackoff
+	}
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if d >= maxRestartBackoff {
+			return maxRestartBackoff
+		}
+	}
+	return d
+}
+
+// supervise is the worker goroutine: it runs the guarded loop and, on
+// panic, either rebuilds the node or declares it dead and fails its
+// queries over.
+func (n *Node) supervise(c *Cluster) {
+	defer n.wg.Done()
+	for {
+		if n.runGuarded(c) {
+			return // inbox closed: clean shutdown
+		}
+		restarts := int(atomic.AddInt32(&n.restarts, 1))
+		if restarts > c.opts.maxRestarts() {
+			c.failover(n)
+			c.settle(-1)
+			return
+		}
+		// Retry the in-flight item on the rebuilt engine. A poison item
+		// will re-panic until the budget is exhausted; its retry count
+		// then tells failover not to salvage it.
+		if cur := n.current; cur.flush != nil || cur.stream != "" {
+			cur.retries++
+			n.current = work{}
+			n.in.pushFront(cur)
+		}
+		time.Sleep(c.opts.backoffFor(restarts))
+		if !c.rebuildNode(n) {
+			c.settle(-1)
+			return // cluster closed while we slept
+		}
+		c.settle(-1)
+	}
+}
+
+// runGuarded processes inbox items until shutdown, converting panics
+// into a supervised crash. It returns true on clean shutdown and false
+// after recovering a panic.
+func (n *Node) runGuarded(c *Cluster) (clean bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			atomic.StoreInt32(&n.state, int32(NodeRestarting))
+			c.settle(1)
+			n.errs.add(NodeError{Node: n.ID, Err: fmt.Errorf("cluster: node %d: worker panic: %v", n.ID, r)})
+		}
+	}()
+	for {
+		w, ok := n.in.pop()
+		if !ok {
+			return true
+		}
+		n.current = w
+		n.process(c, w)
+		n.current = work{}
+	}
+}
+
+// process handles one work item on the worker goroutine.
+func (n *Node) process(c *Cluster, w work) {
+	if w.flush != nil {
+		w.flush <- n.engine.Flush()
+		close(w.flush)
+		return
+	}
+	if f := c.opts.Faults; f != nil {
+		if err := f.BeforeProcess(n.ID, w.stream); err != nil {
+			n.errs.add(NodeError{Node: n.ID, Err: err})
+			return
+		}
+	}
+	if err := n.engine.Ingest(w.stream, w.el); err != nil {
+		n.errs.add(NodeError{Node: n.ID, Err: err})
+	}
+	atomic.AddInt64(&n.tuples, 1)
+}
+
+// rebuildNode gives a crashed node a fresh engine and re-registers its
+// queries from the retained records. Returns false if the cluster
+// closed in the meantime.
+func (c *Cluster) rebuildNode(n *Node) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return false
+	}
+	eng := exastream.NewEngine(c.catalogFor(n.ID), c.engineOptsFor(n))
+	for _, s := range c.schemas {
+		if err := eng.DeclareStream(s); err != nil {
+			n.errs.add(NodeError{Node: n.ID, Err: err})
+		}
+	}
+	for name, f := range c.udfs {
+		eng.RegisterUDF(name, f)
+	}
+	var requeries int32
+	for _, rec := range c.queries {
+		if rec.node != n.ID {
+			continue
+		}
+		if err := eng.Register(rec.id, rec.stmt, rec.pulse, rec.sink); err != nil {
+			n.errs.add(NodeError{Node: n.ID, QueryID: rec.id,
+				Err: fmt.Errorf("cluster: node %d: re-register %s: %w", n.ID, rec.id, err)})
+			continue
+		}
+		requeries++
+	}
+	n.engine = eng
+	atomic.StoreInt32(&n.queries, requeries)
+	atomic.StoreInt32(&n.state, int32(NodeLive))
+	return true
+}
+
+// failover declares a node dead, migrates its queries to survivors,
+// rebuilds the stream routing tables, and salvages its queued tuples.
+func (c *Cluster) failover(n *Node) {
+	c.mu.Lock()
+	atomic.StoreInt32(&n.state, int32(NodeDead))
+	// Host sets before the failover: salvaged broadcast tuples must only
+	// reach nodes that were NOT already receiving this stream (those
+	// have their own copy of every tuple).
+	prevHosts := make(map[string]map[int]struct{}, len(c.streamHosts))
+	for s, hosts := range c.streamHosts {
+		cp := make(map[int]struct{}, len(hosts))
+		for h := range hosts {
+			cp[h] = struct{}{}
+		}
+		prevHosts[s] = cp
+	}
+	gained := make(map[string]map[int]struct{}) // stream -> nodes that received migrated queries
+	for _, rec := range c.queries {
+		if rec.node != n.ID {
+			continue
+		}
+		target := c.pickNodeLocked()
+		if target < 0 {
+			n.errs.add(NodeError{Node: n.ID, QueryID: rec.id,
+				Err: fmt.Errorf("cluster: query %s lost: %w", rec.id, ErrNoLiveNodes)})
+			delete(c.queries, rec.id)
+			continue
+		}
+		if err := c.nodes[target].engine.Register(rec.id, rec.stmt, rec.pulse, rec.sink); err != nil {
+			n.errs.add(NodeError{Node: n.ID, QueryID: rec.id,
+				Err: fmt.Errorf("cluster: failover of %s to node %d: %w", rec.id, target, err)})
+			delete(c.queries, rec.id)
+			continue
+		}
+		rec.node = target
+		atomic.AddInt32(&c.nodes[target].queries, 1)
+		for _, s := range streamNamesOf(rec.stmt) {
+			g, ok := gained[s]
+			if !ok {
+				g = make(map[int]struct{})
+				gained[s] = g
+			}
+			g[target] = struct{}{}
+		}
+	}
+	atomic.StoreInt32(&n.queries, 0)
+	c.rebuildHostsLocked()
+	c.mu.Unlock()
+
+	// Wake blocked producers (their pushes convert to drops), then
+	// salvage what the corpse still had queued.
+	n.in.fail()
+	items := n.in.drain()
+	if cur := n.current; cur.flush != nil || cur.stream != "" {
+		// The item that was being processed when the final crash hit. If
+		// it was never retried it is presumed innocent and salvaged; an
+		// item that kept crashing the worker through every restart is
+		// poison and is dropped instead of infecting a survivor.
+		if cur.retries == 0 {
+			items = append([]work{cur}, items...)
+		} else if cur.flush != nil {
+			close(cur.flush)
+		} else {
+			atomic.AddInt64(&n.dropped, 1)
+		}
+		n.current = work{}
+	}
+	for _, w := range items {
+		if w.flush != nil {
+			close(w.flush) // the flush can no longer be honoured here
+			continue
+		}
+		c.resendSalvaged(n, w, prevHosts, gained)
+	}
+}
+
+// resendSalvaged re-routes one tuple rescued from a dead node's queue.
+// Partitioned streams re-hash over the surviving hosts (the tuple only
+// ever had one copy); broadcast streams deliver only to nodes that just
+// gained queries over the stream and were not already hosting it.
+func (c *Cluster) resendSalvaged(n *Node, w work, prevHosts, gained map[string]map[int]struct{}) {
+	key := lowerKey(w.stream)
+	var targets []int
+	if c.opts.PartitionColumn != "" {
+		c.mu.Lock()
+		schema, ok := c.schemas[key]
+		hosts := c.sortedHostsLocked(key)
+		c.mu.Unlock()
+		if !ok || len(hosts) == 0 {
+			atomic.AddInt64(&n.dropped, 1)
+			return
+		}
+		idx, err := schema.Tuple.IndexOf(c.opts.PartitionColumn)
+		if err != nil {
+			atomic.AddInt64(&n.dropped, 1)
+			return
+		}
+		targets = []int{hosts[int(valueHash(w.el.Row[idx])%uint64(len(hosts)))]}
+	} else {
+		for id := range gained[key] {
+			if _, was := prevHosts[key][id]; !was {
+				targets = append(targets, id)
+			}
+		}
+	}
+	if len(targets) == 0 {
+		atomic.AddInt64(&n.dropped, 1)
+		return
+	}
+	delivered := false
+	for _, t := range targets {
+		if err := c.nodes[t].enqueue(context.Background(),
+			work{stream: w.stream, el: w.el}, c.opts.Backpressure); err == nil {
+			delivered = true
+		}
+	}
+	if delivered {
+		atomic.AddInt64(&n.requeued, 1)
+	} else {
+		atomic.AddInt64(&n.dropped, 1)
+	}
+}
+
+// settle tracks in-flight recoveries for WaitSettled.
+func (c *Cluster) settle(delta int) {
+	c.mu.Lock()
+	c.recovering += delta
+	c.mu.Unlock()
+}
+
+// WaitSettled blocks until no node is mid-recovery (restart or
+// failover), so tests and drivers can observe a stable topology.
+func (c *Cluster) WaitSettled(ctx context.Context) error {
+	for {
+		c.mu.Lock()
+		settled := c.recovering == 0
+		if settled {
+			for _, n := range c.nodes {
+				if NodeState(atomic.LoadInt32(&n.state)) == NodeRestarting {
+					settled = false
+					break
+				}
+			}
+		}
+		c.mu.Unlock()
+		if settled {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+// Health summarises the cluster's failure state.
+type Health struct {
+	Nodes      int
+	Live       int
+	Restarting int
+	Dead       int
+	Restarts   int64 // total worker restarts across the cluster
+	Dropped    int64 // tuples shed by backpressure or lost to dead nodes
+	Requeued   int64 // tuples salvaged from dead nodes and re-routed
+	Suspended  int   // queries quarantined after repeated failures
+	Errors     int64 // total asynchronous errors recorded
+}
+
+// Degraded reports whether the cluster is running below full strength.
+func (h Health) Degraded() bool {
+	return h.Dead > 0 || h.Restarting > 0 || h.Suspended > 0
+}
+
+// Health returns the cluster's current failure summary.
+func (c *Cluster) Health() Health {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	h := Health{Nodes: len(c.nodes)}
+	for _, n := range c.nodes {
+		switch NodeState(atomic.LoadInt32(&n.state)) {
+		case NodeDead:
+			h.Dead++
+		case NodeRestarting:
+			h.Restarting++
+		default:
+			h.Live++
+		}
+		h.Restarts += int64(atomic.LoadInt32(&n.restarts))
+		h.Dropped += atomic.LoadInt64(&n.dropped)
+		h.Requeued += atomic.LoadInt64(&n.requeued)
+		h.Suspended += len(n.engine.SuspendedQueries())
+		total, _ := n.errs.counts()
+		h.Errors += total
+	}
+	return h
+}
+
+// Errors returns a copy of every node's retained recent errors.
+func (c *Cluster) Errors() []NodeError {
+	var out []NodeError
+	for _, n := range c.nodes {
+		out = append(out, n.errs.recent()...)
+	}
+	return out
+}

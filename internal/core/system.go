@@ -40,6 +40,17 @@ type Config struct {
 	PartitionColumn string
 	// Translate tunes enrichment/unfolding.
 	Translate starql.Options
+
+	// Backpressure selects the full-queue ingest policy (see cluster).
+	Backpressure cluster.Backpressure
+	// MaxRestarts caps supervisor restarts per worker before failover
+	// (0 = default, negative = no restarts).
+	MaxRestarts int
+	// QuarantineAfter suspends a task's continuous query after this many
+	// consecutive failed window executions. 0 disables.
+	QuarantineAfter int
+	// Faults injects worker failures for chaos testing (internal/faults).
+	Faults cluster.FaultInjector
 }
 
 // System is one OPTIQUE deployment.
@@ -96,6 +107,10 @@ func NewSystem(cfg Config, tbox *ontology.TBox, set *mapping.Set, catalog *relat
 		Placement:       cfg.Placement,
 		Engine:          cfg.Engine,
 		PartitionColumn: cfg.PartitionColumn,
+		Backpressure:    cfg.Backpressure,
+		MaxRestarts:     cfg.MaxRestarts,
+		QuarantineAfter: cfg.QuarantineAfter,
+		Faults:          cfg.Faults,
 	}, func(int) *relation.Catalog { return catalog })
 	if err != nil {
 		return nil, err
@@ -392,3 +407,7 @@ func (s *System) Close() {
 
 // Stats aggregates cluster statistics.
 func (s *System) Stats() []cluster.NodeStats { return s.cluster.Stats() }
+
+// Health summarises the runtime's failure state (node lifecycles,
+// restarts, shed/salvaged tuples, quarantined queries).
+func (s *System) Health() cluster.Health { return s.cluster.Health() }

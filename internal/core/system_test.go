@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"sync"
 	"testing"
 
 	"repro/internal/cluster"
+	"repro/internal/faults"
 	"repro/internal/rdf"
 	"repro/internal/siemens"
 	"repro/internal/stream"
@@ -291,4 +293,69 @@ func TestPlacementConfig(t *testing.T) {
 		}
 	}
 	_ = nodes
+}
+
+// TestWorkerDeathFailsOverTasks drives the fault-tolerance plumbing end
+// to end at the OBDA level: a worker is killed by fault injection, its
+// diagnostic task fails over to the survivor, and the replay finishes
+// with the system degraded but answering.
+func TestWorkerDeathFailsOverTasks(t *testing.T) {
+	gen, err := siemens.New(siemens.SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat, err := gen.StaticCatalog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := faults.New(1).PanicAt(1, 1)
+	sys, err := NewSystem(Config{
+		Nodes: 2, Placement: cluster.PlaceRoundRobin, MaxRestarts: -1, Faults: inj,
+	}, siemens.TBox(), siemens.Mappings(), cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sys.Close)
+	for _, sc := range siemens.StreamSchemas() {
+		if err := sys.DeclareStream(sc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var log answerLog
+	var tasks []*Task
+	for _, id := range []string{"T01_mon_temperature", "T06_thr_pressure"} {
+		spec, ok := siemens.TaskByID(id)
+		if !ok {
+			t.Fatalf("catalog task %s missing", id)
+		}
+		task, err := sys.RegisterTask(spec.ID, spec.Query, log.sink)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tasks = append(tasks, task)
+	}
+	if tasks[0].Node != 0 || tasks[1].Node != 1 {
+		t.Fatalf("round-robin placement broke: %d/%d", tasks[0].Node, tasks[1].Node)
+	}
+	sensors := gen.SensorsOfTurbine(0)
+	// First slice of the replay kills node 1 on its first delivery; wait
+	// for the failover before streaming the rest.
+	feedDefaultEvents(t, sys, gen, 0, 2000, 500, sensors)
+	if err := sys.Cluster().WaitSettled(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	h := sys.Health()
+	if h.Dead != 1 || h.Live != 1 {
+		t.Fatalf("health = %+v, want 1 dead / 1 live", h)
+	}
+	if node, ok := sys.Cluster().QueryNode(tasks[1].ID); !ok || node != 0 {
+		t.Fatalf("task %s on node %d after failover, want 0", tasks[1].ID, node)
+	}
+	feedDefaultEvents(t, sys, gen, 2000, 20_000, 500, sensors)
+	if tasks[1].Windows() == 0 {
+		t.Error("failed-over task evaluated no windows on the survivor")
+	}
+	if !h.Degraded() {
+		t.Error("one dead node must report as degraded")
+	}
 }

@@ -35,6 +35,8 @@ type Stats struct {
 	WCacheMisses    int64
 	AdaptiveIndexes int64
 	LateTuples      int64
+	QueryFailures   int64 // failed window executions (contained by the error hook)
+	Suspensions     int64 // queries quarantined after repeated failures
 }
 
 // Options configures an Engine.
@@ -50,6 +52,17 @@ type Options struct {
 	// queries with the same (stream, window) share one pass. Default on
 	// via NewEngine.
 	ShareWindows bool
+	// OnQueryError, when set, receives per-query window-execution
+	// failures instead of them aborting Ingest/Flush: one poison query
+	// no longer fails every other query sharing the tick. The cluster
+	// runtime installs a hook that records errors in the node's ring.
+	OnQueryError func(queryID string, err error)
+	// QuarantineAfter suspends a query once it fails this many
+	// consecutive window executions (poison-query isolation); suspended
+	// queries skip execution until Resume. 0 disables quarantine.
+	// Quarantine (like OnQueryError) contains execution errors rather
+	// than returning them from Ingest/Flush.
+	QuarantineAfter int
 }
 
 // Engine is one ExaStream instance (one per worker node in the cluster).
@@ -97,8 +110,10 @@ type continuousQuery struct {
 	pulse *stream.Pulse
 	sink  Sink
 
-	mu      sync.Mutex
-	pending map[int64]map[int]stream.Batch // window end -> refIdx -> batch
+	mu        sync.Mutex
+	pending   map[int64]map[int]stream.Batch // window end -> refIdx -> batch
+	failures  int                            // consecutive failed executions
+	suspended bool                           // quarantined: skips execution until Resume
 }
 
 // NewEngine builds an engine over a static catalog.
@@ -328,6 +343,10 @@ func (e *Engine) Flush() error {
 // the query when batches for every reference at that window end are in.
 func (e *Engine) offer(q *continuousQuery, refIdx int, b stream.Batch) error {
 	q.mu.Lock()
+	if q.suspended {
+		q.mu.Unlock()
+		return nil
+	}
 	m, ok := q.pending[b.End]
 	if !ok {
 		m = make(map[int]stream.Batch)
@@ -357,14 +376,17 @@ func (e *Engine) execute(q *continuousQuery, windowEnd int64, batches map[int]st
 	resolver := e.resolverFor(q, batches)
 	plan, err := engine.Build(q.stmt, resolver)
 	if err != nil {
-		return fmt.Errorf("exastream: query %s: %w", q.id, err)
+		return e.containQueryError(q, fmt.Errorf("exastream: query %s: %w", q.id, err))
 	}
 	plan, probes := e.adaptPlan(plan)
 	ctx := &engine.ExecContext{Catalog: e.catalog, Funcs: e.funcs}
 	rows, err := plan.Execute(ctx)
 	if err != nil {
-		return fmt.Errorf("exastream: query %s: %w", q.id, err)
+		return e.containQueryError(q, fmt.Errorf("exastream: query %s: %w", q.id, err))
 	}
+	q.mu.Lock()
+	q.failures = 0
+	q.mu.Unlock()
 	e.noteProbes(probes)
 	e.mu.Lock()
 	e.stats.WindowsExecuted++
@@ -374,6 +396,69 @@ func (e *Engine) execute(q *continuousQuery, windowEnd int64, batches map[int]st
 	if q.sink != nil {
 		q.sink(q.id, windowEnd, plan.Schema(), rows)
 	}
+	return nil
+}
+
+// containQueryError handles a failed window execution. With an error
+// hook or quarantine configured, the failure is counted against the
+// query (suspending it after QuarantineAfter consecutive failures),
+// reported through the hook, and contained — Ingest/Flush proceed for
+// the other queries. Otherwise the error propagates as before.
+func (e *Engine) containQueryError(q *continuousQuery, err error) error {
+	if e.opts.OnQueryError == nil && e.opts.QuarantineAfter <= 0 {
+		return err
+	}
+	q.mu.Lock()
+	q.failures++
+	suspend := e.opts.QuarantineAfter > 0 && q.failures >= e.opts.QuarantineAfter && !q.suspended
+	if suspend {
+		q.suspended = true
+	}
+	q.mu.Unlock()
+	e.mu.Lock()
+	e.stats.QueryFailures++
+	if suspend {
+		e.stats.Suspensions++
+	}
+	e.mu.Unlock()
+	if e.opts.OnQueryError != nil {
+		e.opts.OnQueryError(q.id, err)
+	}
+	return nil
+}
+
+// SuspendedQueries lists quarantined queries, sorted.
+func (e *Engine) SuspendedQueries() []string {
+	e.mu.Lock()
+	qs := make([]*continuousQuery, 0, len(e.queries))
+	for _, q := range e.queries {
+		qs = append(qs, q)
+	}
+	e.mu.Unlock()
+	var out []string
+	for _, q := range qs {
+		q.mu.Lock()
+		if q.suspended {
+			out = append(out, q.id)
+		}
+		q.mu.Unlock()
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Resume lifts a query's quarantine and resets its failure count.
+func (e *Engine) Resume(id string) error {
+	e.mu.Lock()
+	q, ok := e.queries[id]
+	e.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("exastream: unknown query %q", id)
+	}
+	q.mu.Lock()
+	q.suspended = false
+	q.failures = 0
+	q.mu.Unlock()
 	return nil
 }
 

@@ -1,0 +1,161 @@
+package exastream
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/relation"
+	"repro/internal/sql"
+	"repro/internal/stream"
+)
+
+// failingUDF returns an error on every call, making any query that uses
+// it fail at window execution time.
+func failingUDF(args []relation.Value) (relation.Value, error) {
+	return relation.Null, errors.New("boom: injected execution failure")
+}
+
+func TestQueryErrorHookContainsPoisonQuery(t *testing.T) {
+	e := testRig(t, Options{})
+	e.RegisterUDF("boom", failingUDF)
+	var mu sync.Mutex
+	hookErrs := map[string]int{}
+	e.opts.OnQueryError = func(id string, err error) {
+		mu.Lock()
+		hookErrs[id]++
+		mu.Unlock()
+	}
+	var good collector
+	if err := e.Register("poison",
+		sql.MustParse("SELECT boom(m.val) FROM STREAM msmt [RANGE 1000 SLIDE 1000] AS m"),
+		nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Register("healthy",
+		sql.MustParse("SELECT m.val FROM STREAM msmt [RANGE 1000 SLIDE 1000] AS m"),
+		nil, good.sink); err != nil {
+		t.Fatal(err)
+	}
+	feed(t, e, 40, 100) // 4 windows
+	if err := e.Flush(); err != nil {
+		t.Fatalf("poison query aborted the shared tick: %v", err)
+	}
+	mu.Lock()
+	poisonErrs := hookErrs["poison"]
+	mu.Unlock()
+	if poisonErrs == 0 {
+		t.Error("hook saw no errors from the poison query")
+	}
+	if good.totalRows() == 0 {
+		t.Error("healthy query produced no rows alongside the poison query")
+	}
+	if st := e.Stats(); st.QueryFailures != int64(poisonErrs) {
+		t.Errorf("QueryFailures = %d, want %d", st.QueryFailures, poisonErrs)
+	}
+}
+
+func TestQuarantineSuspendsAfterConsecutiveFailures(t *testing.T) {
+	e := testRig(t, Options{QuarantineAfter: 2})
+	e.RegisterUDF("boom", failingUDF)
+	if err := e.Register("poison",
+		sql.MustParse("SELECT boom(m.val) FROM STREAM msmt [RANGE 1000 SLIDE 1000] AS m"),
+		nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	feed(t, e, 60, 100) // 6 windows: fails twice, then suspended
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	sus := e.SuspendedQueries()
+	if len(sus) != 1 || sus[0] != "poison" {
+		t.Fatalf("SuspendedQueries = %v, want [poison]", sus)
+	}
+	st := e.Stats()
+	if st.QueryFailures != 2 {
+		t.Errorf("QueryFailures = %d, want exactly 2 (execution must stop after quarantine)", st.QueryFailures)
+	}
+	if st.Suspensions != 1 {
+		t.Errorf("Suspensions = %d, want 1", st.Suspensions)
+	}
+	// Resume lifts the quarantine: the query executes (and fails) again.
+	if err := e.Resume("poison"); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.SuspendedQueries(); len(got) != 0 {
+		t.Fatalf("still suspended after Resume: %v", got)
+	}
+	feed2 := func(n int, fromMS int64) {
+		for i := 0; i < n; i++ {
+			ts := fromMS + int64(i)*100
+			if err := e.Ingest("msmt", timestamped(ts, int64(i%10+1), float64(i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	feed2(20, 10_000)
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if st := e.Stats(); st.QueryFailures <= 2 {
+		t.Errorf("query did not execute after Resume: QueryFailures = %d", st.QueryFailures)
+	}
+}
+
+func TestConsecutiveFailureCountResetsOnSuccess(t *testing.T) {
+	e := testRig(t, Options{QuarantineAfter: 3})
+	calls := 0
+	// Fails on even calls only: never 3 consecutive failures.
+	e.RegisterUDF("flaky", func(args []relation.Value) (relation.Value, error) {
+		calls++
+		if calls%2 == 0 {
+			return relation.Null, errors.New("flaky failure")
+		}
+		return args[0], nil
+	})
+	if err := e.Register("flaky-q",
+		sql.MustParse("SELECT flaky(m.val) FROM STREAM msmt [RANGE 1000 SLIDE 1000] AS m"),
+		nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	// One tuple per window so the UDF alternation maps 1:1 to window
+	// executions: fail, succeed, fail, … — never consecutive.
+	feed(t, e, 10, 1000)
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.SuspendedQueries(); len(got) != 0 {
+		t.Errorf("alternating failures were treated as consecutive: suspended %v", got)
+	}
+	if st := e.Stats(); st.QueryFailures == 0 {
+		t.Error("flaky query never failed; test is vacuous")
+	}
+}
+
+func TestLegacyErrorPropagationWithoutHook(t *testing.T) {
+	e := testRig(t, Options{})
+	e.RegisterUDF("boom", failingUDF)
+	if err := e.Register("poison",
+		sql.MustParse("SELECT boom(m.val) FROM STREAM msmt [RANGE 1000 SLIDE 1000] AS m"),
+		nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	var sawErr error
+	for i := 0; i < 20 && sawErr == nil; i++ {
+		ts := int64(i) * 100
+		sawErr = e.Ingest("msmt", timestamped(ts, 1, 1.0))
+	}
+	if sawErr == nil {
+		sawErr = e.Flush()
+	}
+	if sawErr == nil {
+		t.Error("without hook or quarantine, execution errors must propagate")
+	}
+	if err := e.Resume("missing"); err == nil {
+		t.Error("Resume of unknown query accepted")
+	}
+}
+
+func timestamped(ts, sid int64, val float64) stream.Timestamped {
+	return stream.Timestamped{TS: ts, Row: relation.Tuple{relation.Int(sid), relation.Time(ts), relation.Float(val)}}
+}

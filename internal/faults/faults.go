@@ -1,0 +1,195 @@
+// Package faults is a deterministic, seedable fault-injection layer for
+// chaos-testing the cluster runtime. An Injector satisfies
+// cluster.FaultInjector: it hooks each worker's loop before a tuple is
+// processed and can panic (simulated worker crash, handled by the
+// supervisor), return an error (simulated ingest failure), or sleep
+// (simulated slow node, which exercises backpressure).
+//
+// Triggers are counter-based — "the Nth tuple this node processes" —
+// so chaos runs replay identically, or probabilistic with a seeded
+// generator so a failing run reproduces from its seed.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Kind classifies an injected fault.
+type Kind int
+
+const (
+	// KindPanic crashes the worker goroutine.
+	KindPanic Kind = iota
+	// KindError fails the ingest of one tuple.
+	KindError
+	// KindDelay stalls the worker, simulating a slow node.
+	KindDelay
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindPanic:
+		return "panic"
+	case KindError:
+		return "error"
+	default:
+		return "delay"
+	}
+}
+
+// ErrInjected is the error returned by injected ingest failures.
+var ErrInjected = errors.New("faults: injected ingest error")
+
+// PanicValue is the value injected panics carry, so supervisors and
+// tests can recognise a simulated crash.
+const PanicValue = "faults: injected worker panic"
+
+// AnyNode matches every node in a rule.
+const AnyNode = -1
+
+type rule struct {
+	node   int // AnyNode or a node id
+	kind   Kind
+	at     int64   // fire when the node's tuple count reaches at (1-based)
+	every  int64   // and every `every` tuples after that; 0 = fire once
+	prob   float64 // probabilistic alternative to at/every
+	delay  time.Duration
+	stream string // restrict to one stream; "" = any
+}
+
+func (r rule) matches(node int, stream string, count int64, rng *rand.Rand) bool {
+	if r.node != AnyNode && r.node != node {
+		return false
+	}
+	if r.stream != "" && r.stream != stream {
+		return false
+	}
+	if r.prob > 0 {
+		return rng.Float64() < r.prob
+	}
+	if count < r.at {
+		return false
+	}
+	if count == r.at {
+		return true
+	}
+	return r.every > 0 && (count-r.at)%r.every == 0
+}
+
+// Injector injects worker faults according to its rules. All methods
+// are safe for concurrent use; rule setup should happen before the
+// workload starts for reproducible runs.
+type Injector struct {
+	mu       sync.Mutex
+	rng      *rand.Rand
+	rules    []rule
+	seen     map[int]int64 // node -> tuples observed
+	injected map[Kind]int64
+}
+
+// New returns an injector whose probabilistic rules draw from a
+// generator seeded with seed (counter-based rules need no randomness).
+func New(seed int64) *Injector {
+	return &Injector{
+		rng:      rand.New(rand.NewSource(seed)),
+		seen:     make(map[int]int64),
+		injected: make(map[Kind]int64),
+	}
+}
+
+// PanicAt crashes the worker when node processes its nth tuple.
+func (i *Injector) PanicAt(node int, nth int64) *Injector {
+	return i.add(rule{node: node, kind: KindPanic, at: nth})
+}
+
+// PanicWithProb crashes the worker with probability p per tuple.
+func (i *Injector) PanicWithProb(node int, p float64) *Injector {
+	return i.add(rule{node: node, kind: KindPanic, prob: p})
+}
+
+// ErrorAt fails the ingest of node's nth tuple.
+func (i *Injector) ErrorAt(node int, nth int64) *Injector {
+	return i.add(rule{node: node, kind: KindError, at: nth})
+}
+
+// ErrorEvery fails every everyth ingest on node, starting with the
+// everyth tuple.
+func (i *Injector) ErrorEvery(node int, every int64) *Injector {
+	return i.add(rule{node: node, kind: KindError, at: every, every: every})
+}
+
+// DelayEvery stalls node for d before every everyth tuple (every=1
+// slows every tuple).
+func (i *Injector) DelayEvery(node int, every int64, d time.Duration) *Injector {
+	return i.add(rule{node: node, kind: KindDelay, at: every, every: every, delay: d})
+}
+
+// OnStream restricts the most recently added rule to one stream name.
+func (i *Injector) OnStream(name string) *Injector {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if len(i.rules) > 0 {
+		i.rules[len(i.rules)-1].stream = name
+	}
+	return i
+}
+
+func (i *Injector) add(r rule) *Injector {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.rules = append(i.rules, r)
+	return i
+}
+
+// Injected reports how many faults of a kind have fired.
+func (i *Injector) Injected(k Kind) int64 {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.injected[k]
+}
+
+// BeforeProcess implements cluster.FaultInjector. Delay rules act
+// first, then at most one panic or error fires per tuple (panic wins).
+func (i *Injector) BeforeProcess(node int, stream string) error {
+	i.mu.Lock()
+	i.seen[node]++
+	count := i.seen[node]
+	var delay time.Duration
+	doPanic := false
+	var err error
+	for _, r := range i.rules {
+		if !r.matches(node, stream, count, i.rng) {
+			continue
+		}
+		switch r.kind {
+		case KindDelay:
+			delay += r.delay
+		case KindPanic:
+			doPanic = true
+		case KindError:
+			if err == nil {
+				err = fmt.Errorf("%w (node %d, tuple %d)", ErrInjected, node, count)
+			}
+		}
+	}
+	if delay > 0 {
+		i.injected[KindDelay]++
+	}
+	if doPanic {
+		i.injected[KindPanic]++
+	} else if err != nil {
+		i.injected[KindError]++
+	}
+	i.mu.Unlock()
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if doPanic {
+		panic(PanicValue)
+	}
+	return err
+}

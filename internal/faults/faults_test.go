@@ -1,0 +1,104 @@
+package faults
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestCounterRulesAreDeterministic(t *testing.T) {
+	for run := 0; run < 2; run++ {
+		inj := New(1).ErrorAt(0, 3).ErrorEvery(1, 2)
+		var errs0, errs1 int
+		for i := 0; i < 10; i++ {
+			if err := inj.BeforeProcess(0, "s"); err != nil {
+				if !errors.Is(err, ErrInjected) {
+					t.Fatalf("wrong error type: %v", err)
+				}
+				errs0++
+			}
+			if err := inj.BeforeProcess(1, "s"); err != nil {
+				errs1++
+			}
+		}
+		if errs0 != 1 {
+			t.Errorf("run %d: ErrorAt fired %d times, want 1", run, errs0)
+		}
+		if errs1 != 5 {
+			t.Errorf("run %d: ErrorEvery(2) fired %d times over 10 tuples, want 5", run, errs1)
+		}
+		if got := inj.Injected(KindError); got != int64(errs0+errs1) {
+			t.Errorf("run %d: Injected(KindError) = %d, want %d", run, got, errs0+errs1)
+		}
+	}
+}
+
+func TestPanicAtFiresOnceAndIsRecognisable(t *testing.T) {
+	inj := New(1).PanicAt(2, 2)
+	if err := inj.BeforeProcess(2, "s"); err != nil {
+		t.Fatal(err)
+	}
+	func() {
+		defer func() {
+			if r := recover(); r != PanicValue {
+				t.Errorf("panic value = %v, want %q", r, PanicValue)
+			}
+		}()
+		inj.BeforeProcess(2, "s")
+		t.Error("second tuple did not panic")
+	}()
+	// Fires once: the counter has moved past the trigger.
+	if err := inj.BeforeProcess(2, "s"); err != nil {
+		t.Fatal(err)
+	}
+	if got := inj.Injected(KindPanic); got != 1 {
+		t.Errorf("Injected(KindPanic) = %d, want 1", got)
+	}
+}
+
+func TestStreamScopedRule(t *testing.T) {
+	inj := New(1).ErrorAt(AnyNode, 1).OnStream("hot")
+	if err := inj.BeforeProcess(0, "cold"); err != nil {
+		t.Errorf("rule fired on wrong stream: %v", err)
+	}
+	// Counter already advanced past 1 on node 0; node 1 still triggers.
+	if err := inj.BeforeProcess(1, "hot"); err == nil {
+		t.Error("stream-scoped rule did not fire")
+	}
+}
+
+func TestProbabilisticRuleReproducesUnderSameSeed(t *testing.T) {
+	fire := func(seed int64) []bool {
+		inj := New(seed).PanicWithProb(0, 0.3)
+		out := make([]bool, 20)
+		for i := range out {
+			func(i int) {
+				defer func() { out[i] = recover() != nil }()
+				inj.BeforeProcess(0, "s")
+			}(i)
+		}
+		return out
+	}
+	a, b := fire(42), fire(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at tuple %d", i)
+		}
+	}
+}
+
+func TestDelayRuleSleeps(t *testing.T) {
+	inj := New(1).DelayEvery(0, 1, 2*time.Millisecond)
+	start := time.Now()
+	for i := 0; i < 3; i++ {
+		if err := inj.BeforeProcess(0, "s"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d := time.Since(start); d < 6*time.Millisecond {
+		t.Errorf("3 delayed tuples took %v, want >= 6ms", d)
+	}
+	if got := inj.Injected(KindDelay); got != 3 {
+		t.Errorf("Injected(KindDelay) = %d, want 3", got)
+	}
+}

@@ -63,6 +63,24 @@ const (
 // EngineOptions configures each worker's ExaStream instance.
 type EngineOptions = exastream.Options
 
+// Health summarises the runtime's failure state; see System.Health.
+type Health = cluster.Health
+
+// FaultInjector hooks worker loops for chaos testing; internal/faults
+// provides a deterministic, seedable implementation.
+type FaultInjector = cluster.FaultInjector
+
+// Backpressure selects the policy applied when a worker's ingest queue
+// is full.
+type Backpressure = cluster.Backpressure
+
+// Backpressure policies.
+const (
+	BackpressureBlock      = cluster.BackpressureBlock
+	BackpressureDropNewest = cluster.BackpressureDropNewest
+	BackpressureDropOldest = cluster.BackpressureDropOldest
+)
+
 // NewSystem deploys OPTIQUE over an ontology, mappings, and a static
 // catalog.
 func NewSystem(cfg Config, tbox *ontology.TBox, set *mapping.Set, catalog *relation.Catalog) (*System, error) {
