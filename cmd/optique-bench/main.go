@@ -7,13 +7,22 @@
 //	-exp scaling       E5: node scaling 1..128
 //	-exp bootstrap     E6: bootstrapping time and asset counts
 //	-exp testsets      E13: the 10 preconfigured test sets
-//	-exp all           everything
+//	-exp record        run `go test -bench` and write machine-readable
+//	                   results (see -bench/-benchtime/-out)
+//	-exp all           everything except record
 package main
 
 import (
+	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -30,9 +39,12 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: conciseness|concurrent|scaling|bootstrap|testsets|all")
+	exp := flag.String("exp", "all", "experiment: conciseness|concurrent|scaling|bootstrap|testsets|record|all")
 	maxQueries := flag.Int("maxqueries", 1024, "upper bound for the concurrency sweep")
 	maxNodes := flag.Int("maxnodes", 128, "upper bound for the node-scaling sweep")
+	benchPat := flag.String("bench", "Figure1EndToEnd|CompiledVsInterpreted", "benchmark pattern for -exp record")
+	benchTime := flag.String("benchtime", "2s", "benchtime for -exp record")
+	benchOut := flag.String("out", "BENCH_PR2.json", "output file for -exp record")
 	flag.Parse()
 
 	switch *exp {
@@ -46,6 +58,8 @@ func main() {
 		bootstrapExp()
 	case "testsets":
 		testsets()
+	case "record":
+		record(*benchPat, *benchTime, *benchOut)
 	case "all":
 		conciseness()
 		concurrent(*maxQueries)
@@ -107,14 +121,16 @@ func conciseness() {
 // diagnostic queries on an 8-node cluster.
 func concurrent(max int) {
 	fmt.Println("\n== E4 concurrent diagnostic tasks (8 nodes, per-sensor window queries) ==")
-	fmt.Printf("%8s %14s %14s %12s\n", "queries", "tuples/s", "deliveries/s", "windows")
+	fmt.Printf("%8s %14s %14s %10s %12s %12s %12s %12s\n",
+		"queries", "tuples/s", "deliveries/s", "windows", "rowsScanned", "hashProbes", "idxLookups", "planHits")
 	for n := 1; n <= max; n *= 2 {
-		rate, deliveries, windows := runConcurrent(n, 8, 40_000)
-		fmt.Printf("%8d %14.0f %14.0f %12d\n", n, rate, deliveries, windows)
+		rate, deliveries, eng := runConcurrent(n, 8, 40_000)
+		fmt.Printf("%8d %14.0f %14.0f %10d %12d %12d %12d %12d\n",
+			n, rate, deliveries, eng.WindowsExecuted, eng.RowsScanned, eng.HashProbes, eng.IndexLookups, eng.PlanCacheHits)
 	}
 }
 
-func runConcurrent(queries, nodes, tuples int) (float64, float64, int64) {
+func runConcurrent(queries, nodes, tuples int) (float64, float64, exastream.Stats) {
 	cat := relation.NewCatalog()
 	cl, err := cluster.New(cluster.Options{
 		Nodes: nodes, PartitionColumn: "sid",
@@ -157,10 +173,18 @@ func runConcurrent(queries, nodes, tuples int) (float64, float64, int64) {
 		log.Fatal(err)
 	}
 	elapsed := time.Since(start)
-	var deliveries, windows int64
+	var deliveries int64
+	var eng exastream.Stats
 	for _, st := range cl.Stats() {
 		deliveries += st.Tuples
-		windows += st.Engine.WindowsExecuted
+		eng.WindowsExecuted += st.Engine.WindowsExecuted
+		eng.RowsScanned += st.Engine.RowsScanned
+		eng.RowsProduced += st.Engine.RowsProduced
+		eng.HashProbes += st.Engine.HashProbes
+		eng.IndexLookups += st.Engine.IndexLookups
+		eng.PlanBuilds += st.Engine.PlanBuilds
+		eng.PlanCacheHits += st.Engine.PlanCacheHits
+		eng.PlanReadapts += st.Engine.PlanReadapts
 	}
 	// A degraded run (dead workers, shed tuples, quarantined queries)
 	// invalidates the throughput numbers; flag it rather than report
@@ -169,21 +193,21 @@ func runConcurrent(queries, nodes, tuples int) (float64, float64, int64) {
 		fmt.Printf("  !! degraded run: %d/%d nodes live, %d restarts, %d dropped, %d salvaged, %d quarantined, %d errors\n",
 			h.Live, h.Nodes, h.Restarts, h.Dropped, h.Requeued, h.Suspended, h.Errors)
 	}
-	return float64(tuples) / elapsed.Seconds(), float64(deliveries) / elapsed.Seconds(), windows
+	return float64(tuples) / elapsed.Seconds(), float64(deliveries) / elapsed.Seconds(), eng
 }
 
 // scaling (E5): fixed workload (128 queries, partitioned stream), node
 // count swept 1..max; the paper scaled 1..128 VMs.
 func scaling(maxNodes int) {
 	fmt.Println("\n== E5 node scaling (128 per-sensor queries, partitioned ingest) ==")
-	fmt.Printf("%8s %14s %10s\n", "nodes", "tuples/s", "speedup")
+	fmt.Printf("%8s %14s %10s %12s %12s\n", "nodes", "tuples/s", "speedup", "rowsScanned", "idxLookups")
 	var base float64
 	for n := 1; n <= maxNodes; n *= 2 {
-		rate, _, _ := runConcurrent(128, n, 40_000)
+		rate, _, eng := runConcurrent(128, n, 40_000)
 		if base == 0 {
 			base = rate
 		}
-		fmt.Printf("%8d %14.0f %9.2fx\n", n, rate, rate/base)
+		fmt.Printf("%8d %14.0f %9.2fx %12d %12d\n", n, rate, rate/base, eng.RowsScanned, eng.IndexLookups)
 	}
 }
 
@@ -302,4 +326,126 @@ func runTestSet(idx int) (int, int, float64, int64) {
 	}
 	elapsed := time.Since(start)
 	return len(set), len(tuples), float64(len(tuples)) / elapsed.Seconds(), alerts
+}
+
+// record runs `go test -bench` with -json and post-processes the event
+// stream into a machine-readable benchmark file (BENCH_PR2.json), so the
+// repository starts accumulating a perf trajectory across PRs. Run it
+// from the repository root.
+func record(pattern, benchtime, out string) {
+	args := []string{"test", "-run", "^$", "-bench", pattern,
+		"-benchtime", benchtime, "-benchmem", "-json", ".", "./internal/engine/"}
+	fmt.Printf("== record: go %v ==\n", args)
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		log.Fatal(err)
+	}
+
+	type benchResult struct {
+		Name        string  `json:"name"`
+		Package     string  `json:"package"`
+		Iterations  int64   `json:"iterations"`
+		NsPerOp     float64 `json:"ns_per_op"`
+		BytesPerOp  float64 `json:"bytes_per_op"`
+		AllocsPerOp float64 `json:"allocs_per_op"`
+	}
+	type event struct {
+		Action  string `json:"Action"`
+		Package string `json:"Package"`
+		Output  string `json:"Output"`
+	}
+	// test2json splits benchmark result lines across output events at
+	// write boundaries, so reassemble each package's output stream
+	// before parsing lines out of it.
+	outputs := make(map[string]*strings.Builder)
+	var pkgs []string
+	sc := bufio.NewScanner(stdout)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var ev event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil || ev.Action != "output" {
+			continue
+		}
+		buf, ok := outputs[ev.Package]
+		if !ok {
+			buf = &strings.Builder{}
+			outputs[ev.Package] = buf
+			pkgs = append(pkgs, ev.Package)
+		}
+		buf.WriteString(ev.Output)
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatal(err)
+	}
+	if err := cmd.Wait(); err != nil {
+		log.Fatalf("go test -bench: %v", err)
+	}
+	var results []benchResult
+	for _, pkg := range pkgs {
+		for _, line := range strings.Split(outputs[pkg].String(), "\n") {
+			line = strings.TrimSpace(line)
+			if !strings.HasPrefix(line, "Benchmark") {
+				continue
+			}
+			// BenchmarkX/sub-8  <iters>  <v> ns/op  [<v> B/op  <v> allocs/op]
+			fields := strings.Fields(line)
+			if len(fields) < 4 {
+				continue
+			}
+			iters, err := strconv.ParseInt(fields[1], 10, 64)
+			if err != nil {
+				continue
+			}
+			r := benchResult{Name: fields[0], Package: pkg, Iterations: iters}
+			for i := 2; i+1 < len(fields); i += 2 {
+				v, err := strconv.ParseFloat(fields[i], 64)
+				if err != nil {
+					continue
+				}
+				switch fields[i+1] {
+				case "ns/op":
+					r.NsPerOp = v
+				case "B/op":
+					r.BytesPerOp = v
+				case "allocs/op":
+					r.AllocsPerOp = v
+				}
+			}
+			results = append(results, r)
+			fmt.Println(line)
+		}
+	}
+	if len(results) == 0 {
+		log.Fatalf("no benchmark results matched %q", pattern)
+	}
+	doc := struct {
+		Generated  string      `json:"generated"`
+		GoVersion  string      `json:"go_version"`
+		GOOS       string      `json:"goos"`
+		GOARCH     string      `json:"goarch"`
+		Benchtime  string      `json:"benchtime"`
+		Pattern    string      `json:"pattern"`
+		Benchmarks interface{} `json:"benchmarks"`
+	}{
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		Benchtime:  benchtime,
+		Pattern:    pattern,
+		Benchmarks: results,
+	}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(buf, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %d benchmark results to %s\n", len(results), out)
 }

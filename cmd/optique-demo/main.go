@@ -22,6 +22,9 @@ import (
 	"repro/internal/siemens"
 )
 
+// engineOpts carries the -parallelism/-plancache flags into deploy.
+var engineOpts optique.EngineOptions
+
 func main() {
 	scenario := flag.String("scenario", "s1", "s1, s2, or s3")
 	nodes := flag.Int("nodes", 4, "cluster size (s2)")
@@ -29,7 +32,10 @@ func main() {
 	seconds := flag.Int64("seconds", 30, "length of the replayed telemetry")
 	turbines := flag.Int("turbines", 8, "fleet size for the replay")
 	chaos := flag.Bool("chaos", false, "kill a worker mid-replay (s2) to showcase query failover")
+	parallelism := flag.Int("parallelism", 0, "per-node worker pool for ready windows (0 = GOMAXPROCS, negative = sequential)")
+	plancache := flag.Bool("plancache", true, "cache each continuous query's compiled plan across windows")
 	flag.Parse()
+	engineOpts = optique.EngineOptions{Parallelism: *parallelism, DisablePlanCache: !*plancache}
 
 	switch *scenario {
 	case "s1":
@@ -58,7 +64,7 @@ func deploy(nodes, turbines int, inj optique.FaultInjector) (*optique.System, *s
 	if err != nil {
 		log.Fatal(err)
 	}
-	cfg := optique.Config{Nodes: nodes, Faults: inj}
+	cfg := optique.Config{Nodes: nodes, Faults: inj, Engine: engineOpts}
 	if inj != nil {
 		cfg.MaxRestarts = -1
 	}

@@ -57,8 +57,8 @@ type inbox struct {
 	mu       sync.Mutex
 	buf      []work
 	capacity int
-	closed   bool // cluster shut down: pushes fail with ErrClusterClosed
-	failed   bool // node declared dead: pushes fail with errNodeDown
+	closed   bool          // cluster shut down: pushes fail with ErrClusterClosed
+	failed   bool          // node declared dead: pushes fail with errNodeDown
 	itemCh   chan struct{} // closed when an item arrives; consumer waits on it
 	spaceCh  chan struct{} // closed when space frees up; producers wait on it
 }

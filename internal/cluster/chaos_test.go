@@ -121,7 +121,7 @@ func runDiagnostics(t *testing.T, inj FaultInjector, afterFirstRound func(*Clust
 		ts := int64(i) * 100
 		for s := 0; s < 4; s++ {
 			el := stream.Timestamped{TS: ts, Row: relation.Tuple{
-				relation.Int(int64(i%5 + 1)), relation.Time(ts), relation.Float(float64((i*7+s*13)%100)),
+				relation.Int(int64(i%5 + 1)), relation.Time(ts), relation.Float(float64((i*7 + s*13) % 100)),
 			}}
 			if err := c.Ingest(fmt.Sprintf("s%d", s), el); err != nil {
 				t.Fatal(err)
@@ -185,6 +185,94 @@ func TestChaosPanicMidStreamPreservesResults(t *testing.T) {
 			if got := faulted[q]; !reflect.DeepEqual(want, got) {
 				t.Errorf("query %s diverged:\n  baseline: %v\n  faulted:  %v", q, want, got)
 			}
+		}
+	}
+}
+
+// TestChaosParallelFleetMatchesSequential is the acceptance scenario
+// for the parallel execution pool: a two-node cluster where each node
+// hosts four diagnostic queries, executed on a Parallelism-8 pool with
+// a worker panic injected mid-stream, must flush exactly the results of
+// a sequential (Parallelism 1) fault-free run.
+func TestChaosParallelFleetMatchesSequential(t *testing.T) {
+	run := func(parallelism int, inj FaultInjector, afterFirstRound func(*Cluster)) map[string]map[int64][]string {
+		t.Helper()
+		cat := sharedCatalog(t)
+		c, err := New(Options{
+			Nodes: 2, Placement: PlaceRoundRobin, MaxRestarts: -1, Faults: inj,
+			Engine: exastream.Options{Parallelism: parallelism},
+		}, func(int) *relation.Catalog { return cat })
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() {
+			c.Gateway().Close()
+			c.Close()
+		})
+		for i := 0; i < 4; i++ {
+			if err := c.DeclareStream(eventSchema(fmt.Sprintf("s%d", i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		log := newResultLog()
+		for rep := 0; rep < 2; rep++ {
+			for _, q := range diagnosticQueries() {
+				id := fmt.Sprintf("%s-%d", q.id, rep)
+				if _, err := c.Register(id, sql.MustParse(q.text), nil, log.sink()); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		const rounds = 50
+		for i := 0; i < rounds; i++ {
+			ts := int64(i) * 100
+			for s := 0; s < 4; s++ {
+				el := stream.Timestamped{TS: ts, Row: relation.Tuple{
+					relation.Int(int64(i%5 + 1)), relation.Time(ts), relation.Float(float64((i*7 + s*13) % 100)),
+				}}
+				if err := c.Ingest(fmt.Sprintf("s%d", s), el); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if i == 0 && afterFirstRound != nil {
+				afterFirstRound(c)
+			}
+		}
+		if err := c.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		return log.snapshot()
+	}
+
+	baseline := run(1, nil, nil)
+	if len(baseline) != 8 {
+		t.Fatalf("baseline produced results for %d queries, want 8", len(baseline))
+	}
+
+	inj := faults.New(1).PanicAt(1, 1)
+	faulted := run(8, inj, func(c *Cluster) {
+		// Node 1 hosts four queries across all streams, so besides the
+		// in-flight tuple its queue may hold more salvageable tuples; wait
+		// for the death plus at least one salvage, then quiescence.
+		waitFor(t, 5*time.Second, func() bool {
+			h := c.Health()
+			return h.Dead == 1 && h.Requeued >= 1
+		}, "failover of node 1")
+		if err := c.WaitSettled(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if inj.Injected(faults.KindPanic) != 1 {
+		t.Fatalf("injected %d panics, want 1", inj.Injected(faults.KindPanic))
+	}
+	if !reflect.DeepEqual(baseline, faulted) {
+		for q, want := range baseline {
+			if got := faulted[q]; !reflect.DeepEqual(want, got) {
+				t.Errorf("query %s diverged:\n  baseline: %v\n  parallel+fault: %v", q, want, got)
+			}
+		}
+		if len(faulted) != len(baseline) {
+			t.Errorf("query sets differ: %d vs %d", len(baseline), len(faulted))
 		}
 	}
 }

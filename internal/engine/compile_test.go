@@ -1,0 +1,255 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/relation"
+	"repro/internal/sql"
+)
+
+// exprGen generates random expressions over a random schema, biased to
+// exercise NULL propagation, type errors, unknown columns/functions and
+// constant subtrees (the folding path).
+type exprGen struct {
+	rng    *rand.Rand
+	schema relation.Schema
+}
+
+func (g *exprGen) value() relation.Value {
+	switch g.rng.Intn(6) {
+	case 0:
+		return relation.Null
+	case 1:
+		return relation.Int(int64(g.rng.Intn(7) - 3))
+	case 2:
+		return relation.Float(float64(g.rng.Intn(9))/2 - 1)
+	case 3:
+		return relation.String_([]string{"a", "bb", "turbine", ""}[g.rng.Intn(4)])
+	case 4:
+		return relation.Bool_(g.rng.Intn(2) == 0)
+	default:
+		return relation.Int(int64(g.rng.Intn(100)))
+	}
+}
+
+func (g *exprGen) column() sql.Expr {
+	// 1 in 8 references a column that does not exist (error path).
+	if g.rng.Intn(8) == 0 {
+		return sql.Col("no_such_col")
+	}
+	return sql.Col(g.schema.Columns[g.rng.Intn(len(g.schema.Columns))].Name)
+}
+
+func (g *exprGen) expr(depth int) sql.Expr {
+	if depth <= 0 {
+		if g.rng.Intn(2) == 0 {
+			return sql.Lit(g.value())
+		}
+		return g.column()
+	}
+	switch g.rng.Intn(12) {
+	case 0, 1:
+		ops := []string{"+", "-", "*", "/", "%", "||"}
+		return sql.Bin(ops[g.rng.Intn(len(ops))], g.expr(depth-1), g.expr(depth-1))
+	case 2, 3:
+		ops := []string{"=", "<>", "<", "<=", ">", ">="}
+		return sql.Bin(ops[g.rng.Intn(len(ops))], g.expr(depth-1), g.expr(depth-1))
+	case 4, 5:
+		ops := []string{"AND", "OR"}
+		return sql.Bin(ops[g.rng.Intn(2)], g.expr(depth-1), g.expr(depth-1))
+	case 6:
+		return &sql.UnaryExpr{Op: "NOT", Expr: g.expr(depth - 1)}
+	case 7:
+		return &sql.UnaryExpr{Op: "-", Expr: g.expr(depth - 1)}
+	case 8:
+		return &sql.IsNullExpr{Expr: g.expr(depth - 1), Negate: g.rng.Intn(2) == 0}
+	case 9:
+		n := 1 + g.rng.Intn(3)
+		list := make([]sql.Expr, n)
+		for i := range list {
+			list[i] = g.expr(depth - 1)
+		}
+		return &sql.InExpr{Expr: g.expr(depth - 1), List: list, Negate: g.rng.Intn(2) == 0}
+	case 10:
+		n := 1 + g.rng.Intn(2)
+		whens := make([]sql.CaseWhen, n)
+		for i := range whens {
+			whens[i] = sql.CaseWhen{Cond: g.expr(depth - 1), Then: g.expr(depth - 1)}
+		}
+		var els sql.Expr
+		if g.rng.Intn(2) == 0 {
+			els = g.expr(depth - 1)
+		}
+		return &sql.CaseExpr{Whens: whens, Else: els}
+	default:
+		switch g.rng.Intn(5) {
+		case 0: // unknown function (error path)
+			return &sql.FuncExpr{Name: "no_such_fn", Args: []sql.Expr{g.expr(depth - 1)}}
+		case 1: // aggregate outside GROUP BY (error path)
+			return &sql.FuncExpr{Name: "sum", Args: []sql.Expr{g.expr(depth - 1)}}
+		default:
+			names := []string{"abs", "coalesce", "upper", "length", "round", "concat"}
+			name := names[g.rng.Intn(len(names))]
+			n := 1
+			if name == "coalesce" || name == "concat" {
+				n = 1 + g.rng.Intn(3)
+			}
+			args := make([]sql.Expr, n)
+			for i := range args {
+				args[i] = g.expr(depth - 1)
+			}
+			return &sql.FuncExpr{Name: name, Args: args}
+		}
+	}
+}
+
+func (g *exprGen) row() relation.Tuple {
+	t := make(relation.Tuple, len(g.schema.Columns))
+	for i := range t {
+		t[i] = g.value()
+	}
+	return t
+}
+
+func sameValue(a, b relation.Value) bool {
+	if a.Type == relation.TFloat && b.Type == relation.TFloat &&
+		math.IsNaN(a.Float) && math.IsNaN(b.Float) {
+		return true
+	}
+	return a == b
+}
+
+// TestCompileMatchesEval is the differential test: for ~200 seeded
+// random expressions over random schemas, the compiled closure must
+// agree with the reference interpreter on every row — same value, or
+// same error text, covering NULL and type-error paths.
+func TestCompileMatchesEval(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	funcs := NewFuncRegistry()
+	for round := 0; round < 200; round++ {
+		cols := make([]relation.Column, 2+rng.Intn(4))
+		for i := range cols {
+			cols[i] = relation.Column{Name: fmt.Sprintf("c%d", i), Type: relation.TNull}
+		}
+		g := &exprGen{rng: rng, schema: relation.Schema{Columns: cols}}
+		e := g.expr(1 + rng.Intn(3))
+		compiled, err := Compile(e, g.schema, funcs)
+		if err != nil {
+			t.Fatalf("round %d: Compile(%s): %v", round, e, err)
+		}
+		for r := 0; r < 5; r++ {
+			row := g.row()
+			want, wantErr := Eval(e, g.schema, row, funcs)
+			got, gotErr := compiled(row)
+			if (wantErr == nil) != (gotErr == nil) {
+				t.Fatalf("round %d: %s over %v: Eval err %v, Compile err %v",
+					round, e, row, wantErr, gotErr)
+			}
+			if wantErr != nil {
+				if wantErr.Error() != gotErr.Error() {
+					t.Fatalf("round %d: %s over %v: Eval err %q, Compile err %q",
+						round, e, row, wantErr, gotErr)
+				}
+				continue
+			}
+			if !sameValue(want, got) {
+				t.Fatalf("round %d: %s over %v: Eval %v, Compile %v",
+					round, e, row, want, got)
+			}
+		}
+	}
+}
+
+// TestCompileConstantFolding checks that all-literal subtrees fold to a
+// single baked value (and that baked errors stay per-row errors).
+func TestCompileConstantFolding(t *testing.T) {
+	schema := relation.Schema{Columns: []relation.Column{{Name: "x", Type: relation.TInt}}}
+	funcs := NewFuncRegistry()
+
+	c, _, err := func() (CompiledExpr, bool, error) {
+		e := sql.Bin("+", sql.Lit(relation.Int(2)), sql.Lit(relation.Int(3)))
+		c, err := Compile(e, schema, funcs)
+		v, verr := c(nil) // constant: must not touch the row
+		if verr != nil || v != relation.Int(5) {
+			return nil, false, fmt.Errorf("2+3 folded to %v, %v", v, verr)
+		}
+		return c, true, err
+	}()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = c
+
+	// false AND <error> short-circuits at compile time, like Eval does
+	// per row.
+	e := sql.Bin("AND", sql.Lit(relation.Bool_(false)), sql.Col("no_such_col"))
+	cc, err := Compile(e, schema, funcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, verr := cc(nil)
+	if verr != nil || v != relation.Bool_(false) {
+		t.Fatalf("false AND err = %v, %v; want false, nil", v, verr)
+	}
+
+	// An unresolvable column alone errors on every row, not at compile.
+	bad, err := Compile(sql.Col("no_such_col"), schema, funcs)
+	if err != nil {
+		t.Fatalf("Compile of bad column must not fail eagerly: %v", err)
+	}
+	if _, verr := bad(relation.Tuple{relation.Int(1)}); verr == nil {
+		t.Fatal("expected per-row error for unknown column")
+	}
+}
+
+func BenchmarkCompiledVsInterpreted(b *testing.B) {
+	schema := relation.Schema{Columns: []relation.Column{
+		{Name: "s.turbine", Type: relation.TString},
+		{Name: "s.temperature", Type: relation.TFloat},
+		{Name: "s.rpm", Type: relation.TFloat},
+	}}
+	// (temperature * 1.8 + 32 > 190) AND (rpm >= 1000 OR turbine = 'T01')
+	e := sql.Bin("AND",
+		sql.Bin(">",
+			sql.Bin("+", sql.Bin("*", sql.Col("s.temperature"), sql.Lit(relation.Float(1.8))), sql.Lit(relation.Float(32))),
+			sql.Lit(relation.Float(190))),
+		sql.Bin("OR",
+			sql.Bin(">=", sql.Col("s.rpm"), sql.Lit(relation.Float(1000))),
+			sql.Bin("=", sql.Col("s.turbine"), sql.Lit(relation.String_("T01")))))
+	funcs := NewFuncRegistry()
+	rows := make([]relation.Tuple, 64)
+	for i := range rows {
+		rows[i] = relation.Tuple{
+			relation.String_(fmt.Sprintf("T%02d", i%8)),
+			relation.Float(80 + float64(i)),
+			relation.Float(900 + 10*float64(i)),
+		}
+	}
+
+	b.Run("interpreted", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			row := rows[i%len(rows)]
+			if _, err := Eval(e, schema, row, funcs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("compiled", func(b *testing.B) {
+		c, err := Compile(e, schema, funcs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			row := rows[i%len(rows)]
+			if _, err := c(row); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

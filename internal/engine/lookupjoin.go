@@ -21,6 +21,11 @@ type LookupJoinPlan struct {
 	TableCols []string   // bare column names in the base table
 	Residual  sql.Expr
 	schema    relation.Schema
+
+	// Compiled on first Execute.
+	leftKeys []CompiledExpr
+	residual CompiledExpr
+	compiled bool
 }
 
 // NewLookupJoinPlan builds the plan; tableSchema is the base table's
@@ -63,14 +68,21 @@ func (j *LookupJoinPlan) Execute(ctx *ExecContext) ([]relation.Tuple, error) {
 	if err != nil {
 		return nil, err
 	}
-	leftSchema := j.Left.Schema()
-	outSchema := j.schema
+	if !j.compiled {
+		j.leftKeys = exprsFor(ctx, j.LeftKeys, j.Left.Schema())
+		if j.Residual != nil {
+			if j.residual, err = exprFor(ctx, j.Residual, j.schema); err != nil {
+				return nil, err
+			}
+		}
+		j.compiled = true
+	}
 	var out []relation.Tuple
+	vals := make([]relation.Value, len(j.leftKeys))
 	for _, lrow := range leftRows {
-		vals := make([]relation.Value, len(j.LeftKeys))
 		skip := false
-		for i, k := range j.LeftKeys {
-			v, err := Eval(k, leftSchema, lrow, ctx.Funcs)
+		for i, k := range j.leftKeys {
+			v, err := k(lrow)
 			if err != nil {
 				return nil, err
 			}
@@ -94,8 +106,8 @@ func (j *LookupJoinPlan) Execute(ctx *ExecContext) ([]relation.Tuple, error) {
 		}
 		for _, rrow := range matches {
 			joined := lrow.Concat(rrow)
-			if j.Residual != nil {
-				v, err := Eval(j.Residual, outSchema, joined, ctx.Funcs)
+			if j.residual != nil {
+				v, err := j.residual(joined)
 				if err != nil {
 					return nil, err
 				}

@@ -25,6 +25,11 @@ type ExecContext struct {
 	Catalog *relation.Catalog
 	Funcs   *FuncRegistry
 	Stats   ExecStats
+	// Interpret makes operators evaluate expressions with the reference
+	// interpreter (Eval) instead of compiled closures. It exists so the
+	// compiled pipeline can be ablated in benchmarks and bisected when
+	// chasing a miscompilation; production paths leave it false.
+	Interpret bool
 }
 
 // NewExecContext returns a context over a catalog with built-in functions.
@@ -138,6 +143,8 @@ func (v *ValuesPlan) Execute(ctx *ExecContext) ([]relation.Tuple, error) {
 type FilterPlan struct {
 	Input Plan
 	Pred  sql.Expr
+
+	pred CompiledExpr // compiled on first Execute
 }
 
 // Schema implements Plan.
@@ -155,10 +162,15 @@ func (f *FilterPlan) Execute(ctx *ExecContext) ([]relation.Tuple, error) {
 	if err != nil {
 		return nil, err
 	}
-	schema := f.Input.Schema()
+	if f.pred == nil {
+		f.pred, err = exprFor(ctx, f.Pred, f.Input.Schema())
+		if err != nil {
+			return nil, err
+		}
+	}
 	var out []relation.Tuple
 	for _, row := range in {
-		v, err := Eval(f.Pred, schema, row, ctx.Funcs)
+		v, err := f.pred(row)
 		if err != nil {
 			return nil, err
 		}
@@ -178,6 +190,8 @@ type ProjectPlan struct {
 	Exprs  []sql.Expr
 	Names  []string
 	schema relation.Schema
+
+	exprs []CompiledExpr // compiled on first Execute
 }
 
 // NewProjectPlan builds a projection with explicit output column names.
@@ -212,12 +226,14 @@ func (p *ProjectPlan) Execute(ctx *ExecContext) ([]relation.Tuple, error) {
 	if err != nil {
 		return nil, err
 	}
-	schema := p.Input.Schema()
+	if p.exprs == nil {
+		p.exprs = exprsFor(ctx, p.Exprs, p.Input.Schema())
+	}
 	out := make([]relation.Tuple, len(in))
 	for i, row := range in {
-		t := make(relation.Tuple, len(p.Exprs))
-		for j, e := range p.Exprs {
-			v, err := Eval(e, schema, row, ctx.Funcs)
+		t := make(relation.Tuple, len(p.exprs))
+		for j, e := range p.exprs {
+			v, err := e(row)
 			if err != nil {
 				return nil, err
 			}
@@ -240,6 +256,10 @@ type HashJoinPlan struct {
 	Residual            sql.Expr
 	LeftOuter           bool
 	schema              relation.Schema
+
+	// Compiled on first Execute.
+	leftKey, rightKey *compiledKey
+	residual          CompiledExpr
 }
 
 // NewHashJoinPlan constructs a hash join.
@@ -270,29 +290,6 @@ func (j *HashJoinPlan) String() string {
 	return kind + "(" + strings.Join(parts, ", ") + ")"
 }
 
-func evalKey(exprs []sql.Expr, schema relation.Schema, row relation.Tuple, funcs *FuncRegistry) (string, bool, error) {
-	vals := make(relation.Tuple, len(exprs))
-	for i, e := range exprs {
-		v, err := Eval(e, schema, row, funcs)
-		if err != nil {
-			return "", false, err
-		}
-		if v.IsNull() {
-			return "", false, nil // NULL keys never join
-		}
-		// Normalise numerics so 1 = 1.0 joins.
-		if f, ok := v.AsFloat(); ok {
-			v = relation.Float(f)
-		}
-		vals[i] = v
-	}
-	idx := make([]int, len(vals))
-	for i := range idx {
-		idx[i] = i
-	}
-	return vals.Key(idx), true, nil
-}
-
 // Execute implements Plan.
 func (j *HashJoinPlan) Execute(ctx *ExecContext) ([]relation.Tuple, error) {
 	ctx.Stats.OperatorCount++
@@ -304,10 +301,18 @@ func (j *HashJoinPlan) Execute(ctx *ExecContext) ([]relation.Tuple, error) {
 	if err != nil {
 		return nil, err
 	}
-	rightSchema := j.Right.Schema()
+	if j.leftKey == nil {
+		j.leftKey = newCompiledKey(ctx, j.LeftKeys, j.Left.Schema())
+		j.rightKey = newCompiledKey(ctx, j.RightKeys, j.Right.Schema())
+		if j.Residual != nil {
+			if j.residual, err = exprFor(ctx, j.Residual, j.schema); err != nil {
+				return nil, err
+			}
+		}
+	}
 	build := make(map[string][]relation.Tuple, len(rightRows))
 	for _, row := range rightRows {
-		k, ok, err := evalKey(j.RightKeys, rightSchema, row, ctx.Funcs)
+		k, ok, err := j.rightKey.eval(row)
 		if err != nil {
 			return nil, err
 		}
@@ -315,15 +320,13 @@ func (j *HashJoinPlan) Execute(ctx *ExecContext) ([]relation.Tuple, error) {
 			build[k] = append(build[k], row)
 		}
 	}
-	leftSchema := j.Left.Schema()
-	outSchema := j.schema
 	var out []relation.Tuple
-	nullRight := make(relation.Tuple, rightSchema.Arity())
+	nullRight := make(relation.Tuple, j.Right.Schema().Arity())
 	for i := range nullRight {
 		nullRight[i] = relation.Null
 	}
 	for _, lrow := range leftRows {
-		k, ok, err := evalKey(j.LeftKeys, leftSchema, lrow, ctx.Funcs)
+		k, ok, err := j.leftKey.eval(lrow)
 		ctx.Stats.HashProbes++
 		if err != nil {
 			return nil, err
@@ -332,8 +335,8 @@ func (j *HashJoinPlan) Execute(ctx *ExecContext) ([]relation.Tuple, error) {
 		if ok {
 			for _, rrow := range build[k] {
 				joined := lrow.Concat(rrow)
-				if j.Residual != nil {
-					v, err := Eval(j.Residual, outSchema, joined, ctx.Funcs)
+				if j.residual != nil {
+					v, err := j.residual(joined)
 					if err != nil {
 						return nil, err
 					}
@@ -360,6 +363,8 @@ type NestedLoopJoinPlan struct {
 	On          sql.Expr // nil = cross product
 	LeftOuter   bool
 	schema      relation.Schema
+
+	on CompiledExpr // compiled on first Execute
 }
 
 // NewNestedLoopJoinPlan constructs a nested-loop join.
@@ -397,7 +402,11 @@ func (j *NestedLoopJoinPlan) Execute(ctx *ExecContext) ([]relation.Tuple, error)
 	if err != nil {
 		return nil, err
 	}
-	outSchema := j.schema
+	if j.On != nil && j.on == nil {
+		if j.on, err = exprFor(ctx, j.On, j.schema); err != nil {
+			return nil, err
+		}
+	}
 	var out []relation.Tuple
 	nullRight := make(relation.Tuple, j.Right.Schema().Arity())
 	for i := range nullRight {
@@ -407,8 +416,8 @@ func (j *NestedLoopJoinPlan) Execute(ctx *ExecContext) ([]relation.Tuple, error)
 		matched := false
 		for _, rrow := range rightRows {
 			joined := lrow.Concat(rrow)
-			if j.On != nil {
-				v, err := Eval(j.On, outSchema, joined, ctx.Funcs)
+			if j.on != nil {
+				v, err := j.on(joined)
 				if err != nil {
 					return nil, err
 				}
@@ -438,6 +447,11 @@ type AggregatePlan struct {
 	GroupExprs []sql.Expr
 	Aggs       []*sql.FuncExpr
 	schema     relation.Schema
+
+	// Compiled on first Execute.
+	groups   []CompiledExpr
+	aggArgs  [][2]CompiledExpr // [arg0, arg1]; arg1 only for corr
+	compiled bool
 }
 
 // NewAggregatePlan constructs an aggregation.
@@ -504,7 +518,20 @@ func (a *AggregatePlan) Execute(ctx *ExecContext) ([]relation.Tuple, error) {
 	if err != nil {
 		return nil, err
 	}
-	schema := a.Input.Schema()
+	if !a.compiled {
+		schema := a.Input.Schema()
+		a.groups = exprsFor(ctx, a.GroupExprs, schema)
+		a.aggArgs = make([][2]CompiledExpr, len(a.Aggs))
+		for i, agg := range a.Aggs {
+			if len(agg.Args) > 0 {
+				a.aggArgs[i][0], _ = exprFor(ctx, agg.Args[0], schema)
+			}
+			if len(agg.Args) == 2 && strings.EqualFold(agg.Name, "corr") {
+				a.aggArgs[i][1], _ = exprFor(ctx, agg.Args[1], schema)
+			}
+		}
+		a.compiled = true
+	}
 
 	type group struct {
 		key    relation.Tuple
@@ -514,23 +541,24 @@ func (a *AggregatePlan) Execute(ctx *ExecContext) ([]relation.Tuple, error) {
 	groups := make(map[string]*group)
 	var orderCounter int
 
+	idx := make([]int, len(a.GroupExprs))
+	for i := range idx {
+		idx[i] = i
+	}
+	keyBuf := make(relation.Tuple, len(a.GroupExprs))
 	for _, row := range in {
-		keyVals := make(relation.Tuple, len(a.GroupExprs))
-		for i, g := range a.GroupExprs {
-			v, err := Eval(g, schema, row, ctx.Funcs)
+		for i, g := range a.groups {
+			v, err := g(row)
 			if err != nil {
 				return nil, err
 			}
-			keyVals[i] = v
+			keyBuf[i] = v
 		}
-		idx := make([]int, len(keyVals))
-		for i := range idx {
-			idx[i] = i
-		}
-		k := keyVals.Key(idx)
+		k := keyBuf.Key(idx)
 		grp, ok := groups[k]
 		if !ok {
-			grp = &group{key: keyVals, states: make([]*aggState, len(a.Aggs)), order: orderCounter}
+			grp = &group{key: append(relation.Tuple(nil), keyBuf...),
+				states: make([]*aggState, len(a.Aggs)), order: orderCounter}
 			orderCounter++
 			for i := range grp.states {
 				grp.states[i] = &aggState{seen: make(map[relation.Value]struct{})}
@@ -538,7 +566,7 @@ func (a *AggregatePlan) Execute(ctx *ExecContext) ([]relation.Tuple, error) {
 			groups[k] = grp
 		}
 		for i, agg := range a.Aggs {
-			if err := accumulate(grp.states[i], agg, schema, row, ctx.Funcs); err != nil {
+			if err := accumulate(grp.states[i], agg, a.aggArgs[i][0], a.aggArgs[i][1], row); err != nil {
 				return nil, err
 			}
 		}
@@ -572,7 +600,7 @@ func (a *AggregatePlan) Execute(ctx *ExecContext) ([]relation.Tuple, error) {
 	return out, nil
 }
 
-func accumulate(st *aggState, agg *sql.FuncExpr, schema relation.Schema, row relation.Tuple, funcs *FuncRegistry) error {
+func accumulate(st *aggState, agg *sql.FuncExpr, arg, yarg CompiledExpr, row relation.Tuple) error {
 	name := strings.ToLower(agg.Name)
 	if agg.Star {
 		st.count++
@@ -581,7 +609,7 @@ func accumulate(st *aggState, agg *sql.FuncExpr, schema relation.Schema, row rel
 	if len(agg.Args) == 0 {
 		return fmt.Errorf("engine: aggregate %s requires an argument", name)
 	}
-	v, err := Eval(agg.Args[0], schema, row, funcs)
+	v, err := arg(row)
 	if err != nil {
 		return err
 	}
@@ -619,7 +647,7 @@ func accumulate(st *aggState, agg *sql.FuncExpr, schema relation.Schema, row rel
 		if len(agg.Args) != 2 {
 			return fmt.Errorf("engine: corr expects 2 arguments")
 		}
-		y, err := Eval(agg.Args[1], schema, row, funcs)
+		y, err := yarg(row)
 		if err != nil {
 			return err
 		}
@@ -710,6 +738,8 @@ func finalize(st *aggState, agg *sql.FuncExpr) relation.Value {
 type SortPlan struct {
 	Input Plan
 	Items []sql.OrderItem
+
+	items []CompiledExpr // compiled on first Execute
 }
 
 // Schema implements Plan.
@@ -733,12 +763,18 @@ func (s *SortPlan) Execute(ctx *ExecContext) ([]relation.Tuple, error) {
 	if err != nil {
 		return nil, err
 	}
-	schema := s.Input.Schema()
+	if s.items == nil {
+		schema := s.Input.Schema()
+		s.items = make([]CompiledExpr, len(s.Items))
+		for j, it := range s.Items {
+			s.items[j], _ = exprFor(ctx, it.Expr, schema)
+		}
+	}
 	keys := make([][]relation.Value, len(in))
 	for i, row := range in {
-		ks := make([]relation.Value, len(s.Items))
-		for j, it := range s.Items {
-			v, err := Eval(it.Expr, schema, row, ctx.Funcs)
+		ks := make([]relation.Value, len(s.items))
+		for j, it := range s.items {
+			v, err := it(row)
 			if err != nil {
 				return nil, err
 			}

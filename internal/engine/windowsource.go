@@ -1,0 +1,44 @@
+package engine
+
+import "repro/internal/relation"
+
+// WindowSourcePlan is a rebindable leaf: a scan whose rows are swapped
+// out between executions. It lets a continuous query's physical plan be
+// built and optimized once, then re-executed every window tick by
+// rebinding the current window batch — the compile-once/execute-many
+// contract of the streaming pipeline. Bind and Execute must not race;
+// the stream engine serializes them under the owning query's execution
+// lock.
+type WindowSourcePlan struct {
+	Name   string
+	schema relation.Schema
+	rows   []relation.Tuple
+}
+
+// NewWindowSourcePlan creates an unbound window source with a fixed
+// schema (already qualified with the stream alias).
+func NewWindowSourcePlan(name string, schema relation.Schema) *WindowSourcePlan {
+	return &WindowSourcePlan{Name: name, schema: schema}
+}
+
+// Bind points the source at the rows of the current window batch. The
+// slice is retained, not copied; callers must not mutate it until the
+// next Bind.
+func (w *WindowSourcePlan) Bind(rows []relation.Tuple) { w.rows = rows }
+
+func (w *WindowSourcePlan) Schema() relation.Schema { return w.schema }
+
+func (w *WindowSourcePlan) Execute(ctx *ExecContext) ([]relation.Tuple, error) {
+	ctx.Stats.OperatorCount++
+	ctx.Stats.RowsScanned += int64(len(w.rows))
+	ctx.Stats.RowsProduced += int64(len(w.rows))
+	return w.rows, nil
+}
+
+func (w *WindowSourcePlan) Children() []Plan { return nil }
+
+// String is deliberately independent of the currently bound batch:
+// optimizer signatures (e.g. union dedup) compare plan strings, and two
+// sources over the same stream reference stay interchangeable across
+// ticks.
+func (w *WindowSourcePlan) String() string { return "WindowSource(" + w.Name + ")" }

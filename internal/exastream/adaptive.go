@@ -2,6 +2,7 @@ package exastream
 
 import (
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/engine"
 	"repro/internal/sql"
@@ -128,7 +129,10 @@ func (e *Engine) noteProbes(ps []probe) {
 		e.probes[k]++
 		if e.probes[k] >= e.opts.AdaptiveThreshold {
 			if err := table.CreateIndex(p.cols...); err == nil {
-				e.stats.AdaptiveIndexes++
+				atomic.AddInt64(&e.ctr.adaptiveIndexes, 1)
+				// Invalidate adapted plans: cached queries compare their
+				// epoch and re-run adaptation to pick up the new index.
+				atomic.AddInt64(&e.indexEpoch, 1)
 			}
 		}
 	}

@@ -11,9 +11,11 @@ package exastream
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/engine"
 	"repro/internal/relation"
@@ -37,6 +39,40 @@ type Stats struct {
 	LateTuples      int64
 	QueryFailures   int64 // failed window executions (contained by the error hook)
 	Suspensions     int64 // queries quarantined after repeated failures
+
+	// Per-execution counters surfaced from engine.ExecStats, summed over
+	// all window executions.
+	RowsScanned  int64
+	RowsProduced int64
+	HashProbes   int64
+	IndexLookups int64
+
+	// Plan-cache lifecycle: builds (cold or invalidated), hits, and
+	// re-adaptations after adaptive indexing built a new index.
+	PlanBuilds    int64
+	PlanCacheHits int64
+	PlanReadapts  int64
+}
+
+// counters is the engine's internal mutable form of Stats. Every field
+// is manipulated with sync/atomic so parallel window executions never
+// serialize on e.mu just to bump a number.
+type counters struct {
+	tuplesIn        int64
+	batchesBuilt    int64
+	windowsExecuted int64
+	rowsOut         int64
+	adaptiveIndexes int64
+	lateTuples      int64
+	queryFailures   int64
+	suspensions     int64
+	rowsScanned     int64
+	rowsProduced    int64
+	hashProbes      int64
+	indexLookups    int64
+	planBuilds      int64
+	planCacheHits   int64
+	planReadapts    int64
 }
 
 // Options configures an Engine.
@@ -63,6 +99,21 @@ type Options struct {
 	// Quarantine (like OnQueryError) contains execution errors rather
 	// than returning them from Ingest/Flush.
 	QuarantineAfter int
+	// Parallelism bounds the worker pool that executes continuous
+	// queries made ready by one ingest/flush tick. 0 (the default) uses
+	// GOMAXPROCS; 1 or less forces sequential execution. Windows of a
+	// single query always run sequentially in window-end order,
+	// whatever the pool size.
+	Parallelism int
+	// DisablePlanCache rebuilds every query's physical plan on every
+	// window execution (the pre-compile-once behaviour); the ablation
+	// benchmarks measure the difference.
+	DisablePlanCache bool
+	// InterpretExprs evaluates expressions with the engine's reference
+	// interpreter instead of compiled closures. Together with
+	// DisablePlanCache this reproduces the pre-compile-once execution
+	// pipeline end to end; it exists for ablation and debugging.
+	InterpretExprs bool
 }
 
 // Engine is one ExaStream instance (one per worker node in the cluster).
@@ -79,7 +130,11 @@ type Engine struct {
 	federated map[string]FetchFunc
 	opts      Options
 	probes    map[string]int // adaptive indexing: (table|cols) -> scans
-	stats     Stats
+
+	// indexEpoch (atomic) counts adaptive indexes built; cached plans
+	// compare it to theirs and re-adapt when it moved.
+	indexEpoch int64
+	ctr        counters
 }
 
 type windowKey struct {
@@ -114,6 +169,24 @@ type continuousQuery struct {
 	pending   map[int64]map[int]stream.Batch // window end -> refIdx -> batch
 	failures  int                            // consecutive failed executions
 	suspended bool                           // quarantined: skips execution until Resume
+
+	// execMu serializes window executions of this query and guards plan;
+	// distinct queries execute concurrently on the fleet pool.
+	execMu sync.Mutex
+	plan   *cachedPlan
+}
+
+// cachedPlan is a continuous query's compiled physical plan, built once
+// and re-executed every tick by rebinding the window sources. It is
+// invalidated (rebuilt) when the catalog's table set changes and
+// re-adapted when adaptive indexing builds a new index.
+type cachedPlan struct {
+	built   engine.Plan                // optimized plan, pre-adaptation
+	adapted engine.Plan                // adaptPlan output actually executed
+	sources []*engine.WindowSourcePlan // one per stream ref, rebound per tick
+	probes  []probe
+	epoch   int64  // e.indexEpoch the plan was adapted at
+	gen     uint64 // catalog generation the plan was built at
 }
 
 // NewEngine builds an engine over a static catalog.
@@ -187,18 +260,40 @@ func (e *Engine) Register(id string, stmt *sql.SelectStmt, pulse *stream.Pulse, 
 		id: id, stmt: stmt, refs: refs, pulse: pulse, sink: sink,
 		pending: make(map[int64]map[int]stream.Batch),
 	}
+	if err := e.registerLocked(q); err != nil {
+		return err
+	}
+	// Build the physical plan eagerly so the very first window already
+	// runs on the cached, compiled path. A query that fails to build
+	// (missing table, bad expression) stays registered: the error
+	// resurfaces on each execution attempt and flows through the usual
+	// containment/quarantine machinery.
+	if !e.opts.DisablePlanCache {
+		if cp, err := e.buildPlan(q); err == nil {
+			atomic.AddInt64(&e.ctr.planBuilds, 1)
+			q.execMu.Lock()
+			if q.plan == nil {
+				q.plan = cp
+			}
+			q.execMu.Unlock()
+		}
+	}
+	return nil
+}
+
+func (e *Engine) registerLocked(q *continuousQuery) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if _, dup := e.queries[id]; dup {
-		return fmt.Errorf("exastream: query %q already registered", id)
+	if _, dup := e.queries[q.id]; dup {
+		return fmt.Errorf("exastream: query %q already registered", q.id)
 	}
 	var slide int64 = -1
-	for i, ref := range refs {
+	for i, ref := range q.refs {
 		if _, ok := e.streams[strings.ToLower(ref.Table)]; !ok {
-			return fmt.Errorf("exastream: query %s: unknown stream %q", id, ref.Table)
+			return fmt.Errorf("exastream: query %s: unknown stream %q", q.id, ref.Table)
 		}
 		if ref.Window == nil {
-			return fmt.Errorf("exastream: query %s: stream %q lacks a window", id, ref.Table)
+			return fmt.Errorf("exastream: query %s: stream %q lacks a window", q.id, ref.Table)
 		}
 		spec := stream.WindowSpec{RangeMS: ref.Window.RangeMS, SlideMS: ref.Window.SlideMS}
 		if err := spec.Validate(); err != nil {
@@ -207,13 +302,13 @@ func (e *Engine) Register(id string, stmt *sql.SelectStmt, pulse *stream.Pulse, 
 		if slide == -1 {
 			slide = spec.SlideMS
 		} else if slide != spec.SlideMS {
-			return fmt.Errorf("exastream: query %s: stream windows must share a slide", id)
+			return fmt.Errorf("exastream: query %s: stream windows must share a slide", q.id)
 		}
 		q.specs = append(q.specs, spec)
 		e.subscribeLocked(q, i, ref.Table, spec)
 	}
-	e.queries[id] = q
-	e.wcache.Register(id)
+	e.queries[q.id] = q
+	e.wcache.Register(q.id)
 	return nil
 }
 
@@ -273,79 +368,97 @@ func (e *Engine) Ingest(streamName string, el stream.Timestamped) error {
 		e.mu.Unlock()
 		return fmt.Errorf("exastream: unknown stream %q", streamName)
 	}
-	e.stats.TuplesIn++
+	atomic.AddInt64(&e.ctr.tuplesIn, 1)
 	if err := e.archiveLocked(key, el); err != nil {
 		e.mu.Unlock()
 		return err
 	}
-	type fire struct {
-		sub   *querySub
-		batch stream.Batch
-	}
-	var fires []fire
+	var fires []delivery
 	for wk, sw := range e.windows {
 		if wk.stream != key {
 			continue
 		}
 		before := sw.op.Late
 		batches := sw.op.Push(el)
-		e.stats.LateTuples += sw.op.Late - before
+		atomic.AddInt64(&e.ctr.lateTuples, sw.op.Late-before)
 		for _, b := range batches {
-			e.stats.BatchesBuilt++
+			atomic.AddInt64(&e.ctr.batchesBuilt, 1)
 			if e.opts.ShareWindows {
 				e.wcache.Put(streamName, wk.spec, b)
 			}
 			for _, sub := range sw.subs {
-				fires = append(fires, fire{sub, b})
+				fires = append(fires, delivery{sub, b})
 			}
 		}
 	}
 	e.mu.Unlock()
 
-	for _, f := range fires {
-		if err := e.offer(f.sub.q, f.sub.refIdx, f.batch); err != nil {
-			return err
-		}
-	}
-	return nil
+	return e.dispatch(fires)
 }
 
 // Flush completes all open windows (end of replay) and executes the
 // remaining batches.
 func (e *Engine) Flush() error {
 	e.mu.Lock()
-	type fire struct {
-		sub   *querySub
-		batch stream.Batch
-	}
-	var fires []fire
+	var fires []delivery
 	for wk, sw := range e.windows {
 		for _, b := range sw.op.Flush() {
-			e.stats.BatchesBuilt++
+			atomic.AddInt64(&e.ctr.batchesBuilt, 1)
 			if e.opts.ShareWindows {
 				e.wcache.Put(wk.stream, wk.spec, b)
 			}
 			for _, sub := range sw.subs {
-				fires = append(fires, fire{sub, b})
+				fires = append(fires, delivery{sub, b})
 			}
 		}
 	}
 	e.mu.Unlock()
-	for _, f := range fires {
-		if err := e.offer(f.sub.q, f.sub.refIdx, f.batch); err != nil {
-			return err
-		}
-	}
-	return nil
+	return e.dispatch(fires)
 }
 
-// offer delivers a batch to one stream reference of a query and executes
-// the query when batches for every reference at that window end are in.
-func (e *Engine) offer(q *continuousQuery, refIdx int, b stream.Batch) error {
+// delivery is one window batch headed for one stream reference of one
+// query.
+type delivery struct {
+	sub   *querySub
+	batch stream.Batch
+}
+
+// execItem is one ready window execution: every stream reference of the
+// query has its batch for this window end.
+type execItem struct {
+	q       *continuousQuery
+	end     int64
+	batches map[int]stream.Batch
+}
+
+// dispatch stages the tick's deliveries and executes every query that
+// became ready, in parallel across queries when the pool allows.
+func (e *Engine) dispatch(fires []delivery) error {
+	var ready []execItem
+	for _, f := range fires {
+		if it, ok := e.stage(f.sub.q, f.sub.refIdx, f.batch); ok {
+			ready = append(ready, it)
+		}
+	}
+	return e.runReady(ready)
+}
+
+// stage delivers a batch to one stream reference of a query and reports
+// the execution item once batches for every reference at that window
+// end are in.
+func (e *Engine) stage(q *continuousQuery, refIdx int, b stream.Batch) (execItem, bool) {
+	// Pulse pacing comes first: a batch for a non-pulse tick must never
+	// enter the pending map, or multi-ref queries leak partial pending
+	// entries for window ends that pacing would discard anyway.
+	if q.pulse != nil {
+		if (b.End-q.pulse.StartMS)%q.pulse.FrequencyMS != 0 || b.End < q.pulse.StartMS {
+			return execItem{}, false
+		}
+	}
 	q.mu.Lock()
+	defer q.mu.Unlock()
 	if q.suspended {
-		q.mu.Unlock()
-		return nil
+		return execItem{}, false
 	}
 	m, ok := q.pending[b.End]
 	if !ok {
@@ -353,48 +466,197 @@ func (e *Engine) offer(q *continuousQuery, refIdx int, b stream.Batch) error {
 		q.pending[b.End] = m
 	}
 	m[refIdx] = b
-	ready := len(m) == len(q.refs)
-	if ready {
-		delete(q.pending, b.End)
+	if len(m) != len(q.refs) {
+		return execItem{}, false
 	}
-	q.mu.Unlock()
-	if !ready {
-		return nil
-	}
-	// Pulse pacing: only emit on pulse ticks.
-	if q.pulse != nil {
-		if (b.End-q.pulse.StartMS)%q.pulse.FrequencyMS != 0 || b.End < q.pulse.StartMS {
-			return nil
-		}
-	}
-	return e.execute(q, b.End, m)
+	delete(q.pending, b.End)
+	return execItem{q: q, end: b.End, batches: m}, true
 }
 
-// execute evaluates the query with each stream reference bound to its
-// window batch.
-func (e *Engine) execute(q *continuousQuery, windowEnd int64, batches map[int]stream.Batch) error {
-	resolver := e.resolverFor(q, batches)
-	plan, err := engine.Build(q.stmt, resolver)
-	if err != nil {
-		return e.containQueryError(q, fmt.Errorf("exastream: query %s: %w", q.id, err))
+// parallelism resolves Options.Parallelism: 0 means GOMAXPROCS,
+// anything below 1 means sequential.
+func (e *Engine) parallelism() int {
+	p := e.opts.Parallelism
+	if p == 0 {
+		return runtime.GOMAXPROCS(0)
 	}
-	plan, probes := e.adaptPlan(plan)
-	ctx := &engine.ExecContext{Catalog: e.catalog, Funcs: e.funcs}
-	rows, err := plan.Execute(ctx)
+	if p < 1 {
+		return 1
+	}
+	return p
+}
+
+// runReady executes the tick's ready windows. Items are grouped by
+// query — one query's windows always run sequentially in window-end
+// order, so sink calls stay ordered per query — and distinct queries
+// fan out over a bounded worker pool.
+func (e *Engine) runReady(items []execItem) error {
+	if len(items) == 0 {
+		return nil
+	}
+	var order []*continuousQuery
+	groups := make(map[*continuousQuery][]execItem)
+	for _, it := range items {
+		if _, ok := groups[it.q]; !ok {
+			order = append(order, it.q)
+		}
+		groups[it.q] = append(groups[it.q], it)
+	}
+	for _, q := range order {
+		g := groups[q]
+		sort.Slice(g, func(i, j int) bool { return g[i].end < g[j].end })
+	}
+	workers := e.parallelism()
+	if workers > len(order) {
+		workers = len(order)
+	}
+	if workers <= 1 {
+		for _, q := range order {
+			for _, it := range groups[q] {
+				if err := e.executeItem(it); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	// Fork-join pool: each task is one query's ordered run of windows.
+	// Panics (fault injection, poison UDFs) are captured per task and
+	// re-raised on the calling goroutine after the join, so the cluster
+	// supervisor — whose recover lives on the worker goroutine calling
+	// Ingest/Flush — still observes them.
+	errs := make([]error, len(order))
+	panics := make([]any, len(order))
+	tasks := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for gi := range tasks {
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							panics[gi] = r
+						}
+					}()
+					for _, it := range groups[order[gi]] {
+						if err := e.executeItem(it); err != nil {
+							errs[gi] = err
+							return
+						}
+					}
+				}()
+			}
+		}()
+	}
+	for gi := range order {
+		tasks <- gi
+	}
+	close(tasks)
+	wg.Wait()
+	for _, r := range panics {
+		if r != nil {
+			panic(r)
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// buildPlan constructs, optimizes and adapts a query's physical plan
+// with every stream reference resolved to a rebindable window source.
+func (e *Engine) buildPlan(q *continuousQuery) (*cachedPlan, error) {
+	sources := make([]*engine.WindowSourcePlan, len(q.refs))
+	base := engine.CatalogResolver(e.catalog)
+	resolver := func(tr *sql.TableRef) (engine.Plan, error) {
+		if !tr.IsStream {
+			return base(tr)
+		}
+		for i, ref := range q.refs {
+			if ref == tr {
+				if sources[i] == nil {
+					ss, err := e.StreamSchema(tr.Table)
+					if err != nil {
+						return nil, err
+					}
+					sources[i] = engine.NewWindowSourcePlan(tr.Name(), ss.Tuple.Qualify(tr.Name()))
+				}
+				return sources[i], nil
+			}
+		}
+		return nil, fmt.Errorf("exastream: unresolved stream reference %q", tr.Table)
+	}
+	built, err := engine.Build(q.stmt, resolver)
+	if err != nil {
+		return nil, err
+	}
+	adapted, probes := e.adaptPlan(built)
+	return &cachedPlan{
+		built: built, adapted: adapted, sources: sources, probes: probes,
+		epoch: atomic.LoadInt64(&e.indexEpoch), gen: e.catalog.Generation(),
+	}, nil
+}
+
+// executeItem evaluates one ready window of one query on its cached
+// plan, rebuilding or re-adapting the plan first when the cache is
+// cold or stale.
+func (e *Engine) executeItem(it execItem) error {
+	q := it.q
+	q.execMu.Lock()
+	defer q.execMu.Unlock()
+	cp := q.plan
+	epoch := atomic.LoadInt64(&e.indexEpoch)
+	gen := e.catalog.Generation()
+	switch {
+	case cp == nil || e.opts.DisablePlanCache || cp.gen != gen:
+		var err error
+		cp, err = e.buildPlan(q)
+		if err != nil {
+			return e.containQueryError(q, fmt.Errorf("exastream: query %s: %w", q.id, err))
+		}
+		atomic.AddInt64(&e.ctr.planBuilds, 1)
+		if e.opts.DisablePlanCache {
+			q.plan = nil
+		} else {
+			q.plan = cp
+		}
+	case cp.epoch != epoch:
+		// Adaptive indexing built an index since this plan was adapted:
+		// re-run adaptation so eligible scans become index lookups.
+		cp.adapted, cp.probes = e.adaptPlan(cp.built)
+		cp.epoch = epoch
+		atomic.AddInt64(&e.ctr.planReadapts, 1)
+	default:
+		atomic.AddInt64(&e.ctr.planCacheHits, 1)
+	}
+	for i, src := range cp.sources {
+		if src != nil {
+			src.Bind(it.batches[i].Rows)
+		}
+	}
+	ctx := &engine.ExecContext{Catalog: e.catalog, Funcs: e.funcs, Interpret: e.opts.InterpretExprs}
+	rows, err := cp.adapted.Execute(ctx)
+	atomic.AddInt64(&e.ctr.rowsScanned, ctx.Stats.RowsScanned)
+	atomic.AddInt64(&e.ctr.rowsProduced, ctx.Stats.RowsProduced)
+	atomic.AddInt64(&e.ctr.hashProbes, ctx.Stats.HashProbes)
+	atomic.AddInt64(&e.ctr.indexLookups, ctx.Stats.IndexLookups)
 	if err != nil {
 		return e.containQueryError(q, fmt.Errorf("exastream: query %s: %w", q.id, err))
 	}
 	q.mu.Lock()
 	q.failures = 0
 	q.mu.Unlock()
-	e.noteProbes(probes)
-	e.mu.Lock()
-	e.stats.WindowsExecuted++
-	e.stats.RowsOut += int64(len(rows))
-	e.mu.Unlock()
-	e.wcache.Advance(q.id, windowEnd)
+	e.noteProbes(cp.probes)
+	atomic.AddInt64(&e.ctr.windowsExecuted, 1)
+	atomic.AddInt64(&e.ctr.rowsOut, int64(len(rows)))
+	e.wcache.Advance(q.id, it.end)
 	if q.sink != nil {
-		q.sink(q.id, windowEnd, plan.Schema(), rows)
+		q.sink(q.id, it.end, cp.adapted.Schema(), rows)
 	}
 	return nil
 }
@@ -415,12 +677,10 @@ func (e *Engine) containQueryError(q *continuousQuery, err error) error {
 		q.suspended = true
 	}
 	q.mu.Unlock()
-	e.mu.Lock()
-	e.stats.QueryFailures++
+	atomic.AddInt64(&e.ctr.queryFailures, 1)
 	if suspend {
-		e.stats.Suspensions++
+		atomic.AddInt64(&e.ctr.suspensions, 1)
 	}
-	e.mu.Unlock()
 	if e.opts.OnQueryError != nil {
 		e.opts.OnQueryError(q.id, err)
 	}
@@ -447,7 +707,10 @@ func (e *Engine) SuspendedQueries() []string {
 	return out
 }
 
-// Resume lifts a query's quarantine and resets its failure count.
+// Resume lifts a query's quarantine, resets its failure count, and
+// drops its cached plan — whatever poisoned the query may have been
+// fixed by a catalog or UDF change, so the next window replans from
+// scratch.
 func (e *Engine) Resume(id string) error {
 	e.mu.Lock()
 	q, ok := e.queries[id]
@@ -459,37 +722,34 @@ func (e *Engine) Resume(id string) error {
 	q.suspended = false
 	q.failures = 0
 	q.mu.Unlock()
+	q.execMu.Lock()
+	q.plan = nil
+	q.execMu.Unlock()
 	return nil
-}
-
-// resolverFor maps stream references to their window batches and tables
-// to catalog scans.
-func (e *Engine) resolverFor(q *continuousQuery, batches map[int]stream.Batch) engine.TableResolver {
-	base := engine.CatalogResolver(e.catalog)
-	return func(tr *sql.TableRef) (engine.Plan, error) {
-		if !tr.IsStream {
-			return base(tr)
-		}
-		for i, ref := range q.refs {
-			if ref == tr {
-				ss, err := e.StreamSchema(tr.Table)
-				if err != nil {
-					return nil, err
-				}
-				b := batches[i]
-				return engine.NewValuesPlan(tr.Name(), ss.Tuple.Qualify(tr.Name()), b.Rows), nil
-			}
-		}
-		return nil, fmt.Errorf("exastream: unresolved stream reference %q", tr.Table)
-	}
 }
 
 // Stats returns a snapshot of engine counters.
 func (e *Engine) Stats() Stats {
+	s := Stats{
+		TuplesIn:        atomic.LoadInt64(&e.ctr.tuplesIn),
+		BatchesBuilt:    atomic.LoadInt64(&e.ctr.batchesBuilt),
+		WindowsExecuted: atomic.LoadInt64(&e.ctr.windowsExecuted),
+		RowsOut:         atomic.LoadInt64(&e.ctr.rowsOut),
+		AdaptiveIndexes: atomic.LoadInt64(&e.ctr.adaptiveIndexes),
+		LateTuples:      atomic.LoadInt64(&e.ctr.lateTuples),
+		QueryFailures:   atomic.LoadInt64(&e.ctr.queryFailures),
+		Suspensions:     atomic.LoadInt64(&e.ctr.suspensions),
+		RowsScanned:     atomic.LoadInt64(&e.ctr.rowsScanned),
+		RowsProduced:    atomic.LoadInt64(&e.ctr.rowsProduced),
+		HashProbes:      atomic.LoadInt64(&e.ctr.hashProbes),
+		IndexLookups:    atomic.LoadInt64(&e.ctr.indexLookups),
+		PlanBuilds:      atomic.LoadInt64(&e.ctr.planBuilds),
+		PlanCacheHits:   atomic.LoadInt64(&e.ctr.planCacheHits),
+		PlanReadapts:    atomic.LoadInt64(&e.ctr.planReadapts),
+	}
 	e.mu.Lock()
-	defer e.mu.Unlock()
-	s := e.stats
 	s.WCacheHits, s.WCacheMisses = e.wcache.Hits, e.wcache.Misses
+	e.mu.Unlock()
 	return s
 }
 

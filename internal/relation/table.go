@@ -222,6 +222,7 @@ func SortRows(rows []Tuple, cols []int) []Tuple {
 type Catalog struct {
 	mu     sync.RWMutex
 	tables map[string]*Table
+	gen    uint64
 }
 
 // NewCatalog returns an empty catalog.
@@ -239,6 +240,7 @@ func (c *Catalog) Create(name string, schema Schema) (*Table, error) {
 	}
 	t := NewTable(name, schema)
 	c.tables[key] = t
+	c.gen++
 	return t, nil
 }
 
@@ -247,6 +249,7 @@ func (c *Catalog) Put(t *Table) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.tables[strings.ToLower(t.Name())] = t
+	c.gen++
 }
 
 // Get returns the named table.
@@ -269,7 +272,17 @@ func (c *Catalog) Drop(name string) error {
 		return fmt.Errorf("relation: unknown table %q", name)
 	}
 	delete(c.tables, key)
+	c.gen++
 	return nil
+}
+
+// Generation is a counter bumped whenever the set of tables changes
+// (Create/Put/Drop — not row inserts). Cached query plans compare it to
+// decide whether their table resolution is still valid.
+func (c *Catalog) Generation() uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.gen
 }
 
 // Names lists the table names, sorted.

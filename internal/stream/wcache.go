@@ -19,6 +19,11 @@ type WCache struct {
 	// consumer watermarks: per consumer id, the smallest window id still
 	// needed. Eviction keeps everything >= min over consumers.
 	marks map[string]int64
+	// minMark caches the exact min over marks (0 when empty) so the
+	// common Advance (a consumer that is not the laggard moving
+	// forward) is O(1) instead of rescanning every mark and every
+	// cached window. Entries below minMark have already been evicted.
+	minMark int64
 
 	Hits   int64
 	Misses int64
@@ -41,6 +46,9 @@ func (c *WCache) Register(consumer string) {
 	defer c.mu.Unlock()
 	if _, ok := c.marks[consumer]; !ok {
 		c.marks[consumer] = 0
+		if len(c.marks) == 1 || c.minMark > 0 {
+			c.minMark = 0
+		}
 	}
 }
 
@@ -57,8 +65,15 @@ func (c *WCache) Unregister(consumer string) {
 func (c *WCache) Advance(consumer string, windowID int64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if cur, ok := c.marks[consumer]; !ok || windowID > cur {
-		c.marks[consumer] = windowID
+	cur, ok := c.marks[consumer]
+	if ok && windowID <= cur {
+		return
+	}
+	c.marks[consumer] = windowID
+	if ok && cur > c.minMark {
+		// Not the laggard: the minimum is held by someone else, so it
+		// cannot have moved and nothing new is evictable.
+		return
 	}
 	c.evictLocked()
 }
@@ -73,6 +88,11 @@ func (c *WCache) evictLocked() {
 			min = m
 		}
 	}
+	if min <= c.minMark {
+		c.minMark = min
+		return
+	}
+	c.minMark = min
 	for k := range c.entries {
 		if k.window < min {
 			delete(c.entries, k)
