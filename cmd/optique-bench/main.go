@@ -23,6 +23,7 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -36,7 +37,43 @@ import (
 	"repro/internal/sql"
 	"repro/internal/starql"
 	"repro/internal/stream"
+	"repro/internal/telemetry"
 )
+
+// telem is the monitoring endpoint's data source. Experiments create
+// and tear down clusters as they run, so the endpoint reads whichever
+// runtime is current rather than binding to one at startup.
+var telem struct {
+	mu     sync.Mutex
+	snap   func() telemetry.Snapshot
+	traces func() []telemetry.TraceSnapshot
+}
+
+func setTelemetrySource(snap func() telemetry.Snapshot, traces func() []telemetry.TraceSnapshot) {
+	telem.mu.Lock()
+	defer telem.mu.Unlock()
+	telem.snap, telem.traces = snap, traces
+}
+
+func currentSnapshot() telemetry.Snapshot {
+	telem.mu.Lock()
+	snap := telem.snap
+	telem.mu.Unlock()
+	if snap == nil {
+		return telemetry.Snapshot{}
+	}
+	return snap()
+}
+
+func currentTraces() []telemetry.TraceSnapshot {
+	telem.mu.Lock()
+	traces := telem.traces
+	telem.mu.Unlock()
+	if traces == nil {
+		return nil
+	}
+	return traces()
+}
 
 func main() {
 	exp := flag.String("exp", "all", "experiment: conciseness|concurrent|scaling|bootstrap|testsets|record|all")
@@ -45,7 +82,16 @@ func main() {
 	benchPat := flag.String("bench", "Figure1EndToEnd|CompiledVsInterpreted", "benchmark pattern for -exp record")
 	benchTime := flag.String("benchtime", "2s", "benchtime for -exp record")
 	benchOut := flag.String("out", "BENCH_PR2.json", "output file for -exp record")
+	telemetryAddr := flag.String("telemetry-addr", "", "serve /metrics, /traces and /debug/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
+
+	if *telemetryAddr != "" {
+		_, bound, err := telemetry.Serve(*telemetryAddr, currentSnapshot, currentTraces)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("telemetry: http://%s/metrics\n", bound)
+	}
 
 	switch *exp {
 	case "conciseness":
@@ -140,6 +186,7 @@ func runConcurrent(queries, nodes, tuples int) (float64, float64, exastream.Stat
 		log.Fatal(err)
 	}
 	defer func() { cl.Gateway().Close(); cl.Close() }()
+	setTelemetrySource(cl.TelemetrySnapshot, nil)
 	if err := cl.DeclareStream(stream.Schema{
 		Name: "m",
 		Tuple: relation.NewSchema(
@@ -174,18 +221,12 @@ func runConcurrent(queries, nodes, tuples int) (float64, float64, exastream.Stat
 	}
 	elapsed := time.Since(start)
 	var deliveries int64
-	var eng exastream.Stats
 	for _, st := range cl.Stats() {
 		deliveries += st.Tuples
-		eng.WindowsExecuted += st.Engine.WindowsExecuted
-		eng.RowsScanned += st.Engine.RowsScanned
-		eng.RowsProduced += st.Engine.RowsProduced
-		eng.HashProbes += st.Engine.HashProbes
-		eng.IndexLookups += st.Engine.IndexLookups
-		eng.PlanBuilds += st.Engine.PlanBuilds
-		eng.PlanCacheHits += st.Engine.PlanCacheHits
-		eng.PlanReadapts += st.Engine.PlanReadapts
 	}
+	// One consistent cluster-wide snapshot instead of summing fields
+	// from per-node stats read at different instants.
+	eng := cl.EngineTotals()
 	// A degraded run (dead workers, shed tuples, quarantined queries)
 	// invalidates the throughput numbers; flag it rather than report
 	// silently wrong rates.
@@ -296,6 +337,7 @@ func runTestSet(idx int) (int, int, float64, int64) {
 		}
 	}
 	defer sys.Close()
+	setTelemetrySource(sys.TelemetrySnapshot, sys.Traces)
 	var alerts int64
 	set := siemens.TestSets()[idx-1]
 	for _, task := range set {

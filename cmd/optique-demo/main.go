@@ -25,6 +25,10 @@ import (
 // engineOpts carries the -parallelism/-plancache flags into deploy.
 var engineOpts optique.EngineOptions
 
+// telemetryAddr, when non-empty, makes deploy serve /metrics, /traces
+// and /debug/pprof for the running system.
+var telemetryAddr string
+
 func main() {
 	scenario := flag.String("scenario", "s1", "s1, s2, or s3")
 	nodes := flag.Int("nodes", 4, "cluster size (s2)")
@@ -34,6 +38,7 @@ func main() {
 	chaos := flag.Bool("chaos", false, "kill a worker mid-replay (s2) to showcase query failover")
 	parallelism := flag.Int("parallelism", 0, "per-node worker pool for ready windows (0 = GOMAXPROCS, negative = sequential)")
 	plancache := flag.Bool("plancache", true, "cache each continuous query's compiled plan across windows")
+	flag.StringVar(&telemetryAddr, "telemetry-addr", "", "serve /metrics, /traces and /debug/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
 	engineOpts = optique.EngineOptions{Parallelism: *parallelism, DisablePlanCache: !*plancache}
 
@@ -76,6 +81,13 @@ func deploy(nodes, turbines int, inj optique.FaultInjector) (*optique.System, *s
 		if err := sys.DeclareStream(sc); err != nil {
 			log.Fatal(err)
 		}
+	}
+	if telemetryAddr != "" {
+		_, bound, err := sys.ServeTelemetry(telemetryAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("telemetry: http://%s/metrics\n", bound)
 	}
 	return sys, gen
 }
@@ -154,13 +166,9 @@ func runS2(nodes, setIdx int, seconds int64, turbines int, chaos bool) {
 	fmt.Printf("  registration: %v\n", regTime)
 	fmt.Printf("  replay:       %d tuples in %v (%.0f tuples/s ingest)\n",
 		n, elapsed, float64(n)/elapsed.Seconds())
-	var totalIn, totalWindows int64
-	for _, st := range sys.Stats() {
-		totalIn += st.Engine.TuplesIn
-		totalWindows += st.Engine.WindowsExecuted
-	}
+	eng := sys.Cluster().EngineTotals()
 	fmt.Printf("  engine: %d tuple deliveries, %d windows executed (%.0f deliveries/s)\n",
-		totalIn, totalWindows, float64(totalIn)/elapsed.Seconds())
+		eng.TuplesIn, eng.WindowsExecuted, float64(eng.TuplesIn)/elapsed.Seconds())
 	h := sys.Health()
 	fmt.Printf("  health: %d/%d nodes live (%d restarting, %d dead, %d restarts), "+
 		"%d dropped, %d salvaged, %d quarantined, %d errors\n",

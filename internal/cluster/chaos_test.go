@@ -168,6 +168,9 @@ func TestChaosPanicMidStreamPreservesResults(t *testing.T) {
 	if h.Dead != 1 || h.Live != 3 {
 		t.Fatalf("health = %+v, want 1 dead / 3 live", h)
 	}
+	if h.Failovers != 1 {
+		t.Errorf("failovers = %d, want 1", h.Failovers)
+	}
 	if h.Requeued != 1 {
 		t.Errorf("requeued = %d, want 1 (the salvaged in-flight tuple)", h.Requeued)
 	}

@@ -28,6 +28,7 @@ import (
 	"repro/internal/relation"
 	"repro/internal/sql"
 	"repro/internal/stream"
+	"repro/internal/telemetry"
 )
 
 // Placement selects the worker for a new query.
@@ -76,6 +77,32 @@ type Options struct {
 	// GatewayQueue is the gateway submission queue capacity (default
 	// 256). Submit returns ErrGatewayBusy when it is full.
 	GatewayQueue int
+	// Telemetry is the cluster-level metrics registry (restarts,
+	// failovers, drops, per-node health gauges). Nil means a private
+	// registry; read it merged with the per-node engine registries via
+	// TelemetrySnapshot.
+	Telemetry *telemetry.Registry
+}
+
+// clusterMetrics are the supervision counters kept in the cluster
+// registry; node lifecycle events bump them alongside the per-node
+// atomics that Stats/Health report.
+type clusterMetrics struct {
+	restarts  *telemetry.Counter
+	failovers *telemetry.Counter
+	dropped   *telemetry.Counter
+	salvaged  *telemetry.Counter
+	errors    *telemetry.Counter
+}
+
+func newClusterMetrics(reg *telemetry.Registry) *clusterMetrics {
+	return &clusterMetrics{
+		restarts:  reg.Counter("cluster.restarts"),
+		failovers: reg.Counter("cluster.failovers"),
+		dropped:   reg.Counter("cluster.dropped"),
+		salvaged:  reg.Counter("cluster.salvaged"),
+		errors:    reg.Counter("cluster.errors"),
+	}
 }
 
 // Cluster is a set of worker nodes behind a gateway and scheduler.
@@ -98,6 +125,9 @@ type Cluster struct {
 	udfs        map[string]engine.ScalarFunc
 	recovering  int // in-flight worker recoveries (WaitSettled)
 
+	reg *telemetry.Registry
+	met *clusterMetrics
+
 	gateway *Gateway
 }
 
@@ -115,6 +145,12 @@ type queryRecord struct {
 type Node struct {
 	ID     int
 	engine *exastream.Engine // swapped on restart; guarded by Cluster.mu for cross-goroutine reads
+
+	// reg is the node's metrics registry. It outlives engine rebuilds:
+	// a restarted worker's fresh engine resolves the same instruments,
+	// so counters accumulate across crashes.
+	reg *telemetry.Registry
+	met *clusterMetrics // cluster-level counters, shared by all nodes
 
 	in      *inbox
 	wg      sync.WaitGroup
@@ -153,6 +189,10 @@ func New(opts Options, catalogFor func(node int) *relation.Catalog) (*Cluster, e
 	if opts.GatewayQueue <= 0 {
 		opts.GatewayQueue = 256
 	}
+	reg := opts.Telemetry
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
 	c := &Cluster{
 		opts:        opts,
 		catalogFor:  catalogFor,
@@ -160,11 +200,15 @@ func New(opts Options, catalogFor func(node int) *relation.Catalog) (*Cluster, e
 		streamHosts: make(map[string]map[int]struct{}),
 		schemas:     make(map[string]stream.Schema),
 		udfs:        make(map[string]engine.ScalarFunc),
+		reg:         reg,
+		met:         newClusterMetrics(reg),
 	}
 	for i := 0; i < opts.Nodes; i++ {
 		n := &Node{
-			ID: i,
-			in: newInbox(opts.QueueSize),
+			ID:  i,
+			in:  newInbox(opts.QueueSize),
+			reg: telemetry.NewRegistry(),
+			met: c.met,
 		}
 		n.engine = exastream.NewEngine(catalogFor(i), c.engineOptsFor(n))
 		n.wg.Add(1)
@@ -184,14 +228,33 @@ func (c *Cluster) engineOptsFor(n *Node) exastream.Options {
 	if o.QuarantineAfter == 0 {
 		o.QuarantineAfter = c.opts.QuarantineAfter
 	}
+	// Each node's engine writes into the node's own registry (never the
+	// shared cluster one): instrument names would otherwise collide
+	// across nodes, and per-node Stats must stay per-node. The registry
+	// outlives engine rebuilds, so counters survive worker crashes.
+	o.Telemetry = n.reg
 	user := o.OnQueryError
 	o.OnQueryError = func(queryID string, err error) {
-		n.errs.add(NodeError{Node: n.ID, QueryID: queryID, Err: err})
+		n.noteErr(NodeError{Node: n.ID, QueryID: queryID, Err: err})
 		if user != nil {
 			user(queryID, err)
 		}
 	}
 	return o
+}
+
+// noteErr records an asynchronous error in the node's ring and the
+// cluster error counter.
+func (n *Node) noteErr(e NodeError) {
+	n.errs.add(e)
+	n.met.errors.Inc()
+}
+
+// noteDrop accounts one shed tuple on the node and the cluster drop
+// counter.
+func (n *Node) noteDrop() {
+	atomic.AddInt64(&n.dropped, 1)
+	n.met.dropped.Inc()
 }
 
 // Err returns (and consumes) the oldest asynchronous error a node
@@ -214,7 +277,7 @@ func (n *Node) enqueue(ctx context.Context, w work, policy Backpressure) error {
 		if w.flush != nil {
 			close(w.flush)
 		} else {
-			atomic.AddInt64(&n.dropped, 1)
+			n.noteDrop()
 		}
 		return errNodeDown
 	}
@@ -224,14 +287,14 @@ func (n *Node) enqueue(ctx context.Context, w work, policy Backpressure) error {
 		if w.flush != nil {
 			close(w.flush)
 		} else {
-			atomic.AddInt64(&n.dropped, 1)
+			n.noteDrop()
 		}
 		return err
 	case err != nil:
 		return err // ErrClusterClosed or ctx error
 	}
 	if res == pushDropped || res == pushEvicted {
-		atomic.AddInt64(&n.dropped, 1)
+		n.noteDrop()
 	}
 	return nil
 }
@@ -547,6 +610,39 @@ func (c *Cluster) Stats() []NodeStats {
 		}
 	}
 	return out
+}
+
+// EngineTotals sums every node's engine counters into one consistent
+// snapshot. Callers that previously walked Stats() and summed fields by
+// hand raced the workers between reads; each node here is read once and
+// folded with Stats.Add.
+func (c *Cluster) EngineTotals() exastream.Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var t exastream.Stats
+	for _, n := range c.nodes {
+		t.Add(n.engine.Stats())
+	}
+	return t
+}
+
+// TelemetrySnapshot merges the cluster registry (supervision counters,
+// per-node health gauges, refreshed here) with every node's engine
+// registry. Same-named engine instruments sum across nodes, so the
+// result reads as cluster-wide totals.
+func (c *Cluster) TelemetrySnapshot() telemetry.Snapshot {
+	c.mu.Lock()
+	snaps := make([]telemetry.Snapshot, 0, len(c.nodes)+1)
+	for i, n := range c.nodes {
+		prefix := fmt.Sprintf("cluster.node.%d.", i)
+		c.reg.Gauge(prefix + "state").Set(float64(atomic.LoadInt32(&n.state)))
+		c.reg.Gauge(prefix + "queries").Set(float64(atomic.LoadInt32(&n.queries)))
+		c.reg.Gauge(prefix + "tuples").Set(float64(atomic.LoadInt64(&n.tuples)))
+		snaps = append(snaps, n.reg.Snapshot())
+	}
+	snaps = append(snaps, c.reg.Snapshot())
+	c.mu.Unlock()
+	return telemetry.Merge(snaps...)
 }
 
 // QueryNode reports which node hosts a query.

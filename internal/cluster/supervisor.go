@@ -93,6 +93,7 @@ func (n *Node) supervise(c *Cluster) {
 			return // inbox closed: clean shutdown
 		}
 		restarts := int(atomic.AddInt32(&n.restarts, 1))
+		c.met.restarts.Inc()
 		if restarts > c.opts.maxRestarts() {
 			c.failover(n)
 			c.settle(-1)
@@ -123,7 +124,7 @@ func (n *Node) runGuarded(c *Cluster) (clean bool) {
 		if r := recover(); r != nil {
 			atomic.StoreInt32(&n.state, int32(NodeRestarting))
 			c.settle(1)
-			n.errs.add(NodeError{Node: n.ID, Err: fmt.Errorf("cluster: node %d: worker panic: %v", n.ID, r)})
+			n.noteErr(NodeError{Node: n.ID, Err: fmt.Errorf("cluster: node %d: worker panic: %v", n.ID, r)})
 		}
 	}()
 	for {
@@ -146,12 +147,12 @@ func (n *Node) process(c *Cluster, w work) {
 	}
 	if f := c.opts.Faults; f != nil {
 		if err := f.BeforeProcess(n.ID, w.stream); err != nil {
-			n.errs.add(NodeError{Node: n.ID, Err: err})
+			n.noteErr(NodeError{Node: n.ID, Err: err})
 			return
 		}
 	}
 	if err := n.engine.Ingest(w.stream, w.el); err != nil {
-		n.errs.add(NodeError{Node: n.ID, Err: err})
+		n.noteErr(NodeError{Node: n.ID, Err: err})
 	}
 	atomic.AddInt64(&n.tuples, 1)
 }
@@ -168,7 +169,7 @@ func (c *Cluster) rebuildNode(n *Node) bool {
 	eng := exastream.NewEngine(c.catalogFor(n.ID), c.engineOptsFor(n))
 	for _, s := range c.schemas {
 		if err := eng.DeclareStream(s); err != nil {
-			n.errs.add(NodeError{Node: n.ID, Err: err})
+			n.noteErr(NodeError{Node: n.ID, Err: err})
 		}
 	}
 	for name, f := range c.udfs {
@@ -180,7 +181,7 @@ func (c *Cluster) rebuildNode(n *Node) bool {
 			continue
 		}
 		if err := eng.Register(rec.id, rec.stmt, rec.pulse, rec.sink); err != nil {
-			n.errs.add(NodeError{Node: n.ID, QueryID: rec.id,
+			n.noteErr(NodeError{Node: n.ID, QueryID: rec.id,
 				Err: fmt.Errorf("cluster: node %d: re-register %s: %w", n.ID, rec.id, err)})
 			continue
 		}
@@ -195,6 +196,7 @@ func (c *Cluster) rebuildNode(n *Node) bool {
 // failover declares a node dead, migrates its queries to survivors,
 // rebuilds the stream routing tables, and salvages its queued tuples.
 func (c *Cluster) failover(n *Node) {
+	c.met.failovers.Inc()
 	c.mu.Lock()
 	atomic.StoreInt32(&n.state, int32(NodeDead))
 	// Host sets before the failover: salvaged broadcast tuples must only
@@ -215,13 +217,13 @@ func (c *Cluster) failover(n *Node) {
 		}
 		target := c.pickNodeLocked()
 		if target < 0 {
-			n.errs.add(NodeError{Node: n.ID, QueryID: rec.id,
+			n.noteErr(NodeError{Node: n.ID, QueryID: rec.id,
 				Err: fmt.Errorf("cluster: query %s lost: %w", rec.id, ErrNoLiveNodes)})
 			delete(c.queries, rec.id)
 			continue
 		}
 		if err := c.nodes[target].engine.Register(rec.id, rec.stmt, rec.pulse, rec.sink); err != nil {
-			n.errs.add(NodeError{Node: n.ID, QueryID: rec.id,
+			n.noteErr(NodeError{Node: n.ID, QueryID: rec.id,
 				Err: fmt.Errorf("cluster: failover of %s to node %d: %w", rec.id, target, err)})
 			delete(c.queries, rec.id)
 			continue
@@ -255,7 +257,7 @@ func (c *Cluster) failover(n *Node) {
 		} else if cur.flush != nil {
 			close(cur.flush)
 		} else {
-			atomic.AddInt64(&n.dropped, 1)
+			n.noteDrop()
 		}
 		n.current = work{}
 	}
@@ -281,12 +283,12 @@ func (c *Cluster) resendSalvaged(n *Node, w work, prevHosts, gained map[string]m
 		hosts := c.sortedHostsLocked(key)
 		c.mu.Unlock()
 		if !ok || len(hosts) == 0 {
-			atomic.AddInt64(&n.dropped, 1)
+			n.noteDrop()
 			return
 		}
 		idx, err := schema.Tuple.IndexOf(c.opts.PartitionColumn)
 		if err != nil {
-			atomic.AddInt64(&n.dropped, 1)
+			n.noteDrop()
 			return
 		}
 		targets = []int{hosts[int(valueHash(w.el.Row[idx])%uint64(len(hosts)))]}
@@ -298,7 +300,7 @@ func (c *Cluster) resendSalvaged(n *Node, w work, prevHosts, gained map[string]m
 		}
 	}
 	if len(targets) == 0 {
-		atomic.AddInt64(&n.dropped, 1)
+		n.noteDrop()
 		return
 	}
 	delivered := false
@@ -310,8 +312,9 @@ func (c *Cluster) resendSalvaged(n *Node, w work, prevHosts, gained map[string]m
 	}
 	if delivered {
 		atomic.AddInt64(&n.requeued, 1)
+		n.met.salvaged.Inc()
 	} else {
-		atomic.AddInt64(&n.dropped, 1)
+		n.noteDrop()
 	}
 }
 
@@ -350,15 +353,17 @@ func (c *Cluster) WaitSettled(ctx context.Context) error {
 
 // Health summarises the cluster's failure state.
 type Health struct {
-	Nodes      int
-	Live       int
-	Restarting int
-	Dead       int
-	Restarts   int64 // total worker restarts across the cluster
-	Dropped    int64 // tuples shed by backpressure or lost to dead nodes
-	Requeued   int64 // tuples salvaged from dead nodes and re-routed
-	Suspended  int   // queries quarantined after repeated failures
-	Errors     int64 // total asynchronous errors recorded
+	Nodes       int
+	Live        int
+	Restarting  int
+	Dead        int
+	Restarts    int64 // total worker restarts across the cluster
+	Failovers   int64 // nodes declared dead with queries migrated away
+	Dropped     int64 // tuples shed by backpressure or lost to dead nodes
+	Requeued    int64 // tuples salvaged from dead nodes and re-routed
+	Suspended   int   // queries quarantined after repeated failures (currently suspended)
+	Quarantines int64 // quarantine events since start (survives Resume)
+	Errors      int64 // total asynchronous errors recorded
 }
 
 // Degraded reports whether the cluster is running below full strength.
@@ -370,7 +375,7 @@ func (h Health) Degraded() bool {
 func (c *Cluster) Health() Health {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	h := Health{Nodes: len(c.nodes)}
+	h := Health{Nodes: len(c.nodes), Failovers: c.met.failovers.Value()}
 	for _, n := range c.nodes {
 		switch NodeState(atomic.LoadInt32(&n.state)) {
 		case NodeDead:
@@ -384,6 +389,7 @@ func (c *Cluster) Health() Health {
 		h.Dropped += atomic.LoadInt64(&n.dropped)
 		h.Requeued += atomic.LoadInt64(&n.requeued)
 		h.Suspended += len(n.engine.SuspendedQueries())
+		h.Quarantines += n.engine.Stats().Suspensions
 		total, _ := n.errs.counts()
 		h.Errors += total
 	}

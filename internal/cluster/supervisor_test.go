@@ -96,6 +96,9 @@ func TestWorkerDeathFailsOverQueries(t *testing.T) {
 	if h.Dead != 1 || h.Live != 1 {
 		t.Fatalf("health = %+v, want 1 dead / 1 live", h)
 	}
+	if h.Failovers != 1 {
+		t.Errorf("failovers = %d, want 1", h.Failovers)
+	}
 	if node, ok := c.QueryNode("q1"); !ok || node != 0 {
 		t.Errorf("q1 hosted on node %d after failover, want 0", node)
 	}
@@ -379,11 +382,19 @@ func TestQuarantineIsolatesPoisonQueryInCluster(t *testing.T) {
 	if !h.Degraded() || h.Suspended != 1 {
 		t.Errorf("health = %+v, want degraded with 1 suspended", h)
 	}
+	if h.Quarantines != 1 {
+		t.Errorf("quarantine events = %d, want 1", h.Quarantines)
+	}
 	if err := c.Resume("poison"); err != nil {
 		t.Fatal(err)
 	}
 	if got := c.Stats()[0].Suspended; got != 0 {
 		t.Errorf("suspended after Resume = %d, want 0", got)
+	}
+	// The event counter is monotonic: Resume clears the suspension but
+	// not the history.
+	if got := c.Health().Quarantines; got != 1 {
+		t.Errorf("quarantine events after Resume = %d, want 1", got)
 	}
 	if err := c.Resume("nope"); err == nil {
 		t.Error("Resume of unknown query accepted")

@@ -22,6 +22,7 @@ import (
 	"repro/internal/sql"
 	"repro/internal/starql"
 	"repro/internal/stream"
+	"repro/internal/telemetry"
 )
 
 // AnswerSink receives the CONSTRUCT triples a task emits for one window.
@@ -51,6 +52,9 @@ type Config struct {
 	QuarantineAfter int
 	// Faults injects worker failures for chaos testing (internal/faults).
 	Faults cluster.FaultInjector
+	// TraceCapacity bounds how many query traces the system retains
+	// (default 64; oldest evicted first).
+	TraceCapacity int
 }
 
 // System is one OPTIQUE deployment.
@@ -61,6 +65,9 @@ type System struct {
 	catalog    *relation.Catalog
 	cluster    *cluster.Cluster
 	translator *starql.Translator
+
+	reg    *telemetry.Registry // system-level metrics (translation stages)
+	tracer *telemetry.Tracer   // one trace per task: rewrite → unfold → register → window-exec
 
 	mu       sync.Mutex
 	streams  map[string]stream.Schema
@@ -102,10 +109,16 @@ func NewSystem(cfg Config, tbox *ontology.TBox, set *mapping.Set, catalog *relat
 	if cfg.Nodes <= 0 {
 		cfg.Nodes = 1
 	}
+	reg := telemetry.NewRegistry()
+	tracer := telemetry.NewTracer(cfg.TraceCapacity)
+	engCfg := cfg.Engine
+	if engCfg.Tracer == nil {
+		engCfg.Tracer = tracer
+	}
 	cl, err := cluster.New(cluster.Options{
 		Nodes:           cfg.Nodes,
 		Placement:       cfg.Placement,
-		Engine:          cfg.Engine,
+		Engine:          engCfg,
 		PartitionColumn: cfg.PartitionColumn,
 		Backpressure:    cfg.Backpressure,
 		MaxRestarts:     cfg.MaxRestarts,
@@ -115,13 +128,17 @@ func NewSystem(cfg Config, tbox *ontology.TBox, set *mapping.Set, catalog *relat
 	if err != nil {
 		return nil, err
 	}
+	translator := starql.NewTranslator(tbox, set, catalog)
+	translator.Metrics = reg
 	return &System{
 		cfg:        cfg,
 		tbox:       tbox,
 		mappings:   set,
 		catalog:    catalog,
 		cluster:    cl,
-		translator: starql.NewTranslator(tbox, set, catalog),
+		translator: translator,
+		reg:        reg,
+		tracer:     tracer,
 		streams:    make(map[string]stream.Schema),
 		builders:   make(map[string]*starql.SequenceBuilder),
 		tasks:      make(map[string]*Task),
@@ -182,7 +199,13 @@ func (s *System) registerParsed(id string, q *starql.Query, sink AnswerSink) (*T
 		return nil, fmt.Errorf("core: stream %q not declared", streamName)
 	}
 
-	tl, err := s.translator.Translate(q, s.cfg.Translate)
+	// One trace per task covers the whole query lifecycle: the
+	// translator adds rewrite/unfold spans, registration is recorded
+	// here, and the hosting engine appends a span per window execution.
+	trace := s.tracer.Start(id)
+	topts := s.cfg.Translate
+	topts.Trace = trace
+	tl, err := s.translator.Translate(q, topts)
 	if err != nil {
 		return nil, err
 	}
@@ -211,10 +234,18 @@ func (s *System) registerParsed(id string, q *starql.Query, sink AnswerSink) (*T
 		Table: streamName, IsStream: true, Alias: "w",
 		Window: &sql.WindowSpec{RangeMS: tl.Window.RangeMS, SlideMS: tl.Window.SlideMS},
 	}}
+	rspan := trace.StartSpan("register")
 	node, err := s.cluster.Register(id, stmt, tl.Pulse, s.windowSink(task, builder))
 	if err != nil {
+		rspan.SetAttr("error", err.Error())
+		rspan.End()
 		return nil, err
 	}
+	rspan.SetAttr("node", node).
+		SetAttr("static_fleet", len(tl.StaticFleet)).
+		SetAttr("stream_fleet", len(tl.StreamFleet)).
+		SetAttr("bindings", len(bindings))
+	rspan.End()
 	task.Node = node
 
 	s.mu.Lock()
@@ -411,3 +442,26 @@ func (s *System) Stats() []cluster.NodeStats { return s.cluster.Stats() }
 // Health summarises the runtime's failure state (node lifecycles,
 // restarts, shed/salvaged tuples, quarantined queries).
 func (s *System) Health() cluster.Health { return s.cluster.Health() }
+
+// TelemetrySnapshot merges the system registry (translation metrics)
+// with the cluster's (supervision counters plus every node's engine
+// instruments) into one cluster-wide view.
+func (s *System) TelemetrySnapshot() telemetry.Snapshot {
+	return telemetry.Merge(s.reg.Snapshot(), s.cluster.TelemetrySnapshot())
+}
+
+// Traces returns the retained query lifecycle traces (one per task:
+// rewrite → unfold → register → window-exec spans).
+func (s *System) Traces() []telemetry.TraceSnapshot { return s.tracer.Snapshots() }
+
+// Trace returns one task's lifecycle trace, if retained.
+func (s *System) Trace(id string) *telemetry.Trace { return s.tracer.Trace(id) }
+
+// ServeTelemetry starts the opt-in observability endpoint on addr
+// (host:port; port 0 picks one): /metrics serves the merged registry
+// snapshot as JSON, /traces the span log, and /debug/pprof/ the Go
+// profiler. It returns the bound address; callers own the returned
+// server's shutdown.
+func (s *System) ServeTelemetry(addr string) (*telemetry.Server, string, error) {
+	return telemetry.Serve(addr, s.TelemetrySnapshot, s.Traces)
+}

@@ -59,7 +59,7 @@ func (j *LookupJoinPlan) String() string {
 
 // Execute implements Plan.
 func (j *LookupJoinPlan) Execute(ctx *ExecContext) ([]relation.Tuple, error) {
-	ctx.Stats.OperatorCount++
+	ctx.Stats.enter(OpLookupJoin)
 	leftRows, err := j.Left.Execute(ctx)
 	if err != nil {
 		return nil, err
@@ -118,6 +118,6 @@ func (j *LookupJoinPlan) Execute(ctx *ExecContext) ([]relation.Tuple, error) {
 			out = append(out, joined)
 		}
 	}
-	ctx.Stats.RowsProduced += int64(len(out))
+	ctx.Stats.produced(OpLookupJoin, len(out))
 	return out, nil
 }

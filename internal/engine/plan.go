@@ -10,14 +10,71 @@ import (
 	"repro/internal/sql"
 )
 
+// OpKind identifies a physical operator type for per-operator
+// statistics.
+type OpKind int
+
+// Operator kinds, one per Plan implementation.
+const (
+	OpScan OpKind = iota
+	OpValues
+	OpWindowSource
+	OpFilter
+	OpProject
+	OpHashJoin
+	OpNestedJoin
+	OpLookupJoin
+	OpAggregate
+	OpSort
+	OpDistinct
+	OpLimit
+	OpUnion
+	NumOpKinds // array bound, keep last
+)
+
+var opKindNames = [NumOpKinds]string{
+	"scan", "values", "window_source", "filter", "project",
+	"hash_join", "nested_join", "lookup_join", "aggregate",
+	"sort", "distinct", "limit", "union",
+}
+
+func (k OpKind) String() string {
+	if k < 0 || k >= NumOpKinds {
+		return "unknown"
+	}
+	return opKindNames[k]
+}
+
+// OpCounters are one operator kind's per-execution counters.
+type OpCounters struct {
+	Calls   int64 // Execute invocations
+	RowsOut int64 // rows returned by this operator kind
+}
+
 // ExecStats accumulates counters during plan execution; the adaptive
-// indexing machinery and the benchmarks read them.
+// indexing machinery, the telemetry layer, and the benchmarks read
+// them. Ops breaks invocation and output-row counts down per operator
+// kind (fixed array: no allocation on the execution path).
 type ExecStats struct {
 	RowsScanned   int64
 	RowsProduced  int64
 	HashProbes    int64
 	IndexLookups  int64
 	OperatorCount int64
+	Ops           [NumOpKinds]OpCounters
+}
+
+// enter records one Execute invocation of an operator kind.
+func (s *ExecStats) enter(k OpKind) {
+	s.OperatorCount++
+	s.Ops[k].Calls++
+}
+
+// produced records an operator's output rows (also feeding the
+// aggregate RowsProduced counter, as before).
+func (s *ExecStats) produced(k OpKind, n int) {
+	s.RowsProduced += int64(n)
+	s.Ops[k].RowsOut += int64(n)
 }
 
 // ExecContext carries everything a plan needs to run.
@@ -97,7 +154,7 @@ func (s *ScanPlan) String() string {
 
 // Execute implements Plan.
 func (s *ScanPlan) Execute(ctx *ExecContext) ([]relation.Tuple, error) {
-	ctx.Stats.OperatorCount++
+	ctx.Stats.enter(OpScan)
 	t, err := ctx.Catalog.Get(s.Table)
 	if err != nil {
 		return nil, err
@@ -132,7 +189,7 @@ func (v *ValuesPlan) String() string { return fmt.Sprintf("Values(%s, %d rows)",
 
 // Execute implements Plan.
 func (v *ValuesPlan) Execute(ctx *ExecContext) ([]relation.Tuple, error) {
-	ctx.Stats.OperatorCount++
+	ctx.Stats.enter(OpValues)
 	ctx.Stats.RowsScanned += int64(len(v.Rows))
 	return v.Rows, nil
 }
@@ -157,7 +214,7 @@ func (f *FilterPlan) String() string { return "Filter(" + f.Pred.String() + ")" 
 
 // Execute implements Plan.
 func (f *FilterPlan) Execute(ctx *ExecContext) ([]relation.Tuple, error) {
-	ctx.Stats.OperatorCount++
+	ctx.Stats.enter(OpFilter)
 	in, err := f.Input.Execute(ctx)
 	if err != nil {
 		return nil, err
@@ -178,7 +235,7 @@ func (f *FilterPlan) Execute(ctx *ExecContext) ([]relation.Tuple, error) {
 			out = append(out, row)
 		}
 	}
-	ctx.Stats.RowsProduced += int64(len(out))
+	ctx.Stats.produced(OpFilter, len(out))
 	return out, nil
 }
 
@@ -221,7 +278,7 @@ func (p *ProjectPlan) String() string {
 
 // Execute implements Plan.
 func (p *ProjectPlan) Execute(ctx *ExecContext) ([]relation.Tuple, error) {
-	ctx.Stats.OperatorCount++
+	ctx.Stats.enter(OpProject)
 	in, err := p.Input.Execute(ctx)
 	if err != nil {
 		return nil, err
@@ -241,7 +298,7 @@ func (p *ProjectPlan) Execute(ctx *ExecContext) ([]relation.Tuple, error) {
 		}
 		out[i] = t
 	}
-	ctx.Stats.RowsProduced += int64(len(out))
+	ctx.Stats.produced(OpProject, len(out))
 	return out, nil
 }
 
@@ -292,7 +349,7 @@ func (j *HashJoinPlan) String() string {
 
 // Execute implements Plan.
 func (j *HashJoinPlan) Execute(ctx *ExecContext) ([]relation.Tuple, error) {
-	ctx.Stats.OperatorCount++
+	ctx.Stats.enter(OpHashJoin)
 	leftRows, err := j.Left.Execute(ctx)
 	if err != nil {
 		return nil, err
@@ -352,7 +409,7 @@ func (j *HashJoinPlan) Execute(ctx *ExecContext) ([]relation.Tuple, error) {
 			out = append(out, lrow.Concat(nullRight))
 		}
 	}
-	ctx.Stats.RowsProduced += int64(len(out))
+	ctx.Stats.produced(OpHashJoin, len(out))
 	return out, nil
 }
 
@@ -393,7 +450,7 @@ func (j *NestedLoopJoinPlan) String() string {
 
 // Execute implements Plan.
 func (j *NestedLoopJoinPlan) Execute(ctx *ExecContext) ([]relation.Tuple, error) {
-	ctx.Stats.OperatorCount++
+	ctx.Stats.enter(OpNestedJoin)
 	leftRows, err := j.Left.Execute(ctx)
 	if err != nil {
 		return nil, err
@@ -432,7 +489,7 @@ func (j *NestedLoopJoinPlan) Execute(ctx *ExecContext) ([]relation.Tuple, error)
 			out = append(out, lrow.Concat(nullRight))
 		}
 	}
-	ctx.Stats.RowsProduced += int64(len(out))
+	ctx.Stats.produced(OpNestedJoin, len(out))
 	return out, nil
 }
 
@@ -513,7 +570,7 @@ type aggState struct {
 
 // Execute implements Plan.
 func (a *AggregatePlan) Execute(ctx *ExecContext) ([]relation.Tuple, error) {
-	ctx.Stats.OperatorCount++
+	ctx.Stats.enter(OpAggregate)
 	in, err := a.Input.Execute(ctx)
 	if err != nil {
 		return nil, err
@@ -596,7 +653,7 @@ func (a *AggregatePlan) Execute(ctx *ExecContext) ([]relation.Tuple, error) {
 		}
 		out = append(out, row)
 	}
-	ctx.Stats.RowsProduced += int64(len(out))
+	ctx.Stats.produced(OpAggregate, len(out))
 	return out, nil
 }
 
@@ -758,7 +815,7 @@ func (s *SortPlan) String() string {
 
 // Execute implements Plan.
 func (s *SortPlan) Execute(ctx *ExecContext) ([]relation.Tuple, error) {
-	ctx.Stats.OperatorCount++
+	ctx.Stats.enter(OpSort)
 	in, err := s.Input.Execute(ctx)
 	if err != nil {
 		return nil, err
@@ -821,7 +878,7 @@ func (d *DistinctPlan) String() string { return "Distinct" }
 
 // Execute implements Plan.
 func (d *DistinctPlan) Execute(ctx *ExecContext) ([]relation.Tuple, error) {
-	ctx.Stats.OperatorCount++
+	ctx.Stats.enter(OpDistinct)
 	in, err := d.Input.Execute(ctx)
 	if err != nil {
 		return nil, err
@@ -841,7 +898,7 @@ func (d *DistinctPlan) Execute(ctx *ExecContext) ([]relation.Tuple, error) {
 		seen[k] = struct{}{}
 		out = append(out, row)
 	}
-	ctx.Stats.RowsProduced += int64(len(out))
+	ctx.Stats.produced(OpDistinct, len(out))
 	return out, nil
 }
 
@@ -861,7 +918,7 @@ func (l *LimitPlan) String() string { return fmt.Sprintf("Limit(%d)", l.N) }
 
 // Execute implements Plan.
 func (l *LimitPlan) Execute(ctx *ExecContext) ([]relation.Tuple, error) {
-	ctx.Stats.OperatorCount++
+	ctx.Stats.enter(OpLimit)
 	in, err := l.Input.Execute(ctx)
 	if err != nil {
 		return nil, err
@@ -893,7 +950,7 @@ func (u *UnionPlan) String() string {
 
 // Execute implements Plan.
 func (u *UnionPlan) Execute(ctx *ExecContext) ([]relation.Tuple, error) {
-	ctx.Stats.OperatorCount++
+	ctx.Stats.enter(OpUnion)
 	arity := u.Schema().Arity()
 	var out []relation.Tuple
 	for _, in := range u.Inputs {
@@ -910,6 +967,6 @@ func (u *UnionPlan) Execute(ctx *ExecContext) ([]relation.Tuple, error) {
 		d := &DistinctPlan{Input: NewValuesPlan("union", u.Schema(), out)}
 		return d.Execute(ctx)
 	}
-	ctx.Stats.RowsProduced += int64(len(out))
+	ctx.Stats.produced(OpUnion, len(out))
 	return out, nil
 }

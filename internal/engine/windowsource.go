@@ -29,9 +29,9 @@ func (w *WindowSourcePlan) Bind(rows []relation.Tuple) { w.rows = rows }
 func (w *WindowSourcePlan) Schema() relation.Schema { return w.schema }
 
 func (w *WindowSourcePlan) Execute(ctx *ExecContext) ([]relation.Tuple, error) {
-	ctx.Stats.OperatorCount++
+	ctx.Stats.enter(OpWindowSource)
 	ctx.Stats.RowsScanned += int64(len(w.rows))
-	ctx.Stats.RowsProduced += int64(len(w.rows))
+	ctx.Stats.produced(OpWindowSource, len(w.rows))
 	return w.rows, nil
 }
 

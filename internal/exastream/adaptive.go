@@ -129,7 +129,7 @@ func (e *Engine) noteProbes(ps []probe) {
 		e.probes[k]++
 		if e.probes[k] >= e.opts.AdaptiveThreshold {
 			if err := table.CreateIndex(p.cols...); err == nil {
-				atomic.AddInt64(&e.ctr.adaptiveIndexes, 1)
+				e.met.adaptiveIndexes.Inc()
 				// Invalidate adapted plans: cached queries compare their
 				// epoch and re-run adaptation to pick up the new index.
 				atomic.AddInt64(&e.indexEpoch, 1)

@@ -16,11 +16,13 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/engine"
 	"repro/internal/relation"
 	"repro/internal/sql"
 	"repro/internal/stream"
+	"repro/internal/telemetry"
 )
 
 // Sink receives the result rows of one window evaluation of a registered
@@ -54,25 +56,69 @@ type Stats struct {
 	PlanReadapts  int64
 }
 
-// counters is the engine's internal mutable form of Stats. Every field
-// is manipulated with sync/atomic so parallel window executions never
-// serialize on e.mu just to bump a number.
-type counters struct {
-	tuplesIn        int64
-	batchesBuilt    int64
-	windowsExecuted int64
-	rowsOut         int64
-	adaptiveIndexes int64
-	lateTuples      int64
-	queryFailures   int64
-	suspensions     int64
-	rowsScanned     int64
-	rowsProduced    int64
-	hashProbes      int64
-	indexLookups    int64
-	planBuilds      int64
-	planCacheHits   int64
-	planReadapts    int64
+// metrics is the engine's instrument set — the former `counters` struct
+// of raw atomics folded into the telemetry registry. Instruments are
+// resolved once at engine construction so every hot-path update is
+// still a single atomic add; Stats() and registry snapshots read the
+// same values.
+type metrics struct {
+	tuplesIn        *telemetry.Counter
+	batchesBuilt    *telemetry.Counter
+	windowsExecuted *telemetry.Counter
+	rowsOut         *telemetry.Counter
+	adaptiveIndexes *telemetry.Counter
+	lateTuples      *telemetry.Counter
+	queryFailures   *telemetry.Counter
+	suspensions     *telemetry.Counter
+	rowsScanned     *telemetry.Counter
+	rowsProduced    *telemetry.Counter
+	hashProbes      *telemetry.Counter
+	indexLookups    *telemetry.Counter
+	planBuilds      *telemetry.Counter
+	planCacheHits   *telemetry.Counter
+	planReadapts    *telemetry.Counter
+
+	wcacheHits   *telemetry.Counter
+	wcacheMisses *telemetry.Counter
+	wcacheLen    *telemetry.Gauge // cached window batches currently retained
+	watermarkLag *telemetry.Gauge // ms between newest executed window and oldest retained
+
+	windowExecNS *telemetry.Histogram // wall time of one window execution
+
+	// Per-operator row counters folded from engine.ExecStats after each
+	// window execution.
+	opCalls [engine.NumOpKinds]*telemetry.Counter
+	opRows  [engine.NumOpKinds]*telemetry.Counter
+}
+
+func newMetrics(reg *telemetry.Registry) *metrics {
+	m := &metrics{
+		tuplesIn:        reg.Counter("exastream.tuples_in"),
+		batchesBuilt:    reg.Counter("exastream.batches_built"),
+		windowsExecuted: reg.Counter("exastream.windows_executed"),
+		rowsOut:         reg.Counter("exastream.rows_out"),
+		adaptiveIndexes: reg.Counter("exastream.adaptive_indexes"),
+		lateTuples:      reg.Counter("exastream.late_tuples"),
+		queryFailures:   reg.Counter("exastream.query_failures"),
+		suspensions:     reg.Counter("exastream.suspensions"),
+		rowsScanned:     reg.Counter("exastream.rows_scanned"),
+		rowsProduced:    reg.Counter("exastream.rows_produced"),
+		hashProbes:      reg.Counter("exastream.hash_probes"),
+		indexLookups:    reg.Counter("exastream.index_lookups"),
+		planBuilds:      reg.Counter("exastream.plan.builds"),
+		planCacheHits:   reg.Counter("exastream.plan.cache_hits"),
+		planReadapts:    reg.Counter("exastream.plan.readapts"),
+		wcacheHits:      reg.Counter("exastream.wcache.hits"),
+		wcacheMisses:    reg.Counter("exastream.wcache.misses"),
+		wcacheLen:       reg.Gauge("exastream.wcache.len"),
+		watermarkLag:    reg.Gauge("exastream.wcache.watermark_lag_ms"),
+		windowExecNS:    reg.Histogram("exastream.window.exec_ns", telemetry.LatencyBuckets),
+	}
+	for k := engine.OpKind(0); k < engine.NumOpKinds; k++ {
+		m.opCalls[k] = reg.Counter("engine.op." + k.String() + ".calls")
+		m.opRows[k] = reg.Counter("engine.op." + k.String() + ".rows_out")
+	}
+	return m
 }
 
 // Options configures an Engine.
@@ -114,6 +160,15 @@ type Options struct {
 	// DisablePlanCache this reproduces the pre-compile-once execution
 	// pipeline end to end; it exists for ablation and debugging.
 	InterpretExprs bool
+	// Telemetry, when set, is the metrics registry the engine records
+	// into; nil gives the engine a private registry (counters then cost
+	// the same either way). The cluster runtime passes one registry per
+	// node so counters survive engine rebuilds after a crash.
+	Telemetry *telemetry.Registry
+	// Tracer, when set, receives per-window execution spans on each
+	// query's lifecycle trace (created by the layer that registered the
+	// query). Nil disables span recording at zero cost.
+	Tracer *telemetry.Tracer
 }
 
 // Engine is one ExaStream instance (one per worker node in the cluster).
@@ -134,7 +189,8 @@ type Engine struct {
 	// indexEpoch (atomic) counts adaptive indexes built; cached plans
 	// compare it to theirs and re-adapt when it moved.
 	indexEpoch int64
-	ctr        counters
+	reg        *telemetry.Registry
+	met        *metrics
 }
 
 type windowKey struct {
@@ -174,6 +230,10 @@ type continuousQuery struct {
 	// distinct queries execute concurrently on the fleet pool.
 	execMu sync.Mutex
 	plan   *cachedPlan
+
+	// trace is the query's telemetry trace (nil when no tracer is
+	// configured); window executions append spans to it.
+	trace *telemetry.Trace
 }
 
 // cachedPlan is a continuous query's compiled physical plan, built once
@@ -194,19 +254,31 @@ func NewEngine(cat *relation.Catalog, opts Options) *Engine {
 	if opts.AdaptiveThreshold <= 0 {
 		opts.AdaptiveThreshold = 3
 	}
+	reg := opts.Telemetry
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	met := newMetrics(reg)
+	wc := stream.NewWCache()
+	wc.UseCounters(met.wcacheHits, met.wcacheMisses)
 	return &Engine{
 		catalog:   cat,
 		funcs:     engine.NewFuncRegistry(),
 		streams:   make(map[string]stream.Schema),
 		windows:   make(map[windowKey]*sharedWindow),
 		queries:   make(map[string]*continuousQuery),
-		wcache:    stream.NewWCache(),
+		wcache:    wc,
 		archives:  make(map[string][]*relation.Table),
 		federated: make(map[string]FetchFunc),
 		opts:      opts,
 		probes:    make(map[string]int),
+		reg:       reg,
+		met:       met,
 	}
 }
+
+// Telemetry returns the engine's metrics registry.
+func (e *Engine) Telemetry() *telemetry.Registry { return e.reg }
 
 // Catalog returns the static catalog.
 func (e *Engine) Catalog() *relation.Catalog { return e.catalog }
@@ -260,6 +332,13 @@ func (e *Engine) Register(id string, stmt *sql.SelectStmt, pulse *stream.Pulse, 
 		id: id, stmt: stmt, refs: refs, pulse: pulse, sink: sink,
 		pending: make(map[int64]map[int]stream.Batch),
 	}
+	if e.opts.Tracer != nil {
+		// Attach to an existing trace (started by the coordinator at
+		// translation time) or open a fresh one for this query id.
+		if q.trace = e.opts.Tracer.Trace(id); q.trace == nil {
+			q.trace = e.opts.Tracer.Start(id)
+		}
+	}
 	if err := e.registerLocked(q); err != nil {
 		return err
 	}
@@ -270,7 +349,7 @@ func (e *Engine) Register(id string, stmt *sql.SelectStmt, pulse *stream.Pulse, 
 	// containment/quarantine machinery.
 	if !e.opts.DisablePlanCache {
 		if cp, err := e.buildPlan(q); err == nil {
-			atomic.AddInt64(&e.ctr.planBuilds, 1)
+			e.met.planBuilds.Inc()
 			q.execMu.Lock()
 			if q.plan == nil {
 				q.plan = cp
@@ -368,7 +447,7 @@ func (e *Engine) Ingest(streamName string, el stream.Timestamped) error {
 		e.mu.Unlock()
 		return fmt.Errorf("exastream: unknown stream %q", streamName)
 	}
-	atomic.AddInt64(&e.ctr.tuplesIn, 1)
+	e.met.tuplesIn.Inc()
 	if err := e.archiveLocked(key, el); err != nil {
 		e.mu.Unlock()
 		return err
@@ -380,9 +459,9 @@ func (e *Engine) Ingest(streamName string, el stream.Timestamped) error {
 		}
 		before := sw.op.Late
 		batches := sw.op.Push(el)
-		atomic.AddInt64(&e.ctr.lateTuples, sw.op.Late-before)
+		e.met.lateTuples.Add(sw.op.Late-before)
 		for _, b := range batches {
-			atomic.AddInt64(&e.ctr.batchesBuilt, 1)
+			e.met.batchesBuilt.Inc()
 			if e.opts.ShareWindows {
 				e.wcache.Put(streamName, wk.spec, b)
 			}
@@ -403,7 +482,7 @@ func (e *Engine) Flush() error {
 	var fires []delivery
 	for wk, sw := range e.windows {
 		for _, b := range sw.op.Flush() {
-			atomic.AddInt64(&e.ctr.batchesBuilt, 1)
+			e.met.batchesBuilt.Inc()
 			if e.opts.ShareWindows {
 				e.wcache.Put(wk.stream, wk.spec, b)
 			}
@@ -609,6 +688,10 @@ func (e *Engine) executeItem(it execItem) error {
 	q := it.q
 	q.execMu.Lock()
 	defer q.execMu.Unlock()
+	start := time.Now()
+	span := q.trace.StartSpan("window-exec") // nil-safe: no-op without a tracer
+	span.SetAttr("window_end", it.end)
+	cacheHit := false
 	cp := q.plan
 	epoch := atomic.LoadInt64(&e.indexEpoch)
 	gen := e.catalog.Generation()
@@ -617,9 +700,11 @@ func (e *Engine) executeItem(it execItem) error {
 		var err error
 		cp, err = e.buildPlan(q)
 		if err != nil {
+			span.SetAttr("error", err.Error())
+			span.End()
 			return e.containQueryError(q, fmt.Errorf("exastream: query %s: %w", q.id, err))
 		}
-		atomic.AddInt64(&e.ctr.planBuilds, 1)
+		e.met.planBuilds.Inc()
 		if e.opts.DisablePlanCache {
 			q.plan = nil
 		} else {
@@ -630,35 +715,63 @@ func (e *Engine) executeItem(it execItem) error {
 		// re-run adaptation so eligible scans become index lookups.
 		cp.adapted, cp.probes = e.adaptPlan(cp.built)
 		cp.epoch = epoch
-		atomic.AddInt64(&e.ctr.planReadapts, 1)
+		e.met.planReadapts.Inc()
 	default:
-		atomic.AddInt64(&e.ctr.planCacheHits, 1)
+		cacheHit = true
+		e.met.planCacheHits.Inc()
 	}
+	rowsIn := 0
 	for i, src := range cp.sources {
 		if src != nil {
 			src.Bind(it.batches[i].Rows)
+			rowsIn += len(it.batches[i].Rows)
 		}
 	}
 	ctx := &engine.ExecContext{Catalog: e.catalog, Funcs: e.funcs, Interpret: e.opts.InterpretExprs}
 	rows, err := cp.adapted.Execute(ctx)
-	atomic.AddInt64(&e.ctr.rowsScanned, ctx.Stats.RowsScanned)
-	atomic.AddInt64(&e.ctr.rowsProduced, ctx.Stats.RowsProduced)
-	atomic.AddInt64(&e.ctr.hashProbes, ctx.Stats.HashProbes)
-	atomic.AddInt64(&e.ctr.indexLookups, ctx.Stats.IndexLookups)
+	e.met.rowsScanned.Add(ctx.Stats.RowsScanned)
+	e.met.rowsProduced.Add(ctx.Stats.RowsProduced)
+	e.met.hashProbes.Add(ctx.Stats.HashProbes)
+	e.met.indexLookups.Add(ctx.Stats.IndexLookups)
+	e.foldOpStats(&ctx.Stats)
 	if err != nil {
+		span.SetAttr("error", err.Error())
+		span.End()
 		return e.containQueryError(q, fmt.Errorf("exastream: query %s: %w", q.id, err))
 	}
 	q.mu.Lock()
 	q.failures = 0
 	q.mu.Unlock()
 	e.noteProbes(cp.probes)
-	atomic.AddInt64(&e.ctr.windowsExecuted, 1)
-	atomic.AddInt64(&e.ctr.rowsOut, int64(len(rows)))
+	e.met.windowsExecuted.Inc()
+	e.met.rowsOut.Add(int64(len(rows)))
 	e.wcache.Advance(q.id, it.end)
+	elapsed := time.Since(start)
+	e.met.windowExecNS.ObserveDuration(elapsed)
+	e.met.wcacheLen.Set(float64(e.wcache.Len()))
+	if lag := it.end - e.wcache.MinMark(); lag >= 0 {
+		e.met.watermarkLag.Set(float64(lag))
+	}
+	span.SetAttr("rows_in", rowsIn).
+		SetAttr("rows_out", len(rows)).
+		SetAttr("plan_cache_hit", cacheHit).
+		SetAttr("wall_ns", elapsed.Nanoseconds())
+	span.End()
 	if q.sink != nil {
 		q.sink(q.id, it.end, cp.adapted.Schema(), rows)
 	}
 	return nil
+}
+
+// foldOpStats folds one execution's per-operator counters into the
+// registry's engine.op.* metrics.
+func (e *Engine) foldOpStats(s *engine.ExecStats) {
+	for k := range s.Ops {
+		if c := s.Ops[k].Calls; c != 0 {
+			e.met.opCalls[k].Add(c)
+			e.met.opRows[k].Add(s.Ops[k].RowsOut)
+		}
+	}
 }
 
 // containQueryError handles a failed window execution. With an error
@@ -677,9 +790,9 @@ func (e *Engine) containQueryError(q *continuousQuery, err error) error {
 		q.suspended = true
 	}
 	q.mu.Unlock()
-	atomic.AddInt64(&e.ctr.queryFailures, 1)
+	e.met.queryFailures.Inc()
 	if suspend {
-		atomic.AddInt64(&e.ctr.suspensions, 1)
+		e.met.suspensions.Inc()
 	}
 	if e.opts.OnQueryError != nil {
 		e.opts.OnQueryError(q.id, err)
@@ -728,29 +841,51 @@ func (e *Engine) Resume(id string) error {
 	return nil
 }
 
-// Stats returns a snapshot of engine counters.
+// Stats returns a snapshot of engine counters (read from the same
+// telemetry instruments the registry snapshot exposes).
 func (e *Engine) Stats() Stats {
+	m := e.met
 	s := Stats{
-		TuplesIn:        atomic.LoadInt64(&e.ctr.tuplesIn),
-		BatchesBuilt:    atomic.LoadInt64(&e.ctr.batchesBuilt),
-		WindowsExecuted: atomic.LoadInt64(&e.ctr.windowsExecuted),
-		RowsOut:         atomic.LoadInt64(&e.ctr.rowsOut),
-		AdaptiveIndexes: atomic.LoadInt64(&e.ctr.adaptiveIndexes),
-		LateTuples:      atomic.LoadInt64(&e.ctr.lateTuples),
-		QueryFailures:   atomic.LoadInt64(&e.ctr.queryFailures),
-		Suspensions:     atomic.LoadInt64(&e.ctr.suspensions),
-		RowsScanned:     atomic.LoadInt64(&e.ctr.rowsScanned),
-		RowsProduced:    atomic.LoadInt64(&e.ctr.rowsProduced),
-		HashProbes:      atomic.LoadInt64(&e.ctr.hashProbes),
-		IndexLookups:    atomic.LoadInt64(&e.ctr.indexLookups),
-		PlanBuilds:      atomic.LoadInt64(&e.ctr.planBuilds),
-		PlanCacheHits:   atomic.LoadInt64(&e.ctr.planCacheHits),
-		PlanReadapts:    atomic.LoadInt64(&e.ctr.planReadapts),
+		TuplesIn:        m.tuplesIn.Value(),
+		BatchesBuilt:    m.batchesBuilt.Value(),
+		WindowsExecuted: m.windowsExecuted.Value(),
+		RowsOut:         m.rowsOut.Value(),
+		AdaptiveIndexes: m.adaptiveIndexes.Value(),
+		LateTuples:      m.lateTuples.Value(),
+		QueryFailures:   m.queryFailures.Value(),
+		Suspensions:     m.suspensions.Value(),
+		RowsScanned:     m.rowsScanned.Value(),
+		RowsProduced:    m.rowsProduced.Value(),
+		HashProbes:      m.hashProbes.Value(),
+		IndexLookups:    m.indexLookups.Value(),
+		PlanBuilds:      m.planBuilds.Value(),
+		PlanCacheHits:   m.planCacheHits.Value(),
+		PlanReadapts:    m.planReadapts.Value(),
 	}
-	e.mu.Lock()
-	s.WCacheHits, s.WCacheMisses = e.wcache.Hits, e.wcache.Misses
-	e.mu.Unlock()
+	s.WCacheHits, s.WCacheMisses = e.wcache.Counts()
 	return s
+}
+
+// Add accumulates another snapshot into s (used for cluster-wide
+// engine totals).
+func (s *Stats) Add(o Stats) {
+	s.TuplesIn += o.TuplesIn
+	s.BatchesBuilt += o.BatchesBuilt
+	s.WindowsExecuted += o.WindowsExecuted
+	s.RowsOut += o.RowsOut
+	s.WCacheHits += o.WCacheHits
+	s.WCacheMisses += o.WCacheMisses
+	s.AdaptiveIndexes += o.AdaptiveIndexes
+	s.LateTuples += o.LateTuples
+	s.QueryFailures += o.QueryFailures
+	s.Suspensions += o.Suspensions
+	s.RowsScanned += o.RowsScanned
+	s.RowsProduced += o.RowsProduced
+	s.HashProbes += o.HashProbes
+	s.IndexLookups += o.IndexLookups
+	s.PlanBuilds += o.PlanBuilds
+	s.PlanCacheHits += o.PlanCacheHits
+	s.PlanReadapts += o.PlanReadapts
 }
 
 // collectStreamRefs walks the statement (all union branches, joins and

@@ -13,6 +13,7 @@ import (
 	"repro/internal/relation"
 	"repro/internal/sql"
 	"repro/internal/stream"
+	"repro/internal/telemetry"
 )
 
 // Translation is the output of the STARQL2SQL(+) translator: the
@@ -52,6 +53,9 @@ type Options struct {
 	// instead of evaluating the static fleet (the caller already knows
 	// the bindings).
 	Bindings []Binding
+	// Trace, when non-nil, receives "rewrite" and "unfold" spans with
+	// the stage statistics as attributes.
+	Trace *telemetry.Trace
 }
 
 // Translator holds the deployment assets: ontology, mappings, and the
@@ -60,6 +64,9 @@ type Translator struct {
 	TBox     *ontology.TBox
 	Mappings *mapping.Set
 	Catalog  *relation.Catalog
+	// Metrics, when non-nil, receives per-translation instruments
+	// (starql.rewrite.*, starql.unfold.*).
+	Metrics *telemetry.Registry
 }
 
 // NewTranslator bundles the deployment assets.
@@ -123,19 +130,36 @@ func (tr *Translator) Translate(q *Query, opts Options) (*Translation, error) {
 	}
 	out.StaticCQ = staticCQ
 
+	rspan := opts.Trace.StartSpan("rewrite")
 	enriched, rstats, err := rewrite.PerfectRef(staticCQ, tr.TBox, opts.Rewrite)
 	if err != nil {
+		rspan.SetAttr("error", err.Error())
+		rspan.End()
 		return nil, err
 	}
 	out.Enriched = enriched
 	out.RewriteStats = rstats
+	rspan.SetAttr("generated", rstats.Generated).
+		SetAttr("result", rstats.Result).
+		SetAttr("atom_steps", rstats.AtomSteps).
+		SetAttr("reduce_steps", rstats.ReduceSteps)
+	rspan.End()
 
+	uspan := opts.Trace.StartSpan("unfold")
 	fleet, ustats, err := mapping.Unfold(enriched, tr.Mappings, opts.Unfold)
 	if err != nil {
+		uspan.SetAttr("error", err.Error())
+		uspan.End()
 		return nil, err
 	}
 	out.StaticFleet = fleet
 	out.UnfoldStats = ustats
+	uspan.SetAttr("cqs", ustats.CQs).
+		SetAttr("combinations", ustats.Combinations).
+		SetAttr("pruned", ustats.Pruned).
+		SetAttr("fleet_size", ustats.FleetSize)
+	uspan.End()
+	tr.recordStats(rstats, ustats)
 
 	sc := q.Streams[0]
 	out.Window = stream.WindowSpec{RangeMS: sc.RangeMS, SlideMS: sc.SlideMS}
@@ -157,6 +181,24 @@ func (tr *Translator) Translate(q *Query, opts Options) (*Translation, error) {
 		}
 	}
 	return out, nil
+}
+
+// recordStats folds one translation's stage statistics into the
+// translator's registry (no-op without one). The histograms record the
+// per-query rewrite size and unfolding fan-out distributions.
+func (tr *Translator) recordStats(r rewrite.Stats, u mapping.UnfoldStats) {
+	if tr.Metrics == nil {
+		return
+	}
+	tr.Metrics.Counter("starql.translations").Inc()
+	tr.Metrics.Counter("starql.rewrite.generated").Add(int64(r.Generated))
+	tr.Metrics.Counter("starql.rewrite.atom_steps").Add(int64(r.AtomSteps))
+	tr.Metrics.Counter("starql.rewrite.reduce_steps").Add(int64(r.ReduceSteps))
+	tr.Metrics.Counter("starql.unfold.combinations").Add(int64(u.Combinations))
+	tr.Metrics.Counter("starql.unfold.pruned").Add(int64(u.Pruned))
+	tr.Metrics.Counter("starql.unfold.unmapped_atoms").Add(int64(u.UnmappedAtoms))
+	tr.Metrics.Histogram("starql.rewrite.ucq_size", telemetry.SizeBuckets).Observe(float64(r.Result))
+	tr.Metrics.Histogram("starql.unfold.fleet_size", telemetry.SizeBuckets).Observe(float64(u.FleetSize))
 }
 
 // EvalBindings executes the static fleet against the catalog and decodes

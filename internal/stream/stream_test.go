@@ -250,8 +250,8 @@ func TestWCacheShareAcrossConsumers(t *testing.T) {
 	if calls != 1 {
 		t.Fatalf("materialise calls = %d, want 1", calls)
 	}
-	if c.Hits != 3 || c.Misses != 1 {
-		t.Fatalf("hits/misses = %d/%d", c.Hits, c.Misses)
+	if hits, misses := c.Counts(); hits != 3 || misses != 1 {
+		t.Fatalf("hits/misses = %d/%d", hits, misses)
 	}
 }
 

@@ -3,6 +3,8 @@ package stream
 import (
 	"fmt"
 	"sync"
+
+	"repro/internal/telemetry"
 )
 
 // WCache is the paper's wCache operator: an index for answering equality
@@ -25,8 +27,10 @@ type WCache struct {
 	// cached window. Entries below minMark have already been evicted.
 	minMark int64
 
-	Hits   int64
-	Misses int64
+	// hits/misses are telemetry counters so the engine's registry sees
+	// cache traffic live; standalone caches get private counters.
+	hits   *telemetry.Counter
+	misses *telemetry.Counter
 }
 
 type wcKey struct {
@@ -37,7 +41,36 @@ type wcKey struct {
 
 // NewWCache returns an empty cache.
 func NewWCache() *WCache {
-	return &WCache{entries: make(map[wcKey]Batch), marks: make(map[string]int64)}
+	return &WCache{
+		entries: make(map[wcKey]Batch),
+		marks:   make(map[string]int64),
+		hits:    &telemetry.Counter{},
+		misses:  &telemetry.Counter{},
+	}
+}
+
+// UseCounters rebinds the hit/miss counters (e.g. to an engine's
+// metrics registry). Call before the cache sees traffic.
+func (c *WCache) UseCounters(hits, misses *telemetry.Counter) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.hits, c.misses = hits, misses
+}
+
+// Counts returns the hit/miss counters as one consistent pair.
+func (c *WCache) Counts() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits.Value(), c.misses.Value()
+}
+
+// MinMark returns the smallest watermark across registered consumers —
+// the oldest window id any consumer may still need. Telemetry derives
+// the watermark-lag gauge from it.
+func (c *WCache) MinMark() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.minMark
 }
 
 // Register adds a consumer; its watermark starts at 0.
@@ -108,11 +141,11 @@ func (c *WCache) Get(stream string, spec WindowSpec, windowID int64, materialise
 	key := wcKey{stream, spec, windowID}
 	c.mu.Lock()
 	if b, ok := c.entries[key]; ok {
-		c.Hits++
+		c.hits.Inc()
 		c.mu.Unlock()
 		return b, nil
 	}
-	c.Misses++
+	c.misses.Inc()
 	c.mu.Unlock()
 
 	b, err := materialise()

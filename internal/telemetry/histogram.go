@@ -1,0 +1,172 @@
+package telemetry
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// LatencyBuckets are the default upper bounds for duration histograms,
+// in nanoseconds: a 1-2-5 ladder from 1µs to 10s. Fixed buckets keep
+// Observe to two atomic adds and make merged snapshots exact.
+var LatencyBuckets = []float64{
+	1e3, 2e3, 5e3, // 1µs .. 5µs
+	1e4, 2e4, 5e4, // 10µs .. 50µs
+	1e5, 2e5, 5e5, // 100µs .. 500µs
+	1e6, 2e6, 5e6, // 1ms .. 5ms
+	1e7, 2e7, 5e7, // 10ms .. 50ms
+	1e8, 2e8, 5e8, // 100ms .. 500ms
+	1e9, 2e9, 5e9, // 1s .. 5s
+	1e10, // 10s
+}
+
+// SizeBuckets are default upper bounds for count-valued histograms
+// (fleet sizes, row counts): a 1-2-5 ladder from 1 to 100k.
+var SizeBuckets = []float64{
+	1, 2, 5, 10, 20, 50, 100, 200, 500,
+	1e3, 2e3, 5e3, 1e4, 2e4, 5e4, 1e5,
+}
+
+// Histogram is a fixed-bucket histogram with atomic per-bucket counts.
+// The last bucket is implicit (+Inf), so every observation lands
+// somewhere. Quantiles are estimated from the bucket counts at snapshot
+// time with linear interpolation inside the winning bucket.
+type Histogram struct {
+	bounds []float64 // ascending upper bounds; immutable after creation
+	counts []atomic.Int64
+	count  atomic.Int64
+	sum    Gauge // float64 accumulation via CAS
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = LatencyBuckets
+	}
+	cp := make([]float64, len(bounds))
+	copy(cp, bounds)
+	return &Histogram{bounds: cp, counts: make([]atomic.Int64, len(cp)+1)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// ObserveDuration records a duration sample in nanoseconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(float64(d.Nanoseconds())) }
+
+// Count returns the number of samples observed.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// HistogramSnapshot is a histogram's state at snapshot time, with
+// pre-computed quantiles for consumers that do not want to interpolate
+// themselves.
+type HistogramSnapshot struct {
+	Count  int64     `json:"count"`
+	Sum    float64   `json:"sum"`
+	Bounds []float64 `json:"bounds,omitempty"`
+	Counts []int64   `json:"bucket_counts,omitempty"`
+	P50    float64   `json:"p50"`
+	P95    float64   `json:"p95"`
+	P99    float64   `json:"p99"`
+}
+
+// Snapshot captures the histogram's buckets and quantile estimates.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]int64, len(h.counts)),
+	}
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		s.Counts[i] = c
+		s.Count += c
+	}
+	s.Sum = h.sum.Value()
+	s.P50 = s.Quantile(0.50)
+	s.P95 = s.Quantile(0.95)
+	s.P99 = s.Quantile(0.99)
+	return s
+}
+
+// Quantile estimates the q-quantile (0..1) from the bucket counts:
+// find the bucket holding the q-th sample and interpolate linearly
+// between its bounds. Samples in the overflow bucket report the last
+// finite bound (a lower bound on the true value).
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var cum float64
+	for i, c := range s.Counts {
+		prev := cum
+		cum += float64(c)
+		if cum < rank || c == 0 {
+			continue
+		}
+		// The rank-th sample is in bucket i, spanning (lo, hi].
+		var lo float64
+		if i > 0 {
+			lo = s.Bounds[i-1]
+		}
+		if i >= len(s.Bounds) {
+			return s.Bounds[len(s.Bounds)-1] // overflow bucket
+		}
+		hi := s.Bounds[i]
+		frac := (rank - prev) / float64(c)
+		if frac < 0 {
+			frac = 0
+		}
+		return lo + (hi-lo)*frac
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
+// merge sums another snapshot's buckets into this one. Mismatched
+// bucket layouts (different bound sets) keep the receiver's layout and
+// fold the other's count/sum only, so totals stay right even if shapes
+// drifted.
+func (s HistogramSnapshot) merge(o HistogramSnapshot) HistogramSnapshot {
+	if s.Count == 0 && len(s.Counts) == 0 {
+		return o
+	}
+	out := HistogramSnapshot{
+		Count:  s.Count + o.Count,
+		Sum:    s.Sum + o.Sum,
+		Bounds: s.Bounds,
+		Counts: append([]int64(nil), s.Counts...),
+	}
+	if len(o.Counts) == len(s.Counts) && sameBounds(s.Bounds, o.Bounds) {
+		for i, c := range o.Counts {
+			out.Counts[i] += c
+		}
+	}
+	out.P50 = out.Quantile(0.50)
+	out.P95 = out.Quantile(0.95)
+	out.P99 = out.Quantile(0.99)
+	return out
+}
+
+func sameBounds(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,68 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler serves the opt-in monitoring surface:
+//
+//	/metrics       merged metrics snapshot as indented JSON (expvar-style)
+//	/traces        retained query-lifecycle traces as JSON
+//	/debug/pprof/  the standard net/http/pprof profiles
+//
+// snapshot and traces are called per request so the output is always
+// live; either may be nil, which serves an empty document.
+func Handler(snapshot func() Snapshot, traces func() []TraceSnapshot) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		var s Snapshot
+		if snapshot != nil {
+			s = snapshot()
+		}
+		writeJSON(w, s)
+	})
+	mux.HandleFunc("/traces", func(w http.ResponseWriter, _ *http.Request) {
+		var ts []TraceSnapshot
+		if traces != nil {
+			ts = traces()
+		}
+		if ts == nil {
+			ts = []TraceSnapshot{}
+		}
+		writeJSON(w, ts)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Server aliases http.Server so callers can hold and close the
+// monitoring endpoint without importing net/http themselves.
+type Server = http.Server
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// Serve starts the monitoring endpoint on addr (e.g. "localhost:6060";
+// port 0 picks a free port) and returns the server plus the bound
+// address. The caller closes the server; serving errors after Close
+// are swallowed.
+func Serve(addr string, snapshot func() Snapshot, traces func() []TraceSnapshot) (*http.Server, string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", err
+	}
+	srv := &http.Server{Handler: Handler(snapshot, traces)}
+	go func() { _ = srv.Serve(ln) }()
+	return srv, ln.Addr().String(), nil
+}

@@ -1,0 +1,136 @@
+package telemetry
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestTraceLifecycle(t *testing.T) {
+	tr := NewTracer(8)
+	trace := tr.Start("task1")
+	for _, name := range []string{"rewrite", "unfold", "register"} {
+		trace.StartSpan(name).End()
+	}
+	sp := trace.StartSpan("window-exec")
+	sp.SetAttr("window_end", int64(1000)).SetAttr("rows_out", 3)
+	sp.End()
+	sp.End() // idempotent: must not double-record
+
+	got := tr.Trace("task1").SpanNames()
+	want := []string{"rewrite", "unfold", "register", "window-exec"}
+	if len(got) != len(want) {
+		t.Fatalf("spans = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("span %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+	snap := trace.Snapshot()
+	w, ok := snap.FirstSpan("window-exec")
+	if !ok || w.Attrs["window_end"] != int64(1000) || w.Attrs["rows_out"] != 3 {
+		t.Errorf("window span = %+v", w)
+	}
+	if w.DurationNS < 0 {
+		t.Errorf("negative duration %d", w.DurationNS)
+	}
+}
+
+func TestTraceSpanRing(t *testing.T) {
+	tr := NewTracer(1)
+	trace := tr.Start("q")
+	trace.maxSpans = 4
+	for i := 0; i < 10; i++ {
+		trace.StartSpan(fmt.Sprintf("s%d", i)).End()
+	}
+	snap := trace.Snapshot()
+	if len(snap.Spans) != 4 {
+		t.Fatalf("retained %d spans, want 4", len(snap.Spans))
+	}
+	if snap.Dropped != 6 {
+		t.Errorf("dropped = %d, want 6", snap.Dropped)
+	}
+	if snap.Spans[0].Name != "s6" || snap.Spans[3].Name != "s9" {
+		t.Errorf("ring kept %v, want s6..s9", snap.SpanNames())
+	}
+}
+
+func TestTracerCapacityAndRestart(t *testing.T) {
+	tr := NewTracer(2)
+	tr.Start("a").StartSpan("x").End()
+	tr.Start("b")
+	tr.Start("c") // evicts a
+	if tr.Trace("a") != nil {
+		t.Error("oldest trace not evicted")
+	}
+	if len(tr.Snapshots()) != 2 {
+		t.Errorf("retained %d traces, want 2", len(tr.Snapshots()))
+	}
+	// Restarting an id reuses the slot and clears old spans.
+	b := tr.Start("b")
+	b.StartSpan("y").End()
+	if names := tr.Trace("b").SpanNames(); len(names) != 1 || names[0] != "y" {
+		t.Errorf("restarted trace spans = %v", names)
+	}
+}
+
+type collectExporter struct {
+	mu    sync.Mutex
+	spans []string
+}
+
+func (c *collectExporter) ExportSpan(traceID string, s SpanSnapshot) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.spans = append(c.spans, traceID+"/"+s.Name)
+}
+
+func TestExporter(t *testing.T) {
+	tr := NewTracer(4)
+	exp := &collectExporter{}
+	tr.SetExporter(exp)
+	tr.Start("q").StartSpan("rewrite").End()
+	tr.Trace("q").StartSpan("window-exec").End()
+	exp.mu.Lock()
+	defer exp.mu.Unlock()
+	if len(exp.spans) != 2 || exp.spans[0] != "q/rewrite" || exp.spans[1] != "q/window-exec" {
+		t.Errorf("exported = %v", exp.spans)
+	}
+}
+
+// Nil receivers are safe no-ops so instrumentation sites need no
+// conditionals.
+func TestNilSafety(t *testing.T) {
+	var tracer *Tracer
+	trace := tracer.Start("x")
+	if trace != nil {
+		t.Fatal("nil tracer returned a trace")
+	}
+	span := trace.StartSpan("s")
+	span.SetAttr("k", 1)
+	span.End()
+	_ = trace.Snapshot()
+	_ = tracer.Trace("x")
+	_ = tracer.Snapshots()
+	tracer.SetExporter(nil)
+}
+
+func TestConcurrentTracing(t *testing.T) {
+	tr := NewTracer(16)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			trace := tr.Start(fmt.Sprintf("q%d", w%4))
+			for i := 0; i < 200; i++ {
+				trace.StartSpan("window-exec").SetAttr("i", i).End()
+				if i%50 == 0 {
+					_ = tr.Snapshots()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

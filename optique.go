@@ -40,6 +40,7 @@ import (
 	"repro/internal/ontology"
 	"repro/internal/relation"
 	"repro/internal/starql"
+	"repro/internal/telemetry"
 )
 
 // System is one OPTIQUE deployment; see core.System.
@@ -65,6 +66,14 @@ type EngineOptions = exastream.Options
 
 // Health summarises the runtime's failure state; see System.Health.
 type Health = cluster.Health
+
+// TelemetrySnapshot is a point-in-time view of every metric the system
+// records; see System.TelemetrySnapshot.
+type TelemetrySnapshot = telemetry.Snapshot
+
+// TraceSnapshot is one task's query-lifecycle trace (rewrite → unfold →
+// register → window-exec spans); see System.Traces.
+type TraceSnapshot = telemetry.TraceSnapshot
 
 // FaultInjector hooks worker loops for chaos testing; internal/faults
 // provides a deterministic, seedable implementation.

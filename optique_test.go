@@ -72,3 +72,97 @@ func TestFacadeSystemLifecycle(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestTraceCompletenessFigure1 drives the paper's Figure 1 diagnostic
+// task end to end and asserts the full query-lifecycle trace: the
+// translator's rewrite and unfold spans, the registration span, and
+// window-execution spans from the hosting engine — plus live counters
+// in the merged telemetry snapshot.
+func TestTraceCompletenessFigure1(t *testing.T) {
+	gen, err := siemens.New(siemens.SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat, err := gen.StaticCatalog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := optique.NewSystem(optique.Config{Nodes: 2},
+		siemens.TBox(), siemens.Mappings(), cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	for _, sc := range siemens.StreamSchemas() {
+		if err := sys.DeclareStream(sc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	task, _ := siemens.TaskByID("T01_mon_temperature")
+	if _, err := sys.RegisterTask(task.ID, task.Query, nil); err != nil {
+		t.Fatal(err)
+	}
+	events := gen.PlantDefaultEvents(0, 10_000)
+	tuples, routes, err := gen.Generate(siemens.StreamConfig{
+		FromMS: 0, ToMS: 10_000, StepMS: 500,
+		Sensors: gen.SensorsOfTurbine(0), Events: events, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, el := range tuples {
+		if err := sys.Ingest(siemens.RouteName(routes[i]), el); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sys.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	var trace optique.TraceSnapshot
+	found := false
+	for _, ts := range sys.Traces() {
+		if ts.ID == task.ID {
+			trace, found = ts, true
+		}
+	}
+	if !found {
+		t.Fatalf("no trace retained for %s", task.ID)
+	}
+	// The chain must be complete and ordered: translation spans first,
+	// then registration, then at least one window execution.
+	order := map[string]int{}
+	for i, s := range trace.Spans {
+		if _, seen := order[s.Name]; !seen {
+			order[s.Name] = i
+		}
+	}
+	for _, name := range []string{"rewrite", "unfold", "register", "window-exec"} {
+		if _, ok := order[name]; !ok {
+			t.Fatalf("trace missing span %q (spans: %v)", name, trace.SpanNames())
+		}
+	}
+	if !(order["rewrite"] < order["unfold"] &&
+		order["unfold"] < order["register"] &&
+		order["register"] < order["window-exec"]) {
+		t.Errorf("span order wrong: %v", trace.SpanNames())
+	}
+	rw, _ := trace.FirstSpan("rewrite")
+	if rw.Attrs["result"] == nil {
+		t.Errorf("rewrite span lacks stats attrs: %v", rw.Attrs)
+	}
+	we, _ := trace.FirstSpan("window-exec")
+	if we.Attrs["rows_in"] == nil || we.Attrs["plan_cache_hit"] == nil {
+		t.Errorf("window-exec span lacks execution attrs: %v", we.Attrs)
+	}
+
+	snap := sys.TelemetrySnapshot()
+	for _, name := range []string{"exastream.tuples_in", "exastream.windows_executed", "starql.translations"} {
+		if snap.Counters[name] == 0 {
+			t.Errorf("counter %s = 0 in merged snapshot", name)
+		}
+	}
+	if snap.Histograms["exastream.window.exec_ns"].Count == 0 {
+		t.Error("window execution latency histogram is empty")
+	}
+}
