@@ -82,7 +82,7 @@ func main() {
 	benchPat := flag.String("bench", "Figure1EndToEnd|CompiledVsInterpreted", "benchmark pattern for -exp record")
 	benchTime := flag.String("benchtime", "2s", "benchtime for -exp record")
 	benchOut := flag.String("out", "BENCH_PR2.json", "output file for -exp record")
-	telemetryAddr := flag.String("telemetry-addr", "", "serve /metrics, /traces and /debug/pprof on this address (e.g. localhost:6060)")
+	telemetryAddr := flag.String("telemetry-addr", "", "serve /metrics, /traces and /debug/pprof on this address (e.g. localhost:6060; unauthenticated, \":port\" binds loopback)")
 	flag.Parse()
 
 	if *telemetryAddr != "" {

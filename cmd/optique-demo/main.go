@@ -38,7 +38,7 @@ func main() {
 	chaos := flag.Bool("chaos", false, "kill a worker mid-replay (s2) to showcase query failover")
 	parallelism := flag.Int("parallelism", 0, "per-node worker pool for ready windows (0 = GOMAXPROCS, negative = sequential)")
 	plancache := flag.Bool("plancache", true, "cache each continuous query's compiled plan across windows")
-	flag.StringVar(&telemetryAddr, "telemetry-addr", "", "serve /metrics, /traces and /debug/pprof on this address (e.g. localhost:6060)")
+	flag.StringVar(&telemetryAddr, "telemetry-addr", "", "serve /metrics, /traces and /debug/pprof on this address (e.g. localhost:6060; unauthenticated, \":port\" binds loopback)")
 	flag.Parse()
 	engineOpts = optique.EngineOptions{Parallelism: *parallelism, DisablePlanCache: !*plancache}
 

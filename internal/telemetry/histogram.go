@@ -97,9 +97,16 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 // Quantile estimates the q-quantile (0..1) from the bucket counts:
 // find the bucket holding the q-th sample and interpolate linearly
 // between its bounds. Samples in the overflow bucket report the last
-// finite bound (a lower bound on the true value).
+// finite bound (a lower bound on the true value). The rank is based on
+// the bucket-count total, not the Count field — after a mismatched-
+// layout merge Count exceeds the bucketed samples, and ranking against
+// it would skew every quantile toward the last bound.
 func (s HistogramSnapshot) Quantile(q float64) float64 {
-	if s.Count == 0 || len(s.Bounds) == 0 {
+	var total float64
+	for _, c := range s.Counts {
+		total += float64(c)
+	}
+	if total == 0 || len(s.Bounds) == 0 {
 		return 0
 	}
 	if q < 0 {
@@ -108,7 +115,7 @@ func (s HistogramSnapshot) Quantile(q float64) float64 {
 	if q > 1 {
 		q = 1
 	}
-	rank := q * float64(s.Count)
+	rank := q * total
 	var cum float64
 	for i, c := range s.Counts {
 		prev := cum
@@ -137,7 +144,9 @@ func (s HistogramSnapshot) Quantile(q float64) float64 {
 // merge sums another snapshot's buckets into this one. Mismatched
 // bucket layouts (different bound sets) keep the receiver's layout and
 // fold the other's count/sum only, so totals stay right even if shapes
-// drifted.
+// drifted; quantiles then describe the receiver's samples only, since
+// Quantile ranks against the bucket-count total rather than the merged
+// Count.
 func (s HistogramSnapshot) merge(o HistogramSnapshot) HistogramSnapshot {
 	if s.Count == 0 && len(s.Counts) == 0 {
 		return o

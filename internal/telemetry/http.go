@@ -57,7 +57,16 @@ func writeJSON(w http.ResponseWriter, v any) {
 // port 0 picks a free port) and returns the server plus the bound
 // address. The caller closes the server; serving errors after Close
 // are swallowed.
+//
+// The endpoint is unauthenticated and includes net/http/pprof (heap
+// dumps, CPU profiles, cmdline), so it is meant for loopback use. An
+// addr with no host (":6060") binds to localhost, not all interfaces;
+// exposing the endpoint to the network requires spelling out a
+// non-loopback host explicitly.
 func Serve(addr string, snapshot func() Snapshot, traces func() []TraceSnapshot) (*http.Server, string, error) {
+	if host, port, err := net.SplitHostPort(addr); err == nil && host == "" {
+		addr = net.JoinHostPort("localhost", port)
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, "", err

@@ -15,12 +15,15 @@
 // Metric names are dot-separated hierarchies, `<layer>.<subsystem>.<what>`,
 // e.g. `exastream.plan.cache_hits` or `cluster.node.3.state`. Counters
 // are monotonic, gauges are instantaneous values, histograms observe
-// float64 samples (durations are recorded in nanoseconds).
+// float64 samples (durations are recorded in nanoseconds). The name
+// suffix carries a gauge's cross-node merge rule: `_ms`, `_ns` and
+// `.state` gauges merge by max, everything else sums (see Merge).
 package telemetry
 
 import (
 	"math"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -169,8 +172,13 @@ func (r *Registry) Snapshot() Snapshot {
 
 // Merge combines snapshots from several registries (e.g. one per
 // cluster node) into cluster-wide totals: counters and histogram
-// buckets sum, gauges sum (occupancies and lags aggregate additively;
-// per-node gauges use distinct names so they pass through unchanged).
+// buckets sum. Gauges merge by name convention — occupancy-style
+// gauges sum (total cached windows across nodes is meaningful), but
+// lag/latency gauges (`*_ms`, `*_ns` suffix) and state gauges
+// (`*.state` suffix) take the maximum, because summing per-node
+// watermark lags or node states produces a number with no meaning.
+// Per-node gauges use distinct names (`cluster.node.N.*`) so they pass
+// through unchanged either way.
 func Merge(snaps ...Snapshot) Snapshot {
 	out := Snapshot{
 		Counters:   make(map[string]int64),
@@ -182,13 +190,31 @@ func Merge(snaps ...Snapshot) Snapshot {
 			out.Counters[name] += v
 		}
 		for name, v := range s.Gauges {
-			out.Gauges[name] += v
+			cur, seen := out.Gauges[name]
+			switch {
+			case !seen:
+				out.Gauges[name] = v
+			case gaugeMergesByMax(name):
+				out.Gauges[name] = math.Max(cur, v)
+			default:
+				out.Gauges[name] = cur + v
+			}
 		}
 		for name, h := range s.Histograms {
 			out.Histograms[name] = out.Histograms[name].merge(h)
 		}
 	}
 	return out
+}
+
+// gaugeMergesByMax reports whether a gauge's cross-node merge takes the
+// maximum instead of the sum: lag and latency gauges (named `*_ms` or
+// `*_ns`) and state gauges (`*.state`) are not additive — the
+// cluster-wide value of a lag is its worst node, not the total.
+func gaugeMergesByMax(name string) bool {
+	return strings.HasSuffix(name, "_ms") ||
+		strings.HasSuffix(name, "_ns") ||
+		strings.HasSuffix(name, ".state")
 }
 
 // CounterNames lists registered counters, sorted (for stable output in

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"sync"
 	"testing"
@@ -109,6 +110,55 @@ func TestMerge(t *testing.T) {
 	}
 }
 
+// Gauges whose value is not additive across nodes — lags (*_ms, *_ns)
+// and states (*.state) — merge by max: the cluster-wide watermark lag
+// is the worst node's, not the fleet total.
+func TestMergeGaugeMax(t *testing.T) {
+	a, b := NewRegistry(), NewRegistry()
+	a.Gauge("exastream.wcache.watermark_lag_ms").Set(120)
+	b.Gauge("exastream.wcache.watermark_lag_ms").Set(80)
+	a.Gauge("cluster.node.0.state").Set(2)
+	b.Gauge("cluster.node.0.state").Set(1)
+	a.Gauge("exastream.wcache.len").Set(3)
+	b.Gauge("exastream.wcache.len").Set(4)
+	m := Merge(a.Snapshot(), b.Snapshot())
+	if got := m.Gauges["exastream.wcache.watermark_lag_ms"]; got != 120 {
+		t.Errorf("lag gauge merged to %v, want max 120", got)
+	}
+	if got := m.Gauges["cluster.node.0.state"]; got != 2 {
+		t.Errorf("state gauge merged to %v, want max 2", got)
+	}
+	if got := m.Gauges["exastream.wcache.len"]; got != 7 {
+		t.Errorf("occupancy gauge merged to %v, want sum 7", got)
+	}
+}
+
+// Merging histograms with different bucket layouts keeps the receiver's
+// buckets and folds the other's Count/Sum only; quantiles must still
+// describe the receiver's bucketed samples instead of skewing toward
+// the last bound because the rank was based on the inflated Count.
+func TestMergeHistogramMismatchedBounds(t *testing.T) {
+	a, b := NewRegistry(), NewRegistry()
+	ha := a.Histogram("h", []float64{10, 20, 50})
+	for i := 0; i < 100; i++ {
+		ha.Observe(5) // all samples in the first bucket
+	}
+	hb := b.Histogram("h", []float64{1, 2})
+	for i := 0; i < 100; i++ {
+		hb.Observe(1)
+	}
+	m := Merge(a.Snapshot(), b.Snapshot())
+	h := m.Histograms["h"]
+	if h.Count != 200 || h.Sum != 600 {
+		t.Errorf("merged totals = count %d sum %v, want 200/600", h.Count, h.Sum)
+	}
+	// Receiver's samples all sit in (0,10]; P99 must stay there rather
+	// than jumping to the 50 bound.
+	if h.P99 > 10 {
+		t.Errorf("mismatched-merge P99 = %v, want <= 10", h.P99)
+	}
+}
+
 // TestConcurrentRegistry exercises get-or-create, writes, and snapshots
 // from many goroutines; run under -race (the CI race recipe covers it).
 func TestConcurrentRegistry(t *testing.T) {
@@ -188,5 +238,22 @@ func TestHTTPHandler(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		t.Errorf("pprof status = %d", resp.StatusCode)
+	}
+}
+
+// A host-less addr must bind loopback, not every interface — the
+// endpoint serves pprof unauthenticated.
+func TestServeHostlessAddrBindsLoopback(t *testing.T) {
+	srv, addr, err := Serve(":0", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	host, _, err := net.SplitHostPort(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ip := net.ParseIP(host); ip == nil || !ip.IsLoopback() {
+		t.Errorf("bound host = %q, want loopback", host)
 	}
 }

@@ -73,23 +73,27 @@ func (t *Tracer) Start(id string) *Trace {
 		return nil
 	}
 	t.mu.Lock()
-	defer t.mu.Unlock()
-	if old, ok := t.traces[id]; ok {
-		// Restarted query: reuse the slot, drop the old spans.
-		old.mu.Lock()
-		old.spans = nil
-		old.dropped = 0
-		old.mu.Unlock()
-		return old
+	old, ok := t.traces[id]
+	if !ok {
+		tr := &Trace{ID: id, tracer: t, maxSpans: t.maxSpans}
+		t.traces[id] = tr
+		t.order = append(t.order, id)
+		for len(t.order) > t.capacity {
+			delete(t.traces, t.order[0])
+			t.order = t.order[1:]
+		}
+		t.mu.Unlock()
+		return tr
 	}
-	tr := &Trace{ID: id, tracer: t, maxSpans: t.maxSpans}
-	t.traces[id] = tr
-	t.order = append(t.order, id)
-	for len(t.order) > t.capacity {
-		delete(t.traces, t.order[0])
-		t.order = t.order[1:]
-	}
-	return tr
+	// Restarted query: reuse the slot, drop the old spans. Reset outside
+	// t.mu so this method never holds tracer and trace locks together
+	// (record orders exporter lookup before tr.mu for the same reason).
+	t.mu.Unlock()
+	old.mu.Lock()
+	old.spans = nil
+	old.dropped = 0
+	old.mu.Unlock()
+	return old
 }
 
 // Trace returns the retained trace for a query id, or nil.
@@ -171,6 +175,11 @@ func (tr *Trace) SpanNames() []string {
 }
 
 func (tr *Trace) record(s SpanSnapshot) {
+	// Resolve the exporter before taking tr.mu: currentExporter locks
+	// tracer.mu, and Tracer.Start locks tracer.mu then tr.mu, so taking
+	// them here in the opposite order would deadlock a span ending while
+	// its query is re-registered.
+	exp := tr.tracer.currentExporter()
 	tr.mu.Lock()
 	if len(tr.spans) >= tr.maxSpans {
 		n := copy(tr.spans, tr.spans[1:])
@@ -178,7 +187,6 @@ func (tr *Trace) record(s SpanSnapshot) {
 		tr.dropped++
 	}
 	tr.spans = append(tr.spans, s)
-	exp := tr.tracer.currentExporter()
 	tr.mu.Unlock()
 	if exp != nil {
 		exp.ExportSpan(tr.ID, s)

@@ -2,8 +2,10 @@ package telemetry
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
+	"time"
 )
 
 func TestTraceLifecycle(t *testing.T) {
@@ -114,6 +116,45 @@ func TestNilSafety(t *testing.T) {
 	_ = tracer.Trace("x")
 	_ = tracer.Snapshots()
 	tracer.SetExporter(nil)
+}
+
+// Regression: ending a span (trace.mu, exporter lookup) while the same
+// query id is re-registered (tracer.mu → trace.mu) used to deadlock via
+// lock-order inversion — record held tr.mu and then took tracer.mu for
+// the exporter. With an exporter installed, both lock edges are
+// exercised; the test hangs (and times out) if the inversion returns.
+func TestRestartWhileEndingNoDeadlock(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	tr := NewTracer(4)
+	tr.SetExporter(&collectExporter{})
+	trace := tr.Start("q")
+	const iters = 100000
+	done := make(chan struct{}, 2)
+	go func() {
+		for i := 0; i < iters; i++ {
+			trace.StartSpan("window-exec").End()
+			if i%64 == 0 {
+				runtime.Gosched()
+			}
+		}
+		done <- struct{}{}
+	}()
+	go func() {
+		for i := 0; i < iters; i++ {
+			tr.Start("q")
+			if i%64 == 0 {
+				runtime.Gosched()
+			}
+		}
+		done <- struct{}{}
+	}()
+	for i := 0; i < 2; i++ {
+		select {
+		case <-done:
+		case <-time.After(30 * time.Second):
+			t.Fatal("deadlock: span End racing Tracer.Start did not finish")
+		}
+	}
 }
 
 func TestConcurrentTracing(t *testing.T) {
