@@ -35,9 +35,22 @@ import (
 // cost per ingested tuple reported. The plancache dimension ablates the
 // compile-once pipeline: "off" rebuilds (and so recompiles) the window
 // plan on every tick, which is what every tick paid before the cache.
+// The having dimension ablates the compiled HAVING matcher: "interpreted"
+// evaluates the sequence condition with the environment-copying tree
+// walker instead of the slot-frame program.
 func BenchmarkFigure1EndToEnd(b *testing.B) {
-	b.Run("plancache=on", func(b *testing.B) { runFigure1(b, false) })
-	b.Run("plancache=off", func(b *testing.B) { runFigure1(b, true) })
+	b.Run("plancache=on", func(b *testing.B) {
+		runFigure1(b, optique.Config{Nodes: 1})
+	})
+	b.Run("plancache=off", func(b *testing.B) {
+		runFigure1(b, optique.Config{
+			Nodes:  1,
+			Engine: optique.EngineOptions{DisablePlanCache: true},
+		})
+	})
+	b.Run("having=interpreted", func(b *testing.B) {
+		runFigure1(b, optique.Config{Nodes: 1, InterpretHaving: true})
+	})
 	// The windowexec dimension isolates the window-execution path: the
 	// task's unfolded low-level fleet (Translation.StreamFleet — what the
 	// paper's engineers wrote by hand) registered directly on one
@@ -118,7 +131,7 @@ func runFigure1WindowExec(b *testing.B, opts exastream.Options) {
 	}
 }
 
-func runFigure1(b *testing.B, disableCache bool) {
+func runFigure1(b *testing.B, cfg optique.Config) {
 	gen, err := siemens.New(siemens.SmallConfig())
 	if err != nil {
 		b.Fatal(err)
@@ -127,10 +140,7 @@ func runFigure1(b *testing.B, disableCache bool) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	sys, err := optique.NewSystem(optique.Config{
-		Nodes:  1,
-		Engine: optique.EngineOptions{DisablePlanCache: disableCache},
-	}, siemens.TBox(), siemens.Mappings(), cat)
+	sys, err := optique.NewSystem(cfg, siemens.TBox(), siemens.Mappings(), cat)
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -9,6 +9,7 @@
 //	-exp testsets      E13: the 10 preconfigured test sets
 //	-exp record        run `go test -bench` and write machine-readable
 //	                   results (see -bench/-benchtime/-out)
+//	-exp list          print the accepted -exp values, one per line
 //	-exp all           everything except record
 package main
 
@@ -75,15 +76,29 @@ func currentTraces() []telemetry.TraceSnapshot {
 	return traces()
 }
 
+// experiments enumerates the accepted -exp values in the order `-exp
+// list` prints them; scripts/check_docs.sh validates documented
+// invocations against this list.
+var experiments = []string{
+	"conciseness", "concurrent", "scaling", "bootstrap", "testsets",
+	"record", "list", "all",
+}
+
+// interpretHaving carries the -havingcompile flag (inverted) into the
+// full-system experiments (testsets).
+var interpretHaving bool
+
 func main() {
-	exp := flag.String("exp", "all", "experiment: conciseness|concurrent|scaling|bootstrap|testsets|record|all")
+	exp := flag.String("exp", "all", "experiment: "+strings.Join(experiments, "|"))
 	maxQueries := flag.Int("maxqueries", 1024, "upper bound for the concurrency sweep")
 	maxNodes := flag.Int("maxnodes", 128, "upper bound for the node-scaling sweep")
-	benchPat := flag.String("bench", "Figure1EndToEnd|CompiledVsInterpreted", "benchmark pattern for -exp record")
+	benchPat := flag.String("bench", "Figure1EndToEnd|CompiledVsInterpreted|HavingMatcher", "benchmark pattern for -exp record")
 	benchTime := flag.String("benchtime", "2s", "benchtime for -exp record")
-	benchOut := flag.String("out", "BENCH_PR2.json", "output file for -exp record")
+	benchOut := flag.String("out", "BENCH_PR4.json", "output file for -exp record")
+	havingcompile := flag.Bool("havingcompile", true, "compile STARQL HAVING conditions to slot-frame matchers (false = tree interpreter)")
 	telemetryAddr := flag.String("telemetry-addr", "", "serve /metrics, /traces and /debug/pprof on this address (e.g. localhost:6060; unauthenticated, \":port\" binds loopback)")
 	flag.Parse()
+	interpretHaving = !*havingcompile
 
 	if *telemetryAddr != "" {
 		_, bound, err := telemetry.Serve(*telemetryAddr, currentSnapshot, currentTraces)
@@ -106,6 +121,10 @@ func main() {
 		testsets()
 	case "record":
 		record(*benchPat, *benchTime, *benchOut)
+	case "list":
+		for _, e := range experiments {
+			fmt.Println(e)
+		}
 	case "all":
 		conciseness()
 		concurrent(*maxQueries)
@@ -326,7 +345,8 @@ func runTestSet(idx int) (int, int, float64, int64) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	sys, err := optique.NewSystem(optique.Config{Nodes: 4},
+	sys, err := optique.NewSystem(
+		optique.Config{Nodes: 4, InterpretHaving: interpretHaving},
 		siemens.TBox(), siemens.Mappings(), cat)
 	if err != nil {
 		log.Fatal(err)
@@ -371,12 +391,13 @@ func runTestSet(idx int) (int, int, float64, int64) {
 }
 
 // record runs `go test -bench` with -json and post-processes the event
-// stream into a machine-readable benchmark file (BENCH_PR2.json), so the
-// repository starts accumulating a perf trajectory across PRs. Run it
+// stream into a machine-readable benchmark file (BENCH_PR4.json), so the
+// repository keeps accumulating a perf trajectory across PRs. Run it
 // from the repository root.
 func record(pattern, benchtime, out string) {
 	args := []string{"test", "-run", "^$", "-bench", pattern,
-		"-benchtime", benchtime, "-benchmem", "-json", ".", "./internal/engine/"}
+		"-benchtime", benchtime, "-benchmem", "-json",
+		".", "./internal/engine/", "./internal/starql/"}
 	fmt.Printf("== record: go %v ==\n", args)
 	cmd := exec.Command("go", args...)
 	cmd.Stderr = os.Stderr

@@ -25,6 +25,9 @@ import (
 // engineOpts carries the -parallelism/-plancache flags into deploy.
 var engineOpts optique.EngineOptions
 
+// interpretHaving carries the -havingcompile flag (inverted) into deploy.
+var interpretHaving bool
+
 // telemetryAddr, when non-empty, makes deploy serve /metrics, /traces
 // and /debug/pprof for the running system.
 var telemetryAddr string
@@ -38,9 +41,11 @@ func main() {
 	chaos := flag.Bool("chaos", false, "kill a worker mid-replay (s2) to showcase query failover")
 	parallelism := flag.Int("parallelism", 0, "per-node worker pool for ready windows (0 = GOMAXPROCS, negative = sequential)")
 	plancache := flag.Bool("plancache", true, "cache each continuous query's compiled plan across windows")
+	havingcompile := flag.Bool("havingcompile", true, "compile STARQL HAVING conditions to slot-frame matchers (false = tree interpreter)")
 	flag.StringVar(&telemetryAddr, "telemetry-addr", "", "serve /metrics, /traces and /debug/pprof on this address (e.g. localhost:6060; unauthenticated, \":port\" binds loopback)")
 	flag.Parse()
 	engineOpts = optique.EngineOptions{Parallelism: *parallelism, DisablePlanCache: !*plancache}
+	interpretHaving = !*havingcompile
 
 	switch *scenario {
 	case "s1":
@@ -69,7 +74,7 @@ func deploy(nodes, turbines int, inj optique.FaultInjector) (*optique.System, *s
 	if err != nil {
 		log.Fatal(err)
 	}
-	cfg := optique.Config{Nodes: nodes, Faults: inj, Engine: engineOpts}
+	cfg := optique.Config{Nodes: nodes, Faults: inj, Engine: engineOpts, InterpretHaving: interpretHaving}
 	if inj != nil {
 		cfg.MaxRestarts = -1
 	}

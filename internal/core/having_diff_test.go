@@ -1,0 +1,119 @@
+package core
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/siemens"
+)
+
+// deployWith is deploy with an explicit Config (streams declared, small
+// fleet), for the compiled-vs-interpreted HAVING ablations.
+func deployWith(t *testing.T, cfg Config) (*System, *siemens.Generator) {
+	t.Helper()
+	gen, err := siemens.New(siemens.SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat, err := gen.StaticCatalog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewSystem(cfg, siemens.TBox(), siemens.Mappings(), cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sys.Close)
+	for _, sc := range siemens.StreamSchemas() {
+		if err := sys.DeclareStream(sc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return sys, gen
+}
+
+func sortedAlerts(log *answerLog) []string {
+	log.mu.Lock()
+	defer log.mu.Unlock()
+	out := make([]string, 0, len(log.triples))
+	for _, tr := range log.triples {
+		out = append(out, tr.S.Value+" "+tr.P.Value+" "+tr.O.Value)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestCompiledHavingAlertParity replays the Figure 1 workload through
+// two systems that differ only in the HAVING evaluation mode and
+// asserts they raise the identical alert set.
+func TestCompiledHavingAlertParity(t *testing.T) {
+	runOnce := func(interpret bool) ([]string, *Task) {
+		sys, gen := deployWith(t, Config{Nodes: 1, InterpretHaving: interpret})
+		spec, ok := siemens.TaskByID("T01_mon_temperature")
+		if !ok {
+			t.Fatal("catalog task missing")
+		}
+		log := &answerLog{}
+		task, err := sys.RegisterTask(spec.ID, spec.Query, log.sink)
+		if err != nil {
+			t.Fatal(err)
+		}
+		feedDefaultEvents(t, sys, gen, 0, 60_000, 500, gen.SensorsOfTurbine(0))
+		return sortedAlerts(log), task
+	}
+	compiled, ctask := runOnce(false)
+	interpreted, itask := runOnce(true)
+	if !ctask.CompiledHaving() {
+		t.Error("default mode did not compile the HAVING matcher")
+	}
+	if itask.CompiledHaving() {
+		t.Error("InterpretHaving still compiled the matcher")
+	}
+	if len(compiled) == 0 {
+		t.Fatal("no alerts raised — the parity check is vacuous")
+	}
+	if len(compiled) != len(interpreted) {
+		t.Fatalf("alert sets differ: %d compiled vs %d interpreted", len(compiled), len(interpreted))
+	}
+	for i := range compiled {
+		if compiled[i] != interpreted[i] {
+			t.Fatalf("alert %d differs: compiled %q vs interpreted %q", i, compiled[i], interpreted[i])
+		}
+	}
+}
+
+// TestHavingTelemetry: the HAVING stage reports matcher evaluations,
+// matches, compiled-program count, and per-window latency.
+func TestHavingTelemetry(t *testing.T) {
+	sys, gen := deployWith(t, Config{Nodes: 1})
+	spec, _ := siemens.TaskByID("T01_mon_temperature")
+	log := &answerLog{}
+	if _, err := sys.RegisterTask(spec.ID, spec.Query, log.sink); err != nil {
+		t.Fatal(err)
+	}
+	feedDefaultEvents(t, sys, gen, 0, 30_000, 500, gen.SensorsOfTurbine(0))
+
+	snap := sys.TelemetrySnapshot()
+	if snap.Counters["starql.having.compiled"] != 1 {
+		t.Errorf("having.compiled = %d, want 1", snap.Counters["starql.having.compiled"])
+	}
+	evals := snap.Counters["starql.having.evals"]
+	matches := snap.Counters["starql.having.matches"]
+	if evals == 0 {
+		t.Error("no matcher evaluations counted")
+	}
+	if matches == 0 || matches > evals {
+		t.Errorf("having.matches = %d (evals = %d)", matches, evals)
+	}
+	h, ok := snap.Histograms["starql.having.window_ns"]
+	if !ok || h.Count == 0 {
+		t.Errorf("window_ns histogram missing or empty: %+v", h)
+	}
+	var alerts int
+	log.mu.Lock()
+	alerts = len(log.triples)
+	log.mu.Unlock()
+	if alerts == 0 {
+		t.Error("no alerts — counters not exercised meaningfully")
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/exastream"
@@ -41,6 +42,11 @@ type Config struct {
 	PartitionColumn string
 	// Translate tunes enrichment/unfolding.
 	Translate starql.Options
+	// InterpretHaving evaluates HAVING conditions with the tree-walking
+	// reference interpreter instead of the compiled matcher
+	// (starql.CompileHaving). Ablation/debugging switch, the HAVING
+	// analogue of Engine.InterpretExprs.
+	InterpretHaving bool
 
 	// Backpressure selects the full-queue ingest policy (see cluster).
 	Backpressure cluster.Backpressure
@@ -69,6 +75,13 @@ type System struct {
 	reg    *telemetry.Registry // system-level metrics (translation stages)
 	tracer *telemetry.Tracer   // one trace per task: rewrite → unfold → register → window-exec
 
+	// HAVING-stage instruments, resolved once (hot path: one atomic op
+	// per site). window_ns is the whole per-window HAVING stage.
+	havingEvals    *telemetry.Counter
+	havingMatches  *telemetry.Counter
+	havingCompiled *telemetry.Counter
+	havingNS       *telemetry.Histogram
+
 	mu       sync.Mutex
 	streams  map[string]stream.Schema
 	builders map[string]*starql.SequenceBuilder
@@ -90,7 +103,19 @@ type Task struct {
 	ring     alertRing
 	answers  int64
 	windows  int64
+
+	// compiled is the query's HAVING condition lowered by
+	// starql.CompileHaving at registration; nil when the query has no
+	// HAVING clause or Config.InterpretHaving is set. It lives and dies
+	// with the registration record (the query AST is immutable, so unlike
+	// window plans there is nothing at runtime that can invalidate it;
+	// re-registering recompiles).
+	compiled *starql.CompiledHaving
 }
+
+// CompiledHaving reports whether the task evaluates its HAVING clause
+// with the compiled matcher.
+func (t *Task) CompiledHaving() bool { return t.compiled != nil }
 
 // Answers returns the number of CONSTRUCT triples emitted so far.
 func (t *Task) Answers() int64 { return atomic.LoadInt64(&t.answers) }
@@ -131,6 +156,10 @@ func NewSystem(cfg Config, tbox *ontology.TBox, set *mapping.Set, catalog *relat
 	translator := starql.NewTranslator(tbox, set, catalog)
 	translator.Metrics = reg
 	return &System{
+		havingEvals:    reg.Counter("starql.having.evals"),
+		havingMatches:  reg.Counter("starql.having.matches"),
+		havingCompiled: reg.Counter("starql.having.compiled"),
+		havingNS:       reg.Histogram("starql.having.window_ns", telemetry.LatencyBuckets),
 		cfg:        cfg,
 		tbox:       tbox,
 		mappings:   set,
@@ -217,6 +246,13 @@ func (s *System) registerParsed(id string, q *starql.Query, sink AnswerSink) (*T
 		ID: id, Query: q, Translation: tl, Bindings: bindings,
 		subjects: map[string]bool{}, sink: sink,
 	}
+	// Compile the HAVING condition once per registered query; every
+	// window evaluation reuses the program (DESIGN.md §10). The
+	// interpreter remains the reference path behind InterpretHaving.
+	if q.Having != nil && !s.cfg.InterpretHaving {
+		task.compiled = starql.CompileHaving(q.Having, q.Aggregates)
+		s.havingCompiled.Inc()
+	}
 	for _, b := range bindings {
 		for _, term := range b {
 			if term.IsIRI() {
@@ -273,17 +309,29 @@ func (s *System) windowSink(task *Task, builder *starql.SequenceBuilder) exastre
 			return
 		}
 		var triples []rdf.Triple
+		having := task.Query.Having
+		var hstart time.Time
+		if having != nil {
+			hstart = time.Now()
+		}
 		for _, binding := range task.Bindings {
-			ok := true
-			if task.Query.Having != nil {
-				ok, err = starql.EvalHaving(task.Query.Having, seq, binding, task.Query.Aggregates)
+			if having != nil {
+				var ok bool
+				if task.compiled != nil {
+					ok, err = task.compiled.Eval(seq, binding)
+				} else {
+					ok, err = starql.EvalHaving(having, seq, binding, task.Query.Aggregates)
+				}
+				s.havingEvals.Inc()
 				if err != nil || !ok {
 					continue
 				}
+				s.havingMatches.Inc()
 			}
-			if ok {
-				triples = append(triples, constructTriples(task.Query, binding)...)
-			}
+			triples = append(triples, constructTriples(task.Query, binding)...)
+		}
+		if having != nil {
+			s.havingNS.Observe(float64(time.Since(hstart).Nanoseconds()))
 		}
 		if len(triples) > 0 {
 			atomic.AddInt64(&task.answers, int64(len(triples)))

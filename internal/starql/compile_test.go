@@ -1,0 +1,131 @@
+package starql
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/rdf"
+)
+
+// figure1Matcher compiles the paper's Figure 1 HAVING condition
+// (MONOTONIC.HAVING macro over EXISTS + guarded two-state FORALL).
+func figure1Matcher(t testing.TB) (*Query, *CompiledHaving) {
+	t.Helper()
+	q := MustParse(figure1)
+	return q, CompileHaving(q.Having, q.Aggregates)
+}
+
+func TestCompileHavingFigure1(t *testing.T) {
+	q, compiled := figure1Matcher(t)
+	subject := "http://x/sensor/1"
+	binding := Binding{"c2": rdf.NewIRI(subject)}
+	cases := []struct {
+		name string
+		seq  *Sequence
+		want bool
+	}{
+		{"monotonic ramp with failure", buildSeq(subject,
+			[]float64{10, 12, 15, 19}, []bool{false, false, false, true}), true},
+		{"non-monotonic with failure", buildSeq(subject,
+			[]float64{10, 18, 15, 19}, []bool{false, false, false, true}), false},
+		{"monotonic without failure", buildSeq(subject,
+			[]float64{10, 12, 15, 19}, nil), false},
+		{"empty window", &Sequence{}, false},
+		{"single failing state", buildSeq(subject, []float64{10}, []bool{true}), true},
+	}
+	for _, c := range cases {
+		got, err := compiled.Eval(c.seq, binding)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		want, err := EvalHaving(q.Having, c.seq, binding, q.Aggregates)
+		if err != nil {
+			t.Fatalf("%s: interpreter: %v", c.name, err)
+		}
+		if got != c.want || got != want {
+			t.Errorf("%s: compiled=%t interpreter=%t want %t", c.name, got, want, c.want)
+		}
+	}
+}
+
+func TestCompiledHavingSlots(t *testing.T) {
+	_, compiled := figure1Matcher(t)
+	states, values, bindings := compiled.Slots()
+	// ?k, ?i, ?j quantify states; ?x, ?y are value variables; ?c2 is the
+	// WHERE binding. Reference slots may over-allocate (a variable gets a
+	// slot in every namespace it could dynamically resolve through), so
+	// assert floors, not exact counts.
+	if states < 3 || values < 2 || bindings < 1 {
+		t.Errorf("Slots() = %d states, %d values, %d bindings; want >= 3/2/1",
+			states, values, bindings)
+	}
+}
+
+// TestCompiledHavingParallelWindows drives one compiled matcher from
+// many goroutines at once, as the parallel window pool does at runtime;
+// run under -race this verifies the frame pool and the save/restore
+// discipline share nothing across evaluations.
+func TestCompiledHavingParallelWindows(t *testing.T) {
+	q, compiled := figure1Matcher(t)
+	subject := "http://x/sensor/1"
+	binding := Binding{"c2": rdf.NewIRI(subject)}
+	hit := buildSeq(subject, []float64{10, 12, 15, 19}, []bool{false, false, false, true})
+	miss := buildSeq(subject, []float64{10, 18, 15, 19}, []bool{false, false, false, true})
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				seq, want := hit, true
+				if (i+w)%2 == 0 {
+					seq, want = miss, false
+				}
+				ok, err := compiled.Eval(seq, binding)
+				if err != nil || ok != want {
+					select {
+					case errs <- fmt.Errorf("worker %d iter %d: got %t, %v; want %t", w, i, ok, err, want):
+					default:
+					}
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	// The interpreter stays available as the runtime fallback.
+	if ok, err := EvalHaving(q.Having, hit, binding, q.Aggregates); err != nil || !ok {
+		t.Errorf("interpreter fallback = %t, %v", ok, err)
+	}
+}
+
+// TestCompiledHavingShadowing: a nested quantifier reusing an enclosing
+// variable name must shadow it exactly as the interpreter's dynamic
+// environments do.
+func TestCompiledHavingShadowing(t *testing.T) {
+	subject := "http://x/sensor/1"
+	binding := Binding{"s": rdf.NewIRI(subject)}
+	// EXISTS ?k: (?k = 1 AND EXISTS ?k: ?k = 0) — inner ?k shadows, both
+	// quantifiers must find their own index.
+	h := &ExistsExpr{StateVar: "k", Cond: &AndExpr{
+		&Comparison{Left: []Node{NVar("k")}, Op: "=", Right: NTerm(rdf.NewInteger(1))},
+		&ExistsExpr{StateVar: "k", Cond: &Comparison{
+			Left: []Node{NVar("k")}, Op: "=", Right: NTerm(rdf.NewInteger(0))}},
+	}}
+	seq := buildSeq(subject, []float64{5, 6}, nil)
+	want, err := EvalHaving(h, seq, binding, nil)
+	if err != nil || !want {
+		t.Fatalf("interpreter = %t, %v", want, err)
+	}
+	got, err := CompileHaving(h, nil).Eval(seq, binding)
+	if err != nil || got != want {
+		t.Errorf("compiled = %t, %v; want %t", got, err, want)
+	}
+}

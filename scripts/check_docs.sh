@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# check_docs.sh — docs-consistency gate (run from the repository root).
+#
+# The docs promise command lines; this script fails if they drift from
+# what the binaries actually accept:
+#
+#   1. every `-flag` on a documented optique-demo/optique-bench command
+#      line must appear in one of the tools' -h output;
+#   2. every documented `-exp NAME` must appear in
+#      `optique-bench -exp list`;
+#   3. every `BenchmarkXxx` name the docs cite must exist in a
+#      *_test.go file.
+set -u
+
+DOCS="README.md EXPERIMENTS.md docs/starql.md"
+fail=0
+
+# ---- 1+2: flags on documented tool invocations ----
+
+# `go run ... -h` exits 2 after printing usage to stderr; keep the text.
+demo_help=$(go run ./cmd/optique-demo -h 2>&1)
+bench_help=$(go run ./cmd/optique-bench -h 2>&1)
+known_flags=$(printf '%s\n%s\n' "$demo_help" "$bench_help" |
+	sed -n 's/^  \(-[a-z][a-z-]*\).*/\1/p' | sort -u)
+known_exps=$(go run ./cmd/optique-bench -exp list)
+
+if [ -z "$known_flags" ] || [ -z "$known_exps" ]; then
+	echo "check_docs: could not read tool usage output" >&2
+	exit 1
+fi
+
+for doc in $DOCS; do
+	# Only lines that name one of the tools promise its interface.
+	lines=$(grep -n 'optique-demo\|optique-bench' "$doc" || true)
+	while IFS= read -r line; do
+		[ -z "$line" ] && continue
+		lineno=${line%%:*}
+		text=${line#*:}
+		# Flag tokens: "-name" or "-name=value", preceded by a space,
+		# backtick, or line start (so `->`, `-1`, and hyphenated prose
+		# don't match).
+		for flag in $(printf '%s\n' "$text" |
+			grep -oE '(^|[ `(])-[a-z][a-z-]+' | sed 's/^[ `(]*//' | sort -u); do
+			if ! printf '%s\n' "$known_flags" | grep -qx -- "$flag"; then
+				echo "$doc:$lineno: documents unknown flag $flag" >&2
+				fail=1
+			fi
+		done
+		for exp in $(printf '%s\n' "$text" |
+			grep -oE '\-exp [a-z]+' | awk '{print $2}' | sort -u); do
+			if ! printf '%s\n' "$known_exps" | grep -qx -- "$exp"; then
+				echo "$doc:$lineno: documents unknown experiment '-exp $exp'" >&2
+				fail=1
+			fi
+		done
+	done <<EOF
+$lines
+EOF
+done
+
+# ---- 3: benchmark names cited in docs exist in test files ----
+
+bench_defs=$(grep -rhoE 'func (Benchmark[A-Za-z0-9_]+)' --include='*_test.go' . |
+	awk '{print $2}' | sort -u)
+for doc in $DOCS; do
+	for name in $(grep -oE 'Benchmark[A-Za-z0-9]+' "$doc" | sort -u); do
+		if ! printf '%s\n' "$bench_defs" | grep -qx -- "$name"; then
+			echo "$doc: cites unknown benchmark $name" >&2
+			fail=1
+		fi
+	done
+done
+
+if [ "$fail" -ne 0 ]; then
+	echo "check_docs: FAILED — docs reference interfaces the tools don't report" >&2
+	exit 1
+fi
+echo "check_docs: OK ($(printf '%s\n' "$known_flags" | wc -l) flags, $(printf '%s\n' "$known_exps" | wc -l) experiments, $(printf '%s\n' "$bench_defs" | wc -l) benchmarks)"
