@@ -88,6 +88,14 @@ var experiments = []string{
 // full-system experiments (testsets).
 var interpretHaving bool
 
+// recoveryOn/checkpointEvery carry -recovery/-checkpoint-every into the
+// cluster experiments: checkpoint overhead is part of the measured path,
+// so the sweeps can quantify what exactly-once delivery costs.
+var (
+	recoveryOn      bool
+	checkpointEvery int
+)
+
 func main() {
 	exp := flag.String("exp", "all", "experiment: "+strings.Join(experiments, "|"))
 	maxQueries := flag.Int("maxqueries", 1024, "upper bound for the concurrency sweep")
@@ -97,6 +105,8 @@ func main() {
 	benchOut := flag.String("out", "BENCH_PR4.json", "output file for -exp record")
 	havingcompile := flag.Bool("havingcompile", true, "compile STARQL HAVING conditions to slot-frame matchers (false = tree interpreter)")
 	telemetryAddr := flag.String("telemetry-addr", "", "serve /metrics, /traces and /debug/pprof on this address (e.g. localhost:6060; unauthenticated, \":port\" binds loopback)")
+	flag.BoolVar(&recoveryOn, "recovery", false, "checkpoint worker state for exactly-once recovery (measures the checkpoint overhead)")
+	flag.IntVar(&checkpointEvery, "checkpoint-every", 64, "tuples between pulse-aligned checkpoints (with -recovery)")
 	flag.Parse()
 	interpretHaving = !*havingcompile
 
@@ -197,10 +207,14 @@ func concurrent(max int) {
 
 func runConcurrent(queries, nodes, tuples int) (float64, float64, exastream.Stats) {
 	cat := relation.NewCatalog()
-	cl, err := cluster.New(cluster.Options{
+	copts := cluster.Options{
 		Nodes: nodes, PartitionColumn: "sid",
 		Engine: exastream.Options{AdaptiveIndexing: true, ShareWindows: true},
-	}, func(int) *relation.Catalog { return cat })
+	}
+	if recoveryOn {
+		copts.CheckpointEvery = checkpointEvery
+	}
+	cl, err := cluster.New(copts, func(int) *relation.Catalog { return cat })
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -345,9 +359,11 @@ func runTestSet(idx int) (int, int, float64, int64) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	sys, err := optique.NewSystem(
-		optique.Config{Nodes: 4, InterpretHaving: interpretHaving},
-		siemens.TBox(), siemens.Mappings(), cat)
+	scfg := optique.Config{Nodes: 4, InterpretHaving: interpretHaving}
+	if recoveryOn {
+		scfg.CheckpointEvery = checkpointEvery
+	}
+	sys, err := optique.NewSystem(scfg, siemens.TBox(), siemens.Mappings(), cat)
 	if err != nil {
 		log.Fatal(err)
 	}

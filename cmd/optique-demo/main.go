@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -17,6 +18,7 @@ import (
 	"time"
 
 	optique "repro"
+	"repro/internal/cluster"
 	"repro/internal/faults"
 	"repro/internal/rdf"
 	"repro/internal/siemens"
@@ -32,6 +34,14 @@ var interpretHaving bool
 // and /debug/pprof for the running system.
 var telemetryAddr string
 
+// recoveryOn/checkpointEvery carry the -recovery/-checkpoint-every flags
+// into deploy: pulse-aligned checkpoint/restore with exactly-once window
+// delivery across failover.
+var (
+	recoveryOn      bool
+	checkpointEvery int
+)
+
 func main() {
 	scenario := flag.String("scenario", "s1", "s1, s2, or s3")
 	nodes := flag.Int("nodes", 4, "cluster size (s2)")
@@ -42,6 +52,8 @@ func main() {
 	parallelism := flag.Int("parallelism", 0, "per-node worker pool for ready windows (0 = GOMAXPROCS, negative = sequential)")
 	plancache := flag.Bool("plancache", true, "cache each continuous query's compiled plan across windows")
 	havingcompile := flag.Bool("havingcompile", true, "compile STARQL HAVING conditions to slot-frame matchers (false = tree interpreter)")
+	flag.BoolVar(&recoveryOn, "recovery", false, "checkpoint worker state and restore it across crashes/failover (exactly-once window delivery)")
+	flag.IntVar(&checkpointEvery, "checkpoint-every", 64, "tuples between pulse-aligned checkpoints (with -recovery)")
 	flag.StringVar(&telemetryAddr, "telemetry-addr", "", "serve /metrics, /traces and /debug/pprof on this address (e.g. localhost:6060; unauthenticated, \":port\" binds loopback)")
 	flag.Parse()
 	engineOpts = optique.EngineOptions{Parallelism: *parallelism, DisablePlanCache: !*plancache}
@@ -77,6 +89,9 @@ func deploy(nodes, turbines int, inj optique.FaultInjector) (*optique.System, *s
 	cfg := optique.Config{Nodes: nodes, Faults: inj, Engine: engineOpts, InterpretHaving: interpretHaving}
 	if inj != nil {
 		cfg.MaxRestarts = -1
+	}
+	if recoveryOn {
+		cfg.CheckpointEvery = checkpointEvery
 	}
 	sys, err := optique.NewSystem(cfg, siemens.TBox(), siemens.Mappings(), cat)
 	if err != nil {
@@ -156,9 +171,28 @@ func runS2(nodes, setIdx int, seconds int64, turbines int, chaos bool) {
 	set := siemens.TestSets()[setIdx-1]
 	var rows int64
 	start := time.Now()
+	// Admission goes through the asynchronous gateway: submissions that
+	// hit a full queue back off with jitter, and every ticket is awaited
+	// under a deadline before the replay starts.
+	tickets := make([]*cluster.Ticket, 0, len(set))
 	for _, task := range set {
-		if _, err := sys.RegisterTask(task.ID, task.Query,
-			func(string, int64, []rdf.Triple) { atomic.AddInt64(&rows, 1) }); err != nil {
+		task := task
+		var tk *cluster.Ticket
+		err := cluster.RetryBusy(context.Background(), 6, 2*time.Millisecond, func() error {
+			var err error
+			tk, err = sys.SubmitTask(task.ID, task.Query,
+				func(string, int64, []rdf.Triple) { atomic.AddInt64(&rows, 1) })
+			return err
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		tickets = append(tickets, tk)
+	}
+	wctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	for _, tk := range tickets {
+		if _, err := tk.WaitContext(wctx); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -179,6 +213,14 @@ func runS2(nodes, setIdx int, seconds int64, turbines int, chaos bool) {
 		"%d dropped, %d salvaged, %d quarantined, %d errors\n",
 		h.Live, h.Nodes, h.Restarting, h.Dead, h.Restarts,
 		h.Dropped, h.Requeued, h.Suspended, h.Errors)
+	if recoveryOn {
+		snap := sys.TelemetrySnapshot()
+		fmt.Printf("  recovery: %d checkpoints, %d restores, %d tuples replayed, "+
+			"%d windows deduped, %d torn\n",
+			snap.Counters["recovery.checkpoints"], snap.Counters["recovery.restores"],
+			snap.Counters["recovery.replayed"], snap.Counters["recovery.deduped_windows"],
+			snap.Counters["recovery.torn"])
+	}
 	if chaos {
 		for _, st := range sys.Stats() {
 			fmt.Printf("  node %d: %-10s %6d tuples, %d queries\n",

@@ -121,10 +121,12 @@ func (q *inbox) appendLocked(w work) {
 	}
 }
 
-// evictOldestLocked removes the oldest non-flush item.
+// evictOldestLocked removes the oldest evictable item. Flush markers
+// and restore jobs are never shed: both are control items whose loss
+// would wedge a waiter or lose migrated queries.
 func (q *inbox) evictOldestLocked() bool {
 	for i := range q.buf {
-		if q.buf[i].flush == nil {
+		if q.buf[i].flush == nil && q.buf[i].restore == nil {
 			q.buf = append(q.buf[:i], q.buf[i+1:]...)
 			return true
 		}
@@ -133,22 +135,25 @@ func (q *inbox) evictOldestLocked() bool {
 }
 
 // pushFront requeues an item at the head of the queue (retry of the
-// in-flight item after a worker restart). Capacity is ignored: the item
-// was already admitted once.
-func (q *inbox) pushFront(w work) {
+// in-flight item after a worker restart, or a restore job that must run
+// before queued tuples). Capacity is ignored: retried items were
+// already admitted once and control items are never shed. Returns false
+// when the inbox is down and the item could not be accepted.
+func (q *inbox) pushFront(w work) bool {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if q.closed || q.failed {
 		if w.flush != nil {
 			close(w.flush)
 		}
-		return
+		return false
 	}
 	q.buf = append([]work{w}, q.buf...)
 	if q.itemCh != nil {
 		close(q.itemCh)
 		q.itemCh = nil
 	}
+	return true
 }
 
 // pop blocks until an item is available. ok=false means the inbox is

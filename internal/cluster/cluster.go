@@ -25,6 +25,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/exastream"
+	"repro/internal/recovery"
 	"repro/internal/relation"
 	"repro/internal/sql"
 	"repro/internal/stream"
@@ -82,6 +83,22 @@ type Options struct {
 	// registry; read it merged with the per-node engine registries via
 	// TelemetrySnapshot.
 	Telemetry *telemetry.Registry
+
+	// CheckpointEvery enables the recovery subsystem: each node cuts a
+	// pulse-aligned checkpoint of its per-query stream state after
+	// roughly this many processed tuples (the cut waits for a window-end
+	// boundary, forced once 4x overdue or the replay log nears
+	// capacity), retains a bounded replay log, and failover restores the
+	// victim's latest checkpoint onto the remap target with exactly-once
+	// window delivery through the emit gate. 0 disables recovery (the
+	// original salvage-only failover).
+	CheckpointEvery int
+	// ReplayLogCap bounds each node's retained-tuple replay log in
+	// entries (default recovery.DefaultLogCap). When capacity pressure
+	// sheds a tuple not yet covered by a checkpoint, exactly-once
+	// degrades to salvage-only for the gap and recovery.lost_coverage
+	// counts it.
+	ReplayLogCap int
 }
 
 // clusterMetrics are the supervision counters kept in the cluster
@@ -128,6 +145,14 @@ type Cluster struct {
 	reg *telemetry.Registry
 	met *clusterMetrics
 
+	// rec is the recovery coordinator (nil when CheckpointEvery == 0).
+	// It lives here — outside any node — so checkpoints, replay logs and
+	// the emit gate survive worker death. seqs assigns the per-stream
+	// ingest sequence numbers (guarded by mu) that make replay
+	// idempotent.
+	rec  *recovery.Coordinator
+	seqs map[string]int64
+
 	gateway *Gateway
 }
 
@@ -138,6 +163,17 @@ type queryRecord struct {
 	pulse *stream.Pulse
 	sink  exastream.Sink
 	node  int
+
+	// Recovery bookkeeping (guarded by Cluster.mu). pendingRestore marks
+	// a query assigned to node whose engine-side registration happens via
+	// a queued restore job; until the job runs, ckpt/cursors/feed hold
+	// the state source the restore will seed from (the victim's
+	// checkpointed query state, the cut cursors, and the replay feed of
+	// victim-logged plus salvaged tuples).
+	pendingRestore bool
+	ckpt           *recovery.Checkpoint
+	cursors        map[string]int64
+	feed           []recovery.Tuple
 }
 
 // Node is one worker: an ExaStream engine fed by a bounded inbox and
@@ -156,6 +192,14 @@ type Node struct {
 	wg      sync.WaitGroup
 	current work // item being processed; owned by the worker goroutine
 
+	// Checkpoint bookkeeping, owned by the worker goroutine (no locks):
+	// per-stream cursor of the highest processed seq, tuples since the
+	// last committed checkpoint, and the engine's windows-executed count
+	// at the previous tick (window-end boundary detection).
+	cursors   map[string]int64
+	sinceCkpt int
+	lastWins  int64
+
 	state    int32 // NodeState
 	queries  int32
 	tuples   int64
@@ -169,7 +213,9 @@ type Node struct {
 type work struct {
 	stream  string
 	el      stream.Timestamped
+	seq     int64 // per-stream ingest sequence (recovery mode; 0 otherwise)
 	flush   chan error
+	restore *restoreJob // checkpoint-restore job (runs on the worker goroutine)
 	retries int
 }
 
@@ -202,6 +248,10 @@ func New(opts Options, catalogFor func(node int) *relation.Catalog) (*Cluster, e
 		udfs:        make(map[string]engine.ScalarFunc),
 		reg:         reg,
 		met:         newClusterMetrics(reg),
+	}
+	if opts.CheckpointEvery > 0 {
+		c.rec = recovery.NewCoordinator(opts.Nodes, opts.ReplayLogCap, reg)
+		c.seqs = make(map[string]int64)
 	}
 	for i := 0; i < opts.Nodes; i++ {
 		n := &Node{
@@ -358,6 +408,7 @@ func (c *Cluster) Register(id string, stmt *sql.SelectStmt, pulse *stream.Pulse,
 	if node < 0 {
 		return -1, ErrNoLiveNodes
 	}
+	sink = c.guardedSink(id, sink)
 	if err := c.nodes[node].engine.Register(id, stmt, pulse, sink); err != nil {
 		return -1, err
 	}
@@ -387,8 +438,28 @@ func (c *Cluster) Unregister(id string) error {
 	}
 	atomic.AddInt32(&c.nodes[rec.node].queries, -1)
 	delete(c.queries, id)
+	if c.rec != nil {
+		c.rec.Gate().Forget(id)
+	}
 	c.rebuildHostsLocked()
 	return nil
+}
+
+// guardedSink wraps a query sink with the exactly-once emit gate when
+// recovery is enabled. The wrapped sink is what queryRecord retains, so
+// rebuilds and failovers reuse the same gate entry (the high-water mark
+// survives the hosting node). The optional AfterEmit fault hook fires
+// after each delivered window — the crash-after-emit-before-ack
+// injection point.
+func (c *Cluster) guardedSink(id string, sink exastream.Sink) exastream.Sink {
+	if c.rec == nil || sink == nil {
+		return sink
+	}
+	var after func(string, int64)
+	if f, ok := c.opts.Faults.(EmitFaultInjector); ok {
+		after = f.AfterEmit
+	}
+	return exastream.Sink(c.rec.Gate().Wrap(id, recovery.Sink(sink), after))
 }
 
 // Resume lifts the quarantine of a suspended query so it executes
@@ -484,6 +555,14 @@ func (c *Cluster) IngestContext(ctx context.Context, streamName string, el strea
 		return fmt.Errorf("cluster: unknown stream %q", streamName)
 	}
 	hosts := c.sortedHostsLocked(key)
+	var seq int64
+	if c.rec != nil && len(hosts) > 0 {
+		// Per-stream monotonic sequence, assigned under the cluster lock
+		// at routing time. Broadcast copies share one seq (it is the same
+		// tuple); restored queries use it to deduplicate replay.
+		c.seqs[key]++
+		seq = c.seqs[key]
+	}
 	c.mu.Unlock()
 	if len(hosts) == 0 {
 		return nil // nobody listening
@@ -495,14 +574,14 @@ func (c *Cluster) IngestContext(ctx context.Context, streamName string, el strea
 		}
 		h := valueHash(el.Row[idx])
 		target := hosts[int(h%uint64(len(hosts)))]
-		err = c.nodes[target].enqueue(ctx, work{stream: streamName, el: el}, c.opts.Backpressure)
+		err = c.nodes[target].enqueue(ctx, work{stream: streamName, el: el, seq: seq}, c.opts.Backpressure)
 		if err == errNodeDown {
 			return nil // counted as a drop on the node
 		}
 		return err
 	}
 	for _, h := range hosts {
-		err := c.nodes[h].enqueue(ctx, work{stream: streamName, el: el}, c.opts.Backpressure)
+		err := c.nodes[h].enqueue(ctx, work{stream: streamName, el: el, seq: seq}, c.opts.Backpressure)
 		if err != nil && err != errNodeDown {
 			return err
 		}

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -42,6 +43,10 @@ type submission struct {
 	text    string
 	pulse   *stream.Pulse
 	sink    exastream.Sink
+	// register, when non-nil, replaces the parse-and-register path: the
+	// submitter already holds a parsed form (SubmitFunc) and the gateway
+	// only sequences the registration.
+	register func() (int, error)
 }
 
 func newGateway(c *Cluster) *Gateway {
@@ -67,6 +72,9 @@ func (g *Gateway) run() {
 }
 
 func (g *Gateway) process(s *submission) (int, error) {
+	if s.register != nil {
+		return s.register()
+	}
 	stmt, err := sql.Parse(s.text)
 	if err != nil {
 		return -1, fmt.Errorf("gateway: parse: %w", err)
@@ -77,8 +85,32 @@ func (g *Gateway) process(s *submission) (int, error) {
 // Submit enqueues a registration and returns its ticket immediately. A
 // full submission queue returns ErrGatewayBusy instead of blocking (the
 // old implementation held the gateway lock across the send, deadlocking
-// Wait and Close under load).
+// Wait and Close under load); see SubmitContext for a bounded wait and
+// RetryBusy for a backoff loop.
 func (g *Gateway) Submit(queryID, queryText string, pulse *stream.Pulse, sink exastream.Sink) (*Ticket, error) {
+	return g.enqueue(context.Background(),
+		&submission{queryID: queryID, text: queryText, pulse: pulse, sink: sink}, false)
+}
+
+// SubmitContext is Submit with a deadline: a full submission queue
+// blocks until space frees up or ctx expires (returning ctx.Err()),
+// instead of failing immediately with ErrGatewayBusy.
+func (g *Gateway) SubmitContext(ctx context.Context, queryID, queryText string, pulse *stream.Pulse, sink exastream.Sink) (*Ticket, error) {
+	return g.enqueue(ctx,
+		&submission{queryID: queryID, text: queryText, pulse: pulse, sink: sink}, true)
+}
+
+// SubmitFunc enqueues a pre-parsed registration: the gateway worker
+// sequences register() instead of parsing SQL text. Higher layers that
+// parse their own language (STARQL tasks) use this to get asynchronous
+// admission without double-parsing. Non-blocking like Submit.
+func (g *Gateway) SubmitFunc(queryID string, register func() (int, error)) (*Ticket, error) {
+	return g.enqueue(context.Background(), &submission{queryID: queryID, register: register}, false)
+}
+
+// enqueue issues a ticket and hands the submission to the worker,
+// blocking (bounded by ctx) or failing fast per block.
+func (g *Gateway) enqueue(ctx context.Context, s *submission, block bool) (*Ticket, error) {
 	g.sendMu.RLock()
 	defer g.sendMu.RUnlock()
 	if g.closed {
@@ -89,21 +121,46 @@ func (g *Gateway) Submit(queryID, queryText string, pulse *stream.Pulse, sink ex
 	g.next++
 	g.tickets[t.ID] = t
 	g.mu.Unlock()
+	s.ticket = t
+	if block {
+		select {
+		case g.queue <- s:
+			return t, nil
+		case <-ctx.Done():
+			g.dropTicket(t)
+			return nil, ctx.Err()
+		}
+	}
 	select {
-	case g.queue <- &submission{ticket: t, queryID: queryID, text: queryText, pulse: pulse, sink: sink}:
+	case g.queue <- s:
 		return t, nil
 	default:
-		g.mu.Lock()
-		delete(g.tickets, t.ID)
-		g.mu.Unlock()
+		g.dropTicket(t)
 		return nil, ErrGatewayBusy
 	}
+}
+
+func (g *Gateway) dropTicket(t *Ticket) {
+	g.mu.Lock()
+	delete(g.tickets, t.ID)
+	g.mu.Unlock()
 }
 
 // Wait blocks until the registration completes and returns the node the
 // query was placed on.
 func (t *Ticket) Wait() (int, error) {
-	<-t.done
+	return t.WaitContext(context.Background())
+}
+
+// WaitContext is Wait bounded by a context: it returns ctx.Err() if the
+// registration has not completed when ctx expires. The registration
+// itself is not cancelled — the ticket can be waited on again.
+func (t *Ticket) WaitContext(ctx context.Context) (int, error) {
+	select {
+	case <-t.done:
+	case <-ctx.Done():
+		return -1, ctx.Err()
+	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.node, t.err

@@ -1,0 +1,360 @@
+// Checkpoint/restore glue between the supervisor and the recovery
+// coordinator. With Options.CheckpointEvery > 0 each worker cuts
+// pulse-aligned checkpoints of its engine state, keeps its replay log
+// current, and crashes recover by restore-and-replay instead of
+// re-registering empty queries: a rebuilt or failed-over query resumes
+// from the latest checkpoint, re-feeds the logged tuples (idempotent via
+// per-stream sequence cursors), and the emit gate guarantees each window
+// is delivered exactly once.
+package cluster
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/exastream"
+	"repro/internal/recovery"
+	"repro/internal/stream"
+)
+
+// restoreJob migrates queries onto a node via its own worker goroutine:
+// it is pushed to the front of the target's inbox so the restore runs
+// before any queued tuple. The job carries only identities — the state
+// to restore from (checkpoint, cursors, replay feed) lives on the query
+// records under Cluster.mu, so a crash mid-restore or a second failover
+// never loses the state source.
+type restoreJob struct {
+	victim int
+	ids    []string
+}
+
+// tearBlob is the torn-checkpoint corruption: the blob is cut in half,
+// as if the writer died mid-write. Decode rejects it and the store falls
+// back to the previous checkpoint.
+func tearBlob(b []byte) []byte { return b[:len(b)/2] }
+
+// recordAndMaybeCheckpoint runs on the worker goroutine after each
+// successfully processed tuple: it advances the node's ingest cursors,
+// appends the tuple to the replay log, and cuts a checkpoint when due.
+// A cut prefers a pulse boundary (the engine executed windows this tick,
+// so no window is mid-build) but is forced once 4x overdue or when the
+// replay log nears capacity — waiting any longer would trade bounded
+// staleness for lost coverage.
+func (n *Node) recordAndMaybeCheckpoint(c *Cluster, w work) {
+	key := lowerKey(w.stream)
+	if n.cursors == nil {
+		n.cursors = make(map[string]int64)
+	}
+	if w.seq > n.cursors[key] {
+		n.cursors[key] = w.seq
+	}
+	c.rec.Log(n.ID).Append(recovery.Tuple{Stream: key, Seq: w.seq, TS: w.el.TS, Row: w.el.Row})
+	// From here the log owns the tuple: a crash during the checkpoint
+	// below must replay it from the log, not requeue it (a requeue would
+	// double-feed any shared window).
+	n.current = work{}
+	n.sinceCkpt++
+	wins := n.engine.Stats().WindowsExecuted
+	aligned := wins != n.lastWins
+	n.lastWins = wins
+	every := c.opts.CheckpointEvery
+	if n.sinceCkpt < every {
+		return
+	}
+	if aligned || n.sinceCkpt >= 4*every || c.rec.Log(n.ID).NearCap() {
+		n.checkpoint(c)
+	}
+}
+
+// checkpoint cuts and commits one consistent snapshot of the node's
+// engine state. It runs on the worker goroutine between work items, so
+// the engine is quiescent (Ingest is synchronous). A failed verification
+// (torn write) keeps the replay log intact: the previous checkpoint
+// remains the cut and the log still covers everything after it.
+func (n *Node) checkpoint(c *Cluster) {
+	f, _ := c.opts.Faults.(CheckpointFaultInjector)
+	if f != nil {
+		f.BeforeCheckpoint(n.ID) // may panic: crash during checkpoint
+	}
+	st := n.engine.ExportState()
+	cursors := make(map[string]int64, len(n.cursors))
+	for k, v := range n.cursors {
+		cursors[k] = v
+	}
+	ck := &recovery.Checkpoint{
+		Node:      n.ID,
+		TakenAtMS: time.Now().UnixMilli(),
+		Cursors:   cursors,
+		EmitHWM:   c.rec.Gate().SnapshotHWM(),
+		Engine:    *st,
+	}
+	var corrupt func([]byte) []byte
+	if f != nil && f.TearCheckpoint(n.ID) {
+		corrupt = tearBlob
+	}
+	n.sinceCkpt = 0
+	if _, err := c.rec.Save(n.ID, ck, corrupt); err != nil {
+		n.noteErr(NodeError{Node: n.ID, Err: err})
+		return
+	}
+	c.rec.Log(n.ID).TruncateThrough(cursors)
+}
+
+// restoreNode is the recovery-mode worker rebuild: instead of
+// re-registering queries empty, every query on the node is restored from
+// the node's latest checkpoint and the replay log is re-fed. All of the
+// node's queries come back as private (owner-keyed) restored queries —
+// window sharing on this node is lost until the queries are
+// re-registered, which is the price of replaying each query from its own
+// cursor. Returns false when the cluster closed.
+func (c *Cluster) restoreNode(n *Node) bool {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return false
+	}
+	ck := c.rec.Latest(n.ID)
+	cursors := make(map[string]int64)
+	if ck != nil {
+		for k, v := range ck.Cursors {
+			cursors[k] = v
+		}
+	}
+	ownLog := c.rec.Log(n.ID)
+	if !ownLog.Covered(cursors) {
+		c.rec.NoteLostCoverage()
+	}
+	eng := exastream.NewEngine(c.catalogFor(n.ID), c.engineOptsFor(n))
+	for _, s := range c.schemas {
+		if err := eng.DeclareStream(s); err != nil {
+			n.noteErr(NodeError{Node: n.ID, Err: err})
+		}
+	}
+	for name, f := range c.udfs {
+		eng.RegisterUDF(name, f)
+	}
+	var requeries int32
+	var restored []string
+	for _, rec := range c.queries {
+		if rec.node != n.ID || rec.pendingRestore {
+			// pendingRestore queries are seeded by their queued restore
+			// job (which holds a different cut); registering them empty
+			// here would emit wrong-content windows that advance the gate
+			// mark past the real ones.
+			continue
+		}
+		if err := eng.RestoreQuery(rec.id, rec.stmt, rec.pulse, rec.sink, ck.QueryState(rec.id), cursors); err != nil {
+			n.noteErr(NodeError{Node: n.ID, QueryID: rec.id,
+				Err: fmt.Errorf("cluster: node %d: restore %s: %w", n.ID, rec.id, err)})
+			continue
+		}
+		restored = append(restored, rec.id)
+		requeries++
+	}
+	if ck != nil {
+		eng.ImportWCache(ck.Engine.WCache)
+	}
+	n.engine = eng
+	n.cursors = cursors
+	atomic.StoreInt32(&n.queries, requeries)
+	c.mu.Unlock()
+
+	// Replay outside the cluster lock: only this worker's goroutine
+	// touches the fresh engine, and the inbox buffers concurrent ingest
+	// until the node goes live again.
+	feed := ownLog.Since(cursors)
+	for _, t := range feed {
+		if t.Seq > n.cursors[t.Stream] {
+			n.cursors[t.Stream] = t.Seq
+		}
+		for _, id := range restored {
+			if err := eng.ReplayFor(id, t.Stream, stream.Timestamped{TS: t.TS, Row: t.Row}, t.Seq); err != nil {
+				n.noteErr(NodeError{Node: n.ID, QueryID: id, Err: err})
+			}
+		}
+	}
+	if len(feed) > 0 {
+		c.rec.NoteReplayed(len(feed))
+	}
+	if len(restored) > 0 {
+		c.rec.NoteRestore()
+	}
+	n.sinceCkpt = ownLog.Len()
+	n.lastWins = eng.Stats().WindowsExecuted
+	atomic.StoreInt32(&n.state, int32(NodeLive))
+	return true
+}
+
+// failoverRestore is the recovery-mode failover: the victim's queries
+// migrate to survivors carrying the victim's latest checkpoint and a
+// replay feed of victim-logged plus salvaged tuples; a restoreJob per
+// target seeds them on the target's own worker goroutine. The whole
+// migration — including pushing the jobs — happens under the cluster
+// lock so no tuple can be routed into the gap between the death and the
+// restore job reaching the head of each target's queue.
+func (c *Cluster) failoverRestore(n *Node) {
+	c.met.failovers.Inc()
+	c.mu.Lock()
+	atomic.StoreInt32(&n.state, int32(NodeDead))
+
+	// Collect the corpse's queue. fail() first so a racing producer
+	// either lands in the buffer (drained here) or gets errNodeDown —
+	// never in between.
+	n.in.fail()
+	items := n.in.drain()
+	if cur := n.current; cur.flush != nil || cur.stream != "" || cur.restore != nil {
+		// The item being processed at the final crash. A never-retried
+		// tuple is presumed innocent and salvaged; a tuple that crashed
+		// the worker through every restart is poison and is dropped. A
+		// restore job is neither: its queries are still marked
+		// pendingRestore on their records and are re-dispatched below.
+		if cur.stream != "" && cur.retries > 0 {
+			n.noteDrop()
+		} else {
+			items = append([]work{cur}, items...)
+		}
+		n.current = work{}
+	}
+	var salvage []recovery.Tuple
+	var resend []work
+	for _, w := range items {
+		switch {
+		case w.flush != nil:
+			close(w.flush) // the flush can no longer be honoured here
+		case w.restore != nil:
+			c.recovering-- // the job's dispatch counted one settle
+		default:
+			salvage = append(salvage, recovery.Tuple{Stream: lowerKey(w.stream), Seq: w.seq, TS: w.el.TS, Row: w.el.Row})
+			resend = append(resend, w)
+		}
+	}
+
+	victimCk := c.rec.Latest(n.ID)
+	victimLog := c.rec.Log(n.ID)
+	jobs := make(map[int]*restoreJob)
+	for _, rec := range c.queries {
+		if rec.node != n.ID {
+			continue
+		}
+		target := c.pickNodeLocked()
+		if target < 0 {
+			n.noteErr(NodeError{Node: n.ID, QueryID: rec.id,
+				Err: fmt.Errorf("cluster: query %s lost: %w", rec.id, ErrNoLiveNodes)})
+			delete(c.queries, rec.id)
+			continue
+		}
+		if rec.pendingRestore {
+			// Second failover before the first restore ran: keep the
+			// original cut and extend its feed with what this victim
+			// logged and still had queued.
+			rec.feed = recovery.MergeFeeds(rec.feed, victimLog.Since(rec.cursors), salvage)
+		} else {
+			rec.ckpt = victimCk
+			rec.cursors = make(map[string]int64)
+			if victimCk != nil {
+				for k, v := range victimCk.Cursors {
+					rec.cursors[k] = v
+				}
+			}
+			rec.feed = recovery.MergeFeeds(victimLog.Since(rec.cursors), salvage)
+		}
+		if !victimLog.Covered(rec.cursors) {
+			c.rec.NoteLostCoverage()
+		}
+		rec.pendingRestore = true
+		rec.node = target
+		atomic.AddInt32(&c.nodes[target].queries, 1)
+		j := jobs[target]
+		if j == nil {
+			j = &restoreJob{victim: n.ID}
+			jobs[target] = j
+		}
+		j.ids = append(j.ids, rec.id)
+	}
+	atomic.StoreInt32(&n.queries, 0)
+	c.rebuildHostsLocked()
+	for target, j := range jobs {
+		if c.nodes[target].in.pushFront(work{restore: j}) {
+			c.recovering++
+		}
+		// A rejected push means the target closed; the records stay
+		// pendingRestore and the cluster is shutting down anyway.
+	}
+	prevHosts := make(map[string]map[int]struct{}) // pre-death hosts irrelevant here: partition resend re-hashes
+	c.mu.Unlock()
+
+	if c.opts.PartitionColumn != "" {
+		// Partitioned tuples had their only copy on the corpse: re-hash
+		// them over the survivors for the non-migrated queries there (the
+		// migrated ones already carry them in their replay feeds, and the
+		// preserved seq lets their cursors deduplicate the overlap).
+		for _, w := range resend {
+			c.resendSalvaged(n, w, prevHosts, nil)
+		}
+	}
+}
+
+// runRestore executes a restoreJob on the target's worker goroutine:
+// each migrated query is restored from the cut retained on its record
+// and its replay feed is re-fed. Runs before any queued tuple (the job
+// was pushed to the queue front), so the restored cursors are in place
+// before live traffic resumes.
+func (n *Node) runRestore(c *Cluster, job *restoreJob) {
+	defer c.settle(-1)
+	c.mu.Lock()
+	recs := make([]*queryRecord, 0, len(job.ids))
+	for _, id := range job.ids {
+		rec := c.queries[id]
+		if rec == nil || rec.node != n.ID || !rec.pendingRestore {
+			continue // unregistered or re-migrated since the job was queued
+		}
+		recs = append(recs, rec)
+	}
+	c.mu.Unlock()
+
+	ownLog := c.rec.Log(n.ID)
+	restoredQueries := 0
+	replayedTuples := 0
+	for _, rec := range recs {
+		err := n.engine.RestoreQuery(rec.id, rec.stmt, rec.pulse, rec.sink, rec.ckpt.QueryState(rec.id), rec.cursors)
+		if err != nil {
+			// A crash mid-job leaves the previous attempt registered;
+			// drop it and retry so the restore is idempotent.
+			if uerr := n.engine.Unregister(rec.id); uerr == nil {
+				err = n.engine.RestoreQuery(rec.id, rec.stmt, rec.pulse, rec.sink, rec.ckpt.QueryState(rec.id), rec.cursors)
+			}
+		}
+		if err != nil {
+			n.noteErr(NodeError{Node: n.ID, QueryID: rec.id,
+				Err: fmt.Errorf("cluster: node %d: failover restore %s: %w", n.ID, rec.id, err)})
+			c.mu.Lock()
+			delete(c.queries, rec.id)
+			atomic.AddInt32(&n.queries, -1)
+			c.rebuildHostsLocked()
+			c.mu.Unlock()
+			continue
+		}
+		feed := recovery.MergeFeeds(rec.feed, ownLog.Since(rec.cursors))
+		for _, t := range feed {
+			if err := n.engine.ReplayFor(rec.id, t.Stream, stream.Timestamped{TS: t.TS, Row: t.Row}, t.Seq); err != nil {
+				n.noteErr(NodeError{Node: n.ID, QueryID: rec.id, Err: err})
+			}
+		}
+		replayedTuples += len(feed)
+		restoredQueries++
+		c.mu.Lock()
+		rec.pendingRestore = false
+		rec.ckpt = nil
+		rec.cursors = nil
+		rec.feed = nil
+		c.mu.Unlock()
+	}
+	if replayedTuples > 0 {
+		c.rec.NoteReplayed(replayedTuples)
+	}
+	if restoredQueries > 0 {
+		c.rec.NoteRestore()
+	}
+	n.lastWins = n.engine.Stats().WindowsExecuted
+}

@@ -1,0 +1,394 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/exastream"
+	"repro/internal/faults"
+	"repro/internal/relation"
+	"repro/internal/sql"
+	"repro/internal/stream"
+)
+
+// recoveryQueries mixes tumbling and overlapping (SLIDE < RANGE)
+// windows so replay after a crash regenerates window ends at two
+// different cadences — the emit gate must deduplicate both.
+func recoveryQueries() []struct{ id, text string } {
+	return []struct{ id, text string }{
+		{"avg-temp", "SELECT m.sid, AVG(m.val) FROM STREAM s0 [RANGE 1000 SLIDE 1000] AS m GROUP BY m.sid"},
+		{"overheat", "SELECT m.sid, m.val FROM STREAM s1 [RANGE 1000 SLIDE 500] AS m WHERE m.val > 30"},
+		{"vibration-max", "SELECT MAX(m.val) FROM STREAM s2 [RANGE 1000 SLIDE 1000] AS m"},
+		{"raw-export", "SELECT m.sid, m.val FROM STREAM s3 [RANGE 1000 SLIDE 500] AS m"},
+	}
+}
+
+// runRecoveryDiagnostics drives the 4-node diagnostic scenario with
+// recovery configured (checkpointEvery 0 = recovery off). It returns
+// the canonical results, a per-(query, windowEnd) delivery count for
+// duplicate detection, and the cluster for post-mortem assertions.
+func runRecoveryDiagnostics(t *testing.T, checkpointEvery int, inj FaultInjector, beforeFlush func(*Cluster)) (map[string]map[int64][]string, map[string]map[int64]int, *Cluster) {
+	t.Helper()
+	cat := sharedCatalog(t)
+	c, err := New(Options{
+		Nodes: 4, Placement: PlaceRoundRobin, MaxRestarts: 1, Faults: inj,
+		CheckpointEvery: checkpointEvery,
+	}, func(int) *relation.Catalog { return cat })
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		c.Gateway().Close()
+		c.Close()
+	})
+	for i := 0; i < 4; i++ {
+		if err := c.DeclareStream(eventSchema(fmt.Sprintf("s%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	log := newResultLog()
+	var dmu sync.Mutex
+	deliveries := make(map[string]map[int64]int)
+	counted := func(inner exastream.Sink) exastream.Sink {
+		return func(q string, end int64, sch relation.Schema, rows []relation.Tuple) {
+			dmu.Lock()
+			m := deliveries[q]
+			if m == nil {
+				m = make(map[int64]int)
+				deliveries[q] = m
+			}
+			m[end]++
+			dmu.Unlock()
+			inner(q, end, sch, rows)
+		}
+	}
+	for i, q := range recoveryQueries() {
+		node, err := c.Register(q.id, sql.MustParse(q.text), nil, counted(log.sink()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if node != i {
+			t.Fatalf("query %s placed on node %d, want %d", q.id, node, i)
+		}
+	}
+	const rounds = 50
+	for i := 0; i < rounds; i++ {
+		ts := int64(i) * 100
+		for s := 0; s < 4; s++ {
+			el := stream.Timestamped{TS: ts, Row: relation.Tuple{
+				relation.Int(int64(i%5 + 1)), relation.Time(ts), relation.Float(float64((i*7 + s*13) % 100)),
+			}}
+			if err := c.Ingest(fmt.Sprintf("s%d", s), el); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if beforeFlush != nil {
+		beforeFlush(c)
+	}
+	if err := c.WaitSettled(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return log.snapshot(), deliveries, c
+}
+
+// TestRecoveryChaosExactlyOnceAcrossFailover is the acceptance scenario
+// for pulse-aligned checkpoint/restore: with crash-during-checkpoint,
+// torn-checkpoint, crash-after-emit-before-ack, and two worker panics
+// (the second exhausting the restart budget and forcing a failover) all
+// injected into one run, the flushed window set of every query must be
+// identical to a fault-free run — no window lost, none delivered twice.
+func TestRecoveryChaosExactlyOnceAcrossFailover(t *testing.T) {
+	plain, _, _ := runRecoveryDiagnostics(t, 0, nil, nil)
+	if len(plain) != 4 {
+		t.Fatalf("recovery-off baseline produced results for %d queries, want 4", len(plain))
+	}
+
+	// Fault-free with recovery on: checkpoints and the emit gate must be
+	// invisible when nothing crashes.
+	baseline, _, _ := runRecoveryDiagnostics(t, 8, nil, nil)
+	if !reflect.DeepEqual(plain, baseline) {
+		for q, want := range plain {
+			if got := baseline[q]; !reflect.DeepEqual(want, got) {
+				t.Errorf("query %s diverged with recovery enabled (fault-free):\n  off: %v\n  on:  %v", q, want, got)
+			}
+		}
+	}
+
+	// The chaos run. Round-robin hosting: avg-temp on 0, overheat on 1,
+	// vibration-max on 2, raw-export on 3.
+	//  - node 3 panics twice: the first crash restarts (restore + replay,
+	//    no checkpoint exists yet), the second exhausts MaxRestarts=1 and
+	//    fails raw-export over to a survivor with checkpoint + feed.
+	//  - node 2 crashes during its first checkpoint attempt: the state
+	//    was exported but never committed, so the rebuild replays the
+	//    whole retained log.
+	//  - node 1's first checkpoint is torn mid-write (commit fails
+	//    verification, log kept), and it crashes right after delivering
+	//    overheat's third window — the duplicate the replay regenerates
+	//    must be suppressed by the gate's high-water mark.
+	inj := faults.New(7).
+		PanicAt(3, 5).PanicAt(3, 20).
+		CrashAtCheckpoint(2, 1).
+		TearCheckpointAt(1, 1).
+		CrashAfterEmit("overheat", 3)
+	faulted, deliveries, c := runRecoveryDiagnostics(t, 8, inj, func(c *Cluster) {
+		waitFor(t, 10*time.Second, func() bool {
+			return c.Health().Dead == 1
+		}, "failover of node 3")
+	})
+
+	if got := inj.Injected(faults.KindPanic); got != 2 {
+		t.Errorf("injected %d worker panics, want 2", got)
+	}
+	if got := inj.Injected(faults.KindCrashCheckpoint); got != 1 {
+		t.Errorf("injected %d checkpoint crashes, want 1", got)
+	}
+	if got := inj.Injected(faults.KindTornCheckpoint); got != 1 {
+		t.Errorf("injected %d torn checkpoints, want 1", got)
+	}
+	if got := inj.Injected(faults.KindCrashEmit); got != 1 {
+		t.Errorf("injected %d post-emit crashes, want 1", got)
+	}
+
+	h := c.Health()
+	if h.Dead != 1 || h.Live != 3 {
+		t.Fatalf("health = %+v, want 1 dead / 3 live", h)
+	}
+	if h.Failovers != 1 {
+		t.Errorf("failovers = %d, want 1", h.Failovers)
+	}
+	if h.Dropped != 0 {
+		t.Errorf("dropped %d tuples, want 0 (salvage + replay must cover every crash)", h.Dropped)
+	}
+	for _, q := range recoveryQueries() {
+		node, ok := c.QueryNode(q.id)
+		if !ok {
+			t.Fatalf("query %s lost", q.id)
+		}
+		if node == 3 {
+			t.Errorf("query %s still hosted on the dead node", q.id)
+		}
+	}
+
+	// Exactly-once: no (query, windowEnd) delivered more than once, and
+	// the full result sets match the fault-free run.
+	for q, ends := range deliveries {
+		for end, n := range ends {
+			if n > 1 {
+				t.Errorf("query %s window %d delivered %d times", q, end, n)
+			}
+		}
+	}
+	if !reflect.DeepEqual(baseline, faulted) {
+		for q, want := range baseline {
+			if got := faulted[q]; !reflect.DeepEqual(want, got) {
+				t.Errorf("query %s diverged under chaos:\n  baseline: %v\n  faulted:  %v", q, want, got)
+			}
+		}
+	}
+
+	snap := c.TelemetrySnapshot()
+	if got := snap.Counters["recovery.checkpoints"]; got < 1 {
+		t.Errorf("recovery.checkpoints = %d, want >= 1", got)
+	}
+	if got := snap.Counters["recovery.torn"]; got != 1 {
+		t.Errorf("recovery.torn = %d, want 1", got)
+	}
+	if got := snap.Counters["recovery.restores"]; got < 2 {
+		t.Errorf("recovery.restores = %d, want >= 2 (two rebuilds and one failover)", got)
+	}
+	if got := snap.Counters["recovery.replayed"]; got < 1 {
+		t.Errorf("recovery.replayed = %d, want >= 1", got)
+	}
+	if got := snap.Counters["recovery.deduped_windows"]; got < 1 {
+		t.Errorf("recovery.deduped_windows = %d, want >= 1 (the re-emitted windows must be suppressed)", got)
+	}
+}
+
+// TestDelayedParallelPoolPreservesWindowOrder is the satellite ordering
+// regression: with DelayEvery skewing worker timing and the engine's
+// parallel ready-window pool enabled, every query's sink must still see
+// its window ends in strictly increasing order, with results identical
+// to a sequential fault-free run.
+func TestDelayedParallelPoolPreservesWindowOrder(t *testing.T) {
+	queries := []struct{ id, text string }{
+		{"export-a", "SELECT m.sid, m.val FROM STREAM msmt [RANGE 1000 SLIDE 500] AS m"},
+		{"max-a", "SELECT MAX(m.val) FROM STREAM msmt [RANGE 1000 SLIDE 500] AS m"},
+		{"export-b", "SELECT m.sid, m.val FROM STREAM msmt [RANGE 1000 SLIDE 1000] AS m WHERE m.sid < 5"},
+		{"avg-b", "SELECT m.sid, AVG(m.val) FROM STREAM msmt [RANGE 1000 SLIDE 500] AS m GROUP BY m.sid"},
+	}
+	run := func(parallelism int, inj FaultInjector) (map[string][]int64, map[string]map[int64][]string) {
+		t.Helper()
+		c := newCluster(t, 2, Options{
+			Placement: PlaceRoundRobin, Faults: inj,
+			Engine: exastream.Options{Parallelism: parallelism},
+		})
+		log := newResultLog()
+		var mu sync.Mutex
+		order := make(map[string][]int64)
+		ordered := func(inner exastream.Sink) exastream.Sink {
+			return func(q string, end int64, sch relation.Schema, rows []relation.Tuple) {
+				mu.Lock()
+				order[q] = append(order[q], end)
+				mu.Unlock()
+				inner(q, end, sch, rows)
+			}
+		}
+		for _, q := range queries {
+			if _, err := c.Register(q.id, sql.MustParse(q.text), nil, ordered(log.sink())); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < 120; i++ {
+			ts := int64(i) * 50
+			el := stream.Timestamped{TS: ts, Row: relation.Tuple{
+				relation.Int(int64(i%10 + 1)), relation.Time(ts), relation.Float(float64(i % 37)),
+			}}
+			if err := c.Ingest("msmt", el); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := c.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		return order, log.snapshot()
+	}
+
+	_, baseline := run(-1, nil) // negative parallelism = sequential execution
+	inj := faults.New(3).
+		DelayEvery(0, 3, 500*time.Microsecond).
+		DelayEvery(1, 4, 300*time.Microsecond)
+	order, results := run(8, inj)
+
+	if inj.Injected(faults.KindDelay) == 0 {
+		t.Fatal("no delays injected; the test exercised nothing")
+	}
+	for _, q := range queries {
+		ends := order[q.id]
+		if len(ends) == 0 {
+			t.Fatalf("query %s emitted no windows", q.id)
+		}
+		for i := 1; i < len(ends); i++ {
+			if ends[i] <= ends[i-1] {
+				t.Errorf("query %s window ends out of order at %d: %v", q.id, i, ends)
+				break
+			}
+		}
+	}
+	if !reflect.DeepEqual(baseline, results) {
+		for q, want := range baseline {
+			if got := results[q]; !reflect.DeepEqual(want, got) {
+				t.Errorf("query %s diverged under delays+parallelism:\n  sequential: %v\n  parallel:   %v", q, want, got)
+			}
+		}
+	}
+}
+
+// TestGatewaySubmitContextAndWaitContext pins the bounded-wait
+// semantics: a wedged gateway worker makes the queue observable as
+// full, Submit fails fast with ErrGatewayBusy, SubmitContext and
+// WaitContext give up with ctx.Err(), and a ticket abandoned by
+// WaitContext can still be waited on later.
+func TestGatewaySubmitContextAndWaitContext(t *testing.T) {
+	c := newCluster(t, 1, Options{GatewayQueue: 1})
+	g := c.Gateway()
+	started := make(chan struct{})
+	release := make(chan struct{})
+	wedged := errors.New("wedged registration")
+	tkWedge, err := g.SubmitFunc("wedge", func() (int, error) {
+		close(started)
+		<-release
+		return -1, wedged
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started // the worker is now parked inside the wedge; the queue is empty
+
+	var n int64
+	const query = "SELECT m.val FROM STREAM msmt [RANGE 1000 SLIDE 1000] AS m"
+	tk2, err := g.Submit("q2", query, nil, countSink(&n))
+	if err != nil {
+		t.Fatal(err) // queue had capacity 1
+	}
+	if _, err := g.Submit("q3", query, nil, countSink(&n)); !errors.Is(err, ErrGatewayBusy) {
+		t.Fatalf("Submit on a full queue = %v, want ErrGatewayBusy", err)
+	}
+	sctx, scancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer scancel()
+	if _, err := g.SubmitContext(sctx, "q4", query, nil, countSink(&n)); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("SubmitContext on a full queue = %v, want deadline exceeded", err)
+	}
+	wctx, wcancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer wcancel()
+	if _, err := tkWedge.WaitContext(wctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("WaitContext on a pending ticket = %v, want deadline exceeded", err)
+	}
+	if tkWedge.Done() {
+		t.Fatal("ticket done while its registration is still wedged")
+	}
+
+	close(release)
+	if _, err := tkWedge.Wait(); !errors.Is(err, wedged) {
+		t.Fatalf("Wait after abandoned WaitContext = %v, want the registration error", err)
+	}
+	if node, err := tk2.Wait(); err != nil || node != 0 {
+		t.Fatalf("queued submission Wait = %d, %v; want node 0", node, err)
+	}
+	lctx, lcancel := context.WithTimeout(context.Background(), time.Second)
+	defer lcancel()
+	tk5, err := g.SubmitContext(lctx, "q5", query, nil, countSink(&n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if node, err := tk5.Wait(); err != nil || node != 0 {
+		t.Fatalf("SubmitContext after drain Wait = %d, %v; want node 0", node, err)
+	}
+}
+
+func TestRetryBusyBacksOffOnlyOnBusy(t *testing.T) {
+	ctx := context.Background()
+	calls := 0
+	err := RetryBusy(ctx, 5, time.Microsecond, func() error {
+		calls++
+		if calls < 3 {
+			return ErrGatewayBusy
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("transient busy: err=%v calls=%d, want nil after 3", err, calls)
+	}
+
+	calls = 0
+	err = RetryBusy(ctx, 3, time.Microsecond, func() error {
+		calls++
+		return fmt.Errorf("submit: %w", ErrGatewayBusy)
+	})
+	if !errors.Is(err, ErrGatewayBusy) || calls != 3 {
+		t.Fatalf("persistent busy: err=%v calls=%d, want wrapped busy after 3", err, calls)
+	}
+
+	boom := errors.New("boom")
+	calls = 0
+	if err := RetryBusy(ctx, 5, time.Microsecond, func() error { calls++; return boom }); !errors.Is(err, boom) || calls != 1 {
+		t.Fatalf("non-busy error: err=%v calls=%d, want immediate return", err, calls)
+	}
+
+	cctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	calls = 0
+	err = RetryBusy(cctx, 5, maxRetryBackoff, func() error { calls++; return ErrGatewayBusy })
+	if !errors.Is(err, context.Canceled) || calls != 1 {
+		t.Fatalf("cancelled ctx: err=%v calls=%d, want ctx.Err after first attempt", err, calls)
+	}
+}

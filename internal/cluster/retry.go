@@ -1,0 +1,48 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"time"
+)
+
+// maxRetryBackoff caps one RetryBusy sleep; beyond this, waiting longer
+// only delays the inevitable queue-full error.
+const maxRetryBackoff = 250 * time.Millisecond
+
+// RetryBusy runs fn up to attempts times, retrying only when it fails
+// with ErrGatewayBusy (a transient admission-queue-full condition).
+// Between attempts it sleeps a capped exponential backoff with full
+// jitter — base<<attempt halved plus a random half, so a thundering herd
+// of submitters decorrelates instead of hammering the gateway in
+// lockstep. Any other error (and success) returns immediately; an
+// expired ctx returns ctx.Err().
+func RetryBusy(ctx context.Context, attempts int, base time.Duration, fn func() error) error {
+	if attempts <= 0 {
+		attempts = 1
+	}
+	if base <= 0 {
+		base = time.Millisecond
+	}
+	var err error
+	for a := 0; a < attempts; a++ {
+		if err = fn(); err == nil || !errors.Is(err, ErrGatewayBusy) {
+			return err
+		}
+		if a == attempts-1 {
+			break
+		}
+		d := base << uint(a)
+		if d <= 0 || d > maxRetryBackoff {
+			d = maxRetryBackoff
+		}
+		sleep := d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+		select {
+		case <-time.After(sleep):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	return err
+}

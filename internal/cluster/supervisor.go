@@ -51,6 +51,27 @@ type FaultInjector interface {
 	BeforeProcess(node int, stream string) error
 }
 
+// CheckpointFaultInjector is an optional FaultInjector extension for
+// recovery chaos: BeforeCheckpoint runs on the worker goroutine at the
+// start of each checkpoint attempt (panicking simulates a crash during
+// the checkpoint — the previous checkpoint stays authoritative), and
+// TearCheckpoint reports whether this attempt's bytes should be
+// corrupted mid-write (the torn-checkpoint injection; the store's
+// verification catches it and falls back).
+type CheckpointFaultInjector interface {
+	BeforeCheckpoint(node int)
+	TearCheckpoint(node int) bool
+}
+
+// EmitFaultInjector is an optional FaultInjector extension: AfterEmit
+// runs right after a window is delivered through the emit gate and may
+// panic — the crash-after-emit-before-ack injection point. The mark
+// already advanced atomically with the delivery, so the replayed window
+// is deduplicated, never re-delivered.
+type EmitFaultInjector interface {
+	AfterEmit(queryID string, windowEnd int64)
+}
+
 const (
 	defaultMaxRestarts    = 3
 	defaultRestartBackoff = 5 * time.Millisecond
@@ -85,7 +106,11 @@ func (o Options) backoffFor(attempt int) time.Duration {
 
 // supervise is the worker goroutine: it runs the guarded loop and, on
 // panic, either rebuilds the node or declares it dead and fails its
-// queries over.
+// queries over. The rebuild itself is also guarded: with recovery
+// enabled it restores a checkpoint and replays logged tuples, which
+// re-executes windows and can re-hit injected faults — such a crash
+// burns another restart from the same budget and the rebuild retries
+// from the same checkpoint (the restore path is idempotent).
 func (n *Node) supervise(c *Cluster) {
 	defer n.wg.Done()
 	for {
@@ -102,18 +127,45 @@ func (n *Node) supervise(c *Cluster) {
 		// Retry the in-flight item on the rebuilt engine. A poison item
 		// will re-panic until the budget is exhausted; its retry count
 		// then tells failover not to salvage it.
-		if cur := n.current; cur.flush != nil || cur.stream != "" {
+		if cur := n.current; cur.flush != nil || cur.stream != "" || cur.restore != nil {
 			cur.retries++
 			n.current = work{}
 			n.in.pushFront(cur)
 		}
-		time.Sleep(c.opts.backoffFor(restarts))
-		if !c.rebuildNode(n) {
-			c.settle(-1)
-			return // cluster closed while we slept
+		for {
+			time.Sleep(c.opts.backoffFor(restarts))
+			alive, crashed := c.rebuildNodeGuarded(n)
+			if crashed {
+				restarts = int(atomic.AddInt32(&n.restarts, 1))
+				c.met.restarts.Inc()
+				if restarts > c.opts.maxRestarts() {
+					c.failover(n)
+					c.settle(-1)
+					return
+				}
+				continue
+			}
+			if !alive {
+				c.settle(-1)
+				return // cluster closed while we slept
+			}
+			break
 		}
 		c.settle(-1)
 	}
+}
+
+// rebuildNodeGuarded runs rebuildNode with panic containment: crashed
+// reports a panic during the rebuild/restore/replay (another supervised
+// crash), alive is false when the cluster closed.
+func (c *Cluster) rebuildNodeGuarded(n *Node) (alive, crashed bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			crashed = true
+			n.noteErr(NodeError{Node: n.ID, Err: fmt.Errorf("cluster: node %d: panic during rebuild: %v", n.ID, r)})
+		}
+	}()
+	return c.rebuildNode(n), false
 }
 
 // runGuarded processes inbox items until shutdown, converting panics
@@ -140,9 +192,21 @@ func (n *Node) runGuarded(c *Cluster) (clean bool) {
 
 // process handles one work item on the worker goroutine.
 func (n *Node) process(c *Cluster, w work) {
+	if w.restore != nil {
+		n.runRestore(c, w.restore)
+		return
+	}
 	if w.flush != nil {
 		w.flush <- n.engine.Flush()
 		close(w.flush)
+		if c.rec != nil {
+			// The flush completed every open window: a free consistent
+			// cut. The ack is already delivered, so clear the in-flight
+			// slot first — a crash inside the checkpoint must not replay
+			// the flush marker (its channel is closed).
+			n.current = work{}
+			n.checkpoint(c)
+		}
 		return
 	}
 	if f := c.opts.Faults; f != nil {
@@ -151,16 +215,23 @@ func (n *Node) process(c *Cluster, w work) {
 			return
 		}
 	}
-	if err := n.engine.Ingest(w.stream, w.el); err != nil {
+	if err := n.engine.IngestSeq(w.stream, w.el, w.seq); err != nil {
 		n.noteErr(NodeError{Node: n.ID, Err: err})
 	}
 	atomic.AddInt64(&n.tuples, 1)
+	if c.rec != nil {
+		n.recordAndMaybeCheckpoint(c, w)
+	}
 }
 
 // rebuildNode gives a crashed node a fresh engine and re-registers its
-// queries from the retained records. Returns false if the cluster
-// closed in the meantime.
+// queries from the retained records (with recovery enabled, restored
+// from the node's latest checkpoint instead — see restoreNode). Returns
+// false if the cluster closed in the meantime.
 func (c *Cluster) rebuildNode(n *Node) bool {
+	if c.rec != nil {
+		return c.restoreNode(n)
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
@@ -195,7 +266,13 @@ func (c *Cluster) rebuildNode(n *Node) bool {
 
 // failover declares a node dead, migrates its queries to survivors,
 // rebuilds the stream routing tables, and salvages its queued tuples.
+// With recovery enabled the migration carries checkpointed state and a
+// replay feed instead (see failoverRestore).
 func (c *Cluster) failover(n *Node) {
+	if c.rec != nil {
+		c.failoverRestore(n)
+		return
+	}
 	c.met.failovers.Inc()
 	c.mu.Lock()
 	atomic.StoreInt32(&n.state, int32(NodeDead))
@@ -306,7 +383,7 @@ func (c *Cluster) resendSalvaged(n *Node, w work, prevHosts, gained map[string]m
 	delivered := false
 	for _, t := range targets {
 		if err := c.nodes[t].enqueue(context.Background(),
-			work{stream: w.stream, el: w.el}, c.opts.Backpressure); err == nil {
+			work{stream: w.stream, el: w.el, seq: w.seq}, c.opts.Backpressure); err == nil {
 			delivered = true
 		}
 	}

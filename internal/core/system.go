@@ -61,6 +61,13 @@ type Config struct {
 	// TraceCapacity bounds how many query traces the system retains
 	// (default 64; oldest evicted first).
 	TraceCapacity int
+	// CheckpointEvery enables pulse-aligned checkpoint/restore with
+	// exactly-once window delivery (see cluster.Options.CheckpointEvery).
+	// 0 disables recovery.
+	CheckpointEvery int
+	// ReplayLogCap bounds each node's retained-tuple replay log (see
+	// cluster.Options.ReplayLogCap).
+	ReplayLogCap int
 }
 
 // System is one OPTIQUE deployment.
@@ -149,6 +156,8 @@ func NewSystem(cfg Config, tbox *ontology.TBox, set *mapping.Set, catalog *relat
 		MaxRestarts:     cfg.MaxRestarts,
 		QuarantineAfter: cfg.QuarantineAfter,
 		Faults:          cfg.Faults,
+		CheckpointEvery: cfg.CheckpointEvery,
+		ReplayLogCap:    cfg.ReplayLogCap,
 	}, func(int) *relation.Catalog { return catalog })
 	if err != nil {
 		return nil, err
@@ -213,6 +222,26 @@ func (s *System) RegisterTask(id, starqlText string, sink AnswerSink) (*Task, er
 		return nil, err
 	}
 	return s.registerParsed(id, q, sink)
+}
+
+// SubmitTask registers a task through the gateway's asynchronous
+// admission queue: the STARQL text is parsed synchronously (syntax
+// errors surface immediately), but translation and placement run on the
+// gateway worker. The ticket resolves to the hosting node; a full queue
+// fails with cluster.ErrGatewayBusy (pair with cluster.RetryBusy and
+// Ticket.WaitContext for bounded admission under load).
+func (s *System) SubmitTask(id, starqlText string, sink AnswerSink) (*cluster.Ticket, error) {
+	q, err := starql.Parse(starqlText)
+	if err != nil {
+		return nil, err
+	}
+	return s.cluster.Gateway().SubmitFunc(id, func() (int, error) {
+		task, err := s.registerParsed(id, q, sink)
+		if err != nil {
+			return -1, err
+		}
+		return task.Node, nil
+	})
 }
 
 func (s *System) registerParsed(id string, q *starql.Query, sink AnswerSink) (*Task, error) {

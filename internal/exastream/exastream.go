@@ -193,9 +193,13 @@ type Engine struct {
 	met        *metrics
 }
 
+// windowKey identifies one windowing pass. owner is "" for the normal
+// shared pass; a restored query's windows are keyed by its id so replay
+// can advance them without touching the other queries' shared state.
 type windowKey struct {
 	stream string
 	spec   stream.WindowSpec
+	owner  string
 }
 
 // sharedWindow is one windowing pass over a stream, shared by all
@@ -220,6 +224,12 @@ type continuousQuery struct {
 	specs []stream.WindowSpec
 	pulse *stream.Pulse
 	sink  Sink
+
+	// private marks a checkpoint-restored query: its windows are owned
+	// (keyed by query id, not shared) and appliedSeq filters re-delivered
+	// tuples so replay is idempotent.
+	private    bool
+	appliedSeq map[string]int64 // stream -> highest ingest seq applied (guarded by e.mu)
 
 	mu        sync.Mutex
 	pending   map[int64]map[int]stream.Batch // window end -> refIdx -> batch
@@ -392,7 +402,10 @@ func (e *Engine) registerLocked(q *continuousQuery) error {
 }
 
 func (e *Engine) subscribeLocked(q *continuousQuery, refIdx int, streamName string, spec stream.WindowSpec) {
-	key := windowKey{strings.ToLower(streamName), spec}
+	key := windowKey{stream: strings.ToLower(streamName), spec: spec}
+	if q.private {
+		key.owner = q.id
+	}
 	sw, ok := e.windows[key]
 	if !ok {
 		op, err := stream.NewTimeSlidingWindow(spec)
@@ -414,7 +427,11 @@ func (e *Engine) Unregister(id string) error {
 	}
 	delete(e.queries, id)
 	e.wcache.Unregister(id)
-	for _, sw := range e.windows {
+	for wk, sw := range e.windows {
+		if wk.owner == id {
+			delete(e.windows, wk)
+			continue
+		}
 		kept := sw.subs[:0]
 		for _, s := range sw.subs {
 			if s.q.id != id {
@@ -441,6 +458,16 @@ func (e *Engine) QueryIDs() []string {
 // Ingest pushes one tuple into a stream, advancing every shared window
 // over it and executing any queries whose windows completed.
 func (e *Engine) Ingest(streamName string, el stream.Timestamped) error {
+	return e.IngestSeq(streamName, el, 0)
+}
+
+// IngestSeq is Ingest with a per-stream ingest sequence number (1-based;
+// 0 means unsequenced). Sequence numbers only matter to restored
+// (private) queries: a tuple whose seq is at or below a query's applied
+// cursor for the stream has already advanced that query's windows
+// before the restore, so it is skipped — this is what makes the
+// supervisor's replay idempotent against live re-deliveries.
+func (e *Engine) IngestSeq(streamName string, el stream.Timestamped, seq int64) error {
 	e.mu.Lock()
 	key := strings.ToLower(streamName)
 	if _, ok := e.streams[key]; !ok {
@@ -452,17 +479,37 @@ func (e *Engine) Ingest(streamName string, el stream.Timestamped) error {
 		e.mu.Unlock()
 		return err
 	}
+	var ownerSkip map[string]bool
 	var fires []delivery
 	for wk, sw := range e.windows {
 		if wk.stream != key {
 			continue
 		}
+		if wk.owner != "" {
+			if ownerSkip == nil {
+				ownerSkip = make(map[string]bool)
+			}
+			skip, decided := ownerSkip[wk.owner]
+			if !decided {
+				if q := e.queries[wk.owner]; q != nil && seq != 0 && q.appliedSeq != nil {
+					if seq <= q.appliedSeq[key] {
+						skip = true
+					} else {
+						q.appliedSeq[key] = seq
+					}
+				}
+				ownerSkip[wk.owner] = skip
+			}
+			if skip {
+				continue
+			}
+		}
 		before := sw.op.Late
 		batches := sw.op.Push(el)
-		e.met.lateTuples.Add(sw.op.Late-before)
+		e.met.lateTuples.Add(sw.op.Late - before)
 		for _, b := range batches {
 			e.met.batchesBuilt.Inc()
-			if e.opts.ShareWindows {
+			if e.opts.ShareWindows && wk.owner == "" {
 				e.wcache.Put(streamName, wk.spec, b)
 			}
 			for _, sub := range sw.subs {
@@ -483,7 +530,7 @@ func (e *Engine) Flush() error {
 	for wk, sw := range e.windows {
 		for _, b := range sw.op.Flush() {
 			e.met.batchesBuilt.Inc()
-			if e.opts.ShareWindows {
+			if e.opts.ShareWindows && wk.owner == "" {
 				e.wcache.Put(wk.stream, wk.spec, b)
 			}
 			for _, sub := range sw.subs {

@@ -28,6 +28,16 @@ const (
 	KindError
 	// KindDelay stalls the worker, simulating a slow node.
 	KindDelay
+	// KindCrashCheckpoint crashes the worker at the start of a
+	// checkpoint attempt (the previous checkpoint stays authoritative).
+	KindCrashCheckpoint
+	// KindTornCheckpoint corrupts a checkpoint's bytes mid-write; the
+	// store's verification detects it and falls back.
+	KindTornCheckpoint
+	// KindCrashEmit crashes the worker right after a window was
+	// delivered, before the sender could acknowledge it — the recovery
+	// gate must not deliver that window again.
+	KindCrashEmit
 )
 
 func (k Kind) String() string {
@@ -36,6 +46,12 @@ func (k Kind) String() string {
 		return "panic"
 	case KindError:
 		return "error"
+	case KindCrashCheckpoint:
+		return "crash-checkpoint"
+	case KindTornCheckpoint:
+		return "torn-checkpoint"
+	case KindCrashEmit:
+		return "crash-emit"
 	default:
 		return "delay"
 	}
@@ -47,6 +63,12 @@ var ErrInjected = errors.New("faults: injected ingest error")
 // PanicValue is the value injected panics carry, so supervisors and
 // tests can recognise a simulated crash.
 const PanicValue = "faults: injected worker panic"
+
+// CheckpointPanicValue is carried by crash-during-checkpoint panics.
+const CheckpointPanicValue = "faults: injected crash during checkpoint"
+
+// EmitPanicValue is carried by crash-after-emit panics.
+const EmitPanicValue = "faults: injected crash after emit"
 
 // AnyNode matches every node in a rule.
 const AnyNode = -1
@@ -89,15 +111,31 @@ type Injector struct {
 	rules    []rule
 	seen     map[int]int64 // node -> tuples observed
 	injected map[Kind]int64
+
+	// Recovery chaos triggers, keyed by the same counter style as the
+	// tuple rules: "the node's nth checkpoint attempt", "the query's nth
+	// emitted window". Checkpoint attempts are counted in
+	// BeforeCheckpoint; TearCheckpoint consults the same attempt without
+	// advancing it (both hooks describe one attempt).
+	ckptSeen  map[int]int64
+	emitSeen  map[string]int64
+	crashCkpt map[int]map[int64]bool
+	tearCkpt  map[int]map[int64]bool
+	crashEmit map[string]map[int64]bool
 }
 
 // New returns an injector whose probabilistic rules draw from a
 // generator seeded with seed (counter-based rules need no randomness).
 func New(seed int64) *Injector {
 	return &Injector{
-		rng:      rand.New(rand.NewSource(seed)),
-		seen:     make(map[int]int64),
-		injected: make(map[Kind]int64),
+		rng:       rand.New(rand.NewSource(seed)),
+		seen:      make(map[int]int64),
+		injected:  make(map[Kind]int64),
+		ckptSeen:  make(map[int]int64),
+		emitSeen:  make(map[string]int64),
+		crashCkpt: make(map[int]map[int64]bool),
+		tearCkpt:  make(map[int]map[int64]bool),
+		crashEmit: make(map[string]map[int64]bool),
 	}
 }
 
@@ -126,6 +164,47 @@ func (i *Injector) ErrorEvery(node int, every int64) *Injector {
 // slows every tuple).
 func (i *Injector) DelayEvery(node int, every int64, d time.Duration) *Injector {
 	return i.add(rule{node: node, kind: KindDelay, at: every, every: every, delay: d})
+}
+
+// CrashAtCheckpoint crashes the worker at the start of node's nth
+// checkpoint attempt (1-based): the state is exported but never
+// committed, so recovery must fall back to the previous checkpoint plus
+// the replay log.
+func (i *Injector) CrashAtCheckpoint(node int, nth int64) *Injector {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if i.crashCkpt[node] == nil {
+		i.crashCkpt[node] = make(map[int64]bool)
+	}
+	i.crashCkpt[node][nth] = true
+	return i
+}
+
+// TearCheckpointAt corrupts the bytes of node's nth checkpoint attempt
+// (1-based), simulating a crash mid-write: the commit happens but fails
+// verification, and restores fall back to the previous checkpoint.
+func (i *Injector) TearCheckpointAt(node int, nth int64) *Injector {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if i.tearCkpt[node] == nil {
+		i.tearCkpt[node] = make(map[int64]bool)
+	}
+	i.tearCkpt[node][nth] = true
+	return i
+}
+
+// CrashAfterEmit crashes the worker right after the query's nth window
+// (1-based, counting delivered windows) leaves the emit gate — after
+// delivery, before acknowledgement. Recovery replays the window's
+// inputs, and the gate's high-water mark must suppress the duplicate.
+func (i *Injector) CrashAfterEmit(queryID string, nth int64) *Injector {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if i.crashEmit[queryID] == nil {
+		i.crashEmit[queryID] = make(map[int64]bool)
+	}
+	i.crashEmit[queryID][nth] = true
+	return i
 }
 
 // OnStream restricts the most recently added rule to one stream name.
@@ -192,4 +271,51 @@ func (i *Injector) BeforeProcess(node int, stream string) error {
 		panic(PanicValue)
 	}
 	return err
+}
+
+// BeforeCheckpoint implements cluster.CheckpointFaultInjector: it counts
+// the node's checkpoint attempt and crashes the worker when a
+// CrashAtCheckpoint rule matches.
+func (i *Injector) BeforeCheckpoint(node int) {
+	i.mu.Lock()
+	i.ckptSeen[node]++
+	fire := i.crashCkpt[node][i.ckptSeen[node]]
+	if fire {
+		i.injected[KindCrashCheckpoint]++
+	}
+	i.mu.Unlock()
+	if fire {
+		panic(CheckpointPanicValue)
+	}
+}
+
+// TearCheckpoint implements cluster.CheckpointFaultInjector: it reports
+// whether the current attempt's bytes should be corrupted. It reads the
+// attempt counter BeforeCheckpoint advanced — the two hooks describe the
+// same attempt.
+func (i *Injector) TearCheckpoint(node int) bool {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if i.tearCkpt[node][i.ckptSeen[node]] {
+		i.injected[KindTornCheckpoint]++
+		return true
+	}
+	return false
+}
+
+// AfterEmit implements cluster.EmitFaultInjector: it counts the query's
+// delivered windows and crashes the worker when a CrashAfterEmit rule
+// matches. The panic unwinds through the engine's execution path into
+// the supervisor, exactly like a crash between delivery and ack.
+func (i *Injector) AfterEmit(queryID string, windowEnd int64) {
+	i.mu.Lock()
+	i.emitSeen[queryID]++
+	fire := i.crashEmit[queryID][i.emitSeen[queryID]]
+	if fire {
+		i.injected[KindCrashEmit]++
+	}
+	i.mu.Unlock()
+	if fire {
+		panic(EmitPanicValue)
+	}
 }

@@ -1,0 +1,231 @@
+// Package recovery implements pulse-aligned checkpoint/restore with
+// exactly-once window delivery for the cluster runtime.
+//
+// Each worker node periodically serializes its per-query stream state —
+// window-operator contents, staged partial windows, wCache batches, and
+// per-stream ingest cursors — into a Checkpoint taken on a window-end
+// boundary, so every snapshot is a consistent cut. A bounded replay Log
+// retains the tuples processed since the last checkpoint. When a worker
+// crashes, the supervisor restores the victim's latest checkpoint onto
+// the recovery target and re-feeds the logged tuples; the per-stream
+// sequence cursors make the replay idempotent, and the emit Gate
+// suppresses windows at or below each query's emitted high-water mark,
+// so downstream observers see every window exactly once — no loss, no
+// duplicates.
+//
+// The design leans on the bounded-memory criteria of Schiff & Özçep
+// (arXiv:2007.16040): the per-window state of the STARQL-style queries
+// this system runs is boundable, which is what makes cheap pulse-aligned
+// snapshots feasible.
+package recovery
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/relation"
+	"repro/internal/stream"
+)
+
+// Tuple is one logged stream element: the element itself plus the
+// per-stream ingest sequence number the cluster assigned at routing
+// time. Sequence numbers are 1-based; 0 means "unsequenced" and is
+// never filtered.
+type Tuple struct {
+	Stream string
+	Seq    int64
+	TS     int64
+	Row    relation.Tuple
+}
+
+// PendingWindow is one staged-but-incomplete window of a multi-ref
+// query: batches delivered for some stream references while others are
+// still open.
+type PendingWindow struct {
+	End     int64
+	Batches map[int]stream.Batch
+}
+
+// QueryState is the serialized per-query execution state at a cut: one
+// window-operator snapshot per stream reference, the staged partial
+// windows, quarantine bookkeeping, and the per-stream ingest cursors
+// that make replay idempotent.
+type QueryState struct {
+	ID         string
+	Windows    []stream.WindowState
+	Pending    []PendingWindow
+	Failures   int
+	Suspended  bool
+	AppliedSeq map[string]int64
+}
+
+// EngineState is one engine's exported stream state: every registered
+// query plus the shared wCache contents.
+type EngineState struct {
+	Queries []QueryState
+	WCache  []stream.CachedWindow
+}
+
+// Query returns the state of one query, or nil when the checkpoint
+// predates its registration.
+func (s *EngineState) Query(id string) *QueryState {
+	for i := range s.Queries {
+		if s.Queries[i].ID == id {
+			return &s.Queries[i]
+		}
+	}
+	return nil
+}
+
+// Checkpoint is one node's consistent cut: the engine state, the
+// per-stream ingest cursors at the cut (replay resumes after them), and
+// the emitted-window high-water marks at the time of the cut
+// (informational — the authoritative marks live in the Gate, which
+// survives node death).
+type Checkpoint struct {
+	Node      int
+	TakenAtMS int64
+	Cursors   map[string]int64
+	EmitHWM   map[string]int64
+	Engine    EngineState
+}
+
+// QueryState returns the checkpointed state of one query, or nil.
+func (c *Checkpoint) QueryState(id string) *QueryState {
+	if c == nil {
+		return nil
+	}
+	return c.Engine.Query(id)
+}
+
+// ---- codec ----
+//
+// Checkpoints are framed as an 8-byte payload length, an 8-byte FNV-1a
+// checksum, and a gob-encoded payload. A torn write (crash mid-write,
+// injected corruption) fails the checksum or the gob decode, and the
+// store falls back to the previous checkpoint.
+
+func fnv1a(b []byte) uint64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(b); i++ {
+		h ^= uint64(b[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Encode serializes a checkpoint into its framed wire form.
+func Encode(ck *Checkpoint) ([]byte, error) {
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(ck); err != nil {
+		return nil, fmt.Errorf("recovery: encode checkpoint: %w", err)
+	}
+	p := payload.Bytes()
+	out := make([]byte, 16+len(p))
+	binary.LittleEndian.PutUint64(out[0:8], uint64(len(p)))
+	binary.LittleEndian.PutUint64(out[8:16], fnv1a(p))
+	copy(out[16:], p)
+	return out, nil
+}
+
+// Decode parses a framed checkpoint, detecting torn (truncated or
+// corrupted) writes.
+func Decode(b []byte) (*Checkpoint, error) {
+	if len(b) < 16 {
+		return nil, fmt.Errorf("recovery: torn checkpoint: %d bytes, want >= 16", len(b))
+	}
+	n := binary.LittleEndian.Uint64(b[0:8])
+	if uint64(len(b)-16) != n {
+		return nil, fmt.Errorf("recovery: torn checkpoint: payload %d bytes, header says %d", len(b)-16, n)
+	}
+	if sum := fnv1a(b[16:]); sum != binary.LittleEndian.Uint64(b[8:16]) {
+		return nil, fmt.Errorf("recovery: torn checkpoint: checksum mismatch")
+	}
+	var ck Checkpoint
+	if err := gob.NewDecoder(bytes.NewReader(b[16:])).Decode(&ck); err != nil {
+		return nil, fmt.Errorf("recovery: decode checkpoint: %w", err)
+	}
+	return &ck, nil
+}
+
+// ---- store ----
+
+// store retains the last two committed checkpoint blobs per node. The
+// latest blob is verified by decoding at save time; a torn write is
+// reported to the caller (which must then keep its replay log intact)
+// and Latest falls back to the previous blob.
+type store struct {
+	mu    sync.Mutex
+	cur   map[int][]byte
+	prev  map[int][]byte
+	saved map[int]int64 // TakenAtMS of the current blob, for age accounting
+}
+
+func newStore() *store {
+	return &store{cur: map[int][]byte{}, prev: map[int][]byte{}, saved: map[int]int64{}}
+}
+
+// save commits a blob for a node, shifting the previous current blob to
+// the fallback slot, and returns the superseded blob's TakenAtMS (0 when
+// none).
+func (s *store) save(node int, blob []byte, takenAtMS int64) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if old, ok := s.cur[node]; ok {
+		s.prev[node] = old
+	}
+	s.cur[node] = blob
+	prevAt := s.saved[node]
+	s.saved[node] = takenAtMS
+	return prevAt
+}
+
+// latest returns the newest decodable checkpoint for a node. torn
+// reports whether the current blob was unreadable and the previous one
+// was used instead.
+func (s *store) latest(node int) (ck *Checkpoint, torn bool) {
+	s.mu.Lock()
+	cur, prev := s.cur[node], s.prev[node]
+	s.mu.Unlock()
+	if cur != nil {
+		if ck, err := Decode(cur); err == nil {
+			return ck, false
+		}
+	}
+	if prev != nil {
+		if ck, err := Decode(prev); err == nil {
+			return ck, true
+		}
+	}
+	return nil, cur != nil
+}
+
+// MergeFeeds merges replay feeds from several sources (victim log,
+// salvaged queue, target log) into one deduplicated sequence ordered by
+// (stream, seq). Per-stream sequence order is processing order; the
+// per-query cursors make any residual overlap with live traffic
+// idempotent.
+func MergeFeeds(feeds ...[]Tuple) []Tuple {
+	var out []Tuple
+	for _, f := range feeds {
+		out = append(out, f...)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Stream != out[j].Stream {
+			return out[i].Stream < out[j].Stream
+		}
+		return out[i].Seq < out[j].Seq
+	})
+	kept := out[:0]
+	for i, t := range out {
+		if i > 0 && t.Stream == out[i-1].Stream && t.Seq == out[i-1].Seq && t.Seq != 0 {
+			continue
+		}
+		kept = append(kept, t)
+	}
+	return kept
+}

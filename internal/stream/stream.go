@@ -199,6 +199,56 @@ func (t *TimeSlidingWindow) Flush() []Batch {
 	return out
 }
 
+// WindowState is a serializable snapshot of a TimeSlidingWindow taken
+// at a consistent cut: the open (pending) batches, the emission cursor,
+// and the late-tuple bookkeeping. Row slices are deep-copied so the
+// snapshot stays stable while the live operator keeps appending.
+type WindowState struct {
+	Spec     WindowSpec
+	Pending  []Batch
+	NextEmit int64
+	MaxTS    int64
+	Late     int64
+}
+
+// Snapshot captures the operator's current state for checkpointing.
+func (t *TimeSlidingWindow) Snapshot() WindowState {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st := WindowState{Spec: t.Spec, NextEmit: t.nextEmit, MaxTS: t.maxTS, Late: t.Late}
+	ids := make([]int64, 0, len(t.pending))
+	for id := range t.pending {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		b := *t.pending[id]
+		b.Rows = append([]relation.Tuple(nil), b.Rows...)
+		st.Pending = append(st.Pending, b)
+	}
+	return st
+}
+
+// RestoreTimeSlidingWindow rebuilds an operator from a snapshot. The
+// restored operator continues exactly where the snapshot left off:
+// windows at or past NextEmit are still open, everything before it has
+// already been emitted and will never re-emit.
+func RestoreTimeSlidingWindow(st WindowState) (*TimeSlidingWindow, error) {
+	if err := st.Spec.Validate(); err != nil {
+		return nil, err
+	}
+	t := &TimeSlidingWindow{Spec: st.Spec, pending: make(map[int64]*Batch, len(st.Pending)), nextEmit: st.NextEmit, maxTS: st.MaxTS, Late: st.Late}
+	for _, b := range st.Pending {
+		if b.WindowID < st.NextEmit {
+			continue
+		}
+		cp := b
+		cp.Rows = append([]relation.Tuple(nil), b.Rows...)
+		t.pending[b.WindowID] = &cp
+	}
+	return t, nil
+}
+
 // Replay runs a finite, ordered tuple sequence through a window operator
 // and returns all batches (including the flush).
 func Replay(spec WindowSpec, els []Timestamped) ([]Batch, error) {

@@ -2,6 +2,7 @@ package stream
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"repro/internal/telemetry"
@@ -113,6 +114,15 @@ func (c *WCache) Advance(consumer string, windowID int64) {
 
 func (c *WCache) evictLocked() {
 	if len(c.marks) == 0 {
+		// Last consumer gone: nothing can pin a batch any more, so drop
+		// them all and reset the watermark — a future registration (e.g.
+		// the checkpoint path's transient consumer, or a fresh query)
+		// starts from a clean cache rather than inheriting a stale
+		// high-water mark.
+		if len(c.entries) > 0 {
+			c.entries = make(map[wcKey]Batch)
+		}
+		c.minMark = 0
 		return
 	}
 	min := int64(1<<62 - 1)
@@ -167,6 +177,58 @@ func (c *WCache) Put(stream string, spec WindowSpec, b Batch) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.entries[wcKey{stream, spec, b.WindowID}] = b
+}
+
+// CachedWindow is one wCache entry in serializable form, used by the
+// recovery checkpoint to carry materialised window batches across a
+// restore.
+type CachedWindow struct {
+	Stream string
+	Spec   WindowSpec
+	Batch  Batch
+}
+
+// SnapshotBatches returns every cached batch in a deterministic order
+// (stream, spec, window id). Callers snapshotting for a checkpoint
+// should hold a registered consumer mark so concurrent Advance calls
+// cannot evict entries mid-copy.
+func (c *WCache) SnapshotBatches() []CachedWindow {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]CachedWindow, 0, len(c.entries))
+	for k, b := range c.entries {
+		out = append(out, CachedWindow{Stream: k.stream, Spec: k.spec, Batch: b})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Stream != b.Stream {
+			return a.Stream < b.Stream
+		}
+		if a.Spec != b.Spec {
+			if a.Spec.RangeMS != b.Spec.RangeMS {
+				return a.Spec.RangeMS < b.Spec.RangeMS
+			}
+			if a.Spec.SlideMS != b.Spec.SlideMS {
+				return a.Spec.SlideMS < b.Spec.SlideMS
+			}
+			return a.Spec.StartMS < b.Spec.StartMS
+		}
+		return a.Batch.WindowID < b.Batch.WindowID
+	})
+	return out
+}
+
+// RestoreBatches loads snapshotted entries into the cache. Entries
+// below the current watermark are skipped (already evictable).
+func (c *WCache) RestoreBatches(ws []CachedWindow) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, w := range ws {
+		if w.Batch.WindowID < c.minMark {
+			continue
+		}
+		c.entries[wcKey{w.Stream, w.Spec, w.Batch.WindowID}] = w.Batch
+	}
 }
 
 // Len returns the number of cached batches.
