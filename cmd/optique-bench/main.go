@@ -96,6 +96,14 @@ var (
 	checkpointEvery int
 )
 
+// memBudget/tenantQuota carry -mem-budget/-tenant-quota into the
+// cluster experiments, so the sweeps can measure governed runs (budget
+// enforcement and admission checks on the registration/ingest path).
+var (
+	memBudget   int64
+	tenantQuota int
+)
+
 func main() {
 	exp := flag.String("exp", "all", "experiment: "+strings.Join(experiments, "|"))
 	maxQueries := flag.Int("maxqueries", 1024, "upper bound for the concurrency sweep")
@@ -107,6 +115,8 @@ func main() {
 	telemetryAddr := flag.String("telemetry-addr", "", "serve /metrics, /traces and /debug/pprof on this address (e.g. localhost:6060; unauthenticated, \":port\" binds loopback)")
 	flag.BoolVar(&recoveryOn, "recovery", false, "checkpoint worker state for exactly-once recovery (measures the checkpoint overhead)")
 	flag.IntVar(&checkpointEvery, "checkpoint-every", 64, "tuples between pulse-aligned checkpoints (with -recovery)")
+	flag.Int64Var(&memBudget, "mem-budget", 0, "default per-query window-state byte budget; over-budget queries degrade instead of exhausting memory (0 = off)")
+	flag.IntVar(&tenantQuota, "tenant-quota", 0, "max concurrently registered queries per tenant namespace (0 = off)")
 	flag.Parse()
 	interpretHaving = !*havingcompile
 
@@ -213,6 +223,10 @@ func runConcurrent(queries, nodes, tuples int) (float64, float64, exastream.Stat
 	}
 	if recoveryOn {
 		copts.CheckpointEvery = checkpointEvery
+	}
+	copts.MemBudget = memBudget
+	if tenantQuota > 0 {
+		copts.TenantQuota = cluster.TenantQuota{MaxQueries: tenantQuota}
 	}
 	cl, err := cluster.New(copts, func(int) *relation.Catalog { return cat })
 	if err != nil {
@@ -362,6 +376,10 @@ func runTestSet(idx int) (int, int, float64, int64) {
 	scfg := optique.Config{Nodes: 4, InterpretHaving: interpretHaving}
 	if recoveryOn {
 		scfg.CheckpointEvery = checkpointEvery
+	}
+	scfg.MemBudget = memBudget
+	if tenantQuota > 0 {
+		scfg.TenantQuota = cluster.TenantQuota{MaxQueries: tenantQuota}
 	}
 	sys, err := optique.NewSystem(scfg, siemens.TBox(), siemens.Mappings(), cat)
 	if err != nil {

@@ -42,6 +42,14 @@ var (
 	checkpointEvery int
 )
 
+// memBudget/tenantQuota carry the -mem-budget/-tenant-quota flags into
+// deploy: per-task window-state byte budgets (degrade instead of OOM)
+// and per-tenant concurrent-query caps.
+var (
+	memBudget   int64
+	tenantQuota int
+)
+
 func main() {
 	scenario := flag.String("scenario", "s1", "s1, s2, or s3")
 	nodes := flag.Int("nodes", 4, "cluster size (s2)")
@@ -55,6 +63,8 @@ func main() {
 	flag.BoolVar(&recoveryOn, "recovery", false, "checkpoint worker state and restore it across crashes/failover (exactly-once window delivery)")
 	flag.IntVar(&checkpointEvery, "checkpoint-every", 64, "tuples between pulse-aligned checkpoints (with -recovery)")
 	flag.StringVar(&telemetryAddr, "telemetry-addr", "", "serve /metrics, /traces and /debug/pprof on this address (e.g. localhost:6060; unauthenticated, \":port\" binds loopback)")
+	flag.Int64Var(&memBudget, "mem-budget", 0, "default per-task window-state byte budget; over-budget tasks degrade instead of exhausting memory (0 = off)")
+	flag.IntVar(&tenantQuota, "tenant-quota", 0, "max concurrently registered tasks per tenant namespace (0 = off)")
 	flag.Parse()
 	engineOpts = optique.EngineOptions{Parallelism: *parallelism, DisablePlanCache: !*plancache}
 	interpretHaving = !*havingcompile
@@ -92,6 +102,10 @@ func deploy(nodes, turbines int, inj optique.FaultInjector) (*optique.System, *s
 	}
 	if recoveryOn {
 		cfg.CheckpointEvery = checkpointEvery
+	}
+	cfg.MemBudget = memBudget
+	if tenantQuota > 0 {
+		cfg.TenantQuota = cluster.TenantQuota{MaxQueries: tenantQuota}
 	}
 	sys, err := optique.NewSystem(cfg, siemens.TBox(), siemens.Mappings(), cat)
 	if err != nil {

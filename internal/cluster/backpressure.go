@@ -72,6 +72,13 @@ func newInbox(capacity int) *inbox {
 // ErrClusterClosed / errNodeDown when the inbox is down.
 func (q *inbox) push(ctx context.Context, w work, policy Backpressure) (pushResult, error) {
 	for {
+		// Check cancellation before taking the lock: a producer woken by a
+		// freed slot could otherwise keep losing the race for it and spin
+		// here long after its context expired — and a push with an
+		// already-dead context must not enqueue at all.
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
 		q.mu.Lock()
 		if q.closed {
 			q.mu.Unlock()

@@ -99,6 +99,19 @@ type Options struct {
 	// degrades to salvage-only for the gap and recovery.lost_coverage
 	// counts it.
 	ReplayLogCap int
+
+	// MemBudget is the default per-query window-state byte budget used
+	// when RegisterWith gets no explicit budget (the core layer passes
+	// starql.AnalyzeMemory's derivation instead). 0 disables budget
+	// enforcement.
+	MemBudget int64
+	// NodeMemBudget caps the sum of admitted query budgets per node;
+	// Register returns ErrOverBudget (retryable) when no live node has
+	// headroom. 0 disables placement budgeting.
+	NodeMemBudget int64
+	// TenantQuota enables per-tenant admission control (see TenantOf for
+	// the namespace convention). The zero value disables it.
+	TenantQuota TenantQuota
 }
 
 // clusterMetrics are the supervision counters kept in the cluster
@@ -153,16 +166,22 @@ type Cluster struct {
 	rec  *recovery.Coordinator
 	seqs map[string]int64
 
+	// gov enforces per-tenant admission quotas (always non-nil; a zero
+	// quota admits everything).
+	gov *governor
+
 	gateway *Gateway
 }
 
 // queryRecord is the retained registration of one continuous query.
 type queryRecord struct {
-	id    string
-	stmt  *sql.SelectStmt
-	pulse *stream.Pulse
-	sink  exastream.Sink
-	node  int
+	id     string
+	stmt   *sql.SelectStmt
+	pulse  *stream.Pulse
+	sink   exastream.Sink
+	node   int
+	budget int64  // admitted window-state byte budget (0 = unenforced)
+	tenant string // TenantOf(id), for quota release
 
 	// Recovery bookkeeping (guarded by Cluster.mu). pendingRestore marks
 	// a query assigned to node whose engine-side registration happens via
@@ -203,6 +222,9 @@ type Node struct {
 	state    int32 // NodeState
 	queries  int32
 	tuples   int64
+	// budgetUsed sums the admitted budgets of queries placed on this
+	// node (guarded by Cluster.mu); NodeMemBudget caps it.
+	budgetUsed int64
 	restarts int32
 	dropped  int64
 	requeued int64
@@ -253,6 +275,8 @@ func New(opts Options, catalogFor func(node int) *relation.Catalog) (*Cluster, e
 		c.rec = recovery.NewCoordinator(opts.Nodes, opts.ReplayLogCap, reg)
 		c.seqs = make(map[string]int64)
 	}
+	govFaults, _ := opts.Faults.(GovernanceFaultInjector)
+	c.gov = newGovernor(opts.TenantQuota, reg, govFaults)
 	for i := 0; i < opts.Nodes; i++ {
 		n := &Node{
 			ID:  i,
@@ -289,6 +313,9 @@ func (c *Cluster) engineOptsFor(n *Node) exastream.Options {
 		if user != nil {
 			user(queryID, err)
 		}
+	}
+	if f, ok := c.opts.Faults.(GovernanceFaultInjector); ok && o.Pressure == nil {
+		o.Pressure = f.PressureFor
 	}
 	return o
 }
@@ -394,8 +421,37 @@ func (c *Cluster) RegisterUDF(name string, f engine.ScalarFunc) {
 // Register parses nothing (the statement is already an AST): it schedules
 // the query on a live worker, retains the registration record for
 // failover, and returns the chosen node id. It returns ErrNoLiveNodes
-// when every worker is dead.
+// when every worker is dead. The query's budget defaults to
+// Options.MemBudget; use RegisterWith to pass an analyzed budget.
 func (c *Cluster) Register(id string, stmt *sql.SelectStmt, pulse *stream.Pulse, sink exastream.Sink) (int, error) {
+	return c.RegisterWith(id, stmt, pulse, sink, RegisterOptions{})
+}
+
+// RegisterOptions carries per-registration admission parameters.
+type RegisterOptions struct {
+	// Budget is the query's window-state byte budget, typically derived
+	// by starql.AnalyzeMemory at translation time. 0 falls back to
+	// Options.MemBudget (which may itself be 0 = unenforced).
+	Budget int64
+}
+
+// RegisterWith is Register with explicit admission parameters: the
+// tenant quota is charged, the budget is checked against per-node
+// headroom (ErrOverBudget when nothing fits), and the admitted budget
+// follows the query through restarts and failovers.
+func (c *Cluster) RegisterWith(id string, stmt *sql.SelectStmt, pulse *stream.Pulse, sink exastream.Sink, ro RegisterOptions) (int, error) {
+	tenant := TenantOf(id)
+	if err := c.gov.admitRegister(tenant); err != nil {
+		return -1, err
+	}
+	node, err := c.registerAdmitted(id, stmt, pulse, sink, ro, tenant)
+	if err != nil {
+		c.gov.releaseQuery(tenant)
+	}
+	return node, err
+}
+
+func (c *Cluster) registerAdmitted(id string, stmt *sql.SelectStmt, pulse *stream.Pulse, sink exastream.Sink, ro RegisterOptions, tenant string) (int, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
@@ -404,16 +460,28 @@ func (c *Cluster) Register(id string, stmt *sql.SelectStmt, pulse *stream.Pulse,
 	if _, dup := c.queries[id]; dup {
 		return -1, fmt.Errorf("cluster: query %q already registered", id)
 	}
-	node := c.pickNodeLocked()
-	if node < 0 {
+	budget := ro.Budget
+	if budget == 0 {
+		budget = c.opts.MemBudget
+	}
+	node := c.pickNodeForLocked(budget)
+	if node == -1 {
 		return -1, ErrNoLiveNodes
+	}
+	if node == -2 {
+		c.gov.rejectedBudget.Inc()
+		return -1, ErrOverBudget
 	}
 	sink = c.guardedSink(id, sink)
 	if err := c.nodes[node].engine.Register(id, stmt, pulse, sink); err != nil {
 		return -1, err
 	}
+	if budget > 0 {
+		_ = c.nodes[node].engine.SetQueryBudget(id, budget)
+	}
 	atomic.AddInt32(&c.nodes[node].queries, 1)
-	c.queries[id] = &queryRecord{id: id, stmt: stmt, pulse: pulse, sink: sink, node: node}
+	c.nodes[node].budgetUsed += budget
+	c.queries[id] = &queryRecord{id: id, stmt: stmt, pulse: pulse, sink: sink, node: node, budget: budget, tenant: tenant}
 	for _, ref := range streamNamesOf(stmt) {
 		hosts, ok := c.streamHosts[ref]
 		if !ok {
@@ -437,6 +505,8 @@ func (c *Cluster) Unregister(id string) error {
 		return err
 	}
 	atomic.AddInt32(&c.nodes[rec.node].queries, -1)
+	c.nodes[rec.node].budgetUsed -= rec.budget
+	c.gov.releaseQuery(rec.tenant)
 	delete(c.queries, id)
 	if c.rec != nil {
 		c.rec.Gate().Forget(id)
@@ -477,14 +547,29 @@ func (c *Cluster) Resume(id string) error {
 // pickNodeLocked implements the placement strategies over live nodes
 // only; dead and restarting workers are skipped. Returns -1 when no
 // live node remains.
-func (c *Cluster) pickNodeLocked() int {
+func (c *Cluster) pickNodeLocked() int { return c.pickNodeForLocked(0) }
+
+// pickNodeForLocked is pickNodeLocked with budget-aware placement: when
+// NodeMemBudget is set and the query carries a budget, nodes without
+// headroom are skipped. Returns -1 when no live node remains and -2
+// when live nodes exist but none can admit the budget.
+func (c *Cluster) pickNodeForLocked(budget int64) int {
 	live := make([]int, 0, len(c.nodes))
+	anyLive := false
 	for i, n := range c.nodes {
-		if n.State() == NodeLive {
-			live = append(live, i)
+		if n.State() != NodeLive {
+			continue
 		}
+		anyLive = true
+		if c.opts.NodeMemBudget > 0 && budget > 0 && n.budgetUsed+budget > c.opts.NodeMemBudget {
+			continue
+		}
+		live = append(live, i)
 	}
 	if len(live) == 0 {
+		if anyLive {
+			return -2
+		}
 		return -1
 	}
 	switch c.opts.Placement {
@@ -535,6 +620,18 @@ func (c *Cluster) sortedHostsLocked(key string) []int {
 // no deadline; see IngestContext for bounded waits.
 func (c *Cluster) Ingest(streamName string, el stream.Timestamped) error {
 	return c.IngestContext(context.Background(), streamName, el)
+}
+
+// IngestTenant is IngestContext with the tuple charged against the
+// named tenant's ingest quota; ErrTenantQuota (retryable) rejects the
+// tuple before it is routed. Plain Ingest/IngestContext stay uncharged:
+// broadcast tuples have no single owning tenant, so rate-limiting them
+// would bill innocents.
+func (c *Cluster) IngestTenant(ctx context.Context, tenant, streamName string, el stream.Timestamped) error {
+	if err := c.gov.admitIngest(tenant); err != nil {
+		return err
+	}
+	return c.IngestContext(ctx, streamName, el)
 }
 
 // IngestContext routes one tuple: to the partition owner when a

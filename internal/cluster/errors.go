@@ -17,6 +17,15 @@ var (
 	// the cluster degrades gracefully instead of placing queries on
 	// corpses.
 	ErrNoLiveNodes = errors.New("cluster: no live nodes")
+	// ErrOverBudget is returned by Register when no live node has
+	// headroom for the query's memory budget under Options.NodeMemBudget.
+	// It is retryable: capacity frees as queries unregister or nodes
+	// return.
+	ErrOverBudget = errors.New("cluster: no node can admit the query's memory budget")
+	// ErrTenantQuota is returned by Register/IngestTenant when the
+	// submitting tenant is over its admission quota (concurrent queries
+	// or token-bucket rate). It is retryable: the bucket refills.
+	ErrTenantQuota = errors.New("cluster: tenant quota exceeded")
 
 	// errNodeDown is the internal signal that a push hit a dead node's
 	// inbox; the caller converts it into a dropped-tuple count.

@@ -1,0 +1,194 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// TenantOf extracts the tenant namespace from a query or submission id:
+// the prefix before the first '/' ("acme/overheat" belongs to tenant
+// "acme"). Ids without a namespace belong to "default". Per-tenant
+// quotas key on this, so dense multi-tenant deployments namespace their
+// registrations and single-tenant ones need not care.
+func TenantOf(id string) string {
+	for i := 0; i < len(id); i++ {
+		if id[i] == '/' {
+			if i == 0 {
+				return "default"
+			}
+			return id[:i]
+		}
+	}
+	return "default"
+}
+
+// TenantQuota configures per-tenant admission control. The zero value
+// disables every limit.
+type TenantQuota struct {
+	// MaxQueries caps a tenant's concurrently registered queries
+	// (0 = unlimited).
+	MaxQueries int
+	// RegRate refills the tenant's registration token bucket, in
+	// registrations per second (0 = unlimited). RegBurst is the bucket
+	// capacity (default: RegRate rounded up, minimum 1).
+	RegRate  float64
+	RegBurst int
+	// IngestRate refills the tenant's ingest token bucket, in tuples
+	// per second, charged by IngestTenant (0 = unlimited). IngestBurst
+	// is the bucket capacity (default: IngestRate rounded up, min 1).
+	IngestRate  float64
+	IngestBurst int
+}
+
+func (q TenantQuota) enabled() bool {
+	return q.MaxQueries > 0 || q.RegRate > 0 || q.IngestRate > 0
+}
+
+// tokenBucket is a classic token bucket over an injectable clock
+// (nanoseconds), so quota tests are deterministic.
+type tokenBucket struct {
+	rate   float64 // tokens per second; <= 0 means unlimited
+	cap    float64
+	tokens float64
+	last   int64
+}
+
+func newBucket(rate float64, burst int, now int64) *tokenBucket {
+	if burst <= 0 {
+		burst = int(rate)
+		if float64(burst) < rate {
+			burst++
+		}
+		if burst < 1 {
+			burst = 1
+		}
+	}
+	return &tokenBucket{rate: rate, cap: float64(burst), tokens: float64(burst), last: now}
+}
+
+// take consumes one token, refilling for elapsed time first.
+func (b *tokenBucket) take(now int64) bool {
+	if b.rate <= 0 {
+		return true
+	}
+	if now > b.last {
+		b.tokens += float64(now-b.last) / 1e9 * b.rate
+		if b.tokens > b.cap {
+			b.tokens = b.cap
+		}
+		b.last = now
+	}
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// tenantState is one tenant's admission bookkeeping.
+type tenantState struct {
+	queries int // currently registered
+	reg     *tokenBucket
+	ingest  *tokenBucket
+}
+
+// governor enforces per-tenant quotas in front of registration and
+// tenant-attributed ingest. It sits beside (not inside) the node
+// backpressure machinery: backpressure protects workers from queue
+// overflow, the governor protects the fleet from any one tenant.
+type governor struct {
+	mu      sync.Mutex
+	quota   TenantQuota
+	tenants map[string]*tenantState
+	nowFn   func() int64 // injectable clock (nanoseconds)
+	faults  GovernanceFaultInjector
+
+	admitted       *telemetry.Counter
+	rejectedQuota  *telemetry.Counter
+	rejectedBudget *telemetry.Counter
+	ingestRejected *telemetry.Counter
+}
+
+func newGovernor(quota TenantQuota, reg *telemetry.Registry, faults GovernanceFaultInjector) *governor {
+	return &governor{
+		quota:          quota,
+		tenants:        make(map[string]*tenantState),
+		nowFn:          func() int64 { return time.Now().UnixNano() },
+		faults:         faults,
+		admitted:       reg.Counter("governance.admitted"),
+		rejectedQuota:  reg.Counter("governance.rejected_quota"),
+		rejectedBudget: reg.Counter("governance.rejected_budget"),
+		ingestRejected: reg.Counter("governance.ingest_rejected"),
+	}
+}
+
+func (g *governor) tenantLocked(tenant string) *tenantState {
+	ts, ok := g.tenants[tenant]
+	if !ok {
+		now := g.nowFn()
+		ts = &tenantState{
+			reg:    newBucket(g.quota.RegRate, g.quota.RegBurst, now),
+			ingest: newBucket(g.quota.IngestRate, g.quota.IngestBurst, now),
+		}
+		g.tenants[tenant] = ts
+	}
+	return ts
+}
+
+// admitRegister reserves one registration slot for the tenant; the
+// caller must releaseQuery on any later failure. ErrTenantQuota is
+// retryable (the bucket refills, queries unregister).
+func (g *governor) admitRegister(tenant string) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.faults != nil && g.faults.TenantExhausted(tenant) {
+		g.rejectedQuota.Inc()
+		return ErrTenantQuota
+	}
+	if !g.quota.enabled() {
+		g.admitted.Inc()
+		return nil
+	}
+	ts := g.tenantLocked(tenant)
+	if g.quota.MaxQueries > 0 && ts.queries >= g.quota.MaxQueries {
+		g.rejectedQuota.Inc()
+		return ErrTenantQuota
+	}
+	if !ts.reg.take(g.nowFn()) {
+		g.rejectedQuota.Inc()
+		return ErrTenantQuota
+	}
+	ts.queries++
+	g.admitted.Inc()
+	return nil
+}
+
+// releaseQuery returns a registration slot (unregister, failed
+// placement, failed engine registration).
+func (g *governor) releaseQuery(tenant string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if ts, ok := g.tenants[tenant]; ok && ts.queries > 0 {
+		ts.queries--
+	}
+}
+
+// admitIngest charges one tenant-attributed tuple.
+func (g *governor) admitIngest(tenant string) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.faults != nil && g.faults.TenantExhausted(tenant) {
+		g.ingestRejected.Inc()
+		return ErrTenantQuota
+	}
+	if g.quota.IngestRate <= 0 {
+		return nil
+	}
+	if !g.tenantLocked(tenant).ingest.take(g.nowFn()) {
+		g.ingestRejected.Inc()
+		return ErrTenantQuota
+	}
+	return nil
+}

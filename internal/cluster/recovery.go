@@ -27,6 +27,11 @@ import (
 type restoreJob struct {
 	victim int
 	ids    []string
+	// settled guards the job's single settle(-1): a crash inside
+	// runRestore retries the job on the rebuilt worker, and a second
+	// decrement would drive Cluster.recovering negative and wedge
+	// WaitSettled forever.
+	settled bool
 }
 
 // tearBlob is the torn-checkpoint corruption: the blob is cut in half,
@@ -68,11 +73,12 @@ func (n *Node) recordAndMaybeCheckpoint(c *Cluster, w work) {
 }
 
 // checkpoint cuts and commits one consistent snapshot of the node's
-// engine state. It runs on the worker goroutine between work items, so
-// the engine is quiescent (Ingest is synchronous). A failed verification
-// (torn write) keeps the replay log intact: the previous checkpoint
-// remains the cut and the log still covers everything after it.
-func (n *Node) checkpoint(c *Cluster) {
+// engine state, reporting whether the commit succeeded. It runs on the
+// worker goroutine between work items, so the engine is quiescent
+// (Ingest is synchronous). A failed verification (torn write) keeps the
+// replay log intact: the previous checkpoint remains the cut and the
+// log still covers everything after it.
+func (n *Node) checkpoint(c *Cluster) bool {
 	f, _ := c.opts.Faults.(CheckpointFaultInjector)
 	if f != nil {
 		f.BeforeCheckpoint(n.ID) // may panic: crash during checkpoint
@@ -96,9 +102,10 @@ func (n *Node) checkpoint(c *Cluster) {
 	n.sinceCkpt = 0
 	if _, err := c.rec.Save(n.ID, ck, corrupt); err != nil {
 		n.noteErr(NodeError{Node: n.ID, Err: err})
-		return
+		return false
 	}
 	c.rec.Log(n.ID).TruncateThrough(cursors)
+	return true
 }
 
 // restoreNode is the recovery-mode worker rebuild: instead of
@@ -148,6 +155,11 @@ func (c *Cluster) restoreNode(n *Node) bool {
 			n.noteErr(NodeError{Node: n.ID, QueryID: rec.id,
 				Err: fmt.Errorf("cluster: node %d: restore %s: %w", n.ID, rec.id, err)})
 			continue
+		}
+		if rec.budget > 0 {
+			// The admitted budget survives even when the checkpoint predates
+			// it (the restored stride, if any, is kept).
+			_ = eng.SetQueryBudget(rec.id, rec.budget)
 		}
 		restored = append(restored, rec.id)
 		requeries++
@@ -242,6 +254,7 @@ func (c *Cluster) failoverRestore(n *Node) {
 			n.noteErr(NodeError{Node: n.ID, QueryID: rec.id,
 				Err: fmt.Errorf("cluster: query %s lost: %w", rec.id, ErrNoLiveNodes)})
 			delete(c.queries, rec.id)
+			c.gov.releaseQuery(rec.tenant)
 			continue
 		}
 		if rec.pendingRestore {
@@ -265,6 +278,7 @@ func (c *Cluster) failoverRestore(n *Node) {
 		rec.pendingRestore = true
 		rec.node = target
 		atomic.AddInt32(&c.nodes[target].queries, 1)
+		c.nodes[target].budgetUsed += rec.budget
 		j := jobs[target]
 		if j == nil {
 			j = &restoreJob{victim: n.ID}
@@ -273,6 +287,7 @@ func (c *Cluster) failoverRestore(n *Node) {
 		j.ids = append(j.ids, rec.id)
 	}
 	atomic.StoreInt32(&n.queries, 0)
+	n.budgetUsed = 0
 	c.rebuildHostsLocked()
 	for target, j := range jobs {
 		if c.nodes[target].in.pushFront(work{restore: j}) {
@@ -301,7 +316,12 @@ func (c *Cluster) failoverRestore(n *Node) {
 // was pushed to the queue front), so the restored cursors are in place
 // before live traffic resumes.
 func (n *Node) runRestore(c *Cluster, job *restoreJob) {
-	defer c.settle(-1)
+	defer func() {
+		if !job.settled {
+			job.settled = true
+			c.settle(-1)
+		}
+	}()
 	c.mu.Lock()
 	recs := make([]*queryRecord, 0, len(job.ids))
 	for _, id := range job.ids {
@@ -331,14 +351,29 @@ func (n *Node) runRestore(c *Cluster, job *restoreJob) {
 			c.mu.Lock()
 			delete(c.queries, rec.id)
 			atomic.AddInt32(&n.queries, -1)
+			n.budgetUsed -= rec.budget
+			c.gov.releaseQuery(rec.tenant)
 			c.rebuildHostsLocked()
 			c.mu.Unlock()
 			continue
+		}
+		if rec.budget > 0 {
+			_ = n.engine.SetQueryBudget(rec.id, rec.budget)
 		}
 		feed := recovery.MergeFeeds(rec.feed, ownLog.Since(rec.cursors))
 		for _, t := range feed {
 			if err := n.engine.ReplayFor(rec.id, t.Stream, stream.Timestamped{TS: t.TS, Row: t.Row}, t.Seq); err != nil {
 				n.noteErr(NodeError{Node: n.ID, QueryID: rec.id, Err: err})
+			}
+			// Advance the node cursors past the replayed seqs so the cut
+			// below records them: the feed's tuples are not in this
+			// node's log, and a stale cursor would make a later restore
+			// report the gap as lost coverage.
+			if n.cursors == nil {
+				n.cursors = make(map[string]int64)
+			}
+			if t.Seq > n.cursors[t.Stream] {
+				n.cursors[t.Stream] = t.Seq
 			}
 		}
 		replayedTuples += len(feed)
@@ -357,4 +392,17 @@ func (n *Node) runRestore(c *Cluster, job *restoreJob) {
 		c.rec.NoteRestore()
 	}
 	n.lastWins = n.engine.Stats().WindowsExecuted
+	if restoredQueries > 0 {
+		// Make the migration durable NOW. The replay feed (victim log +
+		// salvaged queue) exists nowhere this node can reach after it is
+		// consumed: until a checkpoint commits here, a crash on this node
+		// rebuilds from a cut that predates the migration and the
+		// restored queries' open-window state is silently lost. The
+		// engine is quiescent (worker goroutine, between items), so this
+		// is a free consistent cut; retry once so a single torn write
+		// does not leave the feed volatile.
+		if !n.checkpoint(c) {
+			n.checkpoint(c)
+		}
+	}
 }

@@ -392,3 +392,123 @@ func TestRetryBusyBacksOffOnlyOnBusy(t *testing.T) {
 		t.Fatalf("cancelled ctx: err=%v calls=%d, want ctx.Err after first attempt", err, calls)
 	}
 }
+
+// runFailoverDurability drives a 2-node scenario where node 1's only
+// query fails over to node 0 (the sole survivor — a deterministic
+// target) and extra post-failover traffic then crashes node 0 once.
+// mid runs between the main feed and the extra traffic.
+func runFailoverDurability(t *testing.T, inj FaultInjector, mid func(*Cluster)) (map[string]map[int64][]string, *Cluster) {
+	t.Helper()
+	cat := sharedCatalog(t)
+	c, err := New(Options{
+		Nodes: 2, Placement: PlaceRoundRobin, MaxRestarts: 1, Faults: inj,
+		CheckpointEvery: 8,
+	}, func(int) *relation.Catalog { return cat })
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		c.Gateway().Close()
+		c.Close()
+	})
+	for _, s := range []string{"s0", "s1"} {
+		if err := c.DeclareStream(eventSchema(s)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	log := newResultLog()
+	for i, q := range []struct{ id, text string }{
+		{"q0", "SELECT m.sid, m.val FROM STREAM s0 [RANGE 1000 SLIDE 500] AS m"},
+		{"q1", "SELECT m.sid, m.val FROM STREAM s1 [RANGE 1000 SLIDE 500] AS m"},
+	} {
+		node, err := c.Register(q.id, sql.MustParse(q.text), nil, log.sink())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if node != i {
+			t.Fatalf("query %s placed on node %d, want %d", q.id, node, i)
+		}
+	}
+	feed := func(s string, from, to int) {
+		for i := from; i < to; i++ {
+			ts := int64(i) * 100
+			el := stream.Timestamped{TS: ts, Row: relation.Tuple{
+				relation.Int(int64(i%5 + 1)), relation.Time(ts), relation.Float(float64((i * 7) % 100)),
+			}}
+			if err := c.Ingest(s, el); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	feed("s0", 0, 50)
+	feed("s1", 0, 50)
+	if mid != nil {
+		mid(c)
+	}
+	// Extra s0-only traffic: in the faulted run it drives node 0 past
+	// its injected crash AFTER it absorbed the migration.
+	feed("s0", 50, 60)
+	if err := c.WaitSettled(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return log.snapshot(), c
+}
+
+// TestRecoveryChaosFailoverMigrationDurableOnTarget is the regression
+// for a durability hole in the failover protocol: the migrated replay
+// feed (victim log + salvaged queue) exists nowhere the target can
+// reach once consumed, so until the target commits a checkpoint, a
+// crash there rebuilt from a pre-migration cut and silently lost the
+// restored queries' open-window state (their flush-only windows
+// vanished). runRestore now cuts a checkpoint the moment the migration
+// is absorbed, making a post-failover target crash lossless.
+func TestRecoveryChaosFailoverMigrationDurableOnTarget(t *testing.T) {
+	baseline, _ := runFailoverDurability(t, nil, nil)
+	if len(baseline["q1"]) == 0 {
+		t.Fatal("baseline delivered no q1 windows")
+	}
+
+	// Node 1 panics twice (second exhausts MaxRestarts=1 → q1 fails over
+	// to node 0); node 0 then panics on its 55th tuple — the extra s0
+	// traffic — after the migration landed.
+	inj := faults.New(3).PanicAt(1, 3).PanicAt(1, 6).PanicAt(0, 55)
+	faulted, c := runFailoverDurability(t, inj, func(c *Cluster) {
+		waitFor(t, 10*time.Second, func() bool {
+			return c.Health().Dead == 1
+		}, "failover of node 1")
+		if err := c.WaitSettled(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		// The migration must already be durable on the target: node 0's
+		// latest checkpoint carries q1's window state and an s1 cursor —
+		// neither can come from node 0's own traffic (s1 never routed
+		// through its queue).
+		ck := c.rec.Latest(0)
+		if ck == nil {
+			t.Fatal("no checkpoint on the failover target after the migration settled")
+		}
+		if ck.QueryState("q1") == nil {
+			t.Fatal("target checkpoint does not carry the migrated query's state")
+		}
+		if ck.Cursors["s1"] == 0 {
+			t.Fatal("target checkpoint cursors do not cover the migrated feed's stream")
+		}
+	})
+
+	if got := inj.Injected(faults.KindPanic); got != 3 {
+		t.Errorf("injected %d panics, want 3", got)
+	}
+	if h := c.Health(); h.Dead != 1 || h.Failovers != 1 {
+		t.Fatalf("health = %+v, want exactly one dead node and one failover", h)
+	}
+	if !reflect.DeepEqual(baseline, faulted) {
+		for q, want := range baseline {
+			if got := faulted[q]; !reflect.DeepEqual(want, got) {
+				t.Errorf("query %s diverged after post-failover target crash:\n  baseline: %v\n  faulted:  %v", q, want, got)
+			}
+		}
+	}
+}

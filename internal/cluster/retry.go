@@ -12,7 +12,9 @@ import (
 const maxRetryBackoff = 250 * time.Millisecond
 
 // RetryBusy runs fn up to attempts times, retrying only when it fails
-// with ErrGatewayBusy (a transient admission-queue-full condition).
+// with a transient admission error: ErrGatewayBusy (submission queue
+// full), ErrTenantQuota (token bucket empty; it refills), or
+// ErrOverBudget (no node headroom; it frees as queries unregister).
 // Between attempts it sleeps a capped exponential backoff with full
 // jitter — base<<attempt halved plus a random half, so a thundering herd
 // of submitters decorrelates instead of hammering the gateway in
@@ -27,7 +29,7 @@ func RetryBusy(ctx context.Context, attempts int, base time.Duration, fn func() 
 	}
 	var err error
 	for a := 0; a < attempts; a++ {
-		if err = fn(); err == nil || !errors.Is(err, ErrGatewayBusy) {
+		if err = fn(); err == nil || !retryable(err) {
 			return err
 		}
 		if a == attempts-1 {
@@ -45,4 +47,11 @@ func RetryBusy(ctx context.Context, attempts int, base time.Duration, fn func() 
 		}
 	}
 	return err
+}
+
+// retryable reports whether an admission error is transient.
+func retryable(err error) bool {
+	return errors.Is(err, ErrGatewayBusy) ||
+		errors.Is(err, ErrTenantQuota) ||
+		errors.Is(err, ErrOverBudget)
 }

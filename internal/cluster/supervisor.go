@@ -72,6 +72,16 @@ type EmitFaultInjector interface {
 	AfterEmit(queryID string, windowEnd int64)
 }
 
+// GovernanceFaultInjector is an optional FaultInjector extension for
+// resource-governance chaos: PressureFor adds synthetic bytes to a
+// query's measured window-state usage (driving it over budget on
+// demand), and TenantExhausted forces a tenant's quota admissions to
+// fail with ErrTenantQuota.
+type GovernanceFaultInjector interface {
+	PressureFor(queryID string) int64
+	TenantExhausted(tenant string) bool
+}
+
 const (
 	defaultMaxRestarts    = 3
 	defaultRestartBackoff = 5 * time.Millisecond
@@ -256,6 +266,9 @@ func (c *Cluster) rebuildNode(n *Node) bool {
 				Err: fmt.Errorf("cluster: node %d: re-register %s: %w", n.ID, rec.id, err)})
 			continue
 		}
+		if rec.budget > 0 {
+			_ = eng.SetQueryBudget(rec.id, rec.budget)
+		}
 		requeries++
 	}
 	n.engine = eng
@@ -297,16 +310,22 @@ func (c *Cluster) failover(n *Node) {
 			n.noteErr(NodeError{Node: n.ID, QueryID: rec.id,
 				Err: fmt.Errorf("cluster: query %s lost: %w", rec.id, ErrNoLiveNodes)})
 			delete(c.queries, rec.id)
+			c.gov.releaseQuery(rec.tenant)
 			continue
 		}
 		if err := c.nodes[target].engine.Register(rec.id, rec.stmt, rec.pulse, rec.sink); err != nil {
 			n.noteErr(NodeError{Node: n.ID, QueryID: rec.id,
 				Err: fmt.Errorf("cluster: failover of %s to node %d: %w", rec.id, target, err)})
 			delete(c.queries, rec.id)
+			c.gov.releaseQuery(rec.tenant)
 			continue
+		}
+		if rec.budget > 0 {
+			_ = c.nodes[target].engine.SetQueryBudget(rec.id, rec.budget)
 		}
 		rec.node = target
 		atomic.AddInt32(&c.nodes[target].queries, 1)
+		c.nodes[target].budgetUsed += rec.budget
 		for _, s := range streamNamesOf(rec.stmt) {
 			g, ok := gained[s]
 			if !ok {
@@ -317,6 +336,7 @@ func (c *Cluster) failover(n *Node) {
 		}
 	}
 	atomic.StoreInt32(&n.queries, 0)
+	n.budgetUsed = 0
 	c.rebuildHostsLocked()
 	c.mu.Unlock()
 

@@ -68,6 +68,19 @@ type Config struct {
 	// ReplayLogCap bounds each node's retained-tuple replay log (see
 	// cluster.Options.ReplayLogCap).
 	ReplayLogCap int
+
+	// MemBudget is the default per-task window-state byte budget. Each
+	// registration runs starql.AnalyzeMemory on the parsed query:
+	// bounded-memory tasks get a derived budget (window footprint times
+	// headroom, never below this default), unbounded ones get exactly
+	// this cap. 0 disables budget enforcement.
+	MemBudget int64
+	// NodeMemBudget caps the sum of admitted task budgets per worker
+	// node (see cluster.Options.NodeMemBudget). 0 disables.
+	NodeMemBudget int64
+	// TenantQuota enables per-tenant admission control; tasks namespace
+	// tenants by id prefix (see cluster.TenantOf). Zero value disables.
+	TenantQuota cluster.TenantQuota
 }
 
 // System is one OPTIQUE deployment.
@@ -158,6 +171,9 @@ func NewSystem(cfg Config, tbox *ontology.TBox, set *mapping.Set, catalog *relat
 		Faults:          cfg.Faults,
 		CheckpointEvery: cfg.CheckpointEvery,
 		ReplayLogCap:    cfg.ReplayLogCap,
+		MemBudget:       cfg.MemBudget,
+		NodeMemBudget:   cfg.NodeMemBudget,
+		TenantQuota:     cfg.TenantQuota,
 	}, func(int) *relation.Catalog { return catalog })
 	if err != nil {
 		return nil, err
@@ -300,7 +316,18 @@ func (s *System) registerParsed(id string, q *starql.Query, sink AnswerSink) (*T
 		Window: &sql.WindowSpec{RangeMS: tl.Window.RangeMS, SlideMS: tl.Window.SlideMS},
 	}}
 	rspan := trace.StartSpan("register")
-	node, err := s.cluster.Register(id, stmt, tl.Pulse, s.windowSink(task, builder))
+	// Classify the task's memory appetite at registration ("decide
+	// cheaply at admission", not after the OOM): bounded tasks get a
+	// budget derived from their window footprint, unbounded ones are
+	// capped at the configured default and will degrade under pressure.
+	var budget int64
+	if s.cfg.MemBudget > 0 {
+		analysis := starql.AnalyzeMemory(q)
+		budget = analysis.Budget(s.cfg.MemBudget)
+		rspan.SetAttr("mem_class", analysis.Class.String()).
+			SetAttr("mem_budget", budget)
+	}
+	node, err := s.cluster.RegisterWith(id, stmt, tl.Pulse, s.windowSink(task, builder), cluster.RegisterOptions{Budget: budget})
 	if err != nil {
 		rspan.SetAttr("error", err.Error())
 		rspan.End()

@@ -80,8 +80,17 @@ type metrics struct {
 
 	wcacheHits   *telemetry.Counter
 	wcacheMisses *telemetry.Counter
-	wcacheLen    *telemetry.Gauge // cached window batches currently retained
-	watermarkLag *telemetry.Gauge // ms between newest executed window and oldest retained
+	wcacheShed   *telemetry.Counter // entries evicted by the byte budget
+	wcacheLen    *telemetry.Gauge   // cached window batches currently retained
+	wcacheBytes  *telemetry.Gauge   // byte estimate of retained batches
+	watermarkLag *telemetry.Gauge   // ms between newest executed window and oldest retained
+
+	// Resource-governance instruments (see governance.go).
+	govShedBatches *telemetry.Counter // window batches dropped by budget enforcement
+	govShedBytes   *telemetry.Counter // bytes reclaimed by shedding
+	govWidenEvents *telemetry.Counter // slide-widening escalations
+	govSuspended   *telemetry.Counter // queries quarantined for overbudget
+	govOverBudget  *telemetry.Counter // residual overages shedding could not reclaim
 
 	windowExecNS *telemetry.Histogram // wall time of one window execution
 
@@ -110,8 +119,15 @@ func newMetrics(reg *telemetry.Registry) *metrics {
 		planReadapts:    reg.Counter("exastream.plan.readapts"),
 		wcacheHits:      reg.Counter("exastream.wcache.hits"),
 		wcacheMisses:    reg.Counter("exastream.wcache.misses"),
+		wcacheShed:      reg.Counter("exastream.wcache.shed"),
 		wcacheLen:       reg.Gauge("exastream.wcache.len"),
+		wcacheBytes:     reg.Gauge("exastream.wcache.bytes"),
 		watermarkLag:    reg.Gauge("exastream.wcache.watermark_lag_ms"),
+		govShedBatches:  reg.Counter("governance.shed_batches"),
+		govShedBytes:    reg.Counter("governance.shed_bytes"),
+		govWidenEvents:  reg.Counter("governance.widen_events"),
+		govSuspended:    reg.Counter("governance.suspended"),
+		govOverBudget:   reg.Counter("governance.overbudget"),
 		windowExecNS:    reg.Histogram("exastream.window.exec_ns", telemetry.LatencyBuckets),
 	}
 	for k := engine.OpKind(0); k < engine.NumOpKinds; k++ {
@@ -169,6 +185,22 @@ type Options struct {
 	// query's lifecycle trace (created by the layer that registered the
 	// query). Nil disables span recording at zero cost.
 	Tracer *telemetry.Tracer
+	// MemBudget is the default per-query window-state byte budget; a
+	// query whose staged and owned window state exceeds it degrades per
+	// Degrade. 0 disables enforcement (per-query budgets can still be
+	// set with SetQueryBudget).
+	MemBudget int64
+	// WCacheBudget caps the shared window cache's byte estimate; the
+	// oldest cached windows are evicted (and re-materialised on demand)
+	// to stay under. 0 leaves the cache bounded only by watermarks.
+	WCacheBudget int64
+	// Degrade selects the over-budget reaction: shed oldest window state
+	// (default), widen the effective slide, or suspend the query.
+	Degrade DegradePolicy
+	// Pressure, when set, reports externally-attributed bytes for a
+	// query (fault injection, cgroup observers); its value is added to
+	// the query's measured usage before budget comparison.
+	Pressure func(queryID string) int64
 }
 
 // Engine is one ExaStream instance (one per worker node in the cluster).
@@ -189,8 +221,12 @@ type Engine struct {
 	// indexEpoch (atomic) counts adaptive indexes built; cached plans
 	// compare it to theirs and re-adapt when it moved.
 	indexEpoch int64
-	reg        *telemetry.Registry
-	met        *metrics
+	// govActive (atomic) is 1 once any query has a positive budget, so
+	// the per-tuple enforcement hook is a single load when governance is
+	// off.
+	govActive int32
+	reg       *telemetry.Registry
+	met       *metrics
 }
 
 // windowKey identifies one windowing pass. owner is "" for the normal
@@ -231,10 +267,22 @@ type continuousQuery struct {
 	private    bool
 	appliedSeq map[string]int64 // stream -> highest ingest seq applied (guarded by e.mu)
 
-	mu        sync.Mutex
-	pending   map[int64]map[int]stream.Batch // window end -> refIdx -> batch
-	failures  int                            // consecutive failed executions
-	suspended bool                           // quarantined: skips execution until Resume
+	mu          sync.Mutex
+	pending     map[int64]map[int]stream.Batch // window end -> refIdx -> batch
+	stagedBytes int64                          // byte estimate of pending (governance)
+	failures    int                            // consecutive failed executions
+	suspended   bool                           // quarantined: skips execution until Resume
+
+	// budget is the query's window-state byte budget (0 = unenforced);
+	// stride > 1 is DegradeWiden's slide widening: only every stride-th
+	// window executes. Both are atomics so stage/enforcement read them
+	// without extra locking, and both survive checkpoint/restore.
+	budget atomic.Int64
+	stride atomic.Int64
+	// govOver latches the over-budget state so the typed degradation
+	// error reaches the ring once per episode (on the under→over
+	// transition), not once per enforcement tick.
+	govOver atomic.Bool
 
 	// execMu serializes window executions of this query and guards plan;
 	// distinct queries execute concurrently on the fleet pool.
@@ -271,6 +319,10 @@ func NewEngine(cat *relation.Catalog, opts Options) *Engine {
 	met := newMetrics(reg)
 	wc := stream.NewWCache()
 	wc.UseCounters(met.wcacheHits, met.wcacheMisses)
+	wc.UseShedCounter(met.wcacheShed)
+	if opts.WCacheBudget > 0 {
+		wc.SetBudget(opts.WCacheBudget)
+	}
 	return &Engine{
 		catalog:   cat,
 		funcs:     engine.NewFuncRegistry(),
@@ -398,6 +450,10 @@ func (e *Engine) registerLocked(q *continuousQuery) error {
 	}
 	e.queries[q.id] = q
 	e.wcache.Register(q.id)
+	if e.opts.MemBudget > 0 && q.budget.Load() == 0 {
+		q.budget.Store(e.opts.MemBudget)
+		atomic.StoreInt32(&e.govActive, 1)
+	}
 	return nil
 }
 
@@ -519,7 +575,9 @@ func (e *Engine) IngestSeq(streamName string, el stream.Timestamped, seq int64) 
 	}
 	e.mu.Unlock()
 
-	return e.dispatch(fires)
+	err := e.dispatch(fires)
+	e.enforceBudgets()
+	return err
 }
 
 // Flush completes all open windows (end of replay) and executes the
@@ -581,6 +639,13 @@ func (e *Engine) stage(q *continuousQuery, refIdx int, b stream.Batch) (execItem
 			return execItem{}, false
 		}
 	}
+	// DegradeWiden: a widened query executes only every stride-th window.
+	// The skip keys on WindowID, which agrees across the query's stream
+	// references (they share a slide), so multi-ref staging stays
+	// consistent.
+	if s := q.stride.Load(); s > 1 && b.WindowID%s != 0 {
+		return execItem{}, false
+	}
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if q.suspended {
@@ -591,11 +656,18 @@ func (e *Engine) stage(q *continuousQuery, refIdx int, b stream.Batch) (execItem
 		m = make(map[int]stream.Batch)
 		q.pending[b.End] = m
 	}
+	if old, dup := m[refIdx]; dup {
+		q.stagedBytes -= old.Bytes()
+	}
 	m[refIdx] = b
+	q.stagedBytes += b.Bytes()
 	if len(m) != len(q.refs) {
 		return execItem{}, false
 	}
 	delete(q.pending, b.End)
+	for _, sb := range m {
+		q.stagedBytes -= sb.Bytes()
+	}
 	return execItem{q: q, end: b.End, batches: m}, true
 }
 
@@ -796,6 +868,7 @@ func (e *Engine) executeItem(it execItem) error {
 	elapsed := time.Since(start)
 	e.met.windowExecNS.ObserveDuration(elapsed)
 	e.met.wcacheLen.Set(float64(e.wcache.Len()))
+	e.met.wcacheBytes.Set(float64(e.wcache.Bytes()))
 	if lag := it.end - e.wcache.MinMark(); lag >= 0 {
 		e.met.watermarkLag.Set(float64(lag))
 	}
@@ -882,6 +955,8 @@ func (e *Engine) Resume(id string) error {
 	q.suspended = false
 	q.failures = 0
 	q.mu.Unlock()
+	q.stride.Store(0)
+	q.govOver.Store(false)
 	q.execMu.Lock()
 	q.plan = nil
 	q.execMu.Unlock()

@@ -1,0 +1,179 @@
+package exastream
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/sql"
+)
+
+const overlapQuery = "SELECT m.sid, m.val FROM STREAM msmt [RANGE 10000 SLIDE 1000] AS m"
+
+// With a tiny budget and the default shed policy, an over-budget query
+// loses its oldest open windows — and nothing else: no error escapes,
+// no panic, the engine keeps executing.
+func TestGovernanceShedPolicy(t *testing.T) {
+	baseline := func() int {
+		e := testRig(t, Options{})
+		var c collector
+		if err := e.Register("big", sql.MustParse(overlapQuery), nil, c.sink); err != nil {
+			t.Fatal(err)
+		}
+		feed(t, e, 60, 100)
+		return len(c.results)
+	}()
+
+	e := testRig(t, Options{})
+	var c collector
+	if err := e.Register("big", sql.MustParse(overlapQuery), nil, c.sink); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SetQueryBudget("big", 2048); err != nil {
+		t.Fatal(err)
+	}
+	feed(t, e, 60, 100)
+
+	snap := e.Telemetry().Snapshot()
+	if snap.Counters["governance.shed_batches"] == 0 {
+		t.Error("no batches shed despite a 2 KiB budget on a 10-window overlap")
+	}
+	if snap.Counters["governance.shed_bytes"] == 0 {
+		t.Error("shed_bytes not counted")
+	}
+	if got := len(c.results); got == 0 || got >= baseline {
+		t.Errorf("shed run delivered %d windows, want 0 < n < baseline %d", got, baseline)
+	}
+	if len(e.SuspendedQueries()) != 0 {
+		t.Error("shed policy suspended the query")
+	}
+}
+
+// DegradeWiden doubles the effective slide under pressure: the stride
+// grows and the query executes a strict subset of its windows.
+func TestGovernanceWidenPolicy(t *testing.T) {
+	e := testRig(t, Options{Degrade: DegradeWiden})
+	var c collector
+	if err := e.Register("big", sql.MustParse(overlapQuery), nil, c.sink); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SetQueryBudget("big", 2048); err != nil {
+		t.Fatal(err)
+	}
+	feed(t, e, 60, 100)
+	_, stride, err := e.QueryBudget("big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stride < 2 {
+		t.Errorf("stride = %d, want widened >= 2", stride)
+	}
+	if e.Telemetry().Snapshot().Counters["governance.widen_events"] == 0 {
+		t.Error("widen_events not counted")
+	}
+	// Resume resets the widening.
+	if err := e.Resume("big"); err != nil {
+		t.Fatal(err)
+	}
+	if _, stride, _ := e.QueryBudget("big"); stride != 1 {
+		t.Errorf("stride after Resume = %d, want 1", stride)
+	}
+}
+
+// DegradeSuspend quarantines the over-budget query (reported through
+// OnQueryError as ErrQueryOverBudget) while an unbudgeted query on the
+// same engine keeps its full output. Injected pressure stands in for
+// real growth, as the chaos test does.
+func TestGovernanceSuspendPolicyAndPressure(t *testing.T) {
+	var mu sync.Mutex
+	hookErrs := map[string]error{}
+	e := testRig(t, Options{
+		Degrade: DegradeSuspend,
+		Pressure: func(id string) int64 {
+			if id == "big" {
+				return 1 << 30
+			}
+			return 0
+		},
+		OnQueryError: func(id string, err error) {
+			mu.Lock()
+			hookErrs[id] = err
+			mu.Unlock()
+		},
+	})
+	var big, small collector
+	if err := e.Register("big", sql.MustParse(overlapQuery), nil, big.sink); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Register("small", sql.MustParse("SELECT m.val FROM STREAM msmt [RANGE 1000 SLIDE 1000] AS m"), nil, small.sink); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SetQueryBudget("big", 1<<20); err != nil {
+		t.Fatal(err)
+	}
+	feed(t, e, 60, 100)
+	sus := e.SuspendedQueries()
+	if len(sus) != 1 || sus[0] != "big" {
+		t.Fatalf("SuspendedQueries = %v, want [big]", sus)
+	}
+	mu.Lock()
+	err := hookErrs["big"]
+	mu.Unlock()
+	if !errors.Is(err, ErrQueryOverBudget) {
+		t.Errorf("hook error = %v, want ErrQueryOverBudget", err)
+	}
+	if small.totalRows() == 0 {
+		t.Error("unbudgeted query starved by co-tenant suspension")
+	}
+	snap := e.Telemetry().Snapshot()
+	if snap.Counters["governance.suspended"] != 1 {
+		t.Errorf("governance.suspended = %d, want 1", snap.Counters["governance.suspended"])
+	}
+}
+
+// Shared window operators are never shed: a budgeted query that only
+// co-tenants shared state cannot reclaim anything, so the overage is
+// counted instead — and the co-tenant's output stays intact.
+func TestGovernanceSharedWindowsNotShed(t *testing.T) {
+	e := testRig(t, Options{Pressure: func(id string) int64 {
+		if id == "greedy" {
+			return 1 << 30
+		}
+		return 0
+	}})
+	var greedy, tenant collector
+	// Same stream, same spec: one shared windowing pass for both.
+	if err := e.Register("greedy", sql.MustParse(overlapQuery), nil, greedy.sink); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Register("tenant", sql.MustParse(overlapQuery), nil, tenant.sink); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SetQueryBudget("greedy", 1); err != nil {
+		t.Fatal(err)
+	}
+	feed(t, e, 60, 100)
+	snap := e.Telemetry().Snapshot()
+	if snap.Counters["governance.overbudget"] == 0 {
+		t.Error("residual overage not counted")
+	}
+	if snap.Counters["governance.shed_batches"] != 0 {
+		t.Error("shared window state was shed")
+	}
+	if len(tenant.results) == 0 || len(tenant.results) != len(greedy.results) {
+		t.Errorf("co-tenant delivered %d windows vs greedy %d; shared pass must serve both fully",
+			len(tenant.results), len(greedy.results))
+	}
+}
+
+// Options.MemBudget is the default budget for every registration.
+func TestGovernanceDefaultBudget(t *testing.T) {
+	e := testRig(t, Options{MemBudget: 4096})
+	if err := e.Register("q", sql.MustParse(overlapQuery), nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	budget, stride, err := e.QueryBudget("q")
+	if err != nil || budget != 4096 || stride != 1 {
+		t.Errorf("QueryBudget = %d/%d (%v), want 4096/1", budget, stride, err)
+	}
+}

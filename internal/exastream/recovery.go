@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/recovery"
 	"repro/internal/sql"
@@ -81,6 +82,8 @@ func (e *Engine) ExportState() *recovery.EngineState {
 		qs.Failures = s.q.failures
 		qs.Suspended = s.q.suspended
 		s.q.mu.Unlock()
+		qs.Budget = s.q.budget.Load()
+		qs.Stride = s.q.stride.Load()
 		st.Queries = append(st.Queries, qs)
 	}
 	return st
@@ -135,6 +138,13 @@ func (e *Engine) RestoreQuery(id string, stmt *sql.SelectStmt, pulse *stream.Pul
 		}
 		q.failures = st.Failures
 		q.suspended = st.Suspended
+		q.budget.Store(st.Budget)
+		q.stride.Store(st.Stride)
+		for _, m := range q.pending {
+			for _, b := range m {
+				q.stagedBytes += b.Bytes()
+			}
+		}
 	}
 	if e.opts.Tracer != nil {
 		if q.trace = e.opts.Tracer.Trace(id); q.trace == nil {
@@ -197,6 +207,12 @@ func (e *Engine) restoreLocked(q *continuousQuery, st *recovery.QueryState) erro
 	}
 	e.queries[q.id] = q
 	e.wcache.Register(q.id)
+	if q.budget.Load() == 0 && e.opts.MemBudget > 0 {
+		q.budget.Store(e.opts.MemBudget)
+	}
+	if q.budget.Load() > 0 {
+		atomic.StoreInt32(&e.govActive, 1)
+	}
 	return nil
 }
 
@@ -248,7 +264,9 @@ func (e *Engine) ReplayFor(id, streamName string, el stream.Timestamped, seq int
 		}
 	}
 	e.mu.Unlock()
-	return e.dispatch(fires)
+	err := e.dispatch(fires)
+	e.enforceBudgets()
+	return err
 }
 
 // ImportWCache loads checkpointed wCache batches into the engine's

@@ -38,6 +38,13 @@ const (
 	// delivered, before the sender could acknowledge it — the recovery
 	// gate must not deliver that window again.
 	KindCrashEmit
+	// KindMemPressure adds synthetic bytes to a query's measured window
+	// state, pushing it over its budget so the engine's degradation
+	// policy fires deterministically.
+	KindMemPressure
+	// KindQuotaExhausted forces a tenant's admission checks to fail with
+	// the retryable quota error.
+	KindQuotaExhausted
 )
 
 func (k Kind) String() string {
@@ -52,6 +59,10 @@ func (k Kind) String() string {
 		return "torn-checkpoint"
 	case KindCrashEmit:
 		return "crash-emit"
+	case KindMemPressure:
+		return "mem-pressure"
+	case KindQuotaExhausted:
+		return "quota-exhausted"
 	default:
 		return "delay"
 	}
@@ -122,6 +133,12 @@ type Injector struct {
 	crashCkpt map[int]map[int64]bool
 	tearCkpt  map[int]map[int64]bool
 	crashEmit map[string]map[int64]bool
+
+	// Governance chaos state: synthetic per-query memory pressure (bytes
+	// added to the engine's usage measurement) and tenants whose quota
+	// admissions are forced to fail.
+	pressure  map[string]int64
+	exhausted map[string]bool
 }
 
 // New returns an injector whose probabilistic rules draw from a
@@ -136,6 +153,8 @@ func New(seed int64) *Injector {
 		crashCkpt: make(map[int]map[int64]bool),
 		tearCkpt:  make(map[int]map[int64]bool),
 		crashEmit: make(map[string]map[int64]bool),
+		pressure:  make(map[string]int64),
+		exhausted: make(map[string]bool),
 	}
 }
 
@@ -298,6 +317,63 @@ func (i *Injector) TearCheckpoint(node int) bool {
 	defer i.mu.Unlock()
 	if i.tearCkpt[node][i.ckptSeen[node]] {
 		i.injected[KindTornCheckpoint]++
+		return true
+	}
+	return false
+}
+
+// PressureOn attributes bytes of synthetic memory pressure to a query:
+// every budget-enforcement pass sees the query's measured usage
+// inflated by this amount until the pressure is changed or cleared
+// (bytes <= 0 clears). It stands in for a genuinely unbounded query
+// without having to grow real state.
+func (i *Injector) PressureOn(queryID string, bytes int64) *Injector {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if bytes <= 0 {
+		delete(i.pressure, queryID)
+	} else {
+		i.pressure[queryID] = bytes
+	}
+	return i
+}
+
+// ExhaustTenant forces every quota admission for the tenant to fail
+// until RestoreTenant is called.
+func (i *Injector) ExhaustTenant(tenant string) *Injector {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.exhausted[tenant] = true
+	return i
+}
+
+// RestoreTenant lifts ExhaustTenant.
+func (i *Injector) RestoreTenant(tenant string) *Injector {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	delete(i.exhausted, tenant)
+	return i
+}
+
+// PressureFor implements cluster.GovernanceFaultInjector: the synthetic
+// bytes added to the query's measured usage this pass.
+func (i *Injector) PressureFor(queryID string) int64 {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	b := i.pressure[queryID]
+	if b > 0 {
+		i.injected[KindMemPressure]++
+	}
+	return b
+}
+
+// TenantExhausted implements cluster.GovernanceFaultInjector: whether
+// the tenant's admissions are currently forced to fail.
+func (i *Injector) TenantExhausted(tenant string) bool {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if i.exhausted[tenant] {
+		i.injected[KindQuotaExhausted]++
 		return true
 	}
 	return false

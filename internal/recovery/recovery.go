@@ -61,6 +61,11 @@ type QueryState struct {
 	Failures   int
 	Suspended  bool
 	AppliedSeq map[string]int64
+	// Governance state: the query's byte budget and DegradeWiden stride
+	// survive restore/failover so a degraded query does not resume at
+	// full appetite on a fresh node.
+	Budget int64
+	Stride int64
 }
 
 // EngineState is one engine's exported stream state: every registered

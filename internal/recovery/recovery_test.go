@@ -29,6 +29,8 @@ func sampleCheckpoint() *Checkpoint {
 				}},
 				Pending:    []PendingWindow{{End: 2000, Batches: map[int]stream.Batch{0: {End: 2000}}}},
 				AppliedSeq: map[string]int64{"m": 41},
+				Budget:     1 << 20,
+				Stride:     4,
 			}},
 		},
 	}
@@ -88,6 +90,38 @@ func TestLatestNilWithoutCheckpoints(t *testing.T) {
 	c := NewCoordinator(1, 0, nil)
 	if ck := c.Latest(0); ck != nil {
 		t.Fatalf("Latest on empty store = %+v, want nil", ck)
+	}
+}
+
+// With BOTH retained blobs torn the store has nothing decodable:
+// Latest must report nil (cold start from an empty cut) rather than a
+// corrupt checkpoint, and the replay log — which is only truncated on a
+// successful save — still covers everything from sequence zero, so a
+// full-log replay reconstructs the state.
+func TestStoreBothBlobsTornColdStart(t *testing.T) {
+	tear := func(b []byte) []byte { return b[:len(b)/2] }
+	c := NewCoordinator(1, 0, nil)
+	for seq := int64(1); seq <= 4; seq++ {
+		c.Log(0).Append(logTuple("m", seq))
+	}
+	for i := 0; i < 2; i++ {
+		ck := sampleCheckpoint()
+		ck.TakenAtMS = int64(100 * (i + 1))
+		if _, err := c.Save(0, ck, tear); err == nil {
+			t.Fatalf("torn save %d did not report an error", i+1)
+		}
+	}
+	if ck := c.Latest(0); ck != nil {
+		t.Fatalf("Latest with both blobs torn = %+v, want nil", ck)
+	}
+	// Empty cursors (the cold-start cut): the intact log must cover the
+	// gap and replay every logged tuple.
+	empty := map[string]int64{}
+	if !c.Log(0).Covered(empty) {
+		t.Fatal("replay log lost coverage despite no successful truncating save")
+	}
+	if got := len(c.Log(0).Since(empty)); got != 4 {
+		t.Fatalf("full-log replay returned %d tuples, want 4", got)
 	}
 }
 

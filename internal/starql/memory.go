@@ -1,0 +1,229 @@
+package starql
+
+import (
+	"fmt"
+	"sort"
+)
+
+// MemoryClass is the verdict of the bounded-memory analysis: whether a
+// registered query can be answered with constant state per open window.
+// The criteria follow Schiff & Özçep's bounded-memory conditions for
+// streams with application time: a HAVING condition is bounded when
+// every quantifier ranges over a single sequence state at a time (each
+// state can be folded into an O(1) accumulator as it arrives), and
+// unbounded when it relates pairs of states or back-references a state
+// bound by an enclosing quantifier — those force the evaluator to
+// retain the full state sequence of the window.
+type MemoryClass int
+
+const (
+	// MemBounded: constant per-window state; the window contents can be
+	// folded into fixed-size accumulators.
+	MemBounded MemoryClass = iota
+	// MemUnbounded: per-window state grows with the window contents
+	// (full sequence retention).
+	MemUnbounded
+)
+
+// String renders the class for diagnostics and docs.
+func (m MemoryClass) String() string {
+	if m == MemBounded {
+		return "bounded"
+	}
+	return "unbounded"
+}
+
+// MemoryModel parameterises the byte estimates of the analysis. The
+// defaults are deliberately round: the point of the budget is admission
+// control and degradation thresholds, not capacity planning.
+type MemoryModel struct {
+	// BytesPerState estimates one sequence state (one RDF mini-graph of
+	// assertions for a pulse instant).
+	BytesPerState int64
+	// Headroom multiplies the bounded estimate so ordinary jitter (a
+	// burst of tuples in one pulse) does not trip enforcement.
+	Headroom int64
+}
+
+// DefaultMemoryModel is used by AnalyzeMemory.
+var DefaultMemoryModel = MemoryModel{BytesPerState: 256, Headroom: 4}
+
+// MemoryAnalysis is the result of the registration-time memory pass:
+// the boundedness class, the reasons behind an unbounded verdict, and
+// the sizing inputs the budget derivation uses.
+type MemoryAnalysis struct {
+	Class   MemoryClass
+	Reasons []string // why the query is unbounded; empty when bounded
+
+	// Overlap is the worst-case number of simultaneously open windows
+	// across the query's streams: ceil(Range/Slide) maximised over
+	// stream clauses (1 for tumbling windows).
+	Overlap int64
+	// StatesPerWindow is the estimated number of sequence states one
+	// window holds (range / pulse frequency, or range / slide without a
+	// pulse clause).
+	StatesPerWindow int64
+	// WindowBytes is the estimated working set of the query's open
+	// windows under the model: sum over streams of
+	// overlap × statesPerWindow × BytesPerState.
+	WindowBytes int64
+}
+
+// Budget derives the per-query byte budget from the analysis.
+// defaultBudget is the operator-configured per-query budget (0 disables
+// governance, so 0 in → 0 out). Bounded queries get the larger of their
+// modelled working set (with headroom) and the default — their state is
+// provably constant, so a generous budget costs nothing and avoids
+// false degradation. Unbounded queries get exactly the default: their
+// growth is the thing the budget exists to cap.
+func (a MemoryAnalysis) Budget(defaultBudget int64) int64 {
+	if defaultBudget <= 0 {
+		return 0
+	}
+	if a.Class == MemUnbounded {
+		return defaultBudget
+	}
+	sized := a.WindowBytes * DefaultMemoryModel.Headroom
+	if sized > defaultBudget {
+		return sized
+	}
+	return defaultBudget
+}
+
+// AnalyzeMemory classifies a parsed STARQL query as bounded or
+// unbounded per-window memory and estimates its working set. It is a
+// pure registration-time pass: no runtime cost, following the posture
+// of OBDA constraints — decide cheaply at registration, never pay per
+// tuple.
+func AnalyzeMemory(q *Query) MemoryAnalysis {
+	return AnalyzeMemoryWith(q, DefaultMemoryModel)
+}
+
+// AnalyzeMemoryWith is AnalyzeMemory under an explicit cost model.
+func AnalyzeMemoryWith(q *Query, model MemoryModel) MemoryAnalysis {
+	a := MemoryAnalysis{Overlap: 1, StatesPerWindow: 1}
+	for _, sc := range q.Streams {
+		if sc.SlideMS <= 0 || sc.RangeMS <= 0 {
+			continue
+		}
+		overlap := ceilDiv64(sc.RangeMS, sc.SlideMS)
+		if overlap > a.Overlap {
+			a.Overlap = overlap
+		}
+		step := sc.SlideMS
+		if q.Pulse != nil && q.Pulse.FrequencyMS > 0 {
+			step = q.Pulse.FrequencyMS
+		}
+		states := ceilDiv64(sc.RangeMS, step)
+		if states < 1 {
+			states = 1
+		}
+		if states > a.StatesPerWindow {
+			a.StatesPerWindow = states
+		}
+		a.WindowBytes += overlap * states * model.BytesPerState
+	}
+	if a.WindowBytes == 0 {
+		a.WindowBytes = a.Overlap * a.StatesPerWindow * model.BytesPerState
+	}
+
+	if q.Having != nil {
+		w := &memWalk{aggs: q.Aggregates, reasons: map[string]bool{}}
+		w.walk(q.Having, nil, nil)
+		if len(w.reasons) > 0 {
+			a.Class = MemUnbounded
+			for r := range w.reasons {
+				a.Reasons = append(a.Reasons, r)
+			}
+			sort.Strings(a.Reasons)
+		}
+	}
+	return a
+}
+
+func ceilDiv64(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a > 0) == (b > 0) {
+		q++
+	}
+	return q
+}
+
+// memWalk walks a HAVING expression tracking which state variables are
+// bound by enclosing quantifiers, mirroring the scope tracking of the
+// validation pass (having.go). A sub-expression is unbounded when it
+// quantifies over two states jointly (FORALL ?i < ?j), or when a
+// nested quantifier's body references a state bound further out — a
+// backreference across quantifier scopes: evaluating the inner
+// quantifier for each binding of the outer state requires the full
+// sequence to be retained.
+type memWalk struct {
+	aggs    map[string]*AggregateDef
+	reasons map[string]bool
+}
+
+// walk descends into e. enclosing holds state variables bound by
+// quantifiers strictly above the innermost one; local holds the
+// innermost quantifier's own state variables.
+func (w *memWalk) walk(e HavingExpr, enclosing, local map[string]bool) {
+	switch x := e.(type) {
+	case *AndExpr:
+		w.walk(x.L, enclosing, local)
+		w.walk(x.R, enclosing, local)
+	case *OrExpr:
+		w.walk(x.L, enclosing, local)
+		w.walk(x.R, enclosing, local)
+	case *NotExpr:
+		w.walk(x.E, enclosing, local)
+	case *ExistsExpr:
+		w.walk(x.Cond, union(enclosing, local), set(x.StateVar))
+	case *ForallExpr:
+		if x.StateVar2 != "" {
+			w.reasons[fmt.Sprintf("FORALL ?%s %s ?%s relates pairs of sequence states", x.StateVar1, x.Rel, x.StateVar2)] = true
+		}
+		inner := set(x.StateVar1)
+		if x.StateVar2 != "" {
+			inner[x.StateVar2] = true
+		}
+		out := union(enclosing, local)
+		if x.Guard != nil {
+			w.walk(x.Guard, out, inner)
+		}
+		w.walk(x.Conclusion, out, inner)
+	case *GraphAtom:
+		if enclosing[x.StateVar] {
+			w.reasons["graph atom back-references a state bound by an enclosing quantifier"] = true
+		}
+	case *Comparison:
+		for _, n := range append(append([]Node{}, x.Left...), x.Right) {
+			if n.IsVar() && enclosing[n.Var] {
+				w.reasons["comparison back-references a state bound by an enclosing quantifier"] = true
+			}
+		}
+	case *AggCall:
+		if def, ok := w.aggs[x.Name]; ok {
+			w.walk(x.Expand(def), enclosing, local)
+			return
+		}
+		if _, builtin := builtinAggregates[x.Name]; builtin {
+			// The native aggregates (Pearson via running sufficient
+			// statistics, threshold/trend via incremental scans) all fold
+			// in O(1) state.
+			return
+		}
+		w.reasons[fmt.Sprintf("unknown aggregate %s assumed to retain the sequence", x.Name)] = true
+	}
+}
+
+func set(v string) map[string]bool { return map[string]bool{v: true} }
+
+func union(a, b map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(a)+len(b))
+	for k := range a {
+		out[k] = true
+	}
+	for k := range b {
+		out[k] = true
+	}
+	return out
+}

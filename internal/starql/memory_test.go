@@ -1,0 +1,168 @@
+package starql
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/rdf"
+)
+
+func analyzeHaving(t *testing.T, h HavingExpr, aggs map[string]*AggregateDef) MemoryAnalysis {
+	t.Helper()
+	q := &Query{
+		Streams:    []StreamClause{{Name: "m", RangeMS: 10_000, SlideMS: 1_000}},
+		Pulse:      &PulseClause{FrequencyMS: 1_000},
+		Having:     h,
+		Aggregates: aggs,
+	}
+	return AnalyzeMemory(q)
+}
+
+// The paper's Figure 1 query expands MONOTONIC.HAVING into a two-state
+// FORALL ?i < ?j — the canonical unbounded shape: checking monotonicity
+// pairwise retains the whole sequence.
+func TestAnalyzeMemoryFigure1Unbounded(t *testing.T) {
+	q, err := Parse(figure1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := AnalyzeMemory(q)
+	if a.Class != MemUnbounded {
+		t.Fatalf("figure1 classified %v, want unbounded", a.Class)
+	}
+	if len(a.Reasons) == 0 || !strings.Contains(strings.Join(a.Reasons, "; "), "pairs of sequence states") {
+		t.Errorf("reasons = %v, want pair-of-states reason", a.Reasons)
+	}
+	// RANGE 10s / SLIDE 1s → 10 overlapping windows of ~10 states each.
+	if a.Overlap != 10 || a.StatesPerWindow != 10 {
+		t.Errorf("overlap=%d states=%d, want 10/10", a.Overlap, a.StatesPerWindow)
+	}
+	// Unbounded queries get exactly the configured default budget.
+	if got := a.Budget(1 << 20); got != 1<<20 {
+		t.Errorf("Budget = %d, want %d", got, 1<<20)
+	}
+}
+
+func TestAnalyzeMemoryBoundedShapes(t *testing.T) {
+	attr := NTerm(rdf.NewIRI(sieNS + "hasValue"))
+	cases := map[string]HavingExpr{
+		"builtin threshold": &AggCall{Name: "THRESHOLD.ABOVE", Args: []Node{NVar("c"), attr, NTerm(rdf.NewInteger(90))}},
+		"builtin pearson":   &AggCall{Name: "PEARSON.CORRELATION", Args: []Node{NVar("a"), NVar("b"), attr, NTerm(rdf.NewDouble(0.9))}},
+		"single-state forall": &ForallExpr{
+			StateVar1: "i", ValueVars: []string{"x"},
+			Guard:      &GraphAtom{StateVar: "i", Pattern: TriplePattern{S: NVar("c"), P: attr, O: NVar("x")}},
+			Conclusion: &Comparison{Left: []Node{NVar("x")}, Op: "<", Right: NTerm(rdf.NewInteger(90))},
+		},
+		"exists one state": &ExistsExpr{
+			StateVar: "k",
+			Cond:     &GraphAtom{StateVar: "k", Pattern: TriplePattern{S: NVar("c"), P: attr, O: NVar("x")}},
+		},
+		"boolean combination": &AndExpr{
+			L: &NotExpr{E: &AggCall{Name: "TREND.INCREASE", Args: []Node{NVar("c"), attr}}},
+			R: &OrExpr{
+				L: &Comparison{Left: []Node{NVar("x")}, Op: ">", Right: NTerm(rdf.NewInteger(1))},
+				R: &AggCall{Name: "THRESHOLD.ABOVE", Args: []Node{NVar("c"), attr, NTerm(rdf.NewInteger(5))}},
+			},
+		},
+	}
+	for name, h := range cases {
+		a := analyzeHaving(t, h, nil)
+		if a.Class != MemBounded {
+			t.Errorf("%s classified unbounded: %v", name, a.Reasons)
+		}
+	}
+	// No HAVING at all is trivially bounded.
+	if a := analyzeHaving(t, nil, nil); a.Class != MemBounded {
+		t.Errorf("nil HAVING classified unbounded: %v", a.Reasons)
+	}
+}
+
+func TestAnalyzeMemoryUnboundedShapes(t *testing.T) {
+	attr := NTerm(rdf.NewIRI(sieNS + "hasValue"))
+	cases := map[string]HavingExpr{
+		"two-state forall": &ForallExpr{
+			StateVar1: "i", Rel: "<", StateVar2: "j", ValueVars: []string{"x", "y"},
+			Guard: &AndExpr{
+				L: &GraphAtom{StateVar: "i", Pattern: TriplePattern{S: NVar("c"), P: attr, O: NVar("x")}},
+				R: &GraphAtom{StateVar: "j", Pattern: TriplePattern{S: NVar("c"), P: attr, O: NVar("y")}},
+			},
+			Conclusion: &Comparison{Left: []Node{NVar("x")}, Op: "<=", Right: NVar("y")},
+		},
+		"nested graph backreference": &ExistsExpr{
+			StateVar: "k",
+			Cond: &ExistsExpr{
+				StateVar: "i",
+				Cond:     &GraphAtom{StateVar: "k", Pattern: TriplePattern{S: NVar("c"), P: attr, O: NVar("x")}},
+			},
+		},
+		"nested comparison backreference": &ExistsExpr{
+			StateVar: "k",
+			Cond: &ExistsExpr{
+				StateVar: "i",
+				Cond:     &Comparison{Left: []Node{NVar("i")}, Op: "<", Right: NVar("k")},
+			},
+		},
+		"unknown aggregate": &AggCall{Name: "NOSUCH.AGG", Args: []Node{NVar("c")}},
+	}
+	for name, h := range cases {
+		a := analyzeHaving(t, h, nil)
+		if a.Class != MemUnbounded {
+			t.Errorf("%s classified bounded", name)
+		}
+	}
+}
+
+// Macros classify by their expanded body, not their name: a single-state
+// macro is bounded, MONOTONIC-style pairwise macros are not.
+func TestAnalyzeMemoryMacroExpansion(t *testing.T) {
+	attr := NTerm(rdf.NewIRI(sieNS + "hasValue"))
+	bounded := &AggregateDef{
+		Name: "SPIKE.ANY", Params: []string{"var", "attr"},
+		Body: &ExistsExpr{
+			StateVar: "k",
+			Cond:     &GraphAtom{StateVar: "k", Pattern: TriplePattern{S: NVar("var"), P: NVar("attr"), O: NVar("x")}},
+		},
+	}
+	call := &AggCall{Name: "SPIKE.ANY", Args: []Node{NVar("c"), attr}}
+	a := analyzeHaving(t, call, map[string]*AggregateDef{"SPIKE.ANY": bounded})
+	if a.Class != MemBounded {
+		t.Errorf("single-state macro classified unbounded: %v", a.Reasons)
+	}
+
+	pairwise := &AggregateDef{
+		Name: "MONO.LITE", Params: []string{"var", "attr"},
+		Body: &ForallExpr{
+			StateVar1: "i", Rel: "<", StateVar2: "j", ValueVars: []string{"x", "y"},
+			Conclusion: &Comparison{Left: []Node{NVar("x")}, Op: "<=", Right: NVar("y")},
+		},
+	}
+	call2 := &AggCall{Name: "MONO.LITE", Args: []Node{NVar("c"), attr}}
+	if a := analyzeHaving(t, call2, map[string]*AggregateDef{"MONO.LITE": pairwise}); a.Class != MemUnbounded {
+		t.Error("pairwise macro classified bounded")
+	}
+}
+
+func TestMemoryBudgetDerivation(t *testing.T) {
+	bounded := analyzeHaving(t, nil, nil)
+	// 10 overlap × 10 states × 256 B = 25600 working set.
+	if bounded.WindowBytes != 25_600 {
+		t.Fatalf("WindowBytes = %d, want 25600", bounded.WindowBytes)
+	}
+	// Governance off: zero default yields zero budget.
+	if got := bounded.Budget(0); got != 0 {
+		t.Errorf("Budget(0) = %d, want 0", got)
+	}
+	// Bounded queries get max(model × headroom, default).
+	if got := bounded.Budget(1 << 30); got != 1<<30 {
+		t.Errorf("Budget(1GiB) = %d, want default to win", got)
+	}
+	if got, want := bounded.Budget(1), bounded.WindowBytes*DefaultMemoryModel.Headroom; got != want {
+		t.Errorf("Budget(1) = %d, want sized estimate %d", got, want)
+	}
+	// Tumbling window with no pulse: one open window, states from slide.
+	q := &Query{Streams: []StreamClause{{Name: "m", RangeMS: 1_000, SlideMS: 1_000}}}
+	a := AnalyzeMemory(q)
+	if a.Overlap != 1 || a.StatesPerWindow != 1 {
+		t.Errorf("tumbling overlap=%d states=%d, want 1/1", a.Overlap, a.StatesPerWindow)
+	}
+}

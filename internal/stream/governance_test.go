@@ -1,0 +1,176 @@
+package stream
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+func govSpec() WindowSpec { return WindowSpec{RangeMS: 1000, SlideMS: 500} }
+
+func row(v int64) relation.Tuple { return relation.Tuple{relation.Int(v)} }
+
+// Pending-byte accounting must track pushes, emissions, flush, and
+// restore exactly (the governance layer subtracts these numbers from a
+// budget, so drift would leak or over-shed).
+func TestWindowPendingBytesAccounting(t *testing.T) {
+	w, err := NewTimeSlidingWindow(govSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := w.PendingBytes(); got != 0 {
+		t.Fatalf("empty PendingBytes = %d", got)
+	}
+	w.Push(Timestamped{TS: 100, Row: row(1)})
+	w.Push(Timestamped{TS: 200, Row: row(2)})
+	recount := func() int64 {
+		w.mu.Lock()
+		defer w.mu.Unlock()
+		var n int64
+		for _, b := range w.pending {
+			n += b.Bytes()
+		}
+		return n
+	}
+	if got, want := w.PendingBytes(), recount(); got != want || got == 0 {
+		t.Fatalf("PendingBytes = %d, recount = %d", got, want)
+	}
+	// Advancing time emits windows; the estimate must fall in step.
+	w.Push(Timestamped{TS: 2600, Row: row(3)})
+	if got, want := w.PendingBytes(), recount(); got != want {
+		t.Fatalf("after emit: PendingBytes = %d, recount = %d", got, want)
+	}
+	// Restore from snapshot recomputes the same estimate.
+	st := w.Snapshot()
+	r, err := RestoreTimeSlidingWindow(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := r.PendingBytes(), w.PendingBytes(); got != want {
+		t.Fatalf("restored PendingBytes = %d, want %d", got, want)
+	}
+	if w.Flush(); w.PendingBytes() != 0 {
+		t.Fatalf("after Flush: PendingBytes = %d, want 0", w.PendingBytes())
+	}
+}
+
+// A shed window is gone for good: it frees its bytes, never emits (not
+// even as an empty batch), and drops tuples that keep arriving for it.
+func TestWindowShedOldestPending(t *testing.T) {
+	w, err := NewTimeSlidingWindow(WindowSpec{RangeMS: 1000, SlideMS: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := w.ShedOldestPending(); ok {
+		t.Fatal("shed from empty operator")
+	}
+	w.Push(Timestamped{TS: 100, Row: row(1)})
+	before := w.PendingBytes()
+	freed, ok := w.ShedOldestPending()
+	if !ok || freed != before {
+		t.Fatalf("shed freed %d (ok=%t), want %d", freed, ok, before)
+	}
+	if w.PendingBytes() != 0 || w.Shed != 1 {
+		t.Fatalf("after shed: bytes=%d shedCount=%d", w.PendingBytes(), w.Shed)
+	}
+	// A late arrival for the shed window must not resurrect it.
+	w.Push(Timestamped{TS: 200, Row: row(2)})
+	if w.PendingBytes() != 0 {
+		t.Fatal("tuple for shed window was buffered")
+	}
+	// Window 1 (end 1000) sheds silently; window 2 (end 2000) emits.
+	var got []Batch
+	got = append(got, w.Push(Timestamped{TS: 1500, Row: row(3)})...)
+	got = append(got, w.Push(Timestamped{TS: 2500, Row: row(4)})...)
+	got = append(got, w.Flush()...)
+	for _, b := range got {
+		if b.End == 1000 {
+			t.Fatalf("shed window emitted: %+v", b)
+		}
+	}
+	found := false
+	for _, b := range got {
+		if b.End == 2000 && len(b.Rows) == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("window 2 missing from %+v", got)
+	}
+}
+
+// The wCache budget evicts the globally-oldest windows first and pins
+// the entry whose insert triggered enforcement.
+func TestWCacheBudget(t *testing.T) {
+	c := NewWCache()
+	c.Register("q")
+	spec := govSpec()
+	one := Batch{WindowID: 0, End: 500, Rows: []relation.Tuple{row(1)}}
+	perEntry := one.Bytes()
+	c.SetBudget(3 * perEntry)
+	for id := int64(0); id < 5; id++ {
+		c.Put("s", spec, Batch{WindowID: id, End: 500 * (id + 1), Rows: []relation.Tuple{row(id)}})
+	}
+	if c.Len() != 3 || c.Bytes() != 3*perEntry {
+		t.Fatalf("len=%d bytes=%d, want 3 entries / %d bytes", c.Len(), c.Bytes(), 3*perEntry)
+	}
+	// The survivors are the newest windows; 0 and 1 were shed.
+	for _, w := range c.SnapshotBatches() {
+		if w.Batch.WindowID < 2 {
+			t.Fatalf("window %d survived budget eviction", w.Batch.WindowID)
+		}
+	}
+	// An oversized single entry is kept (evicting it would just force a
+	// re-materialisation on the next Get).
+	big := Batch{WindowID: 9, End: 5000, Rows: make([]relation.Tuple, 100)}
+	for i := range big.Rows {
+		big.Rows[i] = row(int64(i))
+	}
+	c.Put("s", spec, big)
+	found := false
+	for _, w := range c.SnapshotBatches() {
+		if w.Batch.WindowID == 9 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("oversized entry evicted itself")
+	}
+}
+
+// Watermark eviction and budget eviction must keep the byte estimate
+// exact across concurrent producers and consumers (run under -race).
+func TestWCacheConcurrentAccounting(t *testing.T) {
+	c := NewWCache()
+	spec := govSpec()
+	c.SetBudget(1 << 16)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			name := fmt.Sprintf("q%d", g)
+			c.Register(name)
+			for id := int64(0); id < 200; id++ {
+				c.Put(fmt.Sprintf("s%d", g%2), spec, Batch{WindowID: id, End: 500 * (id + 1), Rows: []relation.Tuple{row(id)}})
+				if id%3 == 0 {
+					_, _ = c.Get(fmt.Sprintf("s%d", g%2), spec, id, func() (Batch, error) {
+						return Batch{WindowID: id}, nil
+					})
+				}
+				c.Advance(name, id/2)
+			}
+			c.Unregister(name)
+		}(g)
+	}
+	wg.Wait()
+	var want int64
+	for _, w := range c.SnapshotBatches() {
+		want += w.Batch.Bytes()
+	}
+	if got := c.Bytes(); got != want {
+		t.Fatalf("Bytes = %d, recount = %d", got, want)
+	}
+}

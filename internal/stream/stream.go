@@ -103,6 +103,36 @@ type Batch struct {
 	Rows     []relation.Tuple
 }
 
+// Byte-estimate model for governance accounting. Values are flat
+// structs (~48 B: tag + three scalars) plus string payload; tuples and
+// batches add slice-header overhead. The estimates only need to be
+// consistent and monotone in the real footprint — budgets and shed
+// decisions compare them against each other, never against the
+// allocator.
+const (
+	batchOverheadBytes = 64
+	tupleOverheadBytes = 24
+	valueOverheadBytes = 48
+)
+
+func tupleBytes(row relation.Tuple) int64 {
+	n := int64(tupleOverheadBytes)
+	for _, v := range row {
+		n += valueOverheadBytes + int64(len(v.Str))
+	}
+	return n
+}
+
+// Bytes estimates the batch's memory footprint under the accounting
+// model used for window budgets.
+func (b Batch) Bytes() int64 {
+	n := int64(batchOverheadBytes)
+	for _, row := range b.Rows {
+		n += tupleBytes(row)
+	}
+	return n
+}
+
 // TimeSlidingWindow consumes an ordered stream of timestamped tuples and
 // emits completed window batches. Tuples that fall into several
 // overlapping windows (Range > Slide) are placed in each.
@@ -110,6 +140,11 @@ type Batch struct {
 // The operator assumes non-decreasing timestamps; late tuples are counted
 // and dropped (the stream generator never produces them, but failure
 // injection tests do).
+//
+// Open-window bytes are accounted incrementally (PendingBytes) so the
+// resource-governance layer can observe pressure without walking the
+// pending map, and ShedOldestPending lets it reclaim memory by dropping
+// the oldest open window wholesale.
 type TimeSlidingWindow struct {
 	Spec WindowSpec
 
@@ -118,6 +153,10 @@ type TimeSlidingWindow struct {
 	nextEmit int64 // smallest window id not yet emitted
 	maxTS    int64
 	Late     int64 // dropped late tuples
+
+	pendingBytes int64          // estimated bytes across pending batches
+	shed         map[int64]bool // window ids dropped by governance; never emit
+	Shed         int64          // count of shed windows (monotonic)
 }
 
 // NewTimeSlidingWindow builds the operator.
@@ -140,32 +179,43 @@ func (t *TimeSlidingWindow) Push(el Timestamped) []Batch {
 	t.maxTS = el.TS
 	lo, hi, ok := t.Spec.WindowsFor(el.TS)
 	if ok {
+		rowCost := tupleBytes(el.Row)
 		for id := lo; id <= hi; id++ {
-			if id < t.nextEmit {
-				continue // window already emitted; treat as late
+			if id < t.nextEmit || t.shed[id] {
+				continue // window already emitted or shed; treat as late
 			}
 			b, found := t.pending[id]
 			if !found {
 				pt := t.Spec.PulseTime(id)
 				b = &Batch{WindowID: id, Start: pt - t.Spec.RangeMS, End: pt}
 				t.pending[id] = b
+				t.pendingBytes += batchOverheadBytes
 			}
 			b.Rows = append(b.Rows, el.Row)
+			t.pendingBytes += rowCost
 		}
 	}
 	return t.completeLocked(el.TS)
 }
 
-// completeLocked emits every window whose end time has passed.
+// completeLocked emits every window whose end time has passed. Shed
+// windows are skipped entirely — no empty batch is synthesized for
+// them, because shedding is declared data loss, not an empty window.
 func (t *TimeSlidingWindow) completeLocked(now int64) []Batch {
 	var out []Batch
 	for {
 		if t.Spec.PulseTime(t.nextEmit) >= now {
 			break
 		}
+		if t.shed[t.nextEmit] {
+			delete(t.shed, t.nextEmit)
+			t.nextEmit++
+			continue
+		}
 		b, found := t.pending[t.nextEmit]
 		if found {
 			delete(t.pending, t.nextEmit)
+			t.pendingBytes -= b.Bytes()
 			out = append(out, *b)
 		} else {
 			pt := t.Spec.PulseTime(t.nextEmit)
@@ -193,10 +243,47 @@ func (t *TimeSlidingWindow) Flush() []Batch {
 		out = append(out, *t.pending[id])
 	}
 	t.pending = make(map[int64]*Batch)
+	t.pendingBytes = 0
+	t.shed = nil
 	if len(ids) > 0 && ids[len(ids)-1] >= t.nextEmit {
 		t.nextEmit = ids[len(ids)-1] + 1
 	}
 	return out
+}
+
+// PendingBytes returns the estimated size of all open windows.
+func (t *TimeSlidingWindow) PendingBytes() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.pendingBytes
+}
+
+// ShedOldestPending drops the oldest open window in full and returns the
+// bytes reclaimed. The shed window will never emit — not even as an
+// empty batch — and tuples still arriving for it are dropped. ok is
+// false when there is nothing to shed.
+func (t *TimeSlidingWindow) ShedOldestPending() (freed int64, ok bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	oldest := int64(1<<62 - 1)
+	for id := range t.pending {
+		if id < oldest {
+			oldest = id
+		}
+	}
+	b, found := t.pending[oldest]
+	if !found {
+		return 0, false
+	}
+	delete(t.pending, oldest)
+	freed = b.Bytes()
+	t.pendingBytes -= freed
+	if t.shed == nil {
+		t.shed = make(map[int64]bool)
+	}
+	t.shed[oldest] = true
+	t.Shed++
+	return freed, true
 }
 
 // WindowState is a serializable snapshot of a TimeSlidingWindow taken
@@ -245,6 +332,7 @@ func RestoreTimeSlidingWindow(st WindowState) (*TimeSlidingWindow, error) {
 		cp := b
 		cp.Rows = append([]relation.Tuple(nil), b.Rows...)
 		t.pending[b.WindowID] = &cp
+		t.pendingBytes += cp.Bytes()
 	}
 	return t, nil
 }

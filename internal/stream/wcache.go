@@ -18,7 +18,7 @@ import (
 // consumer may still need) are evicted.
 type WCache struct {
 	mu      sync.Mutex
-	entries map[wcKey]Batch
+	entries map[wcKey]wcEntry
 	// consumer watermarks: per consumer id, the smallest window id still
 	// needed. Eviction keeps everything >= min over consumers.
 	marks map[string]int64
@@ -32,6 +32,22 @@ type WCache struct {
 	// cache traffic live; standalone caches get private counters.
 	hits   *telemetry.Counter
 	misses *telemetry.Counter
+
+	// bytes is the running estimate of cached batch memory; budget, when
+	// positive, caps it — Put/Get evict the oldest windows to stay under
+	// (counted by shed). The watermark eviction is correctness (never
+	// hands out a window a consumer has passed); the budget eviction is
+	// governance (a cold window may be re-materialised on demand).
+	bytes  int64
+	budget int64
+	shed   *telemetry.Counter
+}
+
+// wcEntry caches one batch plus its byte estimate so eviction never
+// rescans rows.
+type wcEntry struct {
+	b     Batch
+	bytes int64
 }
 
 type wcKey struct {
@@ -43,10 +59,11 @@ type wcKey struct {
 // NewWCache returns an empty cache.
 func NewWCache() *WCache {
 	return &WCache{
-		entries: make(map[wcKey]Batch),
+		entries: make(map[wcKey]wcEntry),
 		marks:   make(map[string]int64),
 		hits:    &telemetry.Counter{},
 		misses:  &telemetry.Counter{},
+		shed:    &telemetry.Counter{},
 	}
 }
 
@@ -56,6 +73,29 @@ func (c *WCache) UseCounters(hits, misses *telemetry.Counter) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.hits, c.misses = hits, misses
+}
+
+// UseShedCounter rebinds the budget-eviction counter (e.g. to an
+// engine's `exastream.wcache.shed`).
+func (c *WCache) UseShedCounter(shed *telemetry.Counter) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.shed = shed
+}
+
+// SetBudget caps the cache's byte estimate; 0 (the default) disables
+// the cap. Takes effect on the next insert.
+func (c *WCache) SetBudget(bytes int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.budget = bytes
+}
+
+// Bytes returns the current byte estimate of cached batches.
+func (c *WCache) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
 }
 
 // Counts returns the hit/miss counters as one consistent pair.
@@ -120,8 +160,9 @@ func (c *WCache) evictLocked() {
 		// starts from a clean cache rather than inheriting a stale
 		// high-water mark.
 		if len(c.entries) > 0 {
-			c.entries = make(map[wcKey]Batch)
+			c.entries = make(map[wcKey]wcEntry)
 		}
+		c.bytes = 0
 		c.minMark = 0
 		return
 	}
@@ -136,10 +177,40 @@ func (c *WCache) evictLocked() {
 		return
 	}
 	c.minMark = min
-	for k := range c.entries {
+	for k, e := range c.entries {
 		if k.window < min {
+			c.bytes -= e.bytes
 			delete(c.entries, k)
 		}
+	}
+}
+
+// enforceBudgetLocked evicts the globally-oldest cached windows until
+// the byte estimate fits the budget. keep pins the entry that triggered
+// enforcement: if it alone exceeds the budget the cache holds just it
+// rather than thrashing (evicting it would only force an immediate
+// re-materialisation).
+func (c *WCache) enforceBudgetLocked(keep wcKey) {
+	if c.budget <= 0 {
+		return
+	}
+	for c.bytes > c.budget {
+		victim := keep
+		oldest := int64(1<<62 - 1)
+		for k := range c.entries {
+			if k == keep {
+				continue
+			}
+			if k.window < oldest {
+				oldest, victim = k.window, k
+			}
+		}
+		if victim == keep {
+			return
+		}
+		c.bytes -= c.entries[victim].bytes
+		delete(c.entries, victim)
+		c.shed.Inc()
 	}
 }
 
@@ -150,10 +221,10 @@ func (c *WCache) evictLocked() {
 func (c *WCache) Get(stream string, spec WindowSpec, windowID int64, materialise func() (Batch, error)) (Batch, error) {
 	key := wcKey{stream, spec, windowID}
 	c.mu.Lock()
-	if b, ok := c.entries[key]; ok {
+	if e, ok := c.entries[key]; ok {
 		c.hits.Inc()
 		c.mu.Unlock()
-		return b, nil
+		return e.b, nil
 	}
 	c.misses.Inc()
 	c.mu.Unlock()
@@ -166,7 +237,7 @@ func (c *WCache) Get(stream string, spec WindowSpec, windowID int64, materialise
 		return Batch{}, fmt.Errorf("stream: wCache: materialiser returned window %d, want %d", b.WindowID, windowID)
 	}
 	c.mu.Lock()
-	c.entries[key] = b
+	c.storeLocked(key, b)
 	c.mu.Unlock()
 	return b, nil
 }
@@ -176,7 +247,19 @@ func (c *WCache) Get(stream string, spec WindowSpec, windowID int64, materialise
 func (c *WCache) Put(stream string, spec WindowSpec, b Batch) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.entries[wcKey{stream, spec, b.WindowID}] = b
+	c.storeLocked(wcKey{stream, spec, b.WindowID}, b)
+}
+
+// storeLocked inserts or replaces an entry, keeping the byte estimate
+// consistent and enforcing the budget.
+func (c *WCache) storeLocked(key wcKey, b Batch) {
+	if old, ok := c.entries[key]; ok {
+		c.bytes -= old.bytes
+	}
+	e := wcEntry{b: b, bytes: b.Bytes()}
+	c.entries[key] = e
+	c.bytes += e.bytes
+	c.enforceBudgetLocked(key)
 }
 
 // CachedWindow is one wCache entry in serializable form, used by the
@@ -196,8 +279,8 @@ func (c *WCache) SnapshotBatches() []CachedWindow {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	out := make([]CachedWindow, 0, len(c.entries))
-	for k, b := range c.entries {
-		out = append(out, CachedWindow{Stream: k.stream, Spec: k.spec, Batch: b})
+	for k, e := range c.entries {
+		out = append(out, CachedWindow{Stream: k.stream, Spec: k.spec, Batch: e.b})
 	}
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
@@ -227,7 +310,7 @@ func (c *WCache) RestoreBatches(ws []CachedWindow) {
 		if w.Batch.WindowID < c.minMark {
 			continue
 		}
-		c.entries[wcKey{w.Stream, w.Spec, w.Batch.WindowID}] = w.Batch
+		c.storeLocked(wcKey{w.Stream, w.Spec, w.Batch.WindowID}, w.Batch)
 	}
 }
 

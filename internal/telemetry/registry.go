@@ -16,8 +16,9 @@
 // e.g. `exastream.plan.cache_hits` or `cluster.node.3.state`. Counters
 // are monotonic, gauges are instantaneous values, histograms observe
 // float64 samples (durations are recorded in nanoseconds). The name
-// suffix carries a gauge's cross-node merge rule: `_ms`, `_ns` and
-// `.state` gauges merge by max, everything else sums (see Merge).
+// suffix carries a gauge's cross-node merge rule: `_ms`, `_ns`,
+// `.state` and `.bytes` gauges merge by max, everything else sums (see
+// Merge).
 package telemetry
 
 import (
@@ -172,11 +173,13 @@ func (r *Registry) Snapshot() Snapshot {
 
 // Merge combines snapshots from several registries (e.g. one per
 // cluster node) into cluster-wide totals: counters and histogram
-// buckets sum. Gauges merge by name convention — occupancy-style
+// buckets sum. Gauges merge by name convention — count-style occupancy
 // gauges sum (total cached windows across nodes is meaningful), but
-// lag/latency gauges (`*_ms`, `*_ns` suffix) and state gauges
-// (`*.state` suffix) take the maximum, because summing per-node
-// watermark lags or node states produces a number with no meaning.
+// lag/latency gauges (`*_ms`, `*_ns` suffix), state gauges (`*.state`
+// suffix) and byte-footprint gauges (`*.bytes` suffix) take the
+// maximum, because summing per-node watermark lags or node states
+// produces a number with no meaning, and the interesting byte figure
+// is the node closest to its budget.
 // Per-node gauges use distinct names (`cluster.node.N.*`) so they pass
 // through unchanged either way.
 func Merge(snaps ...Snapshot) Snapshot {
@@ -209,12 +212,15 @@ func Merge(snaps ...Snapshot) Snapshot {
 
 // gaugeMergesByMax reports whether a gauge's cross-node merge takes the
 // maximum instead of the sum: lag and latency gauges (named `*_ms` or
-// `*_ns`) and state gauges (`*.state`) are not additive — the
-// cluster-wide value of a lag is its worst node, not the total.
+// `*_ns`), state gauges (`*.state`) and occupancy gauges (`*.bytes`,
+// e.g. the per-node wCache footprint) are not additive — the
+// cluster-wide value of a lag or a cache high-water mark is its worst
+// node, not the total.
 func gaugeMergesByMax(name string) bool {
 	return strings.HasSuffix(name, "_ms") ||
 		strings.HasSuffix(name, "_ns") ||
-		strings.HasSuffix(name, ".state")
+		strings.HasSuffix(name, ".state") ||
+		strings.HasSuffix(name, ".bytes")
 }
 
 // CounterNames lists registered counters, sorted (for stable output in

@@ -110,9 +110,9 @@ func TestMerge(t *testing.T) {
 	}
 }
 
-// Gauges whose value is not additive across nodes — lags (*_ms, *_ns)
-// and states (*.state) — merge by max: the cluster-wide watermark lag
-// is the worst node's, not the fleet total.
+// Gauges whose value is not additive across nodes — lags (*_ms, *_ns),
+// states (*.state) and byte footprints (*.bytes) — merge by max: the
+// cluster-wide watermark lag is the worst node's, not the fleet total.
 func TestMergeGaugeMax(t *testing.T) {
 	a, b := NewRegistry(), NewRegistry()
 	a.Gauge("exastream.wcache.watermark_lag_ms").Set(120)
@@ -121,6 +121,8 @@ func TestMergeGaugeMax(t *testing.T) {
 	b.Gauge("cluster.node.0.state").Set(1)
 	a.Gauge("exastream.wcache.len").Set(3)
 	b.Gauge("exastream.wcache.len").Set(4)
+	a.Gauge("exastream.wcache.bytes").Set(4096)
+	b.Gauge("exastream.wcache.bytes").Set(1024)
 	m := Merge(a.Snapshot(), b.Snapshot())
 	if got := m.Gauges["exastream.wcache.watermark_lag_ms"]; got != 120 {
 		t.Errorf("lag gauge merged to %v, want max 120", got)
@@ -130,6 +132,9 @@ func TestMergeGaugeMax(t *testing.T) {
 	}
 	if got := m.Gauges["exastream.wcache.len"]; got != 7 {
 		t.Errorf("occupancy gauge merged to %v, want sum 7", got)
+	}
+	if got := m.Gauges["exastream.wcache.bytes"]; got != 4096 {
+		t.Errorf("bytes gauge merged to %v, want max 4096", got)
 	}
 }
 
