@@ -58,12 +58,21 @@ func BenchmarkFigure1EndToEnd(b *testing.B) {
 	// matcher in front, so ns/op is dominated by per-window plan cost.
 	// "interpreted" reproduces the pre-compile-once pipeline: plans
 	// rebuilt every window, expressions tree-walked per row.
-	b.Run("windowexec/pipeline=compiled", func(b *testing.B) {
+	// "vectorized" is the columnar batch path (the default); "compiled"
+	// pins the tuple-at-a-time row path it replaced, so the pair is the
+	// vectorization ablation.
+	b.Run("windowexec/pipeline=vectorized", func(b *testing.B) {
 		runFigure1WindowExec(b, exastream.Options{ShareWindows: true})
+	})
+	b.Run("windowexec/pipeline=compiled", func(b *testing.B) {
+		runFigure1WindowExec(b, exastream.Options{
+			ShareWindows: true, Vectorized: exastream.VecOff,
+		})
 	})
 	b.Run("windowexec/pipeline=interpreted", func(b *testing.B) {
 		runFigure1WindowExec(b, exastream.Options{
 			ShareWindows: true, DisablePlanCache: true, InterpretExprs: true,
+			Vectorized: exastream.VecOff,
 		})
 	})
 }

@@ -218,13 +218,13 @@ func TestInboxPushHonorsContextCancel(t *testing.T) {
 // empty cut and re-feed the entire replay log — the delivered window
 // sets still match a fault-free run exactly.
 func TestRecoveryChaosColdStartBothTorn(t *testing.T) {
-	baseline, _, _ := runRecoveryDiagnostics(t, 8, nil, nil)
+	baseline, _, _ := runRecoveryDiagnostics(t, 8, nil, nil, exastream.Options{})
 
 	inj := faults.New(11).
 		TearCheckpointAt(0, 1).
 		TearCheckpointAt(0, 2).
 		PanicAt(0, 30)
-	faulted, deliveries, c := runRecoveryDiagnostics(t, 8, inj, nil)
+	faulted, deliveries, c := runRecoveryDiagnostics(t, 8, inj, nil, exastream.Options{})
 
 	if got := inj.Injected(faults.KindTornCheckpoint); got != 2 {
 		t.Fatalf("injected %d torn checkpoints, want 2", got)

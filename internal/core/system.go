@@ -47,6 +47,11 @@ type Config struct {
 	// (starql.CompileHaving). Ablation/debugging switch, the HAVING
 	// analogue of Engine.InterpretExprs.
 	InterpretHaving bool
+	// Vectorized selects columnar batch execution: it is forwarded to
+	// each node's engine (Engine.Vectorized) and routes the HAVING
+	// sequence builder through its columnar path. The zero value is on;
+	// VecOff here or on Engine.Vectorized turns both off.
+	Vectorized exastream.VecMode
 
 	// Backpressure selects the full-queue ingest policy (see cluster).
 	Backpressure cluster.Backpressure
@@ -160,6 +165,10 @@ func NewSystem(cfg Config, tbox *ontology.TBox, set *mapping.Set, catalog *relat
 	if engCfg.Tracer == nil {
 		engCfg.Tracer = tracer
 	}
+	if cfg.Vectorized == exastream.VecOff {
+		engCfg.Vectorized = exastream.VecOff
+	}
+	cfg.Engine = engCfg
 	cl, err := cluster.New(cluster.Options{
 		Nodes:           cfg.Nodes,
 		Placement:       cfg.Placement,
@@ -350,6 +359,7 @@ func (s *System) registerParsed(id string, q *starql.Query, sink AnswerSink) (*T
 // build the StdSeq sequence, evaluate HAVING per binding, emit CONSTRUCT
 // triples.
 func (s *System) windowSink(task *Task, builder *starql.SequenceBuilder) exastream.Sink {
+	vectorized := s.cfg.Engine.Vectorized == exastream.VecOn
 	return func(_ string, windowEnd int64, _ relation.Schema, rows []relation.Tuple) {
 		atomic.AddInt64(&task.windows, 1)
 		if len(rows) == 0 {
@@ -360,7 +370,13 @@ func (s *System) windowSink(task *Task, builder *starql.SequenceBuilder) exastre
 		if len(subjects) == 0 {
 			subjects = nil
 		}
-		seq, err := builder.Build(batch, subjects)
+		var seq *starql.Sequence
+		var err error
+		if vectorized {
+			seq, err = builder.BuildColumnar(batch, subjects)
+		} else {
+			seq, err = builder.Build(batch, subjects)
+		}
 		if err != nil || seq.Len() == 0 {
 			return
 		}

@@ -26,6 +26,8 @@ type LookupJoinPlan struct {
 	leftKeys []CompiledExpr
 	residual CompiledExpr
 	compiled bool
+
+	vleftKeys []vecExpr // columnar key kernels, compiled on first executeVec
 }
 
 // NewLookupJoinPlan builds the plan; tableSchema is the base table's
@@ -60,7 +62,7 @@ func (j *LookupJoinPlan) String() string {
 // Execute implements Plan.
 func (j *LookupJoinPlan) Execute(ctx *ExecContext) ([]relation.Tuple, error) {
 	ctx.Stats.enter(OpLookupJoin)
-	leftRows, err := j.Left.Execute(ctx)
+	leftRows, err := execChild(ctx, j.Left)
 	if err != nil {
 		return nil, err
 	}

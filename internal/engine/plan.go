@@ -87,6 +87,12 @@ type ExecContext struct {
 	// compiled pipeline can be ablated in benchmarks and bisected when
 	// chasing a miscompilation; production paths leave it false.
 	Interpret bool
+	// Vectorized routes execution through the columnar batch kernels
+	// (vec.go) wherever a subtree supports them; operators without a
+	// kernel fall back to this row path transparently. Off, plans run
+	// tuple-at-a-time exactly as before — that path doubles as the
+	// differential oracle for the kernels.
+	Vectorized bool
 }
 
 // NewExecContext returns a context over a catalog with built-in functions.
@@ -172,6 +178,8 @@ type ValuesPlan struct {
 	Rows   []relation.Tuple
 	Name   string
 	schema relation.Schema
+
+	cb *relation.ColBatch // lazy transpose for the columnar path
 }
 
 // NewValuesPlan wraps rows under the given qualified schema.
@@ -201,7 +209,13 @@ type FilterPlan struct {
 	Input Plan
 	Pred  sql.Expr
 
-	pred CompiledExpr // compiled on first Execute
+	pred  CompiledExpr // compiled on first Execute
+	vpred vecExpr      // columnar kernel, compiled on first executeVec
+
+	// executeVec scratch, reused across serialized executions (see the
+	// concurrency contract in vec.go).
+	keep *relation.Bitmap
+	vf   vecFrame
 }
 
 // Schema implements Plan.
@@ -215,7 +229,7 @@ func (f *FilterPlan) String() string { return "Filter(" + f.Pred.String() + ")" 
 // Execute implements Plan.
 func (f *FilterPlan) Execute(ctx *ExecContext) ([]relation.Tuple, error) {
 	ctx.Stats.enter(OpFilter)
-	in, err := f.Input.Execute(ctx)
+	in, err := execChild(ctx, f.Input)
 	if err != nil {
 		return nil, err
 	}
@@ -248,7 +262,12 @@ type ProjectPlan struct {
 	Names  []string
 	schema relation.Schema
 
-	exprs []CompiledExpr // compiled on first Execute
+	exprs  []CompiledExpr // compiled on first Execute
+	vexprs []vecExpr      // columnar kernels, compiled on first executeVec
+
+	// executeVec scratch, reused across serialized executions.
+	vout []*relation.Vector
+	vf   vecFrame
 }
 
 // NewProjectPlan builds a projection with explicit output column names.
@@ -279,7 +298,7 @@ func (p *ProjectPlan) String() string {
 // Execute implements Plan.
 func (p *ProjectPlan) Execute(ctx *ExecContext) ([]relation.Tuple, error) {
 	ctx.Stats.enter(OpProject)
-	in, err := p.Input.Execute(ctx)
+	in, err := execChild(ctx, p.Input)
 	if err != nil {
 		return nil, err
 	}
@@ -350,11 +369,11 @@ func (j *HashJoinPlan) String() string {
 // Execute implements Plan.
 func (j *HashJoinPlan) Execute(ctx *ExecContext) ([]relation.Tuple, error) {
 	ctx.Stats.enter(OpHashJoin)
-	leftRows, err := j.Left.Execute(ctx)
+	leftRows, err := execChild(ctx, j.Left)
 	if err != nil {
 		return nil, err
 	}
-	rightRows, err := j.Right.Execute(ctx)
+	rightRows, err := execChild(ctx, j.Right)
 	if err != nil {
 		return nil, err
 	}
@@ -451,11 +470,11 @@ func (j *NestedLoopJoinPlan) String() string {
 // Execute implements Plan.
 func (j *NestedLoopJoinPlan) Execute(ctx *ExecContext) ([]relation.Tuple, error) {
 	ctx.Stats.enter(OpNestedJoin)
-	leftRows, err := j.Left.Execute(ctx)
+	leftRows, err := execChild(ctx, j.Left)
 	if err != nil {
 		return nil, err
 	}
-	rightRows, err := j.Right.Execute(ctx)
+	rightRows, err := execChild(ctx, j.Right)
 	if err != nil {
 		return nil, err
 	}
@@ -571,7 +590,7 @@ type aggState struct {
 // Execute implements Plan.
 func (a *AggregatePlan) Execute(ctx *ExecContext) ([]relation.Tuple, error) {
 	ctx.Stats.enter(OpAggregate)
-	in, err := a.Input.Execute(ctx)
+	in, err := execChild(ctx, a.Input)
 	if err != nil {
 		return nil, err
 	}
@@ -816,7 +835,7 @@ func (s *SortPlan) String() string {
 // Execute implements Plan.
 func (s *SortPlan) Execute(ctx *ExecContext) ([]relation.Tuple, error) {
 	ctx.Stats.enter(OpSort)
-	in, err := s.Input.Execute(ctx)
+	in, err := execChild(ctx, s.Input)
 	if err != nil {
 		return nil, err
 	}
@@ -879,7 +898,7 @@ func (d *DistinctPlan) String() string { return "Distinct" }
 // Execute implements Plan.
 func (d *DistinctPlan) Execute(ctx *ExecContext) ([]relation.Tuple, error) {
 	ctx.Stats.enter(OpDistinct)
-	in, err := d.Input.Execute(ctx)
+	in, err := execChild(ctx, d.Input)
 	if err != nil {
 		return nil, err
 	}
@@ -906,6 +925,10 @@ func (d *DistinctPlan) Execute(ctx *ExecContext) ([]relation.Tuple, error) {
 type LimitPlan struct {
 	Input Plan
 	N     int
+
+	// executeVec scratch, reused across serialized executions.
+	keep *relation.Bitmap
+	vf   vecFrame
 }
 
 // Schema implements Plan.
@@ -919,7 +942,7 @@ func (l *LimitPlan) String() string { return fmt.Sprintf("Limit(%d)", l.N) }
 // Execute implements Plan.
 func (l *LimitPlan) Execute(ctx *ExecContext) ([]relation.Tuple, error) {
 	ctx.Stats.enter(OpLimit)
-	in, err := l.Input.Execute(ctx)
+	in, err := execChild(ctx, l.Input)
 	if err != nil {
 		return nil, err
 	}
@@ -954,7 +977,7 @@ func (u *UnionPlan) Execute(ctx *ExecContext) ([]relation.Tuple, error) {
 	arity := u.Schema().Arity()
 	var out []relation.Tuple
 	for _, in := range u.Inputs {
-		rows, err := in.Execute(ctx)
+		rows, err := execChild(ctx, in)
 		if err != nil {
 			return nil, err
 		}

@@ -13,6 +13,11 @@ type WindowSourcePlan struct {
 	Name   string
 	schema relation.Schema
 	rows   []relation.Tuple
+	cols   *relation.ColBatch
+
+	// executeVec scratch, reused across serialized executions (see the
+	// concurrency contract in vec.go).
+	vf vecFrame
 }
 
 // NewWindowSourcePlan creates an unbound window source with a fixed
@@ -23,8 +28,18 @@ func NewWindowSourcePlan(name string, schema relation.Schema) *WindowSourcePlan 
 
 // Bind points the source at the rows of the current window batch. The
 // slice is retained, not copied; callers must not mutate it until the
-// next Bind.
-func (w *WindowSourcePlan) Bind(rows []relation.Tuple) { w.rows = rows }
+// next Bind. Any previously bound column batch is dropped so a
+// row-only rebind can never serve stale columns.
+func (w *WindowSourcePlan) Bind(rows []relation.Tuple) {
+	w.rows = rows
+	w.cols = nil
+}
+
+// BindColumns attaches the columnar form of the bound batch. The
+// vectorized path reads it directly; when absent, executeVec transposes
+// the bound rows itself. Callers pass the batch's shared transpose so
+// every query over the same window reuses one columnar copy.
+func (w *WindowSourcePlan) BindColumns(cb *relation.ColBatch) { w.cols = cb }
 
 func (w *WindowSourcePlan) Schema() relation.Schema { return w.schema }
 

@@ -137,6 +137,21 @@ func newMetrics(reg *telemetry.Registry) *metrics {
 	return m
 }
 
+// VecMode selects the window execution path. The zero value is the
+// vectorized columnar path (the default); VecOff forces the
+// tuple-at-a-time row path, which is also the automatic fallback for
+// any plan subtree without a columnar kernel.
+type VecMode int
+
+const (
+	// VecOn executes windows with columnar batch kernels where the plan
+	// supports them.
+	VecOn VecMode = iota
+	// VecOff forces tuple-at-a-time execution everywhere (the
+	// differential oracle and ablation baseline).
+	VecOff
+)
+
 // Options configures an Engine.
 type Options struct {
 	// AdaptiveIndexing enables runtime index building on static tables
@@ -176,6 +191,11 @@ type Options struct {
 	// DisablePlanCache this reproduces the pre-compile-once execution
 	// pipeline end to end; it exists for ablation and debugging.
 	InterpretExprs bool
+	// Vectorized selects columnar batch-at-a-time window execution (the
+	// zero value, i.e. on by default) or the tuple-at-a-time row path
+	// (VecOff). Operators without a columnar kernel fall back to the row
+	// path automatically either way.
+	Vectorized VecMode
 	// Telemetry, when set, is the metrics registry the engine records
 	// into; nil gives the engine a private registry (counters then cost
 	// the same either way). The cluster runtime passes one registry per
@@ -288,6 +308,10 @@ type continuousQuery struct {
 	// distinct queries execute concurrently on the fleet pool.
 	execMu sync.Mutex
 	plan   *cachedPlan
+	// execCtx is reused across this query's window executions (guarded
+	// by execMu): per-operator stats are reset in place instead of
+	// re-allocating the context every window.
+	execCtx *engine.ExecContext
 
 	// trace is the query's telemetry trace (nil when no tracer is
 	// configured); window executions append spans to it.
@@ -566,6 +590,12 @@ func (e *Engine) IngestSeq(streamName string, el stream.Timestamped, seq int64) 
 		for _, b := range batches {
 			e.met.batchesBuilt.Inc()
 			if e.opts.ShareWindows && wk.owner == "" {
+				if e.opts.Vectorized == VecOn {
+					// Materialise the shared transpose before the cache
+					// takes its byte estimate, so governance accounts the
+					// columnar copy the executions are about to create.
+					b.Columns()
+				}
 				e.wcache.Put(streamName, wk.spec, b)
 			}
 			for _, sub := range sw.subs {
@@ -589,6 +619,9 @@ func (e *Engine) Flush() error {
 		for _, b := range sw.op.Flush() {
 			e.met.batchesBuilt.Inc()
 			if e.opts.ShareWindows && wk.owner == "" {
+				if e.opts.Vectorized == VecOn {
+					b.Columns()
+				}
 				e.wcache.Put(wk.stream, wk.spec, b)
 			}
 			for _, sub := range sw.subs {
@@ -612,7 +645,7 @@ type delivery struct {
 type execItem struct {
 	q       *continuousQuery
 	end     int64
-	batches map[int]stream.Batch
+	batches []stream.Batch // indexed by stream-reference position
 }
 
 // dispatch stages the tick's deliveries and executes every query that
@@ -651,6 +684,13 @@ func (e *Engine) stage(q *continuousQuery, refIdx int, b stream.Batch) (execItem
 	if q.suspended {
 		return execItem{}, false
 	}
+	if len(q.refs) == 1 {
+		// A single-ref query is ready the moment its batch arrives:
+		// nothing enters the pending map (checkpoints and shedding only
+		// ever see genuinely partial windows) and no byte estimate is
+		// taken for a batch that is consumed on this very tick.
+		return execItem{q: q, end: b.End, batches: []stream.Batch{b}}, true
+	}
 	m, ok := q.pending[b.End]
 	if !ok {
 		m = make(map[int]stream.Batch)
@@ -665,10 +705,12 @@ func (e *Engine) stage(q *continuousQuery, refIdx int, b stream.Batch) (execItem
 		return execItem{}, false
 	}
 	delete(q.pending, b.End)
-	for _, sb := range m {
+	bs := make([]stream.Batch, len(q.refs))
+	for ref, sb := range m {
 		q.stagedBytes -= sb.Bytes()
+		bs[ref] = sb
 	}
-	return execItem{q: q, end: b.End, batches: m}, true
+	return execItem{q: q, end: b.End, batches: bs}, true
 }
 
 // parallelism resolves Options.Parallelism: 0 means GOMAXPROCS,
@@ -840,14 +882,26 @@ func (e *Engine) executeItem(it execItem) error {
 		e.met.planCacheHits.Inc()
 	}
 	rowsIn := 0
+	vec := e.opts.Vectorized == VecOn
 	for i, src := range cp.sources {
 		if src != nil {
 			src.Bind(it.batches[i].Rows)
+			if vec {
+				// The batch's transpose cell is shared across wCache and
+				// every query's delivery, so N queries over one window pay
+				// for one transposition.
+				src.BindColumns(it.batches[i].Columns())
+			}
 			rowsIn += len(it.batches[i].Rows)
 		}
 	}
-	ctx := &engine.ExecContext{Catalog: e.catalog, Funcs: e.funcs, Interpret: e.opts.InterpretExprs}
-	rows, err := cp.adapted.Execute(ctx)
+	ctx := q.execCtx
+	if ctx == nil {
+		ctx = &engine.ExecContext{}
+		q.execCtx = ctx
+	}
+	*ctx = engine.ExecContext{Catalog: e.catalog, Funcs: e.funcs, Interpret: e.opts.InterpretExprs, Vectorized: vec}
+	rows, err := engine.ExecutePlan(ctx, cp.adapted)
 	e.met.rowsScanned.Add(ctx.Stats.RowsScanned)
 	e.met.rowsProduced.Add(ctx.Stats.RowsProduced)
 	e.met.hashProbes.Add(ctx.Stats.HashProbes)

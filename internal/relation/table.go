@@ -200,6 +200,76 @@ func (t *Table) Lookup(cols []string, vals []Value) ([]Tuple, bool, error) {
 	return out, false, nil
 }
 
+// LookupBatch probes the table once per key tuple in keys and returns
+// the matching rows per probe. It is the vector-at-a-time counterpart
+// of Lookup: column positions are resolved once, the read lock is taken
+// once for the whole vector, and the probe buffer is reused, so a
+// window's worth of probes costs one traversal of the setup code
+// instead of len(keys). A nil slot in keys (or a key containing a NULL)
+// yields a nil match set without probing, matching SQL join semantics.
+// The bool result reports whether a hash index served the probes.
+func (t *Table) LookupBatch(cols []string, keys [][]Value) ([][]Tuple, bool, error) {
+	positions := make([]int, len(cols))
+	for i, c := range cols {
+		p, err := t.schema.IndexOf(c)
+		if err != nil {
+			return nil, false, err
+		}
+		positions[i] = p
+	}
+	out := make([][]Tuple, len(keys))
+	probe := make(Tuple, t.schema.Arity())
+
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	idx, indexed := t.indexes[indexKey(positions)]
+	for ki, vals := range keys {
+		if vals == nil {
+			continue
+		}
+		if len(vals) != len(cols) {
+			return nil, false, fmt.Errorf("relation: LookupBatch arity mismatch")
+		}
+		null := false
+		for _, v := range vals {
+			if v.IsNull() {
+				null = true
+				break
+			}
+		}
+		if null {
+			continue
+		}
+		if indexed {
+			for i, p := range positions {
+				probe[p] = vals[i]
+			}
+			rowIDs := idx.m[probe.Key(positions)]
+			if len(rowIDs) > 0 {
+				matches := make([]Tuple, len(rowIDs))
+				for i, id := range rowIDs {
+					matches[i] = t.rows[id]
+				}
+				out[ki] = matches
+			}
+			continue
+		}
+		for _, row := range t.rows {
+			match := true
+			for i, p := range positions {
+				if !Equal(row[p], vals[i]) {
+					match = false
+					break
+				}
+			}
+			if match {
+				out[ki] = append(out[ki], row)
+			}
+		}
+	}
+	return out, indexed, nil
+}
+
 // SortRows orders rows in place of a snapshot by the given columns
 // (ascending) and returns them; used for deterministic test output.
 func SortRows(rows []Tuple, cols []int) []Tuple {

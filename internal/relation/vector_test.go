@@ -1,0 +1,181 @@
+package relation
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestVectorBuilderRoundTrip(t *testing.T) {
+	cases := []struct {
+		name string
+		vals []Value
+		typ  Type
+	}{
+		{"typed ints", []Value{Int(1), Int(2), Int(3)}, TInt},
+		{"leading nulls backfilled", []Value{Null, Null, Float(1.5), Float(2.5)}, TFloat},
+		{"interior null", []Value{String_("a"), Null, String_("b")}, TString},
+		{"bools", []Value{Bool_(true), Bool_(false)}, TBool},
+		{"times", []Value{Time(100), Time(200)}, TTime},
+		{"all null", []Value{Null, Null, Null}, TNull},
+		{"mixed degrades to generic", []Value{Int(1), String_("x"), Int(2)}, TNull},
+		{"empty", nil, TNull},
+	}
+	for _, c := range cases {
+		b := NewVectorBuilder(len(c.vals))
+		for _, v := range c.vals {
+			b.Append(v)
+		}
+		vec := b.Build()
+		if vec.Len() != len(c.vals) {
+			t.Errorf("%s: Len = %d, want %d", c.name, vec.Len(), len(c.vals))
+		}
+		if vec.ElemType() != c.typ {
+			t.Errorf("%s: ElemType = %v, want %v", c.name, vec.ElemType(), c.typ)
+		}
+		for i, want := range c.vals {
+			if got := vec.Value(i); got != want {
+				t.Errorf("%s[%d]: Value = %v, want %v", c.name, i, got, want)
+			}
+			if vec.IsNull(i) != want.IsNull() {
+				t.Errorf("%s[%d]: IsNull = %v", c.name, i, vec.IsNull(i))
+			}
+		}
+	}
+}
+
+func TestTransposeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 40; trial++ {
+		n, arity := rng.Intn(20), 1+rng.Intn(4)
+		rows := make([]Tuple, n)
+		for i := range rows {
+			row := make(Tuple, arity)
+			for j := range row {
+				switch rng.Intn(5) {
+				case 0:
+					row[j] = Null
+				case 1:
+					row[j] = Int(int64(rng.Intn(9)))
+				case 2:
+					row[j] = Float(float64(rng.Intn(9)))
+				case 3:
+					row[j] = String_("s")
+				default:
+					row[j] = Bool_(rng.Intn(2) == 0)
+				}
+			}
+			rows[i] = row
+		}
+		cb := Transpose(rows)
+		if cb.Len() != n {
+			t.Fatalf("trial %d: Len = %d, want %d", trial, cb.Len(), n)
+		}
+		back := cb.Rows()
+		for i := range rows {
+			for j := range rows[i] {
+				if back[i][j] != rows[i][j] {
+					t.Fatalf("trial %d: round trip [%d][%d] = %v, want %v",
+						trial, i, j, back[i][j], rows[i][j])
+				}
+			}
+		}
+	}
+	if Transpose(nil).Arity() != 0 {
+		t.Error("empty transpose has columns")
+	}
+}
+
+func TestBitmapOps(t *testing.T) {
+	b := NewBitmap(130)
+	for _, i := range []int{0, 63, 64, 129} {
+		b.Set(i)
+	}
+	if b.Count() != 4 {
+		t.Errorf("Count = %d", b.Count())
+	}
+	b.Clear(63)
+	if b.Get(63) || !b.Get(64) {
+		t.Error("Clear/Get wrong")
+	}
+	var got []int
+	for i := b.Next(0); i >= 0; i = b.Next(i + 1) {
+		got = append(got, i)
+	}
+	if len(got) != 3 || got[0] != 0 || got[1] != 64 || got[2] != 129 {
+		t.Errorf("Next iteration = %v", got)
+	}
+	cl := b.Clone()
+	cl.Set(1)
+	if b.Get(1) {
+		t.Error("Clone aliases the original")
+	}
+	b.SetAll()
+	if b.Count() != 130 {
+		t.Errorf("SetAll Count = %d", b.Count())
+	}
+}
+
+func TestBitmapReset(t *testing.T) {
+	var nilB *Bitmap
+	r := nilB.Reset(10)
+	if r == nil || r.Len() != 10 || r.Count() != 0 {
+		t.Fatal("nil Reset did not allocate")
+	}
+	r.Set(3)
+	r2 := r.Reset(8) // fits in the same word backing
+	if r2 != r {
+		t.Error("Reset did not reuse the backing")
+	}
+	if r2.Len() != 8 || r2.Count() != 0 {
+		t.Errorf("Reset left stale bits: len=%d count=%d", r2.Len(), r2.Count())
+	}
+	r3 := r2.Reset(1000) // outgrows the backing
+	if r3 == r2 {
+		t.Error("Reset reused a too-small backing")
+	}
+	if r3.Len() != 1000 || r3.Count() != 0 {
+		t.Errorf("grown Reset: len=%d count=%d", r3.Len(), r3.Count())
+	}
+}
+
+func TestVectorBytesModel(t *testing.T) {
+	b := NewVectorBuilder(3)
+	b.Append(String_("abc"))
+	b.Append(Null)
+	b.Append(String_("d"))
+	v := b.Build()
+	// Header + string headers + payloads + null bitmap (header + word).
+	want := int64(VectorOverheadBytes) + 3*16 + 4 + BitmapOverheadBytes + 8
+	if got := v.Bytes(); got != want {
+		t.Errorf("string vector Bytes = %d, want %d", got, want)
+	}
+
+	g := NewGenericVector([]Value{Int(1), String_("xy")})
+	wantG := int64(VectorOverheadBytes) + 2*48 + 2
+	if got := g.Bytes(); got != wantG {
+		t.Errorf("generic vector Bytes = %d, want %d", got, wantG)
+	}
+}
+
+func TestConstAndResetBoolVectors(t *testing.T) {
+	cv := NewConstVector(Bool_(true), 4)
+	if cv.ElemType() != TBool || cv.Len() != 4 || !cv.Bools()[3] {
+		t.Errorf("const bool vector = %v len %d", cv.ElemType(), cv.Len())
+	}
+	nv := NewConstVector(Null, 3)
+	if !nv.IsNull(0) || !nv.IsNull(2) {
+		t.Error("const null vector not null")
+	}
+
+	var v Vector
+	got := v.ResetBool([]bool{true, false}, nil)
+	if got != &v || got.ElemType() != TBool || got.Len() != 2 || got.IsNull(0) {
+		t.Errorf("ResetBool = %v", got)
+	}
+	nulls := NewBitmap(1)
+	nulls.Set(0)
+	got = v.ResetBool([]bool{false}, nulls)
+	if got.Len() != 1 || !got.IsNull(0) {
+		t.Error("ResetBool dropped the null bitmap")
+	}
+}

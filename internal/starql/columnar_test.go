@@ -1,0 +1,90 @@
+package starql
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+// sameSequence compares two sequences state-by-state (nil-vs-empty
+// state slices are equal; the row and columnar builders may differ in
+// that representation only).
+func sameSequence(a, b *Sequence) bool {
+	if a.Len() != b.Len() {
+		return false
+	}
+	for i := range a.States {
+		if a.States[i].TS != b.States[i].TS {
+			return false
+		}
+		if !reflect.DeepEqual(a.States[i].props, b.States[i].props) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestBuildColumnarMatchesBuild is the sequence-builder differential:
+// the columnar build over a window batch must produce exactly the
+// sequence the row build produces, for random batches, subject
+// filters, NULL-bearing rows, and empty windows.
+func TestBuildColumnarMatchesBuild(t *testing.T) {
+	set := testMappings(t)
+	sb, err := NewSequenceBuilder(msmtStreamSchema(), set.set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s7 := "http://siemens.com/data/sensor/7"
+	rng := rand.New(rand.NewSource(31))
+	randRows := func(n int) []relation.Tuple {
+		rows := make([]relation.Tuple, n)
+		for i := range rows {
+			rows[i] = row(int64(rng.Intn(4)+6), int64(rng.Intn(5))*1000, float64(rng.Intn(40)+50), int64(rng.Intn(2)))
+			if rng.Intn(6) == 0 {
+				rows[i][2] = relation.Null // NULL measurement value
+			}
+		}
+		return rows
+	}
+	subjectsPool := []map[string]bool{nil, {s7: true}, {}}
+	for trial := 0; trial < 60; trial++ {
+		batch := batchOf(randRows(rng.Intn(30))...)
+		if rng.Intn(2) == 0 {
+			batch.Columns() // pre-materialise the shared transpose
+		}
+		subjects := subjectsPool[rng.Intn(len(subjectsPool))]
+		want, err1 := sb.Build(batch, subjects)
+		got, err2 := sb.BuildColumnar(batch, subjects)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("trial %d: error disagreement: row=%v columnar=%v", trial, err1, err2)
+		}
+		if err1 != nil {
+			continue
+		}
+		if !sameSequence(want, got) {
+			t.Fatalf("trial %d: sequences differ\nrow:      %+v\ncolumnar: %+v", trial, want, got)
+		}
+	}
+}
+
+// TestBuildColumnarErrorParity pins the timestamp-error contract: a row
+// whose timestamp column is not an integer fails both builders.
+func TestBuildColumnarErrorParity(t *testing.T) {
+	set := testMappings(t)
+	sb, err := NewSequenceBuilder(msmtStreamSchema(), set.set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := batchOf(
+		row(7, 1000, 70, 0),
+		relation.Tuple{relation.Int(7), relation.Null, relation.Float(70), relation.Int(0)},
+	)
+	if _, err := sb.Build(bad, nil); err == nil {
+		t.Fatal("row build accepted a NULL timestamp")
+	}
+	if _, err := sb.BuildColumnar(bad, nil); err == nil {
+		t.Fatal("columnar build accepted a NULL timestamp")
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strings"
+	"sync"
 
 	"repro/internal/obda/mapping"
 	"repro/internal/rdf"
@@ -47,6 +49,21 @@ type SequenceBuilder struct {
 	schema   stream.Schema
 	tsIdx    int
 	mappings []mapping.Mapping // stream-sourced property mappings
+
+	// Column-ordinal resolution of the mappings, computed once on the
+	// first BuildColumnar call (see columnPlans).
+	colOnce    sync.Once
+	colPlans   []columnPlan
+	colPlanErr error
+}
+
+// columnPlan caches the ordinal resolution of one stream mapping so the
+// columnar build never resolves column names per row.
+type columnPlan struct {
+	m        mapping.Mapping
+	subjCols []int // subject template column ordinals
+	objCols  []int // object template ordinals (object properties)
+	objData  int   // data-property column ordinal, -1 otherwise
 }
 
 // NewSequenceBuilder selects the stream-sourced mappings relevant to the
@@ -143,6 +160,183 @@ func (b *SequenceBuilder) Build(batch stream.Batch, subjects map[string]bool) (*
 	}
 	sort.Slice(seq.States, func(i, j int) bool { return seq.States[i].TS < seq.States[j].TS })
 	return seq, nil
+}
+
+// columnPlans resolves each mapping's template and object columns to
+// ordinals in the stream schema, once per builder.
+func (b *SequenceBuilder) columnPlans() ([]columnPlan, error) {
+	b.colOnce.Do(func() {
+		plans := make([]columnPlan, 0, len(b.mappings))
+		for _, m := range b.mappings {
+			p := columnPlan{m: m, objData: -1}
+			for _, c := range m.Subject.Columns {
+				idx, err := b.schema.Tuple.IndexOf(c)
+				if err != nil {
+					b.colPlanErr = err
+					return
+				}
+				p.subjCols = append(p.subjCols, idx)
+			}
+			if !m.IsClass {
+				if m.ObjectIsData {
+					idx, err := b.schema.Tuple.IndexOf(m.Object.Columns[0])
+					if err != nil {
+						b.colPlanErr = err
+						return
+					}
+					p.objData = idx
+				} else {
+					for _, c := range m.Object.Columns {
+						idx, err := b.schema.Tuple.IndexOf(c)
+						if err != nil {
+							b.colPlanErr = err
+							return
+						}
+						p.objCols = append(p.objCols, idx)
+					}
+				}
+			}
+			plans = append(plans, p)
+		}
+		b.colPlans = plans
+	})
+	return b.colPlans, b.colPlanErr
+}
+
+// BuildColumnar constructs the same StdSeq sequence as Build, but from
+// the batch's columnar form: column ordinals are resolved once per
+// builder, timestamps are read from the typed int64 payload when the
+// column is typed, and subject/object IRIs are rendered once per
+// distinct key per window instead of once per row. Iteration stays
+// rows-outer/mappings-inner so per-predicate value order matches Build
+// exactly.
+func (b *SequenceBuilder) BuildColumnar(batch stream.Batch, subjects map[string]bool) (*Sequence, error) {
+	plans, err := b.columnPlans()
+	if err != nil {
+		return nil, err
+	}
+	cb := batch.Columns()
+	n := cb.Len()
+	if n == 0 {
+		return &Sequence{States: []State{}}, nil
+	}
+	tsVec := cb.Col(b.tsIdx)
+	var tsInts []int64
+	if tsVec.ElemType() == relation.TInt && !tsVec.HasNulls() {
+		tsInts = tsVec.Ints()
+	}
+	// Scratch row for mapping source filters, the one part of a mapping
+	// that needs a full tuple; filled at most once per row.
+	var scratch relation.Tuple
+	filled := -1
+	rowAt := func(i int) relation.Tuple {
+		if filled != i {
+			if scratch == nil {
+				scratch = make(relation.Tuple, cb.Arity())
+			}
+			for c := range scratch {
+				scratch[c] = cb.Col(c).Value(i)
+			}
+			filled = i
+		}
+		return scratch
+	}
+	subjMemos := make([]map[string]string, len(plans))
+	objMemos := make([]map[string]string, len(plans))
+	for i := range plans {
+		subjMemos[i] = map[string]string{}
+		if plans[i].objData < 0 && !plans[i].m.IsClass {
+			objMemos[i] = map[string]string{}
+		}
+	}
+	segs := make([]string, 0, 4)
+	byTS := map[int64]*State{}
+	for i := 0; i < n; i++ {
+		var ts int64
+		if tsInts != nil {
+			ts = tsInts[i]
+		} else {
+			v, ok := tsVec.Value(i).AsInt()
+			if !ok {
+				return nil, fmt.Errorf("starql: row without timestamp: %v", cb.Row(i))
+			}
+			ts = v
+		}
+		st, ok := byTS[ts]
+		if !ok {
+			st = &State{TS: ts, props: map[string]map[string][]relation.Value{}}
+			byTS[ts] = st
+		}
+		for pi := range plans {
+			p := &plans[pi]
+			if p.m.Source.Where != nil {
+				v, err := evalRowExpr(p.m.Source.Where, b.schema.Tuple, rowAt(i))
+				if err != nil {
+					return nil, err
+				}
+				if !v.Truthy() {
+					continue
+				}
+			}
+			subj, err := renderColumnar(p.m.Subject, p.subjCols, cb, i, subjMemos[pi], &segs)
+			if err != nil {
+				return nil, err
+			}
+			if subjects != nil && !subjects[subj] {
+				continue
+			}
+			var val relation.Value
+			switch {
+			case p.m.IsClass:
+				val = relation.Bool_(true)
+			case p.objData >= 0:
+				val = cb.Col(p.objData).Value(i)
+			default:
+				iri, err := renderColumnar(p.m.Object, p.objCols, cb, i, objMemos[pi], &segs)
+				if err != nil {
+					return nil, err
+				}
+				val = relation.String_(iri)
+			}
+			props, ok := st.props[subj]
+			if !ok {
+				props = map[string][]relation.Value{}
+				st.props[subj] = props
+			}
+			props[p.m.Pred] = append(props[p.m.Pred], val)
+		}
+	}
+	seq := &Sequence{States: make([]State, 0, len(byTS))}
+	for _, st := range byTS {
+		seq.States = append(seq.States, *st)
+	}
+	sort.Slice(seq.States, func(i, j int) bool { return seq.States[i].TS < seq.States[j].TS })
+	return seq, nil
+}
+
+// renderColumnar applies an IRI template to one row of a column batch,
+// memoizing by the raw segment key so repeated subjects render once.
+func renderColumnar(t mapping.Template, cols []int, cb *relation.ColBatch, i int, memo map[string]string, segs *[]string) (string, error) {
+	s := (*segs)[:0]
+	for _, c := range cols {
+		s = append(s, rawString(cb.Col(c).Value(i)))
+	}
+	*segs = s
+	var key string
+	if len(s) == 1 {
+		key = s[0]
+	} else {
+		key = strings.Join(s, "\x1f")
+	}
+	if r, ok := memo[key]; ok {
+		return r, nil
+	}
+	r, err := t.Render(s)
+	if err != nil {
+		return "", err
+	}
+	memo[key] = r
+	return r, nil
 }
 
 // renderTemplateRow applies an IRI template to one stream row.

@@ -118,7 +118,7 @@ func TestWCacheUnregisterLastConsumerEvicts(t *testing.T) {
 	c.Register("q1")
 	c.Put("m", spec, Batch{WindowID: 1, End: 1000})
 	c.Put("m", spec, Batch{WindowID: 2, End: 2000})
-	c.Advance("q1", 2)
+	c.Advance("q1", 2000)
 	if c.Len() == 0 {
 		t.Fatal("setup: batches evicted while a consumer still holds a mark")
 	}

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/relation"
 )
@@ -101,6 +102,57 @@ type Batch struct {
 	Start    int64 // exclusive window start (PulseTime - Range)
 	End      int64 // inclusive window end (PulseTime)
 	Rows     []relation.Tuple
+
+	// cols, when non-nil, is a shared lazy cell holding the batch's
+	// columnar form. The window operator allocates it at emission time,
+	// before the batch value is copied into the wCache and per-query
+	// deliveries, so every copy transposes at most once between them.
+	// The field is unexported on purpose: gob skips it, keeping
+	// checkpoint snapshots byte-identical whether or not a window was
+	// ever transposed.
+	cols *colCell
+}
+
+// colCell is the share point of a batch's lazy transpose. Copies of a
+// Batch carry the same pointer; the first Columns call materialises the
+// columnar form once for all of them.
+type colCell struct {
+	once sync.Once
+	cb   atomic.Pointer[relation.ColBatch]
+	// rowBytes memoizes the flat-row byte estimate (Σ tupleBytes). A
+	// batch's rows are immutable once it is emitted — the point the cell
+	// is attached — so the sum is computed at most once per batch no
+	// matter how many copies or governance checks ask for it. 0 means
+	// not yet computed (an empty row set just recomputes, trivially).
+	rowBytes atomic.Int64
+}
+
+// ensureColumnCell gives the batch a columnar cell so copies made from
+// it share one transpose. Idempotent; called at every emission point.
+func (b *Batch) ensureColumnCell() {
+	if b.cols == nil {
+		b.cols = &colCell{}
+	}
+}
+
+// Columns returns the batch in columnar form, transposing on first use.
+// Batches emitted by a window operator (or stored in a WCache) share
+// one transpose across all copies; a zero-built Batch (e.g. decoded
+// from a checkpoint and not yet cached) transposes privately. Safe for
+// concurrent use.
+func (b Batch) Columns() *relation.ColBatch {
+	c := b.cols
+	if c == nil {
+		return relation.Transpose(b.Rows)
+	}
+	c.once.Do(func() { c.cb.Store(relation.Transpose(b.Rows)) })
+	return c.cb.Load()
+}
+
+// Columnar reports whether the columnar form has been materialised
+// (and therefore contributes to Bytes).
+func (b Batch) Columnar() bool {
+	return b.cols != nil && b.cols.cb.Load() != nil
 }
 
 // Byte-estimate model for governance accounting. Values are flat
@@ -124,8 +176,21 @@ func tupleBytes(row relation.Tuple) int64 {
 }
 
 // Bytes estimates the batch's memory footprint under the accounting
-// model used for window budgets.
+// model used for window budgets. A batch whose columnar form has been
+// materialised carries both layouts in memory, so the estimate covers
+// both: the flat row model plus the column vectors (typed payloads and
+// null bitmaps; see relation's Vector/ColBatch byte model).
 func (b Batch) Bytes() int64 {
+	if c := b.cols; c != nil {
+		rb := c.rowBytes.Load()
+		if rb == 0 {
+			for _, row := range b.Rows {
+				rb += tupleBytes(row)
+			}
+			c.rowBytes.Store(rb)
+		}
+		return batchOverheadBytes + rb + c.cb.Load().Bytes() // nil-safe: 0 until materialised
+	}
 	n := int64(batchOverheadBytes)
 	for _, row := range b.Rows {
 		n += tupleBytes(row)
@@ -216,10 +281,11 @@ func (t *TimeSlidingWindow) completeLocked(now int64) []Batch {
 		if found {
 			delete(t.pending, t.nextEmit)
 			t.pendingBytes -= b.Bytes()
+			b.ensureColumnCell() // before the first copy, so all copies share one transpose
 			out = append(out, *b)
 		} else {
 			pt := t.Spec.PulseTime(t.nextEmit)
-			out = append(out, Batch{WindowID: t.nextEmit, Start: pt - t.Spec.RangeMS, End: pt})
+			out = append(out, Batch{WindowID: t.nextEmit, Start: pt - t.Spec.RangeMS, End: pt, cols: &colCell{}})
 		}
 		t.nextEmit++
 	}
@@ -240,7 +306,9 @@ func (t *TimeSlidingWindow) Flush() []Batch {
 		if id < t.nextEmit {
 			continue
 		}
-		out = append(out, *t.pending[id])
+		b := t.pending[id]
+		b.ensureColumnCell()
+		out = append(out, *b)
 	}
 	t.pending = make(map[int64]*Batch)
 	t.pendingBytes = 0

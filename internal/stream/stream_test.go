@@ -261,22 +261,22 @@ func TestWCacheEviction(t *testing.T) {
 	c.Register("q2")
 	spec := WindowSpec{RangeMS: 1000, SlideMS: 1000}
 	for id := int64(0); id < 10; id++ {
-		c.Put("s", spec, Batch{WindowID: id})
+		c.Put("s", spec, Batch{WindowID: id, End: (id + 1) * 1000})
 	}
 	if c.Len() != 10 {
 		t.Fatalf("Len = %d", c.Len())
 	}
-	c.Advance("q1", 8)
+	c.Advance("q1", 9000)
 	// q2 still at 0: nothing evicted.
 	if c.Len() != 10 {
 		t.Fatalf("eviction ran early: Len = %d", c.Len())
 	}
-	c.Advance("q2", 5)
-	if c.Len() != 5 { // ids 5..9 remain
+	c.Advance("q2", 6000)
+	if c.Len() != 5 { // windows ending 6000..10000 remain
 		t.Fatalf("Len after advance = %d", c.Len())
 	}
 	c.Unregister("q2")
-	// Now min watermark is 8.
+	// Now min watermark is 9000.
 	if c.Len() != 2 {
 		t.Fatalf("Len after unregister = %d", c.Len())
 	}

@@ -14,13 +14,16 @@ import (
 // the others hit the cache, so N queries over one stream share one
 // windowing pass.
 //
-// Entries older than the watermark (smallest window id any registered
-// consumer may still need) are evicted.
+// Entries older than the watermark are evicted. The watermark unit is
+// the window END TIMESTAMP (milliseconds), not the per-spec window id:
+// consumers with different slides produce ids on different scales, so
+// end times are the only mark comparable across every cached spec.
 type WCache struct {
 	mu      sync.Mutex
 	entries map[wcKey]wcEntry
-	// consumer watermarks: per consumer id, the smallest window id still
-	// needed. Eviction keeps everything >= min over consumers.
+	// consumer watermarks: per consumer id, the end timestamp of the
+	// last window it executed. Eviction keeps every entry whose window
+	// ends at or after the min over consumers.
 	marks map[string]int64
 	// minMark caches the exact min over marks (0 when empty) so the
 	// common Advance (a consumer that is not the laggard moving
@@ -106,8 +109,8 @@ func (c *WCache) Counts() (hits, misses int64) {
 }
 
 // MinMark returns the smallest watermark across registered consumers —
-// the oldest window id any consumer may still need. Telemetry derives
-// the watermark-lag gauge from it.
+// the end timestamp of the oldest window any consumer may still need.
+// Telemetry derives the watermark-lag gauge from it.
 func (c *WCache) MinMark() int64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -134,16 +137,17 @@ func (c *WCache) Unregister(consumer string) {
 	c.evictLocked()
 }
 
-// Advance moves a consumer's watermark to windowID; windows below the
-// minimum watermark across consumers are evicted.
-func (c *WCache) Advance(consumer string, windowID int64) {
+// Advance moves a consumer's watermark to windowEnd (the end timestamp
+// of the window it just executed); windows ending before the minimum
+// watermark across consumers are evicted.
+func (c *WCache) Advance(consumer string, windowEnd int64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	cur, ok := c.marks[consumer]
-	if ok && windowID <= cur {
+	if ok && windowEnd <= cur {
 		return
 	}
-	c.marks[consumer] = windowID
+	c.marks[consumer] = windowEnd
 	if ok && cur > c.minMark {
 		// Not the laggard: the minimum is held by someone else, so it
 		// cannot have moved and nothing new is evictable.
@@ -178,7 +182,7 @@ func (c *WCache) evictLocked() {
 	}
 	c.minMark = min
 	for k, e := range c.entries {
-		if k.window < min {
+		if e.b.End < min {
 			c.bytes -= e.bytes
 			delete(c.entries, k)
 		}
@@ -197,12 +201,12 @@ func (c *WCache) enforceBudgetLocked(keep wcKey) {
 	for c.bytes > c.budget {
 		victim := keep
 		oldest := int64(1<<62 - 1)
-		for k := range c.entries {
+		for k, e := range c.entries {
 			if k == keep {
 				continue
 			}
-			if k.window < oldest {
-				oldest, victim = k.window, k
+			if e.b.End < oldest {
+				oldest, victim = e.b.End, k
 			}
 		}
 		if victim == keep {
@@ -251,11 +255,16 @@ func (c *WCache) Put(stream string, spec WindowSpec, b Batch) {
 }
 
 // storeLocked inserts or replaces an entry, keeping the byte estimate
-// consistent and enforcing the budget.
+// consistent and enforcing the budget. The stored batch always carries
+// a columnar cell so every Get copy shares one transpose (restored
+// checkpoint batches arrive without one). The byte estimate is taken at
+// store time; an engine that wants the columnar footprint accounted
+// transposes before Put (the vectorized window path does).
 func (c *WCache) storeLocked(key wcKey, b Batch) {
 	if old, ok := c.entries[key]; ok {
 		c.bytes -= old.bytes
 	}
+	b.ensureColumnCell()
 	e := wcEntry{b: b, bytes: b.Bytes()}
 	c.entries[key] = e
 	c.bytes += e.bytes
@@ -302,12 +311,12 @@ func (c *WCache) SnapshotBatches() []CachedWindow {
 }
 
 // RestoreBatches loads snapshotted entries into the cache. Entries
-// below the current watermark are skipped (already evictable).
+// ending below the current watermark are skipped (already evictable).
 func (c *WCache) RestoreBatches(ws []CachedWindow) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for _, w := range ws {
-		if w.Batch.WindowID < c.minMark {
+		if w.Batch.End < c.minMark {
 			continue
 		}
 		c.storeLocked(wcKey{w.Stream, w.Spec, w.Batch.WindowID}, w.Batch)

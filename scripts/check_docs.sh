@@ -12,7 +12,7 @@
 #      *_test.go file.
 set -u
 
-DOCS="README.md EXPERIMENTS.md docs/starql.md docs/recovery.md docs/governance.md"
+DOCS="README.md EXPERIMENTS.md docs/starql.md docs/recovery.md docs/governance.md docs/vectorized.md"
 fail=0
 
 # ---- 1+2: flags on documented tool invocations ----
