@@ -51,6 +51,12 @@ func BenchmarkFigure1EndToEnd(b *testing.B) {
 	b.Run("having=interpreted", func(b *testing.B) {
 		runFigure1(b, optique.Config{Nodes: 1, InterpretHaving: true})
 	})
+	// The recorder dimension prices the flight recorder on the ingest
+	// path (the default plancache=on run is the recorder=off baseline);
+	// the acceptance bar is ≤5% over that baseline.
+	b.Run("recorder=on", func(b *testing.B) {
+		runFigure1(b, optique.Config{Nodes: 1, FlightRecorder: 256})
+	})
 	// The windowexec dimension isolates the window-execution path: the
 	// task's unfolded low-level fleet (Translation.StreamFleet — what the
 	// paper's engineers wrote by hand) registered directly on one

@@ -15,6 +15,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -45,35 +46,55 @@ import (
 // and tear down clusters as they run, so the endpoint reads whichever
 // runtime is current rather than binding to one at startup.
 var telem struct {
-	mu     sync.Mutex
-	snap   func() telemetry.Snapshot
-	traces func() []telemetry.TraceSnapshot
+	mu  sync.Mutex
+	cfg telemetry.HandlerConfig
 }
 
-func setTelemetrySource(snap func() telemetry.Snapshot, traces func() []telemetry.TraceSnapshot) {
+func setTelemetrySource(cfg telemetry.HandlerConfig) {
 	telem.mu.Lock()
 	defer telem.mu.Unlock()
-	telem.snap, telem.traces = snap, traces
+	telem.cfg = cfg
+}
+
+func currentSource() telemetry.HandlerConfig {
+	telem.mu.Lock()
+	defer telem.mu.Unlock()
+	return telem.cfg
 }
 
 func currentSnapshot() telemetry.Snapshot {
-	telem.mu.Lock()
-	snap := telem.snap
-	telem.mu.Unlock()
-	if snap == nil {
-		return telemetry.Snapshot{}
+	if snap := currentSource().Snapshot; snap != nil {
+		return snap()
 	}
-	return snap()
+	return telemetry.Snapshot{}
 }
 
 func currentTraces() []telemetry.TraceSnapshot {
-	telem.mu.Lock()
-	traces := telem.traces
-	telem.mu.Unlock()
-	if traces == nil {
-		return nil
+	if traces := currentSource().Traces; traces != nil {
+		return traces()
 	}
-	return traces()
+	return nil
+}
+
+func currentQueries() []telemetry.QueryLag {
+	if queries := currentSource().Queries; queries != nil {
+		return queries()
+	}
+	return nil
+}
+
+func currentExplain(id string, analyze bool) (string, error) {
+	if explain := currentSource().Explain; explain != nil {
+		return explain(id, analyze)
+	}
+	return "", fmt.Errorf("optique-bench: no runtime is currently up")
+}
+
+func currentEvents() []telemetry.Event {
+	if events := currentSource().Events; events != nil {
+		return events()
+	}
+	return nil
 }
 
 // experiments enumerates the accepted -exp values in the order `-exp
@@ -109,13 +130,21 @@ var (
 	tenantQuota int
 )
 
+// explainTasks/flightRecorder carry -explain/-flight-recorder into the
+// full-system experiments: the fleet lag table after each test set, and
+// the per-node flight-recorder ring capacity behind /events.
+var (
+	explainTasks   bool
+	flightRecorder int
+)
+
 func main() {
 	exp := flag.String("exp", "all", "experiment: "+strings.Join(experiments, "|"))
 	maxQueries := flag.Int("maxqueries", 1024, "upper bound for the concurrency sweep")
 	maxNodes := flag.Int("maxnodes", 128, "upper bound for the node-scaling sweep")
 	benchPat := flag.String("bench", "Figure1EndToEnd|CompiledVsInterpreted|HavingMatcher", "benchmark pattern for -exp record")
 	benchTime := flag.String("benchtime", "2s", "benchtime for -exp record")
-	benchOut := flag.String("out", "BENCH_PR7.json", "output file for -exp record")
+	benchOut := flag.String("out", "BENCH_PR8.json", "output file for -exp record")
 	havingcompile := flag.Bool("havingcompile", true, "compile STARQL HAVING conditions to slot-frame matchers (false = tree interpreter)")
 	vectorized := flag.Bool("vectorized", true, "execute windows on the columnar batch path (false = tuple-at-a-time row path)")
 	telemetryAddr := flag.String("telemetry-addr", "", "serve /metrics, /traces and /debug/pprof on this address (e.g. localhost:6060; unauthenticated, \":port\" binds loopback)")
@@ -123,18 +152,28 @@ func main() {
 	flag.IntVar(&checkpointEvery, "checkpoint-every", 64, "tuples between pulse-aligned checkpoints (with -recovery)")
 	flag.Int64Var(&memBudget, "mem-budget", 0, "default per-query window-state byte budget; over-budget queries degrade instead of exhausting memory (0 = off)")
 	flag.IntVar(&tenantQuota, "tenant-quota", 0, "max concurrently registered queries per tenant namespace (0 = off)")
+	flag.BoolVar(&explainTasks, "explain", false, "print the fleet lag table after each full-system test set")
+	flag.IntVar(&flightRecorder, "flight-recorder", 256, "per-node flight-recorder ring capacity in events (0 = off)")
 	flag.Parse()
 	interpretHaving = !*havingcompile
 	if !*vectorized {
 		vecMode = exastream.VecOff
 	}
 
+	var telemetrySrv *telemetry.Server
 	if *telemetryAddr != "" {
-		_, bound, err := telemetry.Serve(*telemetryAddr, currentSnapshot, currentTraces)
+		srv, bound, err := telemetry.Serve(*telemetryAddr, telemetry.HandlerConfig{
+			Snapshot: currentSnapshot,
+			Traces:   currentTraces,
+			Queries:  currentQueries,
+			Explain:  currentExplain,
+			Events:   currentEvents,
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("telemetry: http://%s/metrics\n", bound)
+		telemetrySrv = srv
+		fmt.Printf("telemetry: http://%s/metrics (also /healthz /queries /events /traces)\n", bound)
 	}
 
 	switch *exp {
@@ -162,6 +201,13 @@ func main() {
 		testsets()
 	default:
 		log.Fatalf("unknown experiment %q", *exp)
+	}
+	if telemetrySrv != nil {
+		// Graceful drain instead of leaking the listener for the rest of
+		// the process (and any embedding test binary).
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		_ = telemetrySrv.Shutdown(ctx)
+		cancel()
 	}
 }
 
@@ -237,12 +283,18 @@ func runConcurrent(queries, nodes, tuples int) (float64, float64, exastream.Stat
 	if tenantQuota > 0 {
 		copts.TenantQuota = cluster.TenantQuota{MaxQueries: tenantQuota}
 	}
+	copts.FlightRecorder = flightRecorder
 	cl, err := cluster.New(copts, func(int) *relation.Catalog { return cat })
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer func() { cl.Gateway().Close(); cl.Close() }()
-	setTelemetrySource(cl.TelemetrySnapshot, nil)
+	setTelemetrySource(telemetry.HandlerConfig{
+		Snapshot: cl.TelemetrySnapshot,
+		Queries:  cl.QueryLags,
+		Explain:  cl.ExplainQuery,
+		Events:   cl.Events,
+	})
 	if err := cl.DeclareStream(stream.Schema{
 		Name: "m",
 		Tuple: relation.NewSchema(
@@ -390,6 +442,7 @@ func runTestSet(idx int) (int, int, float64, int64) {
 	if tenantQuota > 0 {
 		scfg.TenantQuota = cluster.TenantQuota{MaxQueries: tenantQuota}
 	}
+	scfg.FlightRecorder = flightRecorder
 	sys, err := optique.NewSystem(scfg, siemens.TBox(), siemens.Mappings(), cat)
 	if err != nil {
 		log.Fatal(err)
@@ -400,7 +453,13 @@ func runTestSet(idx int) (int, int, float64, int64) {
 		}
 	}
 	defer sys.Close()
-	setTelemetrySource(sys.TelemetrySnapshot, sys.Traces)
+	setTelemetrySource(telemetry.HandlerConfig{
+		Snapshot: sys.TelemetrySnapshot,
+		Traces:   sys.Traces,
+		Queries:  sys.QueryLags,
+		Explain:  sys.Explain,
+		Events:   sys.Events,
+	})
 	var alerts int64
 	set := siemens.TestSets()[idx-1]
 	for _, task := range set {
@@ -430,7 +489,25 @@ func runTestSet(idx int) (int, int, float64, int64) {
 		log.Fatal(err)
 	}
 	elapsed := time.Since(start)
+	if explainTasks {
+		printLagTable(sys.QueryLags())
+	}
 	return len(set), len(tuples), float64(len(tuples)) / elapsed.Seconds(), alerts
+}
+
+// printLagTable renders the fleet lag view (-explain): per query its
+// hosting node, degrade state, progress, watermark lag against the
+// fleet frontier, and window-state backlog.
+func printLagTable(lags []telemetry.QueryLag) {
+	if len(lags) == 0 {
+		return
+	}
+	fmt.Printf("  %-24s %4s %-9s %8s %10s %8s %10s\n",
+		"QUERY", "NODE", "STATE", "WINDOWS", "ROWS_OUT", "LAG_MS", "BACKLOG_B")
+	for _, l := range lags {
+		fmt.Printf("  %-24s %4d %-9s %8d %10d %8d %10d\n",
+			l.ID, l.Node, l.State, l.Windows, l.RowsOut, l.WatermarkLagMS, l.BacklogBytes)
+	}
 }
 
 // record runs `go test -bench` with -json and post-processes the event

@@ -53,6 +53,20 @@ var (
 	tenantQuota int
 )
 
+// explainTasks carries the -explain flag: after the replay, print each
+// task's EXPLAIN ANALYZE pipeline, the fleet lag table, and the tail
+// of the flight recorder. flightRecorder is the per-node event-ring
+// capacity backing /events and the dump.
+var (
+	explainTasks   bool
+	flightRecorder int
+)
+
+// telemetrySrv is the running observability endpoint (nil without
+// -telemetry-addr); main shuts it down gracefully on exit instead of
+// leaking the listener.
+var telemetrySrv *optique.TelemetryServer
+
 func main() {
 	scenario := flag.String("scenario", "s1", "s1, s2, or s3")
 	nodes := flag.Int("nodes", 4, "cluster size (s2)")
@@ -69,6 +83,8 @@ func main() {
 	flag.StringVar(&telemetryAddr, "telemetry-addr", "", "serve /metrics, /traces and /debug/pprof on this address (e.g. localhost:6060; unauthenticated, \":port\" binds loopback)")
 	flag.Int64Var(&memBudget, "mem-budget", 0, "default per-task window-state byte budget; over-budget tasks degrade instead of exhausting memory (0 = off)")
 	flag.IntVar(&tenantQuota, "tenant-quota", 0, "max concurrently registered tasks per tenant namespace (0 = off)")
+	flag.BoolVar(&explainTasks, "explain", false, "after the replay, print each task's EXPLAIN ANALYZE pipeline, the fleet lag table, and recent flight-recorder events")
+	flag.IntVar(&flightRecorder, "flight-recorder", 256, "per-node flight-recorder ring capacity in events (0 = off)")
 	flag.Parse()
 	engineOpts = optique.EngineOptions{Parallelism: *parallelism, DisablePlanCache: !*plancache}
 	interpretHaving = !*havingcompile
@@ -85,6 +101,11 @@ func main() {
 		fmt.Println("scenario S3 is the examples/bootstrap program; run: go run ./examples/bootstrap")
 	default:
 		log.Fatalf("unknown scenario %q", *scenario)
+	}
+	if telemetrySrv != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		_ = telemetrySrv.Shutdown(ctx)
+		cancel()
 	}
 }
 
@@ -114,6 +135,7 @@ func deploy(nodes, turbines int, inj optique.FaultInjector) (*optique.System, *s
 	if tenantQuota > 0 {
 		cfg.TenantQuota = cluster.TenantQuota{MaxQueries: tenantQuota}
 	}
+	cfg.FlightRecorder = flightRecorder
 	sys, err := optique.NewSystem(cfg, siemens.TBox(), siemens.Mappings(), cat)
 	if err != nil {
 		log.Fatal(err)
@@ -124,13 +146,44 @@ func deploy(nodes, turbines int, inj optique.FaultInjector) (*optique.System, *s
 		}
 	}
 	if telemetryAddr != "" {
-		_, bound, err := sys.ServeTelemetry(telemetryAddr)
+		srv, bound, err := sys.ServeTelemetry(telemetryAddr)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("telemetry: http://%s/metrics\n", bound)
+		telemetrySrv = srv
+		fmt.Printf("telemetry: http://%s/metrics (also /healthz /queries /events /traces)\n", bound)
 	}
 	return sys, gen
+}
+
+// introspect prints the -explain report: each task's EXPLAIN ANALYZE
+// pipeline, the fleet-wide lag table, and the flight recorder's tail.
+func introspect(sys *optique.System) {
+	for _, id := range sys.TaskIDs() {
+		text, err := sys.Explain(id, true)
+		if err != nil {
+			log.Printf("explain %s: %v", id, err)
+			continue
+		}
+		fmt.Printf("\n%s", text)
+	}
+	lags := sys.QueryLags()
+	fmt.Printf("\n%-24s %4s %-9s %8s %10s %8s %10s %s\n",
+		"QUERY", "NODE", "STATE", "WINDOWS", "ROWS_OUT", "LAG_MS", "BACKLOG_B", "TENANT")
+	for _, l := range lags {
+		fmt.Printf("%-24s %4d %-9s %8d %10d %8d %10d %s\n",
+			l.ID, l.Node, l.State, l.Windows, l.RowsOut, l.WatermarkLagMS, l.BacklogBytes, l.Tenant)
+	}
+	events := sys.Events()
+	fmt.Printf("\nflight recorder: %d events retained", len(events))
+	tail := events
+	if len(tail) > 5 {
+		tail = tail[len(tail)-5:]
+	}
+	for _, ev := range tail {
+		fmt.Printf("\n  node=%d %s query=%s value=%d", ev.Node, ev.Kind, ev.Query, ev.Value)
+	}
+	fmt.Println()
 }
 
 func replay(sys *optique.System, gen *siemens.Generator, seconds int64, turbines int) int {
@@ -175,6 +228,9 @@ func runS1(seconds int64, turbines int) {
 	}
 	n := replay(sys, gen, seconds, turbines)
 	fmt.Printf("\nS1 done: %d tuples replayed, %d alert triples\n", n, alerts)
+	if explainTasks {
+		introspect(sys)
+	}
 }
 
 func runS2(nodes, setIdx int, seconds int64, turbines int, chaos bool) {
@@ -247,5 +303,8 @@ func runS2(nodes, setIdx int, seconds int64, turbines int, chaos bool) {
 			fmt.Printf("  node %d: %-10s %6d tuples, %d queries\n",
 				st.Node, st.State, st.Tuples, st.Queries)
 		}
+	}
+	if explainTasks {
+		introspect(sys)
 	}
 }

@@ -1,0 +1,160 @@
+// The EXPLAIN ANALYZE differential oracle: the per-operator counters
+// the introspection plane reports for the vectorized path must match
+// what the tuple-at-a-time row path produces on an identical replay —
+// the same oracle the vectorization PR used for result equivalence,
+// applied to the observability counters.
+package optique_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/exastream"
+	"repro/internal/siemens"
+	"repro/internal/starql"
+)
+
+// figure1Replay registers the Figure 1 task's unfolded stream fleet on
+// one ExaStream engine and replays a deterministic 30 s of sensor data.
+func figure1Replay(t *testing.T, opts exastream.Options) (*exastream.Engine, []string) {
+	t.Helper()
+	gen, err := siemens.New(siemens.SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat, err := gen.StaticCatalog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := starql.NewTranslator(siemens.TBox(), siemens.Mappings(), cat)
+	task, _ := siemens.TaskByID("T01_mon_temperature")
+	q, err := starql.Parse(task.Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl, err := tr.Translate(q, starql.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tl.StreamFleet) == 0 {
+		t.Fatal("empty stream fleet")
+	}
+	e := exastream.NewEngine(cat, opts)
+	for _, sc := range siemens.StreamSchemas() {
+		if err := e.DeclareStream(sc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var ids []string
+	for i, stmt := range tl.StreamFleet {
+		id := fmt.Sprintf("f%04d", i)
+		if err := e.Register(id, stmt, tl.Pulse, nil); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	events := gen.PlantDefaultEvents(0, 30_000)
+	tuples, routes, err := gen.Generate(siemens.StreamConfig{
+		FromMS: 0, ToMS: 30_000, StepMS: 500,
+		Sensors: gen.SensorsOfTurbine(0), Events: events, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, el := range tuples {
+		if err := e.Ingest(siemens.RouteName(routes[i]), el); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return e, ids
+}
+
+// TestExplainAnalyzeMatchesRowPathOracle replays Figure 1 twice — once
+// on the columnar batch path, once on the row path — and requires the
+// per-operator Calls/RowsOut the introspection plane accumulated to be
+// identical, then that EXPLAIN ANALYZE actually renders those counts.
+func TestExplainAnalyzeMatchesRowPathOracle(t *testing.T) {
+	vecEng, ids := figure1Replay(t, exastream.Options{ShareWindows: true})
+	rowEng, rowIDs := figure1Replay(t, exastream.Options{
+		ShareWindows: true, Vectorized: exastream.VecOff,
+	})
+	if len(ids) != len(rowIDs) {
+		t.Fatalf("fleet size differs: %d vs %d", len(ids), len(rowIDs))
+	}
+
+	var anyWindows bool
+	for _, id := range ids {
+		vecStats, vecWindows, err := vecEng.QueryStats(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rowStats, rowWindows, err := rowEng.QueryStats(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if vecWindows != rowWindows {
+			t.Errorf("%s: windows executed: vec=%d row=%d", id, vecWindows, rowWindows)
+		}
+		if vecWindows > 0 {
+			anyWindows = true
+		}
+		for k := engine.OpKind(0); k < engine.NumOpKinds; k++ {
+			v, r := vecStats.Ops[k], rowStats.Ops[k]
+			if v.Calls != r.Calls || v.RowsOut != r.RowsOut {
+				t.Errorf("%s: op %s: vec calls=%d rows=%d, row calls=%d rows=%d",
+					id, k, v.Calls, v.RowsOut, r.Calls, r.RowsOut)
+			}
+		}
+	}
+	if !anyWindows {
+		t.Fatal("replay executed no windows; oracle is vacuous")
+	}
+
+	// The rendered EXPLAIN ANALYZE must carry the observed counts, not
+	// just hold them internally.
+	for _, id := range ids {
+		stats, windows, err := vecEng.QueryStats(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if windows == 0 {
+			continue
+		}
+		text, err := vecEng.ExplainQuery(id, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(text, fmt.Sprintf("windows=%d", windows)) {
+			t.Errorf("%s: EXPLAIN ANALYZE missing windows=%d:\n%s", id, windows, text)
+		}
+		for k := engine.OpKind(0); k < engine.NumOpKinds; k++ {
+			if stats.Ops[k].Calls == 0 {
+				continue
+			}
+			want := fmt.Sprintf("calls=%d rows=%d", stats.Ops[k].Calls, stats.Ops[k].RowsOut)
+			if !strings.Contains(text, want) {
+				t.Errorf("%s: EXPLAIN ANALYZE missing %q for op %s:\n%s", id, want, k, text)
+			}
+		}
+		if !strings.Contains(text, "[vectorized") {
+			t.Errorf("%s: vectorized engine EXPLAIN lacks [vectorized] marker:\n%s", id, text)
+		}
+	}
+
+	// Plain EXPLAIN carries no stats.
+	plain, err := vecEng.ExplainQuery(ids[0], false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(plain, "calls=") {
+		t.Errorf("plain EXPLAIN leaked analyze stats:\n%s", plain)
+	}
+	if !strings.Contains(plain, "-- sql:") {
+		t.Errorf("plain EXPLAIN missing sql header:\n%s", plain)
+	}
+}

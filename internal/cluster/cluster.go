@@ -112,6 +112,13 @@ type Options struct {
 	// TenantQuota enables per-tenant admission control (see TenantOf for
 	// the namespace convention). The zero value disables it.
 	TenantQuota TenantQuota
+
+	// FlightRecorder is the per-node flight-recorder ring capacity in
+	// events: each node keeps that many recent structured events
+	// (window executions, degradations, checkpoints, restarts), and the
+	// cluster keeps one more ring for node-spanning events (failovers,
+	// admission rejections). 0 disables recording at zero cost.
+	FlightRecorder int
 }
 
 // clusterMetrics are the supervision counters kept in the cluster
@@ -157,6 +164,10 @@ type Cluster struct {
 
 	reg *telemetry.Registry
 	met *clusterMetrics
+	// frec is the cluster-level flight recorder (node -1) for events
+	// that span nodes: failovers and admission rejections. Nil when
+	// Options.FlightRecorder == 0.
+	frec *telemetry.Recorder
 
 	// rec is the recovery coordinator (nil when CheckpointEvery == 0).
 	// It lives here — outside any node — so checkpoints, replay logs and
@@ -206,6 +217,10 @@ type Node struct {
 	// so counters accumulate across crashes.
 	reg *telemetry.Registry
 	met *clusterMetrics // cluster-level counters, shared by all nodes
+	// rec is the node's flight recorder (nil when disabled). Like reg
+	// it outlives engine rebuilds, so the event ring spans crashes —
+	// exactly when the black box matters.
+	rec *telemetry.Recorder
 
 	in      *inbox
 	wg      sync.WaitGroup
@@ -270,6 +285,7 @@ func New(opts Options, catalogFor func(node int) *relation.Catalog) (*Cluster, e
 		udfs:        make(map[string]engine.ScalarFunc),
 		reg:         reg,
 		met:         newClusterMetrics(reg),
+		frec:        telemetry.NewRecorder(-1, opts.FlightRecorder),
 	}
 	if opts.CheckpointEvery > 0 {
 		c.rec = recovery.NewCoordinator(opts.Nodes, opts.ReplayLogCap, reg)
@@ -283,6 +299,7 @@ func New(opts Options, catalogFor func(node int) *relation.Catalog) (*Cluster, e
 			in:  newInbox(opts.QueueSize),
 			reg: telemetry.NewRegistry(),
 			met: c.met,
+			rec: telemetry.NewRecorder(i, opts.FlightRecorder),
 		}
 		n.engine = exastream.NewEngine(catalogFor(i), c.engineOptsFor(n))
 		n.wg.Add(1)
@@ -307,6 +324,7 @@ func (c *Cluster) engineOptsFor(n *Node) exastream.Options {
 	// across nodes, and per-node Stats must stay per-node. The registry
 	// outlives engine rebuilds, so counters survive worker crashes.
 	o.Telemetry = n.reg
+	o.Recorder = n.rec
 	user := o.OnQueryError
 	o.OnQueryError = func(queryID string, err error) {
 		n.noteErr(NodeError{Node: n.ID, QueryID: queryID, Err: err})
@@ -442,6 +460,7 @@ type RegisterOptions struct {
 func (c *Cluster) RegisterWith(id string, stmt *sql.SelectStmt, pulse *stream.Pulse, sink exastream.Sink, ro RegisterOptions) (int, error) {
 	tenant := TenantOf(id)
 	if err := c.gov.admitRegister(tenant); err != nil {
+		c.frec.Record(telemetry.EvAdmissionReject, id, tenant, 0, 0)
 		return -1, err
 	}
 	node, err := c.registerAdmitted(id, stmt, pulse, sink, ro, tenant)
@@ -470,6 +489,7 @@ func (c *Cluster) registerAdmitted(id string, stmt *sql.SelectStmt, pulse *strea
 	}
 	if node == -2 {
 		c.gov.rejectedBudget.Inc()
+		c.frec.Record(telemetry.EvAdmissionReject, id, tenant, 0, budget)
 		return -1, ErrOverBudget
 	}
 	sink = c.guardedSink(id, sink)

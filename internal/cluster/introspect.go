@@ -1,0 +1,103 @@
+// Fleet-wide introspection: the cluster aggregates each node engine's
+// lag view and flight recorder into one picture and routes EXPLAIN
+// requests to the node hosting the query. These back the telemetry
+// handler's /queries, /queries/{id}/explain, and /events endpoints.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/exastream"
+	"repro/internal/telemetry"
+)
+
+// QueryLags reports every registered query's lag-view row, stamped
+// with its node and tenant, with watermark lag recomputed against the
+// fleet-wide event-time frontier (the newest window any query
+// executed). Sorted by query id.
+func (c *Cluster) QueryLags() []telemetry.QueryLag {
+	c.mu.Lock()
+	type nodeEngine struct {
+		id  int
+		eng *exastream.Engine
+	}
+	engines := make([]nodeEngine, 0, len(c.nodes))
+	for _, n := range c.nodes {
+		if n.State() != NodeDead {
+			engines = append(engines, nodeEngine{n.ID, n.engine})
+		}
+	}
+	tenants := make(map[string]string, len(c.queries))
+	for id, rec := range c.queries {
+		tenants[id] = rec.tenant
+	}
+	c.mu.Unlock()
+
+	var out []telemetry.QueryLag
+	for _, ne := range engines {
+		for _, lag := range ne.eng.LagView() {
+			lag.Node = ne.id
+			lag.Tenant = tenants[lag.ID]
+			out = append(out, lag)
+		}
+	}
+	var frontier int64
+	for _, lag := range out {
+		if lag.LastWindowEnd > frontier {
+			frontier = lag.LastWindowEnd
+		}
+	}
+	for i := range out {
+		if out[i].LastWindowEnd > 0 {
+			out[i].WatermarkLagMS = frontier - out[i].LastWindowEnd
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Events merges every node's flight-recorder dump with the
+// cluster-level ring (failovers, admission rejections) into one
+// timeline ordered by wall time. Empty when recording is disabled.
+func (c *Cluster) Events() []telemetry.Event {
+	c.mu.Lock()
+	recorders := make([]*telemetry.Recorder, 0, len(c.nodes)+1)
+	for _, n := range c.nodes {
+		recorders = append(recorders, n.rec)
+	}
+	c.mu.Unlock()
+	recorders = append(recorders, c.frec)
+	dumps := make([][]telemetry.Event, 0, len(recorders))
+	for _, r := range recorders {
+		if d := r.Events(); len(d) > 0 {
+			dumps = append(dumps, d)
+		}
+	}
+	return telemetry.MergeEvents(dumps...)
+}
+
+// ExplainQuery renders the named query's physical plan on the node
+// hosting it; analyze adds the observed per-operator stats. A query
+// mid-failover (pending restore) cannot be explained until its
+// restore job lands.
+func (c *Cluster) ExplainQuery(id string, analyze bool) (string, error) {
+	c.mu.Lock()
+	rec, ok := c.queries[id]
+	if !ok {
+		c.mu.Unlock()
+		return "", fmt.Errorf("cluster: unknown query %q", id)
+	}
+	if rec.pendingRestore {
+		c.mu.Unlock()
+		return "", fmt.Errorf("cluster: query %q is mid-failover; retry once its restore lands", id)
+	}
+	node := rec.node
+	eng := c.nodes[node].engine
+	c.mu.Unlock()
+	text, err := eng.ExplainQuery(id, analyze)
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("-- node %d\n%s", node, text), nil
+}

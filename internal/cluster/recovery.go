@@ -16,6 +16,7 @@ import (
 	"repro/internal/exastream"
 	"repro/internal/recovery"
 	"repro/internal/stream"
+	"repro/internal/telemetry"
 )
 
 // restoreJob migrates queries onto a node via its own worker goroutine:
@@ -99,12 +100,14 @@ func (n *Node) checkpoint(c *Cluster) bool {
 	if f != nil && f.TearCheckpoint(n.ID) {
 		corrupt = tearBlob
 	}
+	covered := int64(n.sinceCkpt)
 	n.sinceCkpt = 0
 	if _, err := c.rec.Save(n.ID, ck, corrupt); err != nil {
 		n.noteErr(NodeError{Node: n.ID, Err: err})
 		return false
 	}
 	c.rec.Log(n.ID).TruncateThrough(cursors)
+	n.rec.Record(telemetry.EvCheckpoint, "", "", 0, covered)
 	return true
 }
 
@@ -168,6 +171,7 @@ func (c *Cluster) restoreNode(n *Node) bool {
 		eng.ImportWCache(ck.Engine.WCache)
 	}
 	n.engine = eng
+	n.rec.Record(telemetry.EvRestore, "", "", 0, int64(requeries))
 	n.cursors = cursors
 	atomic.StoreInt32(&n.queries, requeries)
 	c.mu.Unlock()
@@ -207,6 +211,7 @@ func (c *Cluster) restoreNode(n *Node) bool {
 // restore job reaching the head of each target's queue.
 func (c *Cluster) failoverRestore(n *Node) {
 	c.met.failovers.Inc()
+	c.frec.Record(telemetry.EvFailover, "", "", 0, int64(n.ID))
 	c.mu.Lock()
 	atomic.StoreInt32(&n.state, int32(NodeDead))
 
@@ -378,6 +383,7 @@ func (n *Node) runRestore(c *Cluster, job *restoreJob) {
 		}
 		replayedTuples += len(feed)
 		restoredQueries++
+		n.rec.Record(telemetry.EvRestore, rec.id, rec.tenant, 0, int64(len(feed)))
 		c.mu.Lock()
 		rec.pendingRestore = false
 		rec.ckpt = nil

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/exastream"
+	"repro/internal/telemetry"
 )
 
 // NodeState is a worker's lifecycle state.
@@ -129,6 +130,7 @@ func (n *Node) supervise(c *Cluster) {
 		}
 		restarts := int(atomic.AddInt32(&n.restarts, 1))
 		c.met.restarts.Inc()
+		n.rec.Record(telemetry.EvRestart, "", "", 0, int64(restarts))
 		if restarts > c.opts.maxRestarts() {
 			c.failover(n)
 			c.settle(-1)
@@ -148,6 +150,7 @@ func (n *Node) supervise(c *Cluster) {
 			if crashed {
 				restarts = int(atomic.AddInt32(&n.restarts, 1))
 				c.met.restarts.Inc()
+				n.rec.Record(telemetry.EvRestart, "", "", 0, int64(restarts))
 				if restarts > c.opts.maxRestarts() {
 					c.failover(n)
 					c.settle(-1)
@@ -287,6 +290,7 @@ func (c *Cluster) failover(n *Node) {
 		return
 	}
 	c.met.failovers.Inc()
+	c.frec.Record(telemetry.EvFailover, "", "", 0, int64(n.ID))
 	c.mu.Lock()
 	atomic.StoreInt32(&n.state, int32(NodeDead))
 	// Host sets before the failover: salvaged broadcast tuples must only

@@ -10,6 +10,7 @@ package core
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -86,6 +87,11 @@ type Config struct {
 	// TenantQuota enables per-tenant admission control; tasks namespace
 	// tenants by id prefix (see cluster.TenantOf). Zero value disables.
 	TenantQuota cluster.TenantQuota
+
+	// FlightRecorder is the per-node flight-recorder capacity in events
+	// (see cluster.Options.FlightRecorder); the /events endpoint and
+	// System.Events dump the merged timeline. 0 disables recording.
+	FlightRecorder int
 }
 
 // System is one OPTIQUE deployment.
@@ -183,6 +189,7 @@ func NewSystem(cfg Config, tbox *ontology.TBox, set *mapping.Set, catalog *relat
 		MemBudget:       cfg.MemBudget,
 		NodeMemBudget:   cfg.NodeMemBudget,
 		TenantQuota:     cfg.TenantQuota,
+		FlightRecorder:  cfg.FlightRecorder,
 	}, func(int) *relation.Catalog { return catalog })
 	if err != nil {
 		return nil, err
@@ -577,11 +584,79 @@ func (s *System) Traces() []telemetry.TraceSnapshot { return s.tracer.Snapshots(
 // Trace returns one task's lifecycle trace, if retained.
 func (s *System) Trace(id string) *telemetry.Trace { return s.tracer.Trace(id) }
 
+// QueryLags reports every registered task's fleet-wide lag-view row
+// (watermark lag, window backlog, budget headroom, degrade state),
+// stamped with node and tenant.
+func (s *System) QueryLags() []telemetry.QueryLag { return s.cluster.QueryLags() }
+
+// Events dumps the merged flight-recorder timeline across all nodes
+// plus the cluster ring. Empty unless Config.FlightRecorder > 0.
+func (s *System) Events() []telemetry.Event { return s.cluster.Events() }
+
+// Explain renders a registered task's full pipeline: the STARQL
+// window/pulse, rewrite and unfolding statistics, the unfolded SQL(+)
+// fleet (static and per-binding stream members), and the runtime
+// operator tree of the continuous query actually executing on the
+// cluster. With analyze set, the runtime tree carries the observed
+// per-operator stats (calls, rows, selectivity, inclusive wall time)
+// accumulated across the task's window executions — EXPLAIN ANALYZE.
+func (s *System) Explain(taskID string, analyze bool) (string, error) {
+	task, ok := s.Task(taskID)
+	if !ok {
+		return "", fmt.Errorf("core: unknown task %q", taskID)
+	}
+	tl := task.Translation
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== STARQL task %s ==\n", task.ID)
+	fmt.Fprintf(&sb, "window: range=%dms slide=%dms", tl.Window.RangeMS, tl.Window.SlideMS)
+	if tl.Pulse != nil {
+		fmt.Fprintf(&sb, " pulse: start=%dms every=%dms", tl.Pulse.StartMS, tl.Pulse.FrequencyMS)
+	}
+	sb.WriteByte('\n')
+	r, u := tl.RewriteStats, tl.UnfoldStats
+	fmt.Fprintf(&sb, "rewrite (PerfectRef): generated=%d result=%d atom_steps=%d reduce_steps=%d\n",
+		r.Generated, r.Result, r.AtomSteps, r.ReduceSteps)
+	fmt.Fprintf(&sb, "unfold: cqs=%d combinations=%d pruned=%d fleet=%d self_joins_removed=%d unmapped_atoms=%d\n",
+		u.CQs, u.Combinations, u.Pruned, u.FleetSize, u.SelfJoinsRemoved, u.UnmappedAtoms)
+	switch {
+	case task.CompiledHaving():
+		sb.WriteString("having: compiled matcher\n")
+	case task.Query != nil && task.Query.Having != nil:
+		sb.WriteString("having: interpreted\n")
+	default:
+		sb.WriteString("having: none\n")
+	}
+	fmt.Fprintf(&sb, "bindings: %d\n", len(task.Bindings))
+	fmt.Fprintf(&sb, "static fleet (%d members):\n", len(tl.StaticFleet))
+	for i, stmt := range tl.StaticFleet {
+		fmt.Fprintf(&sb, "  [%d] %s\n", i, stmt.String())
+	}
+	fmt.Fprintf(&sb, "stream fleet (%d members):\n", len(tl.StreamFleet))
+	for i, stmt := range tl.StreamFleet {
+		fmt.Fprintf(&sb, "  [%d] %s\n", i, stmt.String())
+	}
+	sb.WriteString("runtime continuous query:\n")
+	text, err := s.cluster.ExplainQuery(task.ID, analyze)
+	if err != nil {
+		return "", err
+	}
+	sb.WriteString(text)
+	return sb.String(), nil
+}
+
 // ServeTelemetry starts the opt-in observability endpoint on addr
 // (host:port; port 0 picks one): /metrics serves the merged registry
-// snapshot as JSON, /traces the span log, and /debug/pprof/ the Go
-// profiler. It returns the bound address; callers own the returned
-// server's shutdown.
+// snapshot as JSON (or Prometheus text with ?format=prom), /healthz
+// readiness, /queries the fleet lag view, /queries/{id}/explain the
+// rendered pipeline, /events the flight-recorder timeline, /traces
+// the span log, and /debug/pprof/ the Go profiler. It returns the
+// bound address; callers own the returned server's shutdown.
 func (s *System) ServeTelemetry(addr string) (*telemetry.Server, string, error) {
-	return telemetry.Serve(addr, s.TelemetrySnapshot, s.Traces)
+	return telemetry.Serve(addr, telemetry.HandlerConfig{
+		Snapshot: s.TelemetrySnapshot,
+		Traces:   s.Traces,
+		Queries:  s.QueryLags,
+		Explain:  s.Explain,
+		Events:   s.Events,
+	})
 }

@@ -1,0 +1,138 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// kindOf maps a plan node onto its OpKind, or -1 for unknown
+// implementations (external Plan types get no per-kind stats).
+func kindOf(p Plan) OpKind {
+	switch p.(type) {
+	case *ScanPlan:
+		return OpScan
+	case *ValuesPlan:
+		return OpValues
+	case *WindowSourcePlan:
+		return OpWindowSource
+	case *FilterPlan:
+		return OpFilter
+	case *ProjectPlan:
+		return OpProject
+	case *HashJoinPlan:
+		return OpHashJoin
+	case *NestedLoopJoinPlan:
+		return OpNestedJoin
+	case *LookupJoinPlan:
+		return OpLookupJoin
+	case *AggregatePlan:
+		return OpAggregate
+	case *SortPlan:
+		return OpSort
+	case *DistinctPlan:
+		return OpDistinct
+	case *LimitPlan:
+		return OpLimit
+	case *UnionPlan:
+		return OpUnion
+	}
+	return -1
+}
+
+// PlanKind exposes kindOf for callers outside the package (the lag
+// view and tests label operators by kind).
+func PlanKind(p Plan) (OpKind, bool) {
+	k := kindOf(p)
+	return k, k >= 0
+}
+
+// Vectorizable reports whether the columnar kernels cover the whole
+// subtree rooted at p — the condition under which execution takes the
+// vectorized path when the context enables it.
+func Vectorizable(p Plan) bool { return canVectorize(p) }
+
+// ExplainAnalyze renders a plan tree like Explain, annotating every
+// node with the observed per-operator-kind counters accumulated in
+// stats: Execute calls, output rows, inclusive wall time, and — for
+// row-reducing operators whose input cardinality is identifiable —
+// the observed selectivity. Stats are tracked per operator *kind*;
+// when a kind occurs more than once in the tree its counters are the
+// aggregate over all occurrences, and the line says so.
+//
+// vectorized marks subtrees the columnar kernels would execute given
+// ExecContext.Vectorized (interior nodes of such a subtree run fused,
+// so their wall time reports under the subtree root).
+func ExplainAnalyze(p Plan, stats *ExecStats, vectorized bool) string {
+	kindCount := make(map[OpKind]int)
+	var count func(Plan)
+	count = func(p Plan) {
+		if k := kindOf(p); k >= 0 {
+			kindCount[k]++
+		}
+		for _, c := range p.Children() {
+			count(c)
+		}
+	}
+	count(p)
+
+	var sb strings.Builder
+	var rec func(p Plan, depth int, inVec bool)
+	rec = func(p Plan, depth int, inVec bool) {
+		vecRoot := false
+		if vectorized && !inVec && canVectorize(p) {
+			vecRoot = true
+			inVec = true
+		}
+		sb.WriteString(strings.Repeat("  ", depth))
+		sb.WriteString(p.String())
+		k := kindOf(p)
+		if k >= 0 && stats != nil {
+			c := stats.Ops[k]
+			fmt.Fprintf(&sb, "  calls=%d rows=%d", c.Calls, c.RowsOut)
+			if in, ok := inputRows(p, stats, kindCount); ok && in > 0 {
+				fmt.Fprintf(&sb, " sel=%.1f%%", 100*float64(c.RowsOut)/float64(in))
+			}
+			if c.WallNS > 0 {
+				fmt.Fprintf(&sb, " time=%s", time.Duration(c.WallNS).Round(time.Microsecond))
+			}
+			if n := kindCount[k]; n > 1 {
+				fmt.Fprintf(&sb, " (aggregated over %d %s operators)", n, k)
+			}
+		}
+		if vecRoot {
+			sb.WriteString("  [vectorized]")
+		} else if inVec {
+			sb.WriteString("  [vectorized, fused]")
+		}
+		sb.WriteByte('\n')
+		for _, c := range p.Children() {
+			rec(c, depth+1, inVec)
+		}
+	}
+	rec(p, 0, false)
+	return sb.String()
+}
+
+// inputRows derives the observed input cardinality of p from its
+// children's output counters. Per-kind aggregation makes this
+// ambiguous when p's kind or a child's kind occurs more than once in
+// the tree, so it only reports when every involved kind is unique.
+func inputRows(p Plan, stats *ExecStats, kindCount map[OpKind]int) (int64, bool) {
+	if kindCount[kindOf(p)] != 1 {
+		return 0, false
+	}
+	children := p.Children()
+	if len(children) == 0 {
+		return 0, false
+	}
+	var in int64
+	for _, c := range children {
+		k := kindOf(c)
+		if k < 0 || kindCount[k] != 1 {
+			return 0, false
+		}
+		in += stats.Ops[k].RowsOut
+	}
+	return in, true
+}

@@ -49,6 +49,11 @@ func (k OpKind) String() string {
 type OpCounters struct {
 	Calls   int64 // Execute invocations
 	RowsOut int64 // rows returned by this operator kind
+	// WallNS is inclusive wall time spent evaluating operators of this
+	// kind (children included), measured at the execChild boundary.
+	// Inside a fused vectorized subtree only the subtree root is
+	// timed; interior kernels report under the root's kind.
+	WallNS int64
 }
 
 // ExecStats accumulates counters during plan execution; the adaptive
@@ -75,6 +80,23 @@ func (s *ExecStats) enter(k OpKind) {
 func (s *ExecStats) produced(k OpKind, n int) {
 	s.RowsProduced += int64(n)
 	s.Ops[k].RowsOut += int64(n)
+}
+
+// Add folds another execution's counters into s. exastream uses it to
+// accumulate per-query stats across windows — the observed
+// cardinalities EXPLAIN ANALYZE renders and the seed for the
+// stats-driven planner.
+func (s *ExecStats) Add(o *ExecStats) {
+	s.RowsScanned += o.RowsScanned
+	s.RowsProduced += o.RowsProduced
+	s.HashProbes += o.HashProbes
+	s.IndexLookups += o.IndexLookups
+	s.OperatorCount += o.OperatorCount
+	for k := range s.Ops {
+		s.Ops[k].Calls += o.Ops[k].Calls
+		s.Ops[k].RowsOut += o.Ops[k].RowsOut
+		s.Ops[k].WallNS += o.Ops[k].WallNS
+	}
 }
 
 // ExecContext carries everything a plan needs to run.

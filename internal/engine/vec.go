@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/relation"
 	"repro/internal/sql"
@@ -260,8 +261,20 @@ func canVectorize(p Plan) bool {
 // execChild evaluates a child plan: columnar when the context asks for
 // it and the subtree has kernels, the ordinary row path otherwise. Row
 // operators call it in place of child.Execute so a vectorizable subtree
-// below a row-only operator still runs columnar.
+// below a row-only operator still runs columnar. It also charges the
+// subtree's inclusive wall time to the node's operator kind — the
+// "eval ns" column of EXPLAIN ANALYZE (two clock reads per operator
+// per window; windows are µs-scale, so the cost is noise).
 func execChild(ctx *ExecContext, p Plan) ([]relation.Tuple, error) {
+	start := time.Now()
+	rows, err := execChildUntimed(ctx, p)
+	if k := kindOf(p); k >= 0 {
+		ctx.Stats.Ops[k].WallNS += int64(time.Since(start))
+	}
+	return rows, err
+}
+
+func execChildUntimed(ctx *ExecContext, p Plan) ([]relation.Tuple, error) {
 	if ctx.Vectorized && canVectorize(p) {
 		f, err := p.(vecPlan).executeVec(ctx)
 		if err != nil {

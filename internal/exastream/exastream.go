@@ -221,6 +221,10 @@ type Options struct {
 	// query (fault injection, cgroup observers); its value is added to
 	// the query's measured usage before budget comparison.
 	Pressure func(queryID string) int64
+	// Recorder, when set, is the node's flight recorder: window
+	// executions, degradations, and quarantines leave events in its
+	// ring. Nil (the default) disables recording at zero cost.
+	Recorder *telemetry.Recorder
 }
 
 // Engine is one ExaStream instance (one per worker node in the cluster).
@@ -308,6 +312,15 @@ type continuousQuery struct {
 	// distinct queries execute concurrently on the fleet pool.
 	execMu sync.Mutex
 	plan   *cachedPlan
+	// cum accumulates per-operator stats across this query's window
+	// executions (guarded by execMu) — the observed cardinalities
+	// EXPLAIN ANALYZE renders and the stats-driven planner will read.
+	// windows/rowsOutTotal/lastEnd summarize successful executions for
+	// the lag view.
+	cum          engine.ExecStats
+	windows      int64
+	rowsOutTotal int64
+	lastEnd      int64
 	// execCtx is reused across this query's window executions (guarded
 	// by execMu): per-operator stats are reset in place instead of
 	// re-allocating the context every window.
@@ -907,6 +920,7 @@ func (e *Engine) executeItem(it execItem) error {
 	e.met.hashProbes.Add(ctx.Stats.HashProbes)
 	e.met.indexLookups.Add(ctx.Stats.IndexLookups)
 	e.foldOpStats(&ctx.Stats)
+	q.cum.Add(&ctx.Stats)
 	if err != nil {
 		span.SetAttr("error", err.Error())
 		span.End()
@@ -916,6 +930,9 @@ func (e *Engine) executeItem(it execItem) error {
 	q.failures = 0
 	q.mu.Unlock()
 	e.noteProbes(cp.probes)
+	q.windows++
+	q.rowsOutTotal += int64(len(rows))
+	q.lastEnd = it.end
 	e.met.windowsExecuted.Inc()
 	e.met.rowsOut.Add(int64(len(rows)))
 	e.wcache.Advance(q.id, it.end)
@@ -931,6 +948,7 @@ func (e *Engine) executeItem(it execItem) error {
 		SetAttr("plan_cache_hit", cacheHit).
 		SetAttr("wall_ns", elapsed.Nanoseconds())
 	span.End()
+	e.opts.Recorder.Record(telemetry.EvWindowExec, q.id, "", it.end, elapsed.Nanoseconds())
 	if q.sink != nil {
 		q.sink(q.id, it.end, cp.adapted.Schema(), rows)
 	}
@@ -967,6 +985,7 @@ func (e *Engine) containQueryError(q *continuousQuery, err error) error {
 	e.met.queryFailures.Inc()
 	if suspend {
 		e.met.suspensions.Inc()
+		e.opts.Recorder.Record(telemetry.EvQuarantine, q.id, "", 0, int64(e.opts.QuarantineAfter))
 	}
 	if e.opts.OnQueryError != nil {
 		e.opts.OnQueryError(q.id, err)

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/stream"
+	"repro/internal/telemetry"
 )
 
 // ErrQueryOverBudget marks a query degraded or suspended because its
@@ -170,14 +171,17 @@ func (e *Engine) enforceQuery(t govTarget) {
 		if s < maxStride {
 			q.stride.Store(s * 2)
 			e.met.govWidenEvents.Inc()
+			e.opts.Recorder.Record(telemetry.EvDegradeWiden, q.id, "", 0, s*2)
 		}
 	}
 	// Shed pass (both Shed and Widen): oldest staged partial windows
 	// first — they are incomplete and cheapest to lose — then the oldest
 	// batches of solely-owned window operators.
+	var shedBytes int64
 	for usage > budget {
 		if freed, ok := e.shedOldestStaged(q); ok {
 			usage -= freed
+			shedBytes += freed
 			continue
 		}
 		var best *stream.TimeSlidingWindow
@@ -195,8 +199,15 @@ func (e *Engine) enforceQuery(t govTarget) {
 			break
 		}
 		usage -= freed
+		shedBytes += freed
 		e.met.govShedBatches.Inc()
 		e.met.govShedBytes.Add(freed)
+	}
+	if shedBytes > 0 {
+		// One event per enforcement pass with the total reclaimed, not
+		// one per batch — degradation episodes should not wash the
+		// recorder's bounded ring of everything else.
+		e.opts.Recorder.Record(telemetry.EvDegradeShed, q.id, "", 0, shedBytes)
 	}
 	if usage > budget {
 		// Residual overage: what remains is shared window state or
@@ -234,6 +245,7 @@ func (e *Engine) suspendOverBudget(t govTarget, usage, budget int64) {
 	}
 	e.met.govSuspended.Inc()
 	e.met.suspensions.Inc()
+	e.opts.Recorder.Record(telemetry.EvDegradeSuspend, q.id, "", 0, usage-budget)
 	q.govOver.Store(true)
 	if e.opts.OnQueryError != nil {
 		e.opts.OnQueryError(q.id, fmt.Errorf("exastream: query %s suspended (usage %d > budget %d): %w",

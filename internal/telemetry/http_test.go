@@ -1,0 +1,182 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func testHandler() http.Handler {
+	reg := NewRegistry()
+	reg.Counter("exastream.windows.executed").Add(7)
+	reg.Gauge("cluster.nodes.live").Set(4)
+	reg.Histogram("exastream.window.exec_ns", []float64{100, 1000}).Observe(250)
+	rec := NewRecorder(0, 8)
+	rec.Record(EvWindowExec, "q1", "acme", 5000, 123)
+	return NewHandler(HandlerConfig{
+		Snapshot: reg.Snapshot,
+		Traces:   func() []TraceSnapshot { return nil },
+		Queries: func() []QueryLag {
+			return []QueryLag{{ID: "q1", Node: 0, State: "running", Windows: 7}}
+		},
+		Explain: func(id string, analyze bool) (string, error) {
+			if id != "q1" {
+				return "", errors.New("unknown query")
+			}
+			if analyze {
+				return "-- node 0\nplan [analyzed]\n", nil
+			}
+			return "-- node 0\nplan\n", nil
+		},
+		Events: rec.Events,
+	})
+}
+
+func get(t *testing.T, h http.Handler, target string, hdr map[string]string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest("GET", target, nil)
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	return w
+}
+
+func TestHandlerEndpoints(t *testing.T) {
+	h := testHandler()
+
+	t.Run("metrics json default", func(t *testing.T) {
+		w := get(t, h, "/metrics", nil)
+		if w.Code != 200 || !strings.Contains(w.Header().Get("Content-Type"), "application/json") {
+			t.Fatalf("code=%d type=%s", w.Code, w.Header().Get("Content-Type"))
+		}
+		var s Snapshot
+		if err := json.Unmarshal(w.Body.Bytes(), &s); err != nil {
+			t.Fatal(err)
+		}
+		if s.Counters["exastream.windows.executed"] != 7 {
+			t.Fatalf("counters = %v", s.Counters)
+		}
+	})
+
+	t.Run("metrics prom via query", func(t *testing.T) {
+		w := get(t, h, "/metrics?format=prom", nil)
+		body := w.Body.String()
+		if !strings.Contains(w.Header().Get("Content-Type"), "text/plain") {
+			t.Fatalf("type = %s", w.Header().Get("Content-Type"))
+		}
+		for _, want := range []string{
+			"# TYPE exastream_windows_executed counter",
+			"exastream_windows_executed 7",
+			"# TYPE cluster_nodes_live gauge",
+			"cluster_nodes_live 4",
+			"# TYPE exastream_window_exec_ns histogram",
+			`exastream_window_exec_ns_bucket{le="1000"} 1`,
+			`exastream_window_exec_ns_bucket{le="+Inf"} 1`,
+			"exastream_window_exec_ns_sum 250",
+			"exastream_window_exec_ns_count 1",
+		} {
+			if !strings.Contains(body, want) {
+				t.Errorf("prom output missing %q:\n%s", want, body)
+			}
+		}
+	})
+
+	t.Run("metrics prom via accept", func(t *testing.T) {
+		w := get(t, h, "/metrics", map[string]string{"Accept": "text/plain"})
+		if !strings.Contains(w.Body.String(), "exastream_windows_executed 7") {
+			t.Fatalf("Accept: text/plain did not switch to prom:\n%s", w.Body.String())
+		}
+		// JSON named first keeps the default.
+		w = get(t, h, "/metrics", map[string]string{"Accept": "application/json, text/plain"})
+		if !strings.Contains(w.Header().Get("Content-Type"), "application/json") {
+			t.Fatalf("Accept preferring JSON got %s", w.Header().Get("Content-Type"))
+		}
+	})
+
+	t.Run("healthz", func(t *testing.T) {
+		w := get(t, h, "/healthz", nil)
+		if w.Code != 200 || w.Body.String() != "ok\n" {
+			t.Fatalf("code=%d body=%q", w.Code, w.Body.String())
+		}
+	})
+
+	t.Run("queries", func(t *testing.T) {
+		w := get(t, h, "/queries", nil)
+		var lags []QueryLag
+		if err := json.Unmarshal(w.Body.Bytes(), &lags); err != nil {
+			t.Fatal(err)
+		}
+		if len(lags) != 1 || lags[0].ID != "q1" || lags[0].Windows != 7 {
+			t.Fatalf("lags = %+v", lags)
+		}
+	})
+
+	t.Run("explain", func(t *testing.T) {
+		w := get(t, h, "/queries/q1/explain", nil)
+		if w.Code != 200 || !strings.Contains(w.Body.String(), "plan") {
+			t.Fatalf("code=%d body=%q", w.Code, w.Body.String())
+		}
+		if strings.Contains(w.Body.String(), "analyzed") {
+			t.Fatal("plain explain returned analyzed output")
+		}
+		w = get(t, h, "/queries/q1/explain?analyze=1", nil)
+		if !strings.Contains(w.Body.String(), "analyzed") {
+			t.Fatalf("analyze=1 body = %q", w.Body.String())
+		}
+		if w := get(t, h, "/queries/nope/explain", nil); w.Code != http.StatusNotFound {
+			t.Fatalf("unknown query code = %d", w.Code)
+		}
+		if w := get(t, h, "/queries/q1", nil); w.Code != http.StatusNotFound {
+			t.Fatalf("missing /explain suffix code = %d", w.Code)
+		}
+	})
+
+	t.Run("events", func(t *testing.T) {
+		w := get(t, h, "/events", nil)
+		var evs []Event
+		if err := json.Unmarshal(w.Body.Bytes(), &evs); err != nil {
+			t.Fatal(err)
+		}
+		if len(evs) != 1 || evs[0].Kind != "window_exec" || evs[0].Query != "q1" {
+			t.Fatalf("events = %+v", evs)
+		}
+	})
+
+	t.Run("traces", func(t *testing.T) {
+		w := get(t, h, "/traces", nil)
+		if w.Code != 200 || strings.TrimSpace(w.Body.String()) != "[]" {
+			t.Fatalf("code=%d body=%q", w.Code, w.Body.String())
+		}
+	})
+}
+
+// TestHandlerNilSources: every source may be nil; endpoints degrade to
+// empty documents (404 for explain) rather than panicking.
+func TestHandlerNilSources(t *testing.T) {
+	h := NewHandler(HandlerConfig{})
+	for _, target := range []string{"/metrics", "/queries", "/events", "/traces", "/healthz"} {
+		if w := get(t, h, target, nil); w.Code != 200 {
+			t.Errorf("%s code = %d", target, w.Code)
+		}
+	}
+	if w := get(t, h, "/queries/q1/explain", nil); w.Code != http.StatusNotFound {
+		t.Errorf("explain with nil source code = %d", w.Code)
+	}
+}
+
+func TestPromName(t *testing.T) {
+	for in, want := range map[string]string{
+		"exastream.window.exec_ns": "exastream_window_exec_ns",
+		"cluster.node.0.state":     "cluster_node_0_state",
+		"9lives":                   "_lives",
+	} {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -201,7 +201,7 @@ func TestHTTPHandler(t *testing.T) {
 	sp := tr.Start("q1").StartSpan("rewrite")
 	sp.SetAttr("ucq_size", 3)
 	sp.End()
-	srv, addr, err := Serve("127.0.0.1:0", r.Snapshot, tr.Snapshots)
+	srv, addr, err := Serve("127.0.0.1:0", HandlerConfig{Snapshot: r.Snapshot, Traces: tr.Snapshots})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -249,7 +249,7 @@ func TestHTTPHandler(t *testing.T) {
 // A host-less addr must bind loopback, not every interface — the
 // endpoint serves pprof unauthenticated.
 func TestServeHostlessAddrBindsLoopback(t *testing.T) {
-	srv, addr, err := Serve(":0", nil, nil)
+	srv, addr, err := Serve(":0", HandlerConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}

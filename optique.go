@@ -85,6 +85,18 @@ type TelemetrySnapshot = telemetry.Snapshot
 // register → window-exec spans); see System.Traces.
 type TraceSnapshot = telemetry.TraceSnapshot
 
+// TelemetryServer is the running observability endpoint returned by
+// System.ServeTelemetry; callers shut it down on exit.
+type TelemetryServer = telemetry.Server
+
+// QueryLag is one task's fleet lag-view row (watermark lag, window
+// backlog, budget headroom, degrade state); see System.QueryLags.
+type QueryLag = telemetry.QueryLag
+
+// Event is one flight-recorder entry; see System.Events and
+// Config.FlightRecorder.
+type Event = telemetry.Event
+
 // FaultInjector hooks worker loops for chaos testing; internal/faults
 // provides a deterministic, seedable implementation.
 type FaultInjector = cluster.FaultInjector

@@ -9,10 +9,12 @@
 #   2. every documented `-exp NAME` must appear in
 #      `optique-bench -exp list`;
 #   3. every `BenchmarkXxx` name the docs cite must exist in a
-#      *_test.go file.
+#      *_test.go file;
+#   4. the race-detector package list in ROADMAP.md's "Concurrency
+#      verify" recipe must match the one CI actually runs.
 set -u
 
-DOCS="README.md EXPERIMENTS.md docs/starql.md docs/recovery.md docs/governance.md docs/vectorized.md"
+DOCS="README.md EXPERIMENTS.md docs/starql.md docs/recovery.md docs/governance.md docs/vectorized.md docs/observability.md"
 fail=0
 
 # ---- 1+2: flags on documented tool invocations ----
@@ -70,6 +72,21 @@ for doc in $DOCS; do
 		fi
 	done
 done
+
+# ---- 4: ROADMAP race recipe matches the CI race step ----
+
+roadmap_race=$(sed -n 's/.*go test -race //p' ROADMAP.md |
+	grep -oE '\./internal/[a-z]+/' | sort -u)
+ci_race=$(sed -n 's/.*go test -race //p' .github/workflows/ci.yml |
+	grep -oE '\./internal/[a-z]+/' | sort -u)
+if [ -z "$roadmap_race" ] || [ -z "$ci_race" ]; then
+	echo "check_docs: could not extract race package lists" >&2
+	fail=1
+elif [ "$roadmap_race" != "$ci_race" ]; then
+	echo "check_docs: ROADMAP.md concurrency-verify packages drifted from ci.yml:" >&2
+	diff <(printf '%s\n' "$roadmap_race") <(printf '%s\n' "$ci_race") >&2 || true
+	fail=1
+fi
 
 if [ "$fail" -ne 0 ]; then
 	echo "check_docs: FAILED — docs reference interfaces the tools don't report" >&2
