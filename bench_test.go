@@ -57,6 +57,19 @@ func BenchmarkFigure1EndToEnd(b *testing.B) {
 	b.Run("recorder=on", func(b *testing.B) {
 		runFigure1(b, optique.Config{Nodes: 1, FlightRecorder: 256})
 	})
+	// The optimize dimension prices the statistics-driven planner end to
+	// end (plancache=on doubles as the optimize=off baseline):
+	// constraint-pruned unfolding shrinks the registered fleet, and
+	// cost-based rewrites choose index scans and reorder lookup joins.
+	// analyze=on prices statistics collection alone — plans execute
+	// as-written while the stats store ingests windowed samples and
+	// cardinality feedback.
+	b.Run("optimize=on", func(b *testing.B) {
+		runFigure1(b, optique.Config{Nodes: 1, Optimize: true})
+	})
+	b.Run("analyze=on", func(b *testing.B) {
+		runFigure1(b, optique.Config{Nodes: 1, Analyze: true})
+	})
 	// The windowexec dimension isolates the window-execution path: the
 	// task's unfolded low-level fleet (Translation.StreamFleet — what the
 	// paper's engineers wrote by hand) registered directly on one

@@ -33,6 +33,7 @@ import (
 	"repro/internal/bootstrap"
 	"repro/internal/cluster"
 	"repro/internal/exastream"
+	"repro/internal/obda/mapping"
 	"repro/internal/rdf"
 	"repro/internal/relation"
 	"repro/internal/siemens"
@@ -138,13 +139,21 @@ var (
 	flightRecorder int
 )
 
+// optimizeOn/analyzeOn carry -optimize/-analyze into the full-system
+// experiments: constraint-pruned unfolding plus the statistics-driven
+// cost-based planner, or statistics collection alone.
+var (
+	optimizeOn bool
+	analyzeOn  bool
+)
+
 func main() {
 	exp := flag.String("exp", "all", "experiment: "+strings.Join(experiments, "|"))
 	maxQueries := flag.Int("maxqueries", 1024, "upper bound for the concurrency sweep")
 	maxNodes := flag.Int("maxnodes", 128, "upper bound for the node-scaling sweep")
 	benchPat := flag.String("bench", "Figure1EndToEnd|CompiledVsInterpreted|HavingMatcher", "benchmark pattern for -exp record")
 	benchTime := flag.String("benchtime", "2s", "benchtime for -exp record")
-	benchOut := flag.String("out", "BENCH_PR8.json", "output file for -exp record")
+	benchOut := flag.String("out", "BENCH_PR9.json", "output file for -exp record")
 	havingcompile := flag.Bool("havingcompile", true, "compile STARQL HAVING conditions to slot-frame matchers (false = tree interpreter)")
 	vectorized := flag.Bool("vectorized", true, "execute windows on the columnar batch path (false = tuple-at-a-time row path)")
 	telemetryAddr := flag.String("telemetry-addr", "", "serve /metrics, /traces and /debug/pprof on this address (e.g. localhost:6060; unauthenticated, \":port\" binds loopback)")
@@ -154,6 +163,8 @@ func main() {
 	flag.IntVar(&tenantQuota, "tenant-quota", 0, "max concurrently registered queries per tenant namespace (0 = off)")
 	flag.BoolVar(&explainTasks, "explain", false, "print the fleet lag table after each full-system test set")
 	flag.IntVar(&flightRecorder, "flight-recorder", 256, "per-node flight-recorder ring capacity in events (0 = off)")
+	flag.BoolVar(&optimizeOn, "optimize", false, "statistics-driven cost-based planning: constraint-pruned unfolding plus index-scan choice and lookup-join reordering (implies -analyze)")
+	flag.BoolVar(&analyzeOn, "analyze", false, "collect optimizer statistics without changing plans; EXPLAIN gains est-vs-obs rows")
 	flag.Parse()
 	interpretHaving = !*havingcompile
 	if !*vectorized {
@@ -228,8 +239,8 @@ func conciseness() {
 		log.Fatal(err)
 	}
 	tr := starql.NewTranslator(siemens.TBox(), siemens.Mappings(), cat)
-	fmt.Printf("%-24s %10s %10s %12s %12s %8s\n",
-		"task", "starql(B)", "fleet(#)", "fleet(B)", "bindings", "ratio")
+	fmt.Printf("%-24s %10s %10s %10s %12s %12s %8s\n",
+		"task", "starql(B)", "fleet(#)", "fleet_opt", "fleet(B)", "bindings", "ratio")
 	for _, task := range siemens.Catalog()[:8] {
 		q, err := starql.Parse(task.Query)
 		if err != nil {
@@ -238,6 +249,12 @@ func conciseness() {
 		out, err := tr.Translate(q, starql.Options{})
 		if err != nil {
 			log.Fatalf("%s: %v", task.ID, err)
+		}
+		// The same task unfolded under the declared exact-predicate and
+		// FK constraints — the optimizer's registration-time fleet.
+		pruned, err := tr.Translate(q, starql.Options{Unfold: mapping.UnfoldOptions{Prune: true}})
+		if err != nil {
+			log.Fatalf("%s (pruned): %v", task.ID, err)
 		}
 		bindings, err := tr.EvalBindings(out)
 		if err != nil {
@@ -251,9 +268,10 @@ func conciseness() {
 			fleetBytes += len(s.String())
 		}
 		n := len(out.StaticFleet) + len(out.StreamFleet)
+		nOpt := len(pruned.StaticFleet) + len(pruned.StreamFleet)
 		ratio := float64(fleetBytes) / float64(len(task.Query))
-		fmt.Printf("%-24s %10d %10d %12d %12d %7.1fx\n",
-			task.ID, len(task.Query), n, fleetBytes, len(bindings), ratio)
+		fmt.Printf("%-24s %10d %10d %10d %12d %12d %7.1fx\n",
+			task.ID, len(task.Query), n, nOpt, fleetBytes, len(bindings), ratio)
 	}
 }
 
@@ -434,7 +452,8 @@ func runTestSet(idx int) (int, int, float64, int64) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	scfg := optique.Config{Nodes: 4, InterpretHaving: interpretHaving, Vectorized: vecMode}
+	scfg := optique.Config{Nodes: 4, InterpretHaving: interpretHaving, Vectorized: vecMode,
+		Optimize: optimizeOn, Analyze: analyzeOn}
 	if recoveryOn {
 		scfg.CheckpointEvery = checkpointEvery
 	}

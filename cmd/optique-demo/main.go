@@ -60,6 +60,8 @@ var (
 var (
 	explainTasks   bool
 	flightRecorder int
+	optimizeOn     bool
+	analyzeOn      bool
 )
 
 // telemetrySrv is the running observability endpoint (nil without
@@ -85,6 +87,8 @@ func main() {
 	flag.IntVar(&tenantQuota, "tenant-quota", 0, "max concurrently registered tasks per tenant namespace (0 = off)")
 	flag.BoolVar(&explainTasks, "explain", false, "after the replay, print each task's EXPLAIN ANALYZE pipeline, the fleet lag table, and recent flight-recorder events")
 	flag.IntVar(&flightRecorder, "flight-recorder", 256, "per-node flight-recorder ring capacity in events (0 = off)")
+	flag.BoolVar(&optimizeOn, "optimize", false, "statistics-driven cost-based planning: constraint-pruned unfolding plus index-scan choice and lookup-join reordering (implies -analyze)")
+	flag.BoolVar(&analyzeOn, "analyze", false, "collect optimizer statistics (table histograms, stream samples, cardinality feedback) without changing plans; EXPLAIN gains est-vs-obs rows")
 	flag.Parse()
 	engineOpts = optique.EngineOptions{Parallelism: *parallelism, DisablePlanCache: !*plancache}
 	interpretHaving = !*havingcompile
@@ -124,7 +128,8 @@ func deploy(nodes, turbines int, inj optique.FaultInjector) (*optique.System, *s
 	if err != nil {
 		log.Fatal(err)
 	}
-	cfg := optique.Config{Nodes: nodes, Faults: inj, Engine: engineOpts, InterpretHaving: interpretHaving, Vectorized: vecMode}
+	cfg := optique.Config{Nodes: nodes, Faults: inj, Engine: engineOpts, InterpretHaving: interpretHaving, Vectorized: vecMode,
+		Optimize: optimizeOn, Analyze: analyzeOn}
 	if inj != nil {
 		cfg.MaxRestarts = -1
 	}

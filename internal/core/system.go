@@ -92,6 +92,20 @@ type Config struct {
 	// (see cluster.Options.FlightRecorder); the /events endpoint and
 	// System.Events dump the merged timeline. 0 disables recording.
 	FlightRecorder int
+
+	// Analyze turns on optimizer statistics collection on every node:
+	// ANALYZE passes over the static catalog plus windowed stream
+	// samples and observed-cardinality feedback. Queries still execute
+	// as-written; EXPLAIN ANALYZE gains estimated-vs-observed rows.
+	Analyze bool
+	// Optimize enables the statistics-driven cost-based planner end to
+	// end: unfolding applies the declared exact-predicate and FK
+	// constraints (provably-empty fleet branches dropped, redundant
+	// FK joins eliminated), and each node's engine rewrites cached
+	// plans by estimated cost (index-scan choice, lookup-join
+	// reordering). Implies Analyze. Off, translation and execution are
+	// exactly as-written — the differential oracle.
+	Optimize bool
 }
 
 // System is one OPTIQUE deployment.
@@ -173,6 +187,16 @@ func NewSystem(cfg Config, tbox *ontology.TBox, set *mapping.Set, catalog *relat
 	}
 	if cfg.Vectorized == exastream.VecOff {
 		engCfg.Vectorized = exastream.VecOff
+	}
+	if cfg.Optimize {
+		cfg.Analyze = true
+		engCfg.Optimize = true
+		// Constraint-driven fleet pruning at translation time; the FK
+		// emptiness probes run against the deployment catalog.
+		cfg.Translate.Unfold.Prune = true
+	}
+	if cfg.Analyze {
+		engCfg.Analyze = true
 	}
 	cfg.Engine = engCfg
 	cl, err := cluster.New(cluster.Options{
@@ -616,8 +640,9 @@ func (s *System) Explain(taskID string, analyze bool) (string, error) {
 	r, u := tl.RewriteStats, tl.UnfoldStats
 	fmt.Fprintf(&sb, "rewrite (PerfectRef): generated=%d result=%d atom_steps=%d reduce_steps=%d\n",
 		r.Generated, r.Result, r.AtomSteps, r.ReduceSteps)
-	fmt.Fprintf(&sb, "unfold: cqs=%d combinations=%d pruned=%d fleet=%d self_joins_removed=%d unmapped_atoms=%d\n",
-		u.CQs, u.Combinations, u.Pruned, u.FleetSize, u.SelfJoinsRemoved, u.UnmappedAtoms)
+	fmt.Fprintf(&sb, "unfold: cqs=%d combinations=%d pruned=%d fleet=%d self_joins_removed=%d unmapped_atoms=%d constraint_pruned=%d fk_joins_removed=%d\n",
+		u.CQs, u.Combinations, u.Pruned, u.FleetSize, u.SelfJoinsRemoved, u.UnmappedAtoms,
+		u.ConstraintPruned, u.FKJoinsRemoved)
 	switch {
 	case task.CompiledHaving():
 		sb.WriteString("having: compiled matcher\n")

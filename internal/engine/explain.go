@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"math"
 	"strings"
 	"time"
 )
@@ -36,6 +37,8 @@ func kindOf(p Plan) OpKind {
 		return OpLimit
 	case *UnionPlan:
 		return OpUnion
+	case *IndexScanPlan:
+		return OpIndexScan
 	}
 	return -1
 }
@@ -64,6 +67,14 @@ func Vectorizable(p Plan) bool { return canVectorize(p) }
 // ExecContext.Vectorized (interior nodes of such a subtree run fused,
 // so their wall time reports under the subtree root).
 func ExplainAnalyze(p Plan, stats *ExecStats, vectorized bool) string {
+	return ExplainAnalyzeWithEstimates(p, stats, vectorized, nil)
+}
+
+// ExplainAnalyzeWithEstimates renders ExplainAnalyze with the cost
+// model's per-node estimates alongside the observed counters
+// (`est_rows=` next to `rows=`), so misestimates are visible at a
+// glance. A nil Estimates renders exactly like ExplainAnalyze.
+func ExplainAnalyzeWithEstimates(p Plan, stats *ExecStats, vectorized bool, est Estimates) string {
 	kindCount := make(map[OpKind]int)
 	var count func(Plan)
 	count = func(p Plan) {
@@ -89,9 +100,23 @@ func ExplainAnalyze(p Plan, stats *ExecStats, vectorized bool) string {
 		k := kindOf(p)
 		if k >= 0 && stats != nil {
 			c := stats.Ops[k]
-			fmt.Fprintf(&sb, "  calls=%d rows=%d", c.Calls, c.RowsOut)
-			if in, ok := inputRows(p, stats, kindCount); ok && in > 0 {
-				fmt.Fprintf(&sb, " sel=%.1f%%", 100*float64(c.RowsOut)/float64(in))
+			fmt.Fprintf(&sb, "  calls=%d", c.Calls)
+			if e, ok := est[p]; ok {
+				// Estimates are per window tick; observed rows aggregate
+				// over calls, so scale for an apples-to-apples column.
+				perCall := e.EstRows * float64(c.Calls)
+				fmt.Fprintf(&sb, " est_rows=%.0f obs_rows=%d", perCall, c.RowsOut)
+			} else {
+				fmt.Fprintf(&sb, " rows=%d", c.RowsOut)
+			}
+			// Selectivity only renders for operators that actually ran:
+			// a pruned or never-ticked operator has calls=0 and rows=0,
+			// and 0/0 must not leak a NaN into the output.
+			if in, ok := inputRows(p, stats, kindCount); ok && in > 0 && c.Calls > 0 {
+				sel := 100 * float64(c.RowsOut) / float64(in)
+				if !math.IsNaN(sel) && !math.IsInf(sel, 0) {
+					fmt.Fprintf(&sb, " sel=%.1f%%", sel)
+				}
 			}
 			if c.WallNS > 0 {
 				fmt.Fprintf(&sb, " time=%s", time.Duration(c.WallNS).Round(time.Microsecond))

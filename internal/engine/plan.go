@@ -29,13 +29,14 @@ const (
 	OpDistinct
 	OpLimit
 	OpUnion
+	OpIndexScan
 	NumOpKinds // array bound, keep last
 )
 
 var opKindNames = [NumOpKinds]string{
 	"scan", "values", "window_source", "filter", "project",
 	"hash_join", "nested_join", "lookup_join", "aggregate",
-	"sort", "distinct", "limit", "union",
+	"sort", "distinct", "limit", "union", "index_scan",
 }
 
 func (k OpKind) String() string {
@@ -84,8 +85,8 @@ func (s *ExecStats) produced(k OpKind, n int) {
 
 // Add folds another execution's counters into s. exastream uses it to
 // accumulate per-query stats across windows — the observed
-// cardinalities EXPLAIN ANALYZE renders and the seed for the
-// stats-driven planner.
+// cardinalities EXPLAIN ANALYZE renders and StatsStore.Feedback folds
+// back into the cost model (see stats.go).
 func (s *ExecStats) Add(o *ExecStats) {
 	s.RowsScanned += o.RowsScanned
 	s.RowsProduced += o.RowsProduced

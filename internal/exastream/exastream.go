@@ -225,6 +225,18 @@ type Options struct {
 	// executions, degradations, and quarantines leave events in its
 	// ring. Nil (the default) disables recording at zero cost.
 	Recorder *telemetry.Recorder
+	// Analyze collects optimizer statistics: static tables get an
+	// ANALYZE pass (row counts, per-column NDV, equi-depth histograms)
+	// and every window execution feeds observed cardinalities and
+	// stream samples back into the store. Plans still execute
+	// as-written; EXPLAIN ANALYZE gains an estimated-vs-observed
+	// column.
+	Analyze bool
+	// Optimize enables the statistics-driven cost-based planner:
+	// cached plans are rewritten after adaptation (index-scan vs
+	// full-scan choice, lookup-join reordering by estimated matches
+	// per probe). Implies Analyze.
+	Optimize bool
 }
 
 // Engine is one ExaStream instance (one per worker node in the cluster).
@@ -251,6 +263,11 @@ type Engine struct {
 	govActive int32
 	reg       *telemetry.Registry
 	met       *metrics
+
+	// stats is the optimizer statistics store (nil unless Analyze or
+	// Optimize is set): ANALYZE-pass table stats, windowed stream
+	// samples, and observed-cardinality feedback from executions.
+	stats *engine.StatsStore
 }
 
 // windowKey identifies one windowing pass. owner is "" for the normal
@@ -314,7 +331,8 @@ type continuousQuery struct {
 	plan   *cachedPlan
 	// cum accumulates per-operator stats across this query's window
 	// executions (guarded by execMu) — the observed cardinalities
-	// EXPLAIN ANALYZE renders and the stats-driven planner will read.
+	// EXPLAIN ANALYZE renders against the planner's estimates; the
+	// per-execution snapshots also feed StatsStore.Feedback.
 	// windows/rowsOutTotal/lastEnd summarize successful executions for
 	// the lag view.
 	cum          engine.ExecStats
@@ -360,6 +378,14 @@ func NewEngine(cat *relation.Catalog, opts Options) *Engine {
 	if opts.WCacheBudget > 0 {
 		wc.SetBudget(opts.WCacheBudget)
 	}
+	if opts.Optimize {
+		opts.Analyze = true
+	}
+	var stats *engine.StatsStore
+	if opts.Analyze {
+		stats = engine.NewStatsStore(cat)
+		stats.Analyze()
+	}
 	return &Engine{
 		catalog:   cat,
 		funcs:     engine.NewFuncRegistry(),
@@ -373,6 +399,7 @@ func NewEngine(cat *relation.Catalog, opts Options) *Engine {
 		probes:    make(map[string]int),
 		reg:       reg,
 		met:       met,
+		stats:     stats,
 	}
 }
 
@@ -848,11 +875,28 @@ func (e *Engine) buildPlan(q *continuousQuery) (*cachedPlan, error) {
 	if err != nil {
 		return nil, err
 	}
-	adapted, probes := e.adaptPlan(built)
+	adapted, probes := e.finishPlan(built)
 	return &cachedPlan{
 		built: built, adapted: adapted, sources: sources, probes: probes,
 		epoch: atomic.LoadInt64(&e.indexEpoch), gen: e.catalog.Generation(),
 	}, nil
+}
+
+// finishPlan runs the physical rewrites that follow Build: adaptive
+// join adaptation always, then — when the cost-based planner is on —
+// the statistics-driven rewrite (index-scan choice, lookup-join
+// reordering). Cost-based index scans are lookups too, so their
+// patterns are registered with the adaptive indexer and a hot pattern
+// still earns a real index.
+func (e *Engine) finishPlan(built engine.Plan) (engine.Plan, []probe) {
+	adapted, probes := e.adaptPlan(built)
+	if e.opts.Optimize && e.stats != nil {
+		adapted = engine.OptimizeWithStats(adapted, e.stats)
+		for _, is := range engine.CollectIndexScans(adapted) {
+			probes = append(probes, probe{table: is.Table, cols: is.Cols})
+		}
+	}
+	return adapted, probes
 }
 
 // executeItem evaluates one ready window of one query on its cached
@@ -887,7 +931,7 @@ func (e *Engine) executeItem(it execItem) error {
 	case cp.epoch != epoch:
 		// Adaptive indexing built an index since this plan was adapted:
 		// re-run adaptation so eligible scans become index lookups.
-		cp.adapted, cp.probes = e.adaptPlan(cp.built)
+		cp.adapted, cp.probes = e.finishPlan(cp.built)
 		cp.epoch = epoch
 		e.met.planReadapts.Inc()
 	default:
@@ -906,6 +950,9 @@ func (e *Engine) executeItem(it execItem) error {
 				src.BindColumns(it.batches[i].Columns())
 			}
 			rowsIn += len(it.batches[i].Rows)
+			// Windowed sample for the stats store: EWMA rows per window
+			// plus per-column NDV of this batch.
+			e.stats.ObserveSource(src.Name, src.Schema(), it.batches[i].Rows)
 		}
 	}
 	ctx := q.execCtx
@@ -921,6 +968,7 @@ func (e *Engine) executeItem(it execItem) error {
 	e.met.indexLookups.Add(ctx.Stats.IndexLookups)
 	e.foldOpStats(&ctx.Stats)
 	q.cum.Add(&ctx.Stats)
+	e.stats.Feedback(&ctx.Stats)
 	if err != nil {
 		span.SetAttr("error", err.Error())
 		span.End()

@@ -13,8 +13,8 @@ import (
 // QueryStats returns the per-operator stats accumulated across a
 // query's window executions so far, plus how many windows contributed.
 // The differential oracle test compares these between the vectorized
-// and row paths; the stats-driven planner will read them as observed
-// cardinalities.
+// and row paths; the stats-driven planner consumes the same counters
+// as observed cardinalities via StatsStore.Feedback.
 func (e *Engine) QueryStats(id string) (stats engine.ExecStats, windows int64, err error) {
 	e.mu.Lock()
 	q, ok := e.queries[id]
@@ -69,7 +69,13 @@ func (e *Engine) ExplainQuery(id string, analyze bool) (string, error) {
 	if analyze {
 		fmt.Fprintf(&sb, "-- executed: windows=%d rows_out=%d last_window_end=%dms\n",
 			windows, rowsOut, lastEnd)
-		sb.WriteString(engine.ExplainAnalyze(cp.adapted, &cum, vec))
+		// With a stats store present, annotate each operator with the
+		// planner's estimated rows next to the observed ones.
+		var est engine.Estimates
+		if e.stats != nil {
+			est = engine.EstimatePlan(cp.adapted, e.stats)
+		}
+		sb.WriteString(engine.ExplainAnalyzeWithEstimates(cp.adapted, &cum, vec, est))
 	} else {
 		sb.WriteString(engine.ExplainAnalyze(cp.adapted, nil, vec))
 	}

@@ -38,6 +38,29 @@ type Mapping struct {
 	// When two atoms of one unfolded query scan the same source joined on
 	// the full key, the self-join is eliminated.
 	KeyColumns []string
+
+	// Exact marks an exact-predicate constraint (Hovland et al., "OBDA
+	// Constraints for Effective Query Answering"): this mapping's source
+	// yields *all* instances of Pred, so under set semantics every other
+	// mapping for the same predicate is redundant and unfolding may skip
+	// the union branches they would generate.
+	Exact bool
+
+	// FKs declares inclusion dependencies (foreign keys) of the source:
+	// each row's Columns tuple appears in RefTable.RefColumns, and the
+	// Columns are non-null. Unfolding uses them two ways: a join against
+	// RefTable equated on the full FK whose target is keyed by RefColumns
+	// is redundant and removed, and a branch whose FK columns are pinned
+	// to constants absent from RefTable is provably empty and dropped at
+	// registration time.
+	FKs []ForeignKey
+}
+
+// ForeignKey is an inclusion dependency declared on a mapping's source.
+type ForeignKey struct {
+	Columns    []string // source columns (non-null by declaration)
+	RefTable   string   // referenced static table
+	RefColumns []string // referenced columns, same arity as Columns
 }
 
 // SourceRef is the relational source of a mapping.
@@ -77,6 +100,11 @@ func (m Mapping) Validate() error {
 		}
 		if m.ObjectIsData && !m.Object.IsRawColumn() {
 			return fmt.Errorf("mapping %s: data property object must be a raw column", m.ID)
+		}
+	}
+	for _, fk := range m.FKs {
+		if len(fk.Columns) == 0 || fk.RefTable == "" || len(fk.Columns) != len(fk.RefColumns) {
+			return fmt.Errorf("mapping %s: malformed foreign key %v", m.ID, fk)
 		}
 	}
 	return nil

@@ -16,6 +16,16 @@ type UnfoldOptions struct {
 	// KeepSelfJoins disables self-join elimination; the ablation
 	// benchmarks compare against it.
 	KeepSelfJoins bool
+	// Prune enables constraint-driven fleet pruning: exact-predicate
+	// mappings restrict the candidate set per atom, contradictory
+	// constant equalities and FK-implied empty branches are dropped, and
+	// FK joins against a keyed parent are eliminated. Off, the fleet is
+	// emitted exactly as-written (the differential oracle).
+	Prune bool
+	// Catalog supplies the static relations that FK emptiness probes run
+	// against at registration time; nil disables the probes (the other
+	// constraint rewrites still apply).
+	Catalog *relation.Catalog
 }
 
 // UnfoldStats reports what unfolding did — the size of the paper's
@@ -27,6 +37,13 @@ type UnfoldStats struct {
 	FleetSize        int // SQL queries generated
 	SelfJoinsRemoved int
 	UnmappedAtoms    int // CQ disjuncts dropped because an atom had no mapping
+	// ConstraintPruned counts union branches dropped by declared
+	// constraints: exact-predicate restriction, contradictory constants,
+	// and FK emptiness probes.
+	ConstraintPruned int
+	// FKJoinsRemoved counts redundant joins eliminated through declared
+	// foreign keys (child joined to a keyed parent on the full FK).
+	FKJoinsRemoved int
 }
 
 // Unfold translates an enriched UCQ into a fleet of SQL(+) SELECT
@@ -61,6 +78,9 @@ func Unfold(u cq.UCQ, set *Set, opts UnfoldOptions) ([]*sql.SelectStmt, UnfoldSt
 			stats.UnmappedAtoms++
 			continue
 		}
+		if opts.Prune {
+			restrictExact(candidates, &stats)
+		}
 		// Enumerate the cartesian product of per-atom mapping choices.
 		combo := make([]Mapping, len(q.Body))
 		var enumerate func(i int) error
@@ -70,13 +90,15 @@ func Unfold(u cq.UCQ, set *Set, opts UnfoldOptions) ([]*sql.SelectStmt, UnfoldSt
 			}
 			if i == len(q.Body) {
 				stats.Combinations++
+				beforeConstraint := stats.ConstraintPruned
 				stmt, ok, err := unfoldCombination(q, combo, opts, &stats)
 				if err != nil {
 					return err
 				}
-				if ok {
+				switch {
+				case ok:
 					fleet = append(fleet, stmt)
-				} else {
+				case stats.ConstraintPruned == beforeConstraint:
 					stats.Pruned++
 				}
 				return nil
@@ -226,7 +248,34 @@ func unfoldCombination(q cq.CQ, combo []Mapping, opts UnfoldOptions, stats *Unfo
 		removed := eliminateSelfJoins(stmt, combo, aliases)
 		stats.SelfJoinsRemoved += removed
 	}
+	if opts.Prune {
+		// Re-derive the (mapping, alias) pairing: self-join elimination
+		// drops FROM items without updating our local slices.
+		curCombo, curAliases := alignCombo(stmt, combo, aliases)
+		if provablyEmpty(stmt, curCombo, curAliases, opts.Catalog) {
+			stats.ConstraintPruned++
+			return nil, false, nil
+		}
+		stats.FKJoinsRemoved += eliminateFKJoins(stmt, curCombo, curAliases)
+	}
 	return stmt, true, nil
+}
+
+// alignCombo pairs the statement's surviving FROM aliases back with
+// their mappings.
+func alignCombo(stmt *sql.SelectStmt, combo []Mapping, aliases []string) ([]Mapping, []string) {
+	outM := make([]Mapping, 0, len(stmt.From))
+	outA := make([]string, 0, len(stmt.From))
+	for _, tr := range stmt.From {
+		for i, a := range aliases {
+			if a == tr.Alias {
+				outM = append(outM, combo[i])
+				outA = append(outA, a)
+				break
+			}
+		}
+	}
+	return outM, outA
 }
 
 // filterCond translates one CQ filter into a SQL condition over the

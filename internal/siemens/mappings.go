@@ -25,6 +25,19 @@ func Mappings() *mapping.Set {
 		return sql.Bin("=", sql.Col(col), sql.Lit(relation.String_(kind)))
 	}
 
+	// Inclusion dependencies of the static schemas (every sensor belongs
+	// to an assembly, every assembly to a turbine; likewise on source B).
+	// Declared on each mapping reading the child table so constraint
+	// pruning can eliminate redundant parent joins.
+	fkSensorsA := []mapping.ForeignKey{{Columns: []string{"aid"},
+		RefTable: "a_assemblies", RefColumns: []string{"aid"}}}
+	fkChannelsB := []mapping.ForeignKey{{Columns: []string{"part_id"},
+		RefTable: "b_parts", RefColumns: []string{"part_id"}}}
+	fkAssembliesA := []mapping.ForeignKey{{Columns: []string{"tid"},
+		RefTable: "a_turbines", RefColumns: []string{"tid"}}}
+	fkPartsB := []mapping.ForeignKey{{Columns: []string{"unit_id"},
+		RefTable: "b_units", RefColumns: []string{"unit_id"}}}
+
 	ms := []mapping.Mapping{
 		// Turbine from both sources.
 		{ID: "turbineA", Pred: NS + "Turbine", IsClass: true,
@@ -37,36 +50,40 @@ func Mappings() *mapping.Set {
 		// Assembly from both sources.
 		{ID: "assemblyA", Pred: NS + "Assembly", IsClass: true,
 			Subject: assemblyT, Source: mapping.SourceRef{Table: "a_assemblies"},
-			KeyColumns: []string{"aid"}},
+			KeyColumns: []string{"aid"}, FKs: fkAssembliesA},
 		{ID: "assemblyB", Pred: NS + "Assembly", IsClass: true,
 			Subject: assemblyB, Source: mapping.SourceRef{Table: "b_parts"},
-			KeyColumns: []string{"part_id"}},
+			KeyColumns: []string{"part_id"}, FKs: fkPartsB},
 
 		// Sensor from both sources.
 		{ID: "sensorA", Pred: NS + "Sensor", IsClass: true,
 			Subject: sensorT, Source: mapping.SourceRef{Table: "a_sensors"},
-			KeyColumns: []string{"sid"}},
+			KeyColumns: []string{"sid"}, FKs: fkSensorsA},
 		{ID: "sensorB", Pred: NS + "Sensor", IsClass: true,
 			Subject: sensorB, Source: mapping.SourceRef{Table: "b_channels"},
-			KeyColumns: []string{"chan_id"}},
+			KeyColumns: []string{"chan_id"}, FKs: fkChannelsB},
 
 		// inAssembly: assembly -> sensor (the paper's Figure 1 direction).
 		{ID: "inAssemblyA", Pred: NS + "inAssembly",
 			Subject: mapping.MustParseTemplate(DataNS + "assembly/{aid}"),
 			Object:  sensorT,
-			Source:  mapping.SourceRef{Table: "a_sensors"}, KeyColumns: []string{"sid"}},
+			Source:  mapping.SourceRef{Table: "a_sensors"}, KeyColumns: []string{"sid"},
+			FKs: fkSensorsA},
 		{ID: "inAssemblyB", Pred: NS + "inAssembly",
 			Subject: mapping.MustParseTemplate(DataNS + "assembly/{part_id}"),
 			Object:  sensorB,
-			Source:  mapping.SourceRef{Table: "b_channels"}, KeyColumns: []string{"chan_id"}},
+			Source:  mapping.SourceRef{Table: "b_channels"}, KeyColumns: []string{"chan_id"},
+			FKs: fkChannelsB},
 
 		// inTurbine: assembly -> turbine.
 		{ID: "inTurbineA", Pred: NS + "inTurbine",
 			Subject: assemblyT, Object: turbineT,
-			Source: mapping.SourceRef{Table: "a_assemblies"}, KeyColumns: []string{"aid"}},
+			Source: mapping.SourceRef{Table: "a_assemblies"}, KeyColumns: []string{"aid"},
+			FKs: fkAssembliesA},
 		{ID: "inTurbineB", Pred: NS + "inTurbine",
 			Subject: assemblyB, Object: mapping.MustParseTemplate(DataNS + "turbine/{unit_id}"),
-			Source: mapping.SourceRef{Table: "b_parts"}, KeyColumns: []string{"part_id"}},
+			Source: mapping.SourceRef{Table: "b_parts"}, KeyColumns: []string{"part_id"},
+			FKs: fkPartsB},
 
 		// Model data property.
 		{ID: "modelA", Pred: NS + "hasModel",
@@ -76,23 +93,36 @@ func Mappings() *mapping.Set {
 			Subject: turbineTB, Object: mapping.MustParseTemplate("{unit_model}"), ObjectIsData: true,
 			Source: mapping.SourceRef{Table: "b_units"}, KeyColumns: []string{"unit_id"}},
 
-		// Streaming measurement value from both streams.
+		// Streaming measurement value from both streams. Each stream's
+		// sensor id column is declared as an inclusion dependency into its
+		// source's static sensor table: msmt_a only ever carries source-A
+		// sensor ids and msmt_b only source-B channel numbers (streamgen
+		// routes by the sensor's source). Constraint pruning probes these
+		// at registration time to drop the cross-source fleet members.
 		{ID: "valueA", Pred: NS + "hasValue",
 			Subject: sensorSA, Object: mapping.MustParseTemplate("{val}"), ObjectIsData: true,
-			Source: mapping.SourceRef{Table: "msmt_a", IsStream: true}},
+			Source: mapping.SourceRef{Table: "msmt_a", IsStream: true},
+			FKs: []mapping.ForeignKey{{Columns: []string{"sid"},
+				RefTable: "a_sensors", RefColumns: []string{"sid"}}}},
 		{ID: "valueB", Pred: NS + "hasValue",
 			Subject: sensorSB, Object: mapping.MustParseTemplate("{reading}"), ObjectIsData: true,
-			Source: mapping.SourceRef{Table: "msmt_b", IsStream: true}},
+			Source: mapping.SourceRef{Table: "msmt_b", IsStream: true},
+			FKs: []mapping.ForeignKey{{Columns: []string{"chan_nr"},
+				RefTable: "b_channels", RefColumns: []string{"chan_id"}}}},
 
 		// Failure flag from both streams.
 		{ID: "failureA", Pred: NS + "showsFailure",
 			Subject: sensorSA, Object: mapping.MustParseTemplate("{fail}"), ObjectIsData: true,
 			Source: mapping.SourceRef{Table: "msmt_a", IsStream: true,
-				Where: sql.Bin("=", sql.Col("fail"), sql.Lit(relation.Int(1)))}},
+				Where: sql.Bin("=", sql.Col("fail"), sql.Lit(relation.Int(1)))},
+			FKs: []mapping.ForeignKey{{Columns: []string{"sid"},
+				RefTable: "a_sensors", RefColumns: []string{"sid"}}}},
 		{ID: "failureB", Pred: NS + "showsFailure",
 			Subject: sensorSB, Object: mapping.MustParseTemplate("{status}"), ObjectIsData: true,
 			Source: mapping.SourceRef{Table: "msmt_b", IsStream: true,
-				Where: sql.Bin("=", sql.Col("status"), sql.Lit(relation.Int(1)))}},
+				Where: sql.Bin("=", sql.Col("status"), sql.Lit(relation.Int(1)))},
+			FKs: []mapping.ForeignKey{{Columns: []string{"chan_nr"},
+				RefTable: "b_channels", RefColumns: []string{"chan_id"}}}},
 	}
 
 	// Sensor-kind subclasses from both sources, via kind filters.
@@ -110,14 +140,14 @@ func Mappings() *mapping.Set {
 				Subject: sensorT,
 				Source: mapping.SourceRef{Table: "a_sensors",
 					Where: kindFilter("kind", kind)},
-				KeyColumns: []string{"sid"},
+				KeyColumns: []string{"sid"}, FKs: fkSensorsA,
 			},
 			mapping.Mapping{
 				ID: "kindB:" + kind, Pred: NS + class, IsClass: true,
 				Subject: sensorB,
 				Source: mapping.SourceRef{Table: "b_channels",
 					Where: kindFilter("chan_type", kind)},
-				KeyColumns: []string{"chan_id"},
+				KeyColumns: []string{"chan_id"}, FKs: fkChannelsB,
 			},
 		)
 	}

@@ -145,8 +145,12 @@ func (tr *Translator) Translate(q *Query, opts Options) (*Translation, error) {
 		SetAttr("reduce_steps", rstats.ReduceSteps)
 	rspan.End()
 
+	uopts := opts.Unfold
+	if uopts.Prune && uopts.Catalog == nil {
+		uopts.Catalog = tr.Catalog
+	}
 	uspan := opts.Trace.StartSpan("unfold")
-	fleet, ustats, err := mapping.Unfold(enriched, tr.Mappings, opts.Unfold)
+	fleet, ustats, err := mapping.Unfold(enriched, tr.Mappings, uopts)
 	if err != nil {
 		uspan.SetAttr("error", err.Error())
 		uspan.End()
@@ -157,9 +161,10 @@ func (tr *Translator) Translate(q *Query, opts Options) (*Translation, error) {
 	uspan.SetAttr("cqs", ustats.CQs).
 		SetAttr("combinations", ustats.Combinations).
 		SetAttr("pruned", ustats.Pruned).
+		SetAttr("constraint_pruned", ustats.ConstraintPruned).
+		SetAttr("fk_joins_removed", ustats.FKJoinsRemoved).
 		SetAttr("fleet_size", ustats.FleetSize)
 	uspan.End()
-	tr.recordStats(rstats, ustats)
 
 	sc := q.Streams[0]
 	out.Window = stream.WindowSpec{RangeMS: sc.RangeMS, SlideMS: sc.SlideMS}
@@ -175,11 +180,12 @@ func (tr *Translator) Translate(q *Query, opts Options) (*Translation, error) {
 				return nil, err
 			}
 		}
-		out.StreamFleet, err = tr.streamFleet(q, bindings)
+		out.StreamFleet, err = tr.streamFleet(q, bindings, uopts, &out.UnfoldStats)
 		if err != nil {
 			return nil, err
 		}
 	}
+	tr.recordStats(rstats, out.UnfoldStats)
 	return out, nil
 }
 
@@ -196,6 +202,8 @@ func (tr *Translator) recordStats(r rewrite.Stats, u mapping.UnfoldStats) {
 	tr.Metrics.Counter("starql.rewrite.reduce_steps").Add(int64(r.ReduceSteps))
 	tr.Metrics.Counter("starql.unfold.combinations").Add(int64(u.Combinations))
 	tr.Metrics.Counter("starql.unfold.pruned").Add(int64(u.Pruned))
+	tr.Metrics.Counter("starql.unfold.constraint_pruned").Add(int64(u.ConstraintPruned))
+	tr.Metrics.Counter("starql.unfold.fk_joins_removed").Add(int64(u.FKJoinsRemoved))
 	tr.Metrics.Counter("starql.unfold.unmapped_atoms").Add(int64(u.UnmappedAtoms))
 	tr.Metrics.Histogram("starql.rewrite.ucq_size", telemetry.SizeBuckets).Observe(float64(r.Result))
 	tr.Metrics.Histogram("starql.unfold.fleet_size", telemetry.SizeBuckets).Observe(float64(u.FleetSize))
@@ -343,7 +351,15 @@ func (q *Query) HavingStreamPredicates() []string {
 // of that predicate, one SQL(+) query that an engineer would otherwise
 // write by hand (the paper: "a fleet with hundreds of queries ...
 // semantically the same but syntactically different").
-func (tr *Translator) streamFleet(q *Query, bindings []Binding) ([]*sql.SelectStmt, error) {
+//
+// With uopts.Prune set, members whose inverted-subject constants
+// violate a declared FK constraint of the stream mapping are dropped
+// before registration: the FK says every stream tuple's key appears in
+// a referenced static table, so a member pinned to a key absent from
+// that table can never produce a row. This is where the Figure 1 fleet
+// shrinks — each sensor binding only feeds the stream its source
+// actually routes to.
+func (tr *Translator) streamFleet(q *Query, bindings []Binding, uopts mapping.UnfoldOptions, ustats *mapping.UnfoldStats) ([]*sql.SelectStmt, error) {
 	sc := q.Streams[0]
 	preds := q.HavingStreamPredicates()
 	var fleet []*sql.SelectStmt
@@ -372,10 +388,19 @@ func (tr *Translator) streamFleet(q *Query, bindings []Binding) ([]*sql.SelectSt
 						Window: &sql.WindowSpec{RangeMS: sc.RangeMS, SlideMS: sc.SlideMS},
 					}}
 					var conds []sql.Expr
+					consts := map[string]relation.Value{}
 					for i, seg := range segs {
+						lit := segmentLit(seg)
 						conds = append(conds, sql.Bin("=",
 							&sql.ColumnRef{Table: alias, Name: m.Subject.Columns[i]},
-							segmentLit(seg)))
+							lit))
+						if l, ok := lit.(*sql.Literal); ok {
+							consts[strings.ToLower(m.Subject.Columns[i])] = l.Value
+						}
+					}
+					if uopts.Prune && fkProvesEmpty(m, consts, tr.Catalog) {
+						ustats.ConstraintPruned++
+						continue
 					}
 					if m.Source.Where != nil {
 						conds = append(conds, qualify(m.Source.Where, alias))
@@ -396,6 +421,40 @@ func (tr *Translator) streamFleet(q *Query, bindings []Binding) ([]*sql.SelectSt
 		}
 	}
 	return fleet, nil
+}
+
+// fkProvesEmpty reports whether a stream member pinned to the given
+// column constants is provably empty under one of the mapping's
+// declared FK constraints: all FK columns pinned, and the referenced
+// static table holds no matching row.
+func fkProvesEmpty(m mapping.Mapping, consts map[string]relation.Value, cat *relation.Catalog) bool {
+	if cat == nil {
+		return false
+	}
+	for _, fk := range m.FKs {
+		vals := make([]relation.Value, len(fk.Columns))
+		covered := true
+		for k, col := range fk.Columns {
+			v, ok := consts[strings.ToLower(col)]
+			if !ok {
+				covered = false
+				break
+			}
+			vals[k] = v
+		}
+		if !covered {
+			continue
+		}
+		ref, err := cat.Get(fk.RefTable)
+		if err != nil {
+			continue
+		}
+		matches, _, err := ref.Lookup(fk.RefColumns, vals)
+		if err == nil && len(matches) == 0 {
+			return true
+		}
+	}
+	return false
 }
 
 func segmentLit(seg string) sql.Expr {
