@@ -70,6 +70,14 @@ func BenchmarkFigure1EndToEnd(b *testing.B) {
 	b.Run("analyze=on", func(b *testing.B) {
 		runFigure1(b, optique.Config{Nodes: 1, Analyze: true})
 	})
+	// The transport dimension prices the framed TCP node transport over
+	// loopback — length-prefixed checksummed frames, per-session seqs,
+	// acks, heartbeats — against the in-process channel hop (plancache=on
+	// doubles as the transport=channel baseline). The acceptance bar is
+	// ≤15% ingest overhead over that baseline.
+	b.Run("transport=tcp", func(b *testing.B) {
+		runFigure1(b, optique.Config{Nodes: 1, Transport: cluster.TransportTCP})
+	})
 	// The windowexec dimension isolates the window-execution path: the
 	// task's unfolded low-level fleet (Translation.StreamFleet — what the
 	// paper's engineers wrote by hand) registered directly on one

@@ -147,13 +147,21 @@ var (
 	analyzeOn  bool
 )
 
+// transportKind/listenAddr carry -transport/-listen into the
+// full-system experiments: the in-process channel hop (default) or
+// framed TCP sessions, so sweeps can price the wire.
+var (
+	transportKind cluster.TransportKind
+	listenAddr    string
+)
+
 func main() {
 	exp := flag.String("exp", "all", "experiment: "+strings.Join(experiments, "|"))
 	maxQueries := flag.Int("maxqueries", 1024, "upper bound for the concurrency sweep")
 	maxNodes := flag.Int("maxnodes", 128, "upper bound for the node-scaling sweep")
 	benchPat := flag.String("bench", "Figure1EndToEnd|CompiledVsInterpreted|HavingMatcher", "benchmark pattern for -exp record")
 	benchTime := flag.String("benchtime", "2s", "benchtime for -exp record")
-	benchOut := flag.String("out", "BENCH_PR9.json", "output file for -exp record")
+	benchOut := flag.String("out", "BENCH_PR10.json", "output file for -exp record")
 	havingcompile := flag.Bool("havingcompile", true, "compile STARQL HAVING conditions to slot-frame matchers (false = tree interpreter)")
 	vectorized := flag.Bool("vectorized", true, "execute windows on the columnar batch path (false = tuple-at-a-time row path)")
 	telemetryAddr := flag.String("telemetry-addr", "", "serve /metrics, /traces and /debug/pprof on this address (e.g. localhost:6060; unauthenticated, \":port\" binds loopback)")
@@ -165,7 +173,13 @@ func main() {
 	flag.IntVar(&flightRecorder, "flight-recorder", 256, "per-node flight-recorder ring capacity in events (0 = off)")
 	flag.BoolVar(&optimizeOn, "optimize", false, "statistics-driven cost-based planning: constraint-pruned unfolding plus index-scan choice and lookup-join reordering (implies -analyze)")
 	flag.BoolVar(&analyzeOn, "analyze", false, "collect optimizer statistics without changing plans; EXPLAIN gains est-vs-obs rows")
+	transportName := flag.String("transport", "channel", "node transport: channel (in-process) or tcp (framed loopback sessions with failure detection)")
+	flag.StringVar(&listenAddr, "listen", "", "bind address for -transport=tcp (default 127.0.0.1:0)")
 	flag.Parse()
+	var err error
+	if transportKind, err = cluster.ParseTransport(*transportName); err != nil {
+		log.Fatal(err)
+	}
 	interpretHaving = !*havingcompile
 	if !*vectorized {
 		vecMode = exastream.VecOff
@@ -462,6 +476,8 @@ func runTestSet(idx int) (int, int, float64, int64) {
 		scfg.TenantQuota = cluster.TenantQuota{MaxQueries: tenantQuota}
 	}
 	scfg.FlightRecorder = flightRecorder
+	scfg.Transport = transportKind
+	scfg.Listen = listenAddr
 	sys, err := optique.NewSystem(scfg, siemens.TBox(), siemens.Mappings(), cat)
 	if err != nil {
 		log.Fatal(err)

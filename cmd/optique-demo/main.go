@@ -64,6 +64,14 @@ var (
 	analyzeOn      bool
 )
 
+// transportKind/listenAddr carry the -transport/-listen flags into
+// deploy: the in-process channel hop (default) or framed TCP sessions
+// with heartbeat failure detection and suspicion-triggered failover.
+var (
+	transportKind cluster.TransportKind
+	listenAddr    string
+)
+
 // telemetrySrv is the running observability endpoint (nil without
 // -telemetry-addr); main shuts it down gracefully on exit instead of
 // leaking the listener.
@@ -89,7 +97,13 @@ func main() {
 	flag.IntVar(&flightRecorder, "flight-recorder", 256, "per-node flight-recorder ring capacity in events (0 = off)")
 	flag.BoolVar(&optimizeOn, "optimize", false, "statistics-driven cost-based planning: constraint-pruned unfolding plus index-scan choice and lookup-join reordering (implies -analyze)")
 	flag.BoolVar(&analyzeOn, "analyze", false, "collect optimizer statistics (table histograms, stream samples, cardinality feedback) without changing plans; EXPLAIN gains est-vs-obs rows")
+	transportName := flag.String("transport", "channel", "node transport: channel (in-process) or tcp (framed loopback sessions with failure detection)")
+	flag.StringVar(&listenAddr, "listen", "", "bind address for -transport=tcp (default 127.0.0.1:0)")
 	flag.Parse()
+	var err error
+	if transportKind, err = cluster.ParseTransport(*transportName); err != nil {
+		log.Fatal(err)
+	}
 	engineOpts = optique.EngineOptions{Parallelism: *parallelism, DisablePlanCache: !*plancache}
 	interpretHaving = !*havingcompile
 	if !*vectorized {
@@ -141,6 +155,8 @@ func deploy(nodes, turbines int, inj optique.FaultInjector) (*optique.System, *s
 		cfg.TenantQuota = cluster.TenantQuota{MaxQueries: tenantQuota}
 	}
 	cfg.FlightRecorder = flightRecorder
+	cfg.Transport = transportKind
+	cfg.Listen = listenAddr
 	sys, err := optique.NewSystem(cfg, siemens.TBox(), siemens.Mappings(), cat)
 	if err != nil {
 		log.Fatal(err)

@@ -59,6 +59,7 @@ type inbox struct {
 	capacity int
 	closed   bool          // cluster shut down: pushes fail with ErrClusterClosed
 	failed   bool          // node declared dead: pushes fail with errNodeDown
+	halted   bool          // worker stopped for transport failover: pop ends, items stay
 	itemCh   chan struct{} // closed when an item arrives; consumer waits on it
 	spaceCh  chan struct{} // closed when space frees up; producers wait on it
 }
@@ -164,10 +165,15 @@ func (q *inbox) pushFront(w work) bool {
 }
 
 // pop blocks until an item is available. ok=false means the inbox is
-// closed (or failed) and drained: the worker should exit.
+// closed (or failed) and drained — or halted, in which case queued
+// items stay put for the failover's drain: the worker should exit.
 func (q *inbox) pop() (work, bool) {
 	for {
 		q.mu.Lock()
+		if q.halted {
+			q.mu.Unlock()
+			return work{}, false
+		}
 		if len(q.buf) > 0 {
 			w := q.buf[0]
 			q.buf = q.buf[1:]
@@ -196,6 +202,39 @@ func (q *inbox) length() int {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	return len(q.buf)
+}
+
+// halt stops the worker without condemning the queue: pop returns
+// false immediately (the consumer exits cleanly), queued items stay for
+// a later drain, and pushes still land in the buffer. It is the first
+// step of a transport-triggered failover — the node must stop
+// processing before its state is migrated, or a window could execute on
+// both sides of the handoff.
+func (q *inbox) halt() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.halted = true
+	if q.itemCh != nil {
+		close(q.itemCh)
+		q.itemCh = nil
+	}
+}
+
+// requeue appends w ignoring capacity: used to fold a torn-down
+// transport link's in-flight tuples back into the inbox so failover
+// salvages them with the rest (they were admitted once already).
+// Returns false when the inbox is down.
+func (q *inbox) requeue(w work) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed || q.failed {
+		if w.flush != nil {
+			close(w.flush)
+		}
+		return false
+	}
+	q.appendLocked(w)
+	return true
 }
 
 // fail marks the inbox dead (node failure): blocked producers wake and

@@ -30,6 +30,7 @@ import (
 	"repro/internal/sql"
 	"repro/internal/stream"
 	"repro/internal/telemetry"
+	"repro/internal/transport"
 )
 
 // Placement selects the worker for a new query.
@@ -113,6 +114,20 @@ type Options struct {
 	// the namespace convention). The zero value disables it.
 	TenantQuota TenantQuota
 
+	// Transport selects how the routing layer reaches workers:
+	// TransportChannel (default) delivers in-process on the caller's
+	// goroutine; TransportTCP runs the same traffic over framed,
+	// checksummed loopback TCP sessions with heartbeat failure detection
+	// and suspicion-triggered failover (see docs/transport.md).
+	Transport TransportKind
+	// Listen is the TCP transport's listen address (default
+	// "127.0.0.1:0"); ignored by the channel transport.
+	Listen string
+	// TransportTuning overrides the TCP transport's reliability clocks
+	// (heartbeats, suspicion, retransmission, reconnect backoff); zero
+	// fields resolve to defaults.
+	TransportTuning transport.Tuning
+
 	// FlightRecorder is the per-node flight-recorder ring capacity in
 	// events: each node keeps that many recent structured events
 	// (window executions, degradations, checkpoints, restarts), and the
@@ -181,6 +196,10 @@ type Cluster struct {
 	// quota admits everything).
 	gov *governor
 
+	// tr carries routed tuples and flush barriers to the workers
+	// (channel or TCP; see transport.go).
+	tr transport.Transport
+
 	gateway *Gateway
 }
 
@@ -233,6 +252,11 @@ type Node struct {
 	cursors   map[string]int64
 	sinceCkpt int
 	lastWins  int64
+
+	// failingOver guards the suspicion-triggered failover (guarded by
+	// Cluster.mu): the detector fires once per link, but a late
+	// suspicion must not re-fail a node the supervisor already handled.
+	failingOver bool
 
 	state    int32 // NodeState
 	queries  int32
@@ -306,6 +330,18 @@ func New(opts Options, catalogFor func(node int) *relation.Catalog) (*Cluster, e
 		go n.supervise(c)
 		c.nodes = append(c.nodes, n)
 	}
+	tr, err := c.newTransport()
+	if err != nil {
+		// The workers are already running; stop them before reporting.
+		for _, n := range c.nodes {
+			n.in.close()
+		}
+		for _, n := range c.nodes {
+			n.wg.Wait()
+		}
+		return nil, err
+	}
+	c.tr = tr
 	c.gateway = newGateway(c)
 	return c, nil
 }
@@ -691,15 +727,15 @@ func (c *Cluster) IngestContext(ctx context.Context, streamName string, el strea
 		}
 		h := valueHash(el.Row[idx])
 		target := hosts[int(h%uint64(len(hosts)))]
-		err = c.nodes[target].enqueue(ctx, work{stream: streamName, el: el, seq: seq}, c.opts.Backpressure)
-		if err == errNodeDown {
-			return nil // counted as a drop on the node
+		err = c.send(ctx, target, streamName, el, seq)
+		if sendFailed(err) {
+			return nil // counted as a drop on the node, or salvaged by failover
 		}
 		return err
 	}
 	for _, h := range hosts {
-		err := c.nodes[h].enqueue(ctx, work{stream: streamName, el: el, seq: seq}, c.opts.Backpressure)
-		if err != nil && err != errNodeDown {
+		err := c.send(ctx, h, streamName, el, seq)
+		if err != nil && !sendFailed(err) {
 			return err
 		}
 	}
@@ -719,7 +755,10 @@ func valueHash(v relation.Value) uint64 {
 
 // Flush drains every live node's queue and completes open windows. It
 // returns errors from the flush itself; asynchronous worker errors stay
-// in the per-node rings (see Errors and NodeStats).
+// in the per-node rings (see Errors and NodeStats). The barrier runs
+// through the transport — over TCP the flush frame queues behind every
+// tuple already sent on the link, so the ordering guarantee survives
+// the wire — and all nodes flush concurrently, as before.
 func (c *Cluster) Flush() error {
 	c.mu.Lock()
 	if c.closed {
@@ -727,27 +766,27 @@ func (c *Cluster) Flush() error {
 		return ErrClusterClosed
 	}
 	c.mu.Unlock()
-	var acks []chan error
-	for _, n := range c.nodes {
+	errs := make([]error, len(c.nodes))
+	var wg sync.WaitGroup
+	for i, n := range c.nodes {
 		if n.State() == NodeDead {
 			continue
 		}
-		ack := make(chan error, 1)
-		if err := n.enqueue(context.Background(), work{flush: ack}, BackpressureBlock); err != nil {
-			if err == errNodeDown {
-				continue // node died under us; its queries already failed over
-			}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = c.tr.Flush(context.Background(), i)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil && err != ErrLinkDown {
+			// ErrLinkDown means the node died under us; its queries
+			// already failed over and the flush is vacuous there.
 			return err
 		}
-		acks = append(acks, ack)
 	}
-	var firstErr error
-	for _, a := range acks {
-		if err := <-a; err != nil && firstErr == nil {
-			firstErr = err
-		}
-	}
-	return firstErr
+	return nil
 }
 
 // Close shuts down the workers. The cluster is unusable afterwards;
@@ -763,6 +802,13 @@ func (c *Cluster) Close() {
 	c.mu.Unlock()
 	for _, n := range c.nodes {
 		n.in.close()
+	}
+	// The transport closes after the inboxes: in-flight deliveries fail
+	// fast with ErrClusterClosed instead of blocking on a worker that is
+	// draining out, and before the worker wait so no flush waiter can
+	// wedge the shutdown.
+	if c.tr != nil {
+		_ = c.tr.Close()
 	}
 	for _, n := range c.nodes {
 		n.wg.Wait()

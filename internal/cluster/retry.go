@@ -12,9 +12,12 @@ import (
 const maxRetryBackoff = 250 * time.Millisecond
 
 // RetryBusy runs fn up to attempts times, retrying only when it fails
-// with a transient admission error: ErrGatewayBusy (submission queue
-// full), ErrTenantQuota (token bucket empty; it refills), or
-// ErrOverBudget (no node headroom; it frees as queries unregister).
+// with a transient admission or transport error: ErrGatewayBusy
+// (submission queue full), ErrTenantQuota (token bucket empty; it
+// refills), ErrOverBudget (no node headroom; it frees as queries
+// unregister), ErrLinkDown (the link reconnects or the node fails
+// over), or ErrSessionReset (the session resumes; the operation's fate
+// was lost, so only idempotent work should be retried through here).
 // Between attempts it sleeps a capped exponential backoff with full
 // jitter — base<<attempt halved plus a random half, so a thundering herd
 // of submitters decorrelates instead of hammering the gateway in
@@ -49,9 +52,12 @@ func RetryBusy(ctx context.Context, attempts int, base time.Duration, fn func() 
 	return err
 }
 
-// retryable reports whether an admission error is transient.
+// retryable reports whether an admission or transport error is
+// transient.
 func retryable(err error) bool {
 	return errors.Is(err, ErrGatewayBusy) ||
 		errors.Is(err, ErrTenantQuota) ||
-		errors.Is(err, ErrOverBudget)
+		errors.Is(err, ErrOverBudget) ||
+		errors.Is(err, ErrLinkDown) ||
+		errors.Is(err, ErrSessionReset)
 }

@@ -25,6 +25,7 @@ import (
 	"repro/internal/starql"
 	"repro/internal/stream"
 	"repro/internal/telemetry"
+	"repro/internal/transport"
 )
 
 // AnswerSink receives the CONSTRUCT triples a task emits for one window.
@@ -92,6 +93,19 @@ type Config struct {
 	// (see cluster.Options.FlightRecorder); the /events endpoint and
 	// System.Events dump the merged timeline. 0 disables recording.
 	FlightRecorder int
+
+	// Transport selects how the routing layer reaches worker nodes:
+	// cluster.TransportChannel (default, in-process) or
+	// cluster.TransportTCP (framed loopback sessions with heartbeat
+	// failure detection and suspicion-triggered failover — see
+	// docs/transport.md).
+	Transport cluster.TransportKind
+	// Listen is the TCP transport's listen address (default
+	// "127.0.0.1:0"); ignored by the channel transport.
+	Listen string
+	// TransportTuning overrides the TCP transport's reliability clocks;
+	// zero fields resolve to defaults.
+	TransportTuning transport.Tuning
 
 	// Analyze turns on optimizer statistics collection on every node:
 	// ANALYZE passes over the static catalog plus windowed stream
@@ -214,6 +228,9 @@ func NewSystem(cfg Config, tbox *ontology.TBox, set *mapping.Set, catalog *relat
 		NodeMemBudget:   cfg.NodeMemBudget,
 		TenantQuota:     cfg.TenantQuota,
 		FlightRecorder:  cfg.FlightRecorder,
+		Transport:       cfg.Transport,
+		Listen:          cfg.Listen,
+		TransportTuning: cfg.TransportTuning,
 	}, func(int) *relation.Catalog { return catalog })
 	if err != nil {
 		return nil, err

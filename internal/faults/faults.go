@@ -42,6 +42,20 @@ const (
 	// state, pushing it over its budget so the engine's degradation
 	// policy fires deterministically.
 	KindMemPressure
+	// KindNetDrop discards a frame on the wire (recovered by the
+	// transport's retransmission clock).
+	KindNetDrop
+	// KindNetDelay stalls a frame before it is written — a slow link;
+	// everything behind it on the link waits too.
+	KindNetDelay
+	// KindNetDup writes a frame twice (the receiver dedups by seq).
+	KindNetDup
+	// KindNetReorder delays a frame past its successor (the receiver
+	// reorders by seq).
+	KindNetReorder
+	// KindNetPartition counts frames black-holed by a cut link
+	// (CutLink/CutLinkOneWay, or a CutLinkAtFrame trigger firing).
+	KindNetPartition
 	// KindQuotaExhausted forces a tenant's admission checks to fail with
 	// the retryable quota error.
 	KindQuotaExhausted
@@ -63,6 +77,16 @@ func (k Kind) String() string {
 		return "mem-pressure"
 	case KindQuotaExhausted:
 		return "quota-exhausted"
+	case KindNetDrop:
+		return "net-drop"
+	case KindNetDelay:
+		return "net-delay"
+	case KindNetDup:
+		return "net-dup"
+	case KindNetReorder:
+		return "net-reorder"
+	case KindNetPartition:
+		return "net-partition"
 	default:
 		return "delay"
 	}
@@ -139,6 +163,54 @@ type Injector struct {
 	// admissions are forced to fail.
 	pressure  map[string]int64
 	exhausted map[string]bool
+
+	// Network chaos state (the transport.NetFaultInjector hooks): frame
+	// rules run on the deterministic clock of "the nth data/flush frame
+	// written towards the node", partitions are explicit link cuts
+	// (symmetric or one-way) that CutLinkAtFrame can also arm on that
+	// same frame clock.
+	netRules []netRule
+	cut      map[int]cutState
+	cutTrig  map[int]cutTrigger
+}
+
+// cutState is a link's partition state.
+type cutState int
+
+const (
+	cutNone   cutState = iota
+	cutOneWay          // outbound frames black-holed; acks still flow
+	cutBoth            // both directions black-holed
+)
+
+// netRule is one frame-schedule rule: fire on the node's nth outbound
+// data/flush frame (1-based), and every `every` frames after that.
+type netRule struct {
+	node  int
+	kind  Kind
+	at    int64
+	every int64
+	delay time.Duration
+}
+
+func (r netRule) matches(node int, nth int64) bool {
+	if r.node != AnyNode && r.node != node {
+		return false
+	}
+	if nth < r.at {
+		return false
+	}
+	if nth == r.at {
+		return true
+	}
+	return r.every > 0 && (nth-r.at)%r.every == 0
+}
+
+// cutTrigger arms a deterministic partition: the link is cut when the
+// transport writes its nth data/flush frame towards the node.
+type cutTrigger struct {
+	at     int64
+	oneWay bool
 }
 
 // New returns an injector whose probabilistic rules draw from a
@@ -155,6 +227,8 @@ func New(seed int64) *Injector {
 		crashEmit: make(map[string]map[int64]bool),
 		pressure:  make(map[string]int64),
 		exhausted: make(map[string]bool),
+		cut:       make(map[int]cutState),
+		cutTrig:   make(map[int]cutTrigger),
 	}
 }
 
@@ -394,4 +468,168 @@ func (i *Injector) AfterEmit(queryID string, windowEnd int64) {
 	if fire {
 		panic(EmitPanicValue)
 	}
+}
+
+// ---- network chaos (the transport.NetFaultInjector hooks) ----
+
+// DropFrameAt discards the nth data/flush frame written towards node
+// (1-based). The frame stays in the sender's unacked window and is
+// recovered by the retransmission clock.
+func (i *Injector) DropFrameAt(node int, nth int64) *Injector {
+	return i.addNet(netRule{node: node, kind: KindNetDrop, at: nth})
+}
+
+// DropFrameEvery discards every everyth frame towards node.
+func (i *Injector) DropFrameEvery(node int, every int64) *Injector {
+	return i.addNet(netRule{node: node, kind: KindNetDrop, at: every, every: every})
+}
+
+// DelayFrameEvery stalls every everyth frame towards node for d before
+// it is written — a slow link (every=1 slows every frame).
+func (i *Injector) DelayFrameEvery(node int, every int64, d time.Duration) *Injector {
+	return i.addNet(netRule{node: node, kind: KindNetDelay, at: every, every: every, delay: d})
+}
+
+// DuplicateFrameAt writes the nth frame towards node twice; the
+// receiver must deduplicate by sequence number.
+func (i *Injector) DuplicateFrameAt(node int, nth int64) *Injector {
+	return i.addNet(netRule{node: node, kind: KindNetDup, at: nth})
+}
+
+// DuplicateFrameEvery duplicates every everyth frame towards node.
+func (i *Injector) DuplicateFrameEvery(node int, every int64) *Injector {
+	return i.addNet(netRule{node: node, kind: KindNetDup, at: every, every: every})
+}
+
+// ReorderFrameAt delays the nth frame towards node past its successor;
+// the receiver must restore sequence order.
+func (i *Injector) ReorderFrameAt(node int, nth int64) *Injector {
+	return i.addNet(netRule{node: node, kind: KindNetReorder, at: nth})
+}
+
+// ReorderFrameEvery reorders every everyth frame towards node.
+func (i *Injector) ReorderFrameEvery(node int, every int64) *Injector {
+	return i.addNet(netRule{node: node, kind: KindNetReorder, at: every, every: every})
+}
+
+// CutLink cuts node's link symmetrically: frames in both directions
+// are black-holed until HealLink.
+func (i *Injector) CutLink(node int) *Injector {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.cut[node] = cutBoth
+	return i
+}
+
+// CutLinkOneWay cuts only the outbound direction of node's link:
+// frames towards the node vanish while acknowledgements still flow —
+// the asymmetric partial partition real networks produce.
+func (i *Injector) CutLinkOneWay(node int) *Injector {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.cut[node] = cutOneWay
+	return i
+}
+
+// HealLink reconnects node's link (lifts CutLink/CutLinkOneWay and
+// disarms a pending CutLinkAtFrame trigger).
+func (i *Injector) HealLink(node int) *Injector {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	delete(i.cut, node)
+	delete(i.cutTrig, node)
+	return i
+}
+
+// CutLinkAtFrame arms a deterministic partition: the link to node is
+// cut (symmetric, or one-way when oneWay) the moment the transport
+// writes its nth data/flush frame towards the node. The nth frame
+// itself is the first casualty.
+func (i *Injector) CutLinkAtFrame(node int, nth int64, oneWay bool) *Injector {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.cutTrig[node] = cutTrigger{at: nth, oneWay: oneWay}
+	return i
+}
+
+func (i *Injector) addNet(r netRule) *Injector {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.netRules = append(i.netRules, r)
+	return i
+}
+
+// NetPartitioned implements transport.NetFaultInjector: whether the
+// given direction of node's link is currently black-holed. One-way
+// cuts drop only outbound frames (inbound = the node's acks).
+func (i *Injector) NetPartitioned(node int, inbound bool) bool {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	switch i.cut[node] {
+	case cutBoth:
+		i.injected[KindNetPartition]++
+		return true
+	case cutOneWay:
+		if !inbound {
+			i.injected[KindNetPartition]++
+			return true
+		}
+	}
+	return false
+}
+
+// NetFrameAction implements transport.NetFaultInjector: the fault
+// schedule for the nth data/flush frame written towards node. At most
+// one of drop/dup/reorder fires per frame (drop wins, then dup);
+// delays stack. A CutLinkAtFrame trigger reaching its frame arms the
+// partition before the schedule is consulted.
+func (i *Injector) NetFrameAction(node int, nth int64) (drop, dup, reorder bool, delay time.Duration) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if trig, ok := i.cutTrig[node]; ok && nth >= trig.at {
+		if trig.oneWay {
+			i.cut[node] = cutOneWay
+		} else {
+			i.cut[node] = cutBoth
+		}
+		delete(i.cutTrig, node)
+		i.injected[KindNetPartition]++
+	}
+	for _, r := range i.netRules {
+		if !r.matches(node, nth) {
+			continue
+		}
+		switch r.kind {
+		case KindNetDrop:
+			drop = true
+		case KindNetDup:
+			dup = true
+		case KindNetReorder:
+			reorder = true
+		case KindNetDelay:
+			delay += r.delay
+		}
+	}
+	if drop {
+		dup, reorder = false, false
+		i.injected[KindNetDrop]++
+	} else if dup {
+		reorder = false
+		i.injected[KindNetDup]++
+	} else if reorder {
+		i.injected[KindNetReorder]++
+	}
+	if delay > 0 {
+		i.injected[KindNetDelay]++
+	}
+	return drop, dup, reorder, delay
+}
+
+// LinkCut reports whether node's link is currently cut. A pending
+// CutLinkAtFrame trigger that has not fired yet reports false — tests
+// use this to wait for an armed partition to bite before healing it.
+func (i *Injector) LinkCut(node int) bool {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.cut[node] != cutNone
 }

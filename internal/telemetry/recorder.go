@@ -22,6 +22,16 @@ const (
 	EvQuarantine
 	EvAdmissionReject
 	EvRestart
+	// Transport link lifecycle (Value = node id): a link's first
+	// successful session handshake, an established connection lost, a
+	// reconnect with session resumption, the failure detector
+	// suspecting a silent node, and a suspicion-triggered failover
+	// migrating the node's queries.
+	EvLinkUp
+	EvLinkDown
+	EvLinkReconnect
+	EvLinkSuspect
+	EvTransportFailover
 	numEventKinds // keep last
 )
 
@@ -29,6 +39,8 @@ var eventKindNames = [numEventKinds]string{
 	"window_exec", "degrade_shed", "degrade_widen", "degrade_suspend",
 	"checkpoint", "restore", "failover", "quarantine",
 	"admission_reject", "restart",
+	"link_up", "link_down", "link_reconnect", "link_suspect",
+	"transport_failover",
 }
 
 func (k EventKind) String() string {

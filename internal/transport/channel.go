@@ -1,0 +1,33 @@
+package transport
+
+import "context"
+
+// Channel is the in-process transport: Send and Flush call straight
+// into the handler on the caller's goroutine, which is exactly the hop
+// the cluster performed before transports existed — same goroutine,
+// same context, same backpressure semantics, same error values. It is
+// the default, and the reason the single-process test suite observes
+// byte-identical behavior whether or not this package is in the loop.
+type Channel struct {
+	h Handler
+}
+
+// NewChannel returns the in-process transport delivering to h.
+func NewChannel(h Handler) *Channel { return &Channel{h: h} }
+
+// Send delivers the tuple synchronously.
+func (t *Channel) Send(ctx context.Context, node int, m Msg) error {
+	return t.h.HandleTuple(ctx, node, m)
+}
+
+// Flush runs the flush barrier synchronously.
+func (t *Channel) Flush(ctx context.Context, node int) error {
+	return t.h.HandleFlush(ctx, node)
+}
+
+// CloseNode is a no-op: nothing is ever in flight between the routing
+// layer and an inbox.
+func (t *Channel) CloseNode(int) []Msg { return nil }
+
+// Close is a no-op.
+func (t *Channel) Close() error { return nil }

@@ -1,0 +1,272 @@
+// Frame codec for the TCP transport. The wire format reuses the
+// recovery store's framing conventions: an 8-byte little-endian
+// payload length, an 8-byte FNV-1a checksum of the payload, then the
+// payload. A torn write fails the length/payload read, a corrupt
+// payload fails the checksum, and an oversized length is rejected
+// before any allocation — all three tear down the connection, and the
+// session-resume path retransmits whatever the peer never
+// acknowledged.
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/relation"
+)
+
+// Frame kinds. Hello/HelloAck carry the session handshake, Data and
+// Flush carry the sequenced payload stream, Ack/FlushAck flow back
+// from the receiver, Heartbeat/HeartbeatAck keep failure detection fed
+// on idle links.
+const (
+	frameHello byte = iota + 1
+	frameHelloAck
+	frameData
+	frameFlush
+	frameAck
+	frameFlushAck
+	frameHeartbeat
+	frameHeartbeatAck
+)
+
+// frameHeaderSize is the fixed prefix: payload length + checksum.
+const frameHeaderSize = 16
+
+// DefaultMaxFrame bounds one frame's payload (1 MiB); a peer
+// announcing more is corrupt or hostile and the connection is cut.
+const DefaultMaxFrame = 1 << 20
+
+// Codec errors, distinguishable by errors.Is for tests and link
+// accounting.
+var (
+	// ErrFrameTooLarge rejects a frame whose announced payload exceeds
+	// the transport's maximum frame size.
+	ErrFrameTooLarge = errors.New("transport: frame exceeds max size")
+	// ErrChecksum rejects a frame whose payload bytes do not match the
+	// header checksum (corruption on the wire).
+	ErrChecksum = errors.New("transport: frame checksum mismatch")
+	// errBadFrame rejects a structurally invalid payload.
+	errBadFrame = errors.New("transport: malformed frame payload")
+)
+
+// Flush-ack result codes. Typed peer-side outcomes survive the wire
+// as codes, not error text, so errors.Is keeps working across the hop.
+const (
+	flushOK byte = iota
+	flushErr
+	flushNodeDown     // the peer's node is dead (maps to ErrLinkDown)
+	flushSessionReset // the peer lost the flush's fate (ErrSessionReset)
+)
+
+// frame is one decoded wire frame. Session and Seq are present on
+// every kind; the remaining fields are kind-specific.
+type frame struct {
+	Kind    byte
+	Session uint64
+	Seq     uint64 // data/flush: frame seq; ack/helloAck: cumulative seq
+	Node    int    // hello: target node id
+	Msg     Msg    // data
+	Code    byte   // flushAck: result code
+	Err     string // flushAck: flush error text ("" = ok)
+}
+
+// fnv1a matches the recovery store's checksum convention.
+func fnv1a(b []byte) uint64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(b); i++ {
+		h ^= uint64(b[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// appendFrame encodes f (header + payload) onto buf and returns the
+// extended slice. The caller writes the result in one Write so a torn
+// write can only truncate, never interleave.
+func appendFrame(buf []byte, f *frame) []byte {
+	start := len(buf)
+	buf = append(buf, make([]byte, frameHeaderSize)...)
+	buf = append(buf, f.Kind)
+	buf = binary.LittleEndian.AppendUint64(buf, f.Session)
+	buf = binary.LittleEndian.AppendUint64(buf, f.Seq)
+	switch f.Kind {
+	case frameHello:
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(f.Node))
+	case frameData:
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(f.Msg.TS))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(f.Msg.Seq))
+		buf = appendString(buf, f.Msg.Stream)
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(f.Msg.Row)))
+		for _, v := range f.Msg.Row {
+			buf = appendValue(buf, v)
+		}
+	case frameFlushAck:
+		buf = append(buf, f.Code)
+		buf = appendString(buf, f.Err)
+	}
+	payload := buf[start+frameHeaderSize:]
+	binary.LittleEndian.PutUint64(buf[start:], uint64(len(payload)))
+	binary.LittleEndian.PutUint64(buf[start+8:], fnv1a(payload))
+	return buf
+}
+
+// readFrame reads and verifies one frame. Torn streams surface as
+// io.ErrUnexpectedEOF (or io.EOF at a frame boundary), corruption as
+// ErrChecksum, oversized announcements as ErrFrameTooLarge.
+func readFrame(r io.Reader, maxFrame int) (frame, error) {
+	var hdr [frameHeaderSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return frame{}, err
+	}
+	n := binary.LittleEndian.Uint64(hdr[:8])
+	sum := binary.LittleEndian.Uint64(hdr[8:])
+	if n > uint64(maxFrame) {
+		return frame{}, fmt.Errorf("%w (%d bytes)", ErrFrameTooLarge, n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return frame{}, err
+	}
+	if fnv1a(payload) != sum {
+		return frame{}, ErrChecksum
+	}
+	return decodePayload(payload)
+}
+
+func decodePayload(p []byte) (frame, error) {
+	var f frame
+	if len(p) < 17 {
+		return f, errBadFrame
+	}
+	f.Kind = p[0]
+	f.Session = binary.LittleEndian.Uint64(p[1:])
+	f.Seq = binary.LittleEndian.Uint64(p[9:])
+	p = p[17:]
+	switch f.Kind {
+	case frameHello:
+		if len(p) < 4 {
+			return f, errBadFrame
+		}
+		f.Node = int(int32(binary.LittleEndian.Uint32(p)))
+	case frameData:
+		if len(p) < 16 {
+			return f, errBadFrame
+		}
+		f.Msg.TS = int64(binary.LittleEndian.Uint64(p))
+		f.Msg.Seq = int64(binary.LittleEndian.Uint64(p[8:]))
+		p = p[16:]
+		var err error
+		if f.Msg.Stream, p, err = readString(p); err != nil {
+			return f, err
+		}
+		if len(p) < 2 {
+			return f, errBadFrame
+		}
+		cols := int(binary.LittleEndian.Uint16(p))
+		p = p[2:]
+		f.Msg.Row = make(relation.Tuple, cols)
+		for i := 0; i < cols; i++ {
+			var v relation.Value
+			if v, p, err = readValue(p); err != nil {
+				return f, err
+			}
+			f.Msg.Row[i] = v
+		}
+	case frameFlushAck:
+		if len(p) < 1 {
+			return f, errBadFrame
+		}
+		f.Code = p[0]
+		var err error
+		if f.Err, _, err = readString(p[1:]); err != nil {
+			return f, err
+		}
+	case frameHelloAck, frameFlush, frameAck, frameHeartbeat, frameHeartbeatAck:
+		// no extra payload
+	default:
+		return f, fmt.Errorf("%w: unknown kind %d", errBadFrame, f.Kind)
+	}
+	return f, nil
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s)))
+	return append(buf, s...)
+}
+
+func readString(p []byte) (string, []byte, error) {
+	if len(p) < 4 {
+		return "", nil, errBadFrame
+	}
+	n := int(binary.LittleEndian.Uint32(p))
+	p = p[4:]
+	if len(p) < n {
+		return "", nil, errBadFrame
+	}
+	return string(p[:n]), p[n:], nil
+}
+
+// appendValue encodes one typed relational value: a type tag followed
+// by a type-dependent payload.
+func appendValue(buf []byte, v relation.Value) []byte {
+	buf = append(buf, byte(v.Type))
+	switch v.Type {
+	case relation.TInt, relation.TTime:
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(v.Int))
+	case relation.TFloat:
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v.Float))
+	case relation.TString:
+		buf = appendString(buf, v.Str)
+	case relation.TBool:
+		b := byte(0)
+		if v.Bool {
+			b = 1
+		}
+		buf = append(buf, b)
+	}
+	return buf
+}
+
+func readValue(p []byte) (relation.Value, []byte, error) {
+	if len(p) < 1 {
+		return relation.Value{}, nil, errBadFrame
+	}
+	v := relation.Value{Type: relation.Type(p[0])}
+	p = p[1:]
+	switch v.Type {
+	case relation.TNull:
+	case relation.TInt, relation.TTime:
+		if len(p) < 8 {
+			return v, nil, errBadFrame
+		}
+		v.Int = int64(binary.LittleEndian.Uint64(p))
+		p = p[8:]
+	case relation.TFloat:
+		if len(p) < 8 {
+			return v, nil, errBadFrame
+		}
+		v.Float = math.Float64frombits(binary.LittleEndian.Uint64(p))
+		p = p[8:]
+	case relation.TString:
+		var err error
+		if v.Str, p, err = readString(p); err != nil {
+			return v, nil, err
+		}
+	case relation.TBool:
+		if len(p) < 1 {
+			return v, nil, errBadFrame
+		}
+		v.Bool = p[0] == 1
+		p = p[1:]
+	default:
+		return v, nil, fmt.Errorf("%w: unknown value type %d", errBadFrame, v.Type)
+	}
+	return v, p, nil
+}

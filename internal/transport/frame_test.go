@@ -1,0 +1,144 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"reflect"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+func dataFrame(seq uint64) frame {
+	return frame{
+		Kind:    frameData,
+		Session: 7,
+		Seq:     seq,
+		Msg: Msg{
+			Stream: "s0",
+			TS:     12345,
+			Seq:    int64(seq),
+			Row: relation.Tuple{
+				relation.Int(42),
+				relation.Time(12345),
+				relation.Float(3.5),
+				relation.String_("sensor-a"),
+				relation.Bool_(true),
+				{Type: relation.TNull},
+			},
+		},
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	cases := []frame{
+		dataFrame(9),
+		{Kind: frameHello, Session: 3, Node: 2},
+		{Kind: frameHelloAck, Session: 3, Seq: 17},
+		{Kind: frameFlush, Session: 3, Seq: 18},
+		{Kind: frameAck, Session: 3, Seq: 18},
+		{Kind: frameFlushAck, Session: 3, Seq: 18, Code: flushErr, Err: "window failed"},
+		{Kind: frameHeartbeat, Session: 3},
+		{Kind: frameHeartbeatAck, Session: 3},
+	}
+	for _, want := range cases {
+		buf := appendFrame(nil, &want)
+		got, err := readFrame(bytes.NewReader(buf), DefaultMaxFrame)
+		if err != nil {
+			t.Fatalf("kind %d: %v", want.Kind, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("kind %d round-trip:\n got %+v\nwant %+v", want.Kind, got, want)
+		}
+	}
+}
+
+// TestFrameTornWrite truncates an encoded frame at every possible
+// offset: a cut at a frame boundary is a clean EOF, anything else is
+// an unexpected EOF — never a misdecoded frame.
+func TestFrameTornWrite(t *testing.T) {
+	f := dataFrame(1)
+	buf := appendFrame(nil, &f)
+	for cut := 0; cut < len(buf); cut++ {
+		_, err := readFrame(bytes.NewReader(buf[:cut]), DefaultMaxFrame)
+		if cut == 0 {
+			if err != io.EOF {
+				t.Fatalf("cut at 0: got %v, want io.EOF", err)
+			}
+			continue
+		}
+		if !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("cut at %d: got %v, want io.ErrUnexpectedEOF", cut, err)
+		}
+	}
+}
+
+// TestFrameChecksumCorruption flips each payload byte in turn; every
+// corruption must surface as ErrChecksum, not as a decoded frame.
+func TestFrameChecksumCorruption(t *testing.T) {
+	f := dataFrame(2)
+	buf := appendFrame(nil, &f)
+	for i := frameHeaderSize; i < len(buf); i++ {
+		corrupt := append([]byte(nil), buf...)
+		corrupt[i] ^= 0x40
+		if _, err := readFrame(bytes.NewReader(corrupt), DefaultMaxFrame); !errors.Is(err, ErrChecksum) {
+			t.Fatalf("flip at %d: got %v, want ErrChecksum", i, err)
+		}
+	}
+}
+
+// TestFrameMaxSizeRejected rejects an oversized announced payload
+// before allocating it (a corrupt or hostile length field must not OOM
+// the receiver).
+func TestFrameMaxSizeRejected(t *testing.T) {
+	f := dataFrame(3)
+	buf := appendFrame(nil, &f)
+	max := len(buf) - frameHeaderSize - 1
+	if _, err := readFrame(bytes.NewReader(buf), max); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("got %v, want ErrFrameTooLarge", err)
+	}
+	// A huge announced length with no payload behind it must fail on the
+	// length check alone.
+	hdr := make([]byte, frameHeaderSize)
+	binary.LittleEndian.PutUint64(hdr, 1<<40)
+	if _, err := readFrame(bytes.NewReader(hdr), DefaultMaxFrame); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("got %v, want ErrFrameTooLarge", err)
+	}
+	// At exactly the limit the frame still decodes.
+	if _, err := readFrame(bytes.NewReader(buf), max+1); err != nil {
+		t.Fatalf("frame at the size limit rejected: %v", err)
+	}
+}
+
+func TestFrameUnknownKindRejected(t *testing.T) {
+	f := frame{Kind: 99, Session: 1, Seq: 1}
+	buf := appendFrame(nil, &f)
+	if _, err := readFrame(bytes.NewReader(buf), DefaultMaxFrame); !errors.Is(err, errBadFrame) {
+		t.Fatalf("got %v, want errBadFrame", err)
+	}
+}
+
+// TestFrameStreamed reads several frames back-to-back from one reader,
+// as the connection loops do.
+func TestFrameStreamed(t *testing.T) {
+	var buf []byte
+	for seq := uint64(1); seq <= 3; seq++ {
+		f := dataFrame(seq)
+		buf = appendFrame(buf, &f)
+	}
+	r := bytes.NewReader(buf)
+	for seq := uint64(1); seq <= 3; seq++ {
+		f, err := readFrame(r, DefaultMaxFrame)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.Seq != seq {
+			t.Fatalf("got seq %d, want %d", f.Seq, seq)
+		}
+	}
+	if _, err := readFrame(r, DefaultMaxFrame); err != io.EOF {
+		t.Fatalf("after last frame: got %v, want io.EOF", err)
+	}
+}

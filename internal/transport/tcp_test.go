@@ -1,0 +1,360 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/relation"
+	"repro/internal/telemetry"
+)
+
+// The deterministic fault injector must satisfy the transport's hook
+// interface.
+var _ NetFaultInjector = (*faults.Injector)(nil)
+
+// collectHandler records delivered tuples and flush barriers per node.
+type collectHandler struct {
+	mu      sync.Mutex
+	msgs    map[int][]Msg
+	flushes map[int]int
+	flushCh chan struct{} // signalled per flush (nil = disabled)
+}
+
+func newCollectHandler() *collectHandler {
+	return &collectHandler{msgs: make(map[int][]Msg), flushes: make(map[int]int)}
+}
+
+func (h *collectHandler) HandleTuple(_ context.Context, node int, m Msg) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.msgs[node] = append(h.msgs[node], m)
+	return nil
+}
+
+func (h *collectHandler) HandleFlush(_ context.Context, node int) error {
+	h.mu.Lock()
+	h.flushes[node]++
+	h.mu.Unlock()
+	if h.flushCh != nil {
+		h.flushCh <- struct{}{}
+	}
+	return nil
+}
+
+func (h *collectHandler) delivered(node int) []Msg {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]Msg(nil), h.msgs[node]...)
+}
+
+func testMsg(stream string, i int) Msg {
+	return Msg{
+		Stream: stream,
+		TS:     int64(i) * 100,
+		Seq:    int64(i) + 1,
+		Row:    relation.Tuple{relation.Int(int64(i)), relation.Float(float64(i) / 2)},
+	}
+}
+
+// checkDelivered asserts node received exactly msgs 0..n-1 in order,
+// each exactly once.
+func checkDelivered(t *testing.T, h *collectHandler, node, n int, stream string) {
+	t.Helper()
+	got := h.delivered(node)
+	if len(got) != n {
+		t.Fatalf("node %d delivered %d msgs, want %d", node, len(got), n)
+	}
+	for i, m := range got {
+		want := testMsg(stream, i)
+		if m.Stream != want.Stream || m.TS != want.TS || m.Seq != want.Seq || len(m.Row) != len(want.Row) {
+			t.Fatalf("node %d msg %d = %+v, want %+v", node, i, m, want)
+		}
+	}
+}
+
+func chaosTuning() Tuning {
+	return Tuning{
+		HeartbeatEvery:   5 * time.Millisecond,
+		SuspectAfter:     -1, // chaos runs reconnect forever; no failover
+		RetransmitAfter:  30 * time.Millisecond,
+		DialTimeout:      50 * time.Millisecond,
+		ReconnectBackoff: time.Millisecond,
+	}
+}
+
+func newTestTCP(t *testing.T, cfg Config) *TCP {
+	t.Helper()
+	tr, err := NewTCP(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { tr.Close() })
+	return tr
+}
+
+func TestTCPDeliversInOrder(t *testing.T) {
+	h := newCollectHandler()
+	tr := newTestTCP(t, Config{Nodes: 2, Handler: h})
+	ctx := context.Background()
+	for i := 0; i < 50; i++ {
+		for node := 0; node < 2; node++ {
+			if err := tr.Send(ctx, node, testMsg(fmt.Sprintf("s%d", node), i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for node := 0; node < 2; node++ {
+		if err := tr.Flush(ctx, node); err != nil {
+			t.Fatalf("flush node %d: %v", node, err)
+		}
+	}
+	// The flush barrier ran behind every tuple on each link, so delivery
+	// is complete the moment it returns.
+	for node := 0; node < 2; node++ {
+		checkDelivered(t, h, node, 50, fmt.Sprintf("s%d", node))
+		h.mu.Lock()
+		flushes := h.flushes[node]
+		h.mu.Unlock()
+		if flushes != 1 {
+			t.Errorf("node %d ran %d flushes, want 1", node, flushes)
+		}
+	}
+}
+
+// TestTCPDropsRecoverByRetransmit drops frames on the wire; the
+// retransmission clock resets the connection, the session resumes, and
+// every tuple still arrives exactly once, in order.
+func TestTCPDropsRecoverByRetransmit(t *testing.T) {
+	h := newCollectHandler()
+	inj := faults.New(1).DropFrameAt(0, 3).DropFrameEvery(0, 17)
+	reg := telemetry.NewRegistry()
+	tr := newTestTCP(t, Config{Nodes: 1, Handler: h, Faults: inj, Tuning: chaosTuning(), Metrics: reg})
+	ctx := context.Background()
+	for i := 0; i < 40; i++ {
+		if err := tr.Send(ctx, 0, testMsg("s0", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.Flush(ctx, 0); err != nil {
+		t.Fatal(err)
+	}
+	checkDelivered(t, h, 0, 40, "s0")
+	if inj.Injected(faults.KindNetDrop) == 0 {
+		t.Error("no drops were injected")
+	}
+	if reg.Counter("transport.retransmits").Value() == 0 {
+		t.Error("drops recovered without retransmissions")
+	}
+}
+
+// TestTCPDuplicatesAreDeduped writes duplicated frames; the receiver's
+// session high-water mark must deliver each exactly once.
+func TestTCPDuplicatesAreDeduped(t *testing.T) {
+	h := newCollectHandler()
+	inj := faults.New(1).DuplicateFrameEvery(0, 3)
+	reg := telemetry.NewRegistry()
+	tr := newTestTCP(t, Config{Nodes: 1, Handler: h, Faults: inj, Tuning: chaosTuning(), Metrics: reg})
+	ctx := context.Background()
+	for i := 0; i < 30; i++ {
+		if err := tr.Send(ctx, 0, testMsg("s0", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.Flush(ctx, 0); err != nil {
+		t.Fatal(err)
+	}
+	checkDelivered(t, h, 0, 30, "s0")
+	if inj.Injected(faults.KindNetDup) == 0 {
+		t.Error("no duplicates were injected")
+	}
+	if reg.Counter("transport.frames_deduped").Value() == 0 {
+		t.Error("duplicated frames were never deduplicated")
+	}
+}
+
+// TestTCPReorderedFramesAreResequenced holds frames past their
+// successors; the receiver's stash restores session order.
+func TestTCPReorderedFramesAreResequenced(t *testing.T) {
+	h := newCollectHandler()
+	inj := faults.New(1).ReorderFrameEvery(0, 5)
+	tr := newTestTCP(t, Config{Nodes: 1, Handler: h, Faults: inj, Tuning: chaosTuning()})
+	ctx := context.Background()
+	for i := 0; i < 30; i++ {
+		if err := tr.Send(ctx, 0, testMsg("s0", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.Flush(ctx, 0); err != nil {
+		t.Fatal(err)
+	}
+	checkDelivered(t, h, 0, 30, "s0")
+	if inj.Injected(faults.KindNetReorder) == 0 {
+		t.Error("no reorders were injected")
+	}
+}
+
+// TestTCPSessionResumeDedupes is the session-resumption edge case: a
+// dropped frame forces a connection reset with frames beyond it already
+// stashed at the receiver. The resumed session retransmits from the
+// peer's delivered high-water mark, so the stashed frames arrive twice
+// — and must be delivered once.
+func TestTCPSessionResumeDedupes(t *testing.T) {
+	h := newCollectHandler()
+	inj := faults.New(1).DropFrameAt(0, 2)
+	reg := telemetry.NewRegistry()
+	tr := newTestTCP(t, Config{Nodes: 1, Handler: h, Faults: inj, Tuning: chaosTuning(), Metrics: reg})
+	ctx := context.Background()
+	// Frame 2 vanishes; frames 3..5 land in the reorder stash. The
+	// retransmit clock resets the connection and the resume replays
+	// everything past the receiver's delivered=1.
+	for i := 0; i < 5; i++ {
+		if err := tr.Send(ctx, 0, testMsg("s0", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.Flush(ctx, 0); err != nil {
+		t.Fatal(err)
+	}
+	checkDelivered(t, h, 0, 5, "s0")
+	if reg.Counter("transport.reconnects").Value() == 0 {
+		t.Error("the dropped frame never forced a reconnect")
+	}
+	if reg.Counter("transport.frames_deduped").Value() == 0 {
+		t.Error("resume retransmission was never deduplicated")
+	}
+}
+
+// TestTCPPartitionHealsAndResumes cuts the link mid-stream (one-way:
+// outbound black-holed, acks still flow) and heals it; the session
+// resumes and delivers everything exactly once.
+func TestTCPPartitionHealsAndResumes(t *testing.T) {
+	h := newCollectHandler()
+	inj := faults.New(1).CutLinkAtFrame(0, 4, true)
+	tr := newTestTCP(t, Config{Nodes: 1, Handler: h, Faults: inj, Tuning: chaosTuning()})
+	ctx := context.Background()
+	for i := 0; i < 20; i++ {
+		if err := tr.Send(ctx, 0, testMsg("s0", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Give the cut time to bite (the trigger arms on the 4th written
+	// frame), then heal and flush: the barrier completes only after the
+	// resumed session delivered the backlog.
+	time.Sleep(50 * time.Millisecond)
+	inj.HealLink(0)
+	if err := tr.Flush(ctx, 0); err != nil {
+		t.Fatal(err)
+	}
+	checkDelivered(t, h, 0, 20, "s0")
+	if inj.Injected(faults.KindNetPartition) == 0 {
+		t.Error("the partition never bit")
+	}
+}
+
+// TestTCPSuspicionFiresOnSilence cuts a node's link symmetrically and
+// never heals it: the failure detector must report the node exactly
+// once.
+func TestTCPSuspicionFiresOnSilence(t *testing.T) {
+	h := newCollectHandler()
+	inj := faults.New(1).CutLink(0)
+	suspected := make(chan int, 2)
+	tun := chaosTuning()
+	tun.SuspectAfter = 60 * time.Millisecond
+	reg := telemetry.NewRegistry()
+	tr := newTestTCP(t, Config{
+		Nodes: 1, Handler: h, Faults: inj, Tuning: tun, Metrics: reg,
+		OnSuspect: func(node int) { suspected <- node },
+	})
+	if err := tr.Send(context.Background(), 0, testMsg("s0", 0)); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case node := <-suspected:
+		if node != 0 {
+			t.Fatalf("suspected node %d, want 0", node)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("suspicion never fired on a cut link")
+	}
+	if reg.Counter("transport.suspects").Value() != 1 {
+		t.Errorf("suspects = %d, want 1", reg.Counter("transport.suspects").Value())
+	}
+	select {
+	case <-suspected:
+		t.Fatal("suspicion fired twice for one node")
+	case <-time.After(3 * tun.SuspectAfter):
+	}
+}
+
+// TestTCPCloseNodeSalvagesUndelivered tears down a partitioned link;
+// the queued tuples come back for salvage, in order, and subsequent
+// sends fail fast with the typed error.
+func TestTCPCloseNodeSalvagesUndelivered(t *testing.T) {
+	h := newCollectHandler()
+	inj := faults.New(1).CutLink(0)
+	tr := newTestTCP(t, Config{Nodes: 1, Handler: h, Faults: inj, Tuning: chaosTuning()})
+	ctx := context.Background()
+	for i := 0; i < 10; i++ {
+		if err := tr.Send(ctx, 0, testMsg("s0", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	msgs := tr.CloseNode(0)
+	if len(msgs) != 10 {
+		t.Fatalf("salvaged %d msgs, want 10", len(msgs))
+	}
+	for i, m := range msgs {
+		if m.Seq != int64(i)+1 {
+			t.Fatalf("salvage out of order: msg %d has seq %d", i, m.Seq)
+		}
+	}
+	if err := tr.Send(ctx, 0, testMsg("s0", 99)); !errors.Is(err, ErrLinkDown) {
+		t.Fatalf("send after CloseNode: got %v, want ErrLinkDown", err)
+	}
+	if err := tr.Flush(ctx, 0); !errors.Is(err, ErrLinkDown) {
+		t.Fatalf("flush after CloseNode: got %v, want ErrLinkDown", err)
+	}
+}
+
+// TestTCPFlushCarriesHandlerError round-trips a flush failure as a
+// typed wire code plus text.
+func TestTCPFlushCarriesHandlerError(t *testing.T) {
+	boom := errors.New("window execution failed")
+	h := &errFlushHandler{err: boom}
+	tr := newTestTCP(t, Config{Nodes: 1, Handler: h})
+	err := tr.Flush(context.Background(), 0)
+	if err == nil || err.Error() != "transport: node 0 flush: window execution failed" {
+		t.Fatalf("got %v, want wrapped flush error", err)
+	}
+}
+
+type errFlushHandler struct{ err error }
+
+func (h *errFlushHandler) HandleTuple(context.Context, int, Msg) error { return nil }
+func (h *errFlushHandler) HandleFlush(context.Context, int) error      { return h.err }
+
+// TestTCPSendHonorsContextOnFullWindow fills the send window of a cut
+// link; a bounded Send must give up with the context error.
+func TestTCPSendHonorsContextOnFullWindow(t *testing.T) {
+	h := newCollectHandler()
+	inj := faults.New(1).CutLink(0)
+	tun := chaosTuning()
+	tun.Window = 4
+	tr := newTestTCP(t, Config{Nodes: 1, Handler: h, Faults: inj, Tuning: tun})
+	ctx := context.Background()
+	for i := 0; i < 4; i++ {
+		if err := tr.Send(ctx, 0, testMsg("s0", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bounded, cancel := context.WithTimeout(ctx, 20*time.Millisecond)
+	defer cancel()
+	if err := tr.Send(bounded, 0, testMsg("s0", 4)); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("got %v, want context.DeadlineExceeded", err)
+	}
+}
